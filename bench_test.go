@@ -1,0 +1,620 @@
+package darnet
+
+// One benchmark per table and figure of the paper's evaluation section, plus
+// ablation benches for the design choices DESIGN.md calls out. Model
+// training is amortized in shared lazy setup so each benchmark iteration
+// measures the experiment's evaluation path; reproduced accuracy numbers are
+// attached as custom benchmark metrics (suffix *_pct, paper reference values
+// in EXPERIMENTS.md).
+//
+// The benches run reduced-scale versions of the experiments so the full
+// suite stays tractable; `cmd/darnet-eval` regenerates the full-scale
+// numbers reported in EXPERIMENTS.md.
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"darnet/internal/collect"
+	"darnet/internal/core"
+	"darnet/internal/imu"
+	"darnet/internal/nn"
+	"darnet/internal/privacy"
+	"darnet/internal/rnn"
+	"darnet/internal/svm"
+	"darnet/internal/synth"
+	"darnet/internal/tensor"
+	"darnet/internal/tsdb"
+	"darnet/internal/wire"
+)
+
+// benchScale keeps training-dependent benches tractable.
+const benchScale = 0.01
+
+// --- Shared trained engine (Table 2 / Figure 5 / combiner ablation) ---------
+
+var engineSetup struct {
+	once  sync.Once
+	err   error
+	train *synth.Dataset
+	test  *synth.Dataset
+	eng   *core.Engine
+}
+
+func sharedEngine(b *testing.B) (*core.Engine, *synth.Dataset, *synth.Dataset) {
+	b.Helper()
+	engineSetup.once.Do(func() {
+		cfg := synth.DefaultConfig()
+		cfg.Scale = benchScale
+		ds, err := synth.GenerateTable1(cfg)
+		if err != nil {
+			engineSetup.err = err
+			return
+		}
+		rng := rand.New(rand.NewSource(42))
+		train, test, err := ds.Split(rng, 0.2)
+		if err != nil {
+			engineSetup.err = err
+			return
+		}
+		tc := core.DefaultTrainConfig()
+		tc.CNNEpochs = 8
+		tc.RNNEpochs = 6
+		eng, err := core.Train(train.CoreData(), tc)
+		if err != nil {
+			engineSetup.err = err
+			return
+		}
+		engineSetup.train, engineSetup.test, engineSetup.eng = train, test, eng
+	})
+	if engineSetup.err != nil {
+		b.Fatal(engineSetup.err)
+	}
+	return engineSetup.eng, engineSetup.train, engineSetup.test
+}
+
+// BenchmarkTable1Dataset regenerates the Table 1 dataset (class inventory
+// with the paper's per-class proportions) each iteration.
+func BenchmarkTable1Dataset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := synth.DefaultConfig()
+		cfg.Scale = benchScale
+		ds, err := synth.GenerateTable1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds.Len() == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+// BenchmarkTable2Ensembles measures the full Table 2 evaluation (three
+// architectures + IMU-only models) and reports the reproduced Top-1 numbers.
+// Paper: CNN+RNN 87.02, CNN+SVM 86.23, CNN 73.88, RNN 97.44, SVM 95.37.
+func BenchmarkTable2Ensembles(b *testing.B) {
+	eng, _, test := sharedEngine(b)
+	b.ResetTimer()
+	var ev *core.Evaluation
+	for i := 0; i < b.N; i++ {
+		var err error
+		ev, err = eng.Evaluate(test.CoreData(), ClassNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ev.CNNRNN*100, "cnn+rnn_pct")
+	b.ReportMetric(ev.CNNSVM*100, "cnn+svm_pct")
+	b.ReportMetric(ev.CNN*100, "cnn_pct")
+	b.ReportMetric(ev.RNNOnly*100, "rnn_only_pct")
+	b.ReportMetric(ev.SVMOnly*100, "svm_only_pct")
+}
+
+// BenchmarkFigure5Confusion measures confusion-matrix construction and
+// reports the texting-recall crossover (paper: 36.0% CNN → 87.0% CNN+RNN).
+func BenchmarkFigure5Confusion(b *testing.B) {
+	eng, _, test := sharedEngine(b)
+	b.ResetTimer()
+	var ev *core.Evaluation
+	for i := 0; i < b.N; i++ {
+		var err error
+		ev, err = eng.Evaluate(test.CoreData(), ClassNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	tex := int(Texting)
+	b.ReportMetric(ev.ConfusionCNN.Rate(tex, tex)*100, "texting_cnn_pct")
+	b.ReportMetric(ev.ConfusionCNNRNN.Rate(tex, tex)*100, "texting_ensemble_pct")
+}
+
+// BenchmarkFigure4Downsample measures the Figure 4 artifact path: render a
+// 300×300 scene and produce the 100/50/25 down-sampled versions.
+func BenchmarkFigure4Downsample(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	driver := synth.NewDriverProfile(rng)
+	amb := synth.DefaultAmbiguity()
+	for i := 0; i < b.N; i++ {
+		frame := synth.RenderScene(rng, 300, 300, synth.Talking, driver, amb)
+		for _, size := range []int{100, 50, 25} {
+			if _, err := frame.DownsampleNearest(size, size); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Table 3: dCNN distillation ---------------------------------------------
+
+var dcnnSetup struct {
+	once    sync.Once
+	err     error
+	train   *synth.Dataset
+	test    *synth.Dataset
+	teacher *nn.Sequential
+	student *nn.Sequential // dCNN-L
+}
+
+func sharedDCNN(b *testing.B) (*nn.Sequential, *nn.Sequential, *synth.Dataset) {
+	b.Helper()
+	dcnnSetup.once.Do(func() {
+		cfg := synth.DefaultConfig18()
+		cfg.PerClass = 30
+		ds, err := synth.Generate18Class(cfg)
+		if err != nil {
+			dcnnSetup.err = err
+			return
+		}
+		rng := rand.New(rand.NewSource(42))
+		train, test, err := ds.Split(rng, 0.2)
+		if err != nil {
+			dcnnSetup.err = err
+			return
+		}
+		cnnCfg := core.DefaultCNNConfig()
+		teacher, err := core.BuildFrameCNN(rng, cfg.ImgW, cfg.ImgH, 18, cnnCfg)
+		if err != nil {
+			dcnnSetup.err = err
+			return
+		}
+		opt := nn.NewAdam(0.002)
+		opt.WeightDecay = 1e-4
+		if _, err := nn.TrainClassifier(teacher, opt, rng, train.Frames(), train.Labels(), nn.TrainConfig{
+			Epochs: 10, BatchSize: 32, ClipNorm: 5,
+		}); err != nil {
+			dcnnSetup.err = err
+			return
+		}
+		build := func(rng *rand.Rand) (*nn.Sequential, error) {
+			return core.BuildFrameCNN(rng, cfg.ImgW, cfg.ImgH, 18, cnnCfg)
+		}
+		dc := privacy.DefaultDistillConfig()
+		dc.Epochs = 8
+		student, err := privacy.Distill(teacher, build, train.Frames(), cfg.ImgW, cfg.ImgH,
+			collect.DistortLow, privacy.CompactRatios(), rng, dc)
+		if err != nil {
+			dcnnSetup.err = err
+			return
+		}
+		dcnnSetup.train, dcnnSetup.test = train, test
+		dcnnSetup.teacher, dcnnSetup.student = teacher, student
+	})
+	if dcnnSetup.err != nil {
+		b.Fatal(dcnnSetup.err)
+	}
+	return dcnnSetup.teacher, dcnnSetup.student, dcnnSetup.test
+}
+
+// BenchmarkTable3DCNN measures the dCNN evaluation path and reports teacher
+// vs dCNN-L accuracy (paper: CNN 78.87, dCNN-L 80.00).
+func BenchmarkTable3DCNN(b *testing.B) {
+	teacher, student, test := sharedDCNN(b)
+	distorted, err := privacy.DistortRows(test.Frames(), test.ImgW, test.ImgH,
+		collect.DistortLow, privacy.CompactRatios())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var teacherAcc, studentAcc float64
+	for i := 0; i < b.N; i++ {
+		teacherAcc, err = core.EvaluateCNNOnly(teacher, test.Frames(), test.Labels())
+		if err != nil {
+			b.Fatal(err)
+		}
+		studentAcc, err = core.EvaluateCNNOnly(student, distorted, test.Labels())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(teacherAcc*100, "cnn_pct")
+	b.ReportMetric(studentAcc*100, "dcnn_l_pct")
+}
+
+// --- Ablations ----------------------------------------------------------------
+
+// BenchmarkAblationCombiner compares the Bayesian Network combiner against
+// the naive product/average fusions on the shared engine.
+func BenchmarkAblationCombiner(b *testing.B) {
+	eng, _, test := sharedEngine(b)
+	b.ResetTimer()
+	var ev *core.Evaluation
+	for i := 0; i < b.N; i++ {
+		var err error
+		ev, err = eng.Evaluate(test.CoreData(), ClassNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ev.CNNRNN*100, "bn_pct")
+	b.ReportMetric(ev.ProductCombine*100, "product_pct")
+	b.ReportMetric(ev.AverageCombine*100, "average_pct")
+}
+
+// BenchmarkAblationLSTM compares bidirectional against unidirectional
+// recurrent stacks at equal width on the IMU task.
+func BenchmarkAblationLSTM(b *testing.B) {
+	_, train, test := sharedEngine(b)
+	stats, err := imu.FitStats(train.IMUWindows())
+	if err != nil {
+		b.Fatal(err)
+	}
+	norm := func(ds *synth.Dataset) []*tensor.Tensor {
+		out := make([]*tensor.Tensor, ds.Len())
+		for i, w := range ds.IMUWindows() {
+			out[i] = stats.Normalize(w)
+		}
+		return out
+	}
+	trainSeqs, testSeqs := norm(train), norm(test)
+	b.ResetTimer()
+	var biAcc, uniAcc float64
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(5))
+		for _, unidir := range []bool{false, true} {
+			cls, err := rnn.NewClassifier("abl", rng, rnn.Config{
+				Input: imu.FeatureDim, Hidden: 24, Layers: 1,
+				Classes: synth.NumIMUClasses, Unidirectional: unidir,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cls.Train(nn.NewAdam(0.005), rng, trainSeqs, train.IMULabels(), rnn.TrainConfig{
+				Epochs: 3, BatchSize: 16, ClipNorm: 5,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			acc, err := cls.Evaluate(testSeqs, test.IMULabels())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if unidir {
+				uniAcc = acc
+			} else {
+				biAcc = acc
+			}
+		}
+	}
+	b.ReportMetric(biAcc*100, "bilstm_pct")
+	b.ReportMetric(uniAcc*100, "unilstm_pct")
+}
+
+// BenchmarkAblationCNNArch compares the inception-style MicroInception
+// against a plain conv stack at a comparable parameter budget.
+func BenchmarkAblationCNNArch(b *testing.B) {
+	_, train, test := sharedEngine(b)
+	b.ResetTimer()
+	var mixAcc, plainAcc float64
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(6))
+		for _, plain := range []bool{false, true} {
+			var net *nn.Sequential
+			var err error
+			if plain {
+				net, err = core.BuildPlainCNN(rng, train.ImgW, train.ImgH, synth.NumClasses, core.DefaultCNNConfig())
+			} else {
+				net, err = core.BuildFrameCNN(rng, train.ImgW, train.ImgH, synth.NumClasses, core.DefaultCNNConfig())
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := nn.NewAdam(0.002)
+			opt.WeightDecay = 1e-4
+			if _, err := nn.TrainClassifier(net, opt, rng, train.Frames(), train.Labels(), nn.TrainConfig{
+				Epochs: 4, BatchSize: 32, ClipNorm: 5,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			acc, err := core.EvaluateCNNOnly(net, test.Frames(), test.Labels())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if plain {
+				plainAcc = acc
+			} else {
+				mixAcc = acc
+			}
+		}
+	}
+	b.ReportMetric(mixAcc*100, "inception_pct")
+	b.ReportMetric(plainAcc*100, "plain_pct")
+}
+
+// BenchmarkAblationDistillInit compares dCNN students initialized from the
+// teacher (the paper's methodology) against random initialization. Students
+// distill on the training frames only and are evaluated on the held-out
+// distorted test set.
+func BenchmarkAblationDistillInit(b *testing.B) {
+	teacher, _, test := sharedDCNN(b)
+	train := dcnnSetup.train
+	cfg := synth.DefaultConfig18()
+	build := func(rng *rand.Rand) (*nn.Sequential, error) {
+		return core.BuildFrameCNN(rng, cfg.ImgW, cfg.ImgH, 18, core.DefaultCNNConfig())
+	}
+	distorted, err := privacy.DistortRows(test.Frames(), test.ImgW, test.ImgH,
+		collect.DistortLow, privacy.CompactRatios())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var fromTeacher, fromRandom float64
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(7))
+		for _, init := range []bool{true, false} {
+			dc := privacy.DefaultDistillConfig()
+			dc.Epochs = 4
+			dc.InitFromTeacher = init
+			student, err := privacy.Distill(teacher, build, train.Frames(), train.ImgW, train.ImgH,
+				collect.DistortLow, privacy.CompactRatios(), rng, dc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc, err := core.EvaluateCNNOnly(student, distorted, test.Labels())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if init {
+				fromTeacher = acc
+			} else {
+				fromRandom = acc
+			}
+		}
+	}
+	b.ReportMetric(fromTeacher*100, "teacher_init_pct")
+	b.ReportMetric(fromRandom*100, "random_init_pct")
+}
+
+// BenchmarkAblationSmoothing measures the controller's alignment at several
+// smoothing windows and reports reconstruction error against the true signal.
+func BenchmarkAblationSmoothing(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	db := tsdb.New()
+	// Irregular noisy observations of a known smooth signal.
+	truth := func(t int64) float64 { return 5 + 2*float64(t)/1000 }
+	ts := int64(0)
+	for i := 0; i < 500; i++ {
+		ts += int64(10 + rng.Intn(60))
+		db.Insert("s", tsdb.Point{TimestampMillis: ts, Value: truth(ts) + rng.NormFloat64()*0.5})
+	}
+	ctrl := collect.NewController(db, func() int64 { return ts })
+	first, last, _ := db.Bounds("s")
+
+	b.ResetTimer()
+	errs := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, window := range []int{1, 3, 7} {
+			al, err := ctrl.Align([]string{"s"}, collect.AlignConfig{
+				FromMillis: first, ToMillis: last, StepMillis: 40, SmoothWindow: window,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum := 0.0
+			for j, v := range al.Values[0] {
+				d := v - truth(first+int64(j)*40)
+				sum += d * d
+			}
+			errs[window] = sum / float64(len(al.Values[0]))
+		}
+	}
+	b.ReportMetric(errs[1], "mse_raw")
+	b.ReportMetric(errs[3], "mse_w3")
+	b.ReportMetric(errs[7], "mse_w7")
+}
+
+// --- Substrate micro-benchmarks ------------------------------------------------
+
+// BenchmarkMatMul measures the dense kernel the CNN is built on.
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x := tensor.Randn(rng, 1, 64, 128)
+	y := tensor.Randn(rng, 1, 128, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tensor.MatMul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvForward measures one convolution layer forward pass.
+func BenchmarkConvForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	conv := nn.NewConv2D("bench", rng, tensor.ConvGeom{
+		InC: 8, InH: 16, InW: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}, 16)
+	x := tensor.Randn(rng, 1, 8, 8*16*16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conv.Forward(x, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLSTMWindow measures one BiLSTM forward pass over a paper-sized
+// IMU window (20 steps × 13 features).
+func BenchmarkLSTMWindow(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	cls, err := rnn.NewClassifier("bench", rng, rnn.Config{
+		Input: imu.FeatureDim, Hidden: 64, Layers: 2, Classes: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := tensor.Randn(rng, 1, imu.WindowSize, imu.FeatureDim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cls.Predict(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSVMPredict measures one SVM inference over a flattened window.
+func BenchmarkSVMPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	x := tensor.Randn(rng, 1, 200, imu.WindowSize*imu.FeatureDim)
+	labels := make([]int, 200)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	cls, err := svm.Train(rng, x, labels, 3, svm.TrainConfig{Epochs: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := x.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cls.Predict(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireRoundTrip measures encode+decode of a typical IMU batch.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	batch := &wire.SampleBatch{AgentID: "imu-1"}
+	for i := 0; i < 40; i++ {
+		batch.Readings = append(batch.Readings, wire.Reading{
+			TimestampMillis: int64(i * 25),
+			Sensor:          "accel",
+			Values:          []float64{0.1, -9.8, 0.4},
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := benchPipe()
+		if err := a.Send(batch); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTSDBInsertResample measures the controller's storage path.
+func BenchmarkTSDBInsertResample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		db := tsdb.New()
+		for t := int64(0); t < 1000; t += 25 {
+			db.Insert("s", tsdb.Point{TimestampMillis: t, Value: float64(t)})
+		}
+		if _, err := db.ResampleLinear("s", 0, 1000, 250); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDownsampleKernel compares the paper's nearest-neighbor
+// distortion against box filtering at the same transmission cost, measuring
+// reconstruction error of the down-up round trip on rendered scenes.
+func BenchmarkAblationDownsampleKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	driver := synth.NewDriverProfile(rng)
+	amb := synth.DefaultAmbiguity()
+	amb.NoiseSigma = 0
+	var mseNearest, mseBox float64
+	for i := 0; i < b.N; i++ {
+		frame := synth.RenderScene(rng, 96, 96, synth.Texting, driver, amb)
+		nSmall, err := frame.DownsampleNearest(16, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bSmall, err := frame.DownsampleBox(16, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nBig, err := nSmall.UpsampleNearest(96, 96)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bBig, err := bSmall.UpsampleNearest(96, 96)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sn, sb float64
+		for j := range frame.Pix {
+			dn := frame.Pix[j] - nBig.Pix[j]
+			db := frame.Pix[j] - bBig.Pix[j]
+			sn += dn * dn
+			sb += db * db
+		}
+		mseNearest = sn / float64(len(frame.Pix))
+		mseBox = sb / float64(len(frame.Pix))
+	}
+	b.ReportMetric(mseNearest*1000, "mse_nearest_e3")
+	b.ReportMetric(mseBox*1000, "mse_box_e3")
+}
+
+// BenchmarkEngineClassify measures one fused (frame + IMU window) inference —
+// the latency that backs the paper's "amenable to near real-time detection"
+// claim (§1).
+func BenchmarkEngineClassify(b *testing.B) {
+	eng, _, test := sharedEngine(b)
+	frame := test.Samples[0].Frame.Pix
+	window := test.Samples[0].Window
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Classify(frame, window); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRemoteClassify measures the same inference through the remote
+// configuration: wire encoding, TCP loopback, server-side classification,
+// and the response.
+func BenchmarkRemoteClassify(b *testing.B) {
+	eng, _, test := sharedEngine(b)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_ = eng.ServeClassify(wire.NewConn(conn))
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer raw.Close()
+	conn := wire.NewConn(raw)
+	frame := test.Samples[0].Frame.Pix
+	window := test.Samples[0].Window
+	w, h := test.ImgW, test.ImgH
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RemoteClassify(conn, frame, w, h, 0, window); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

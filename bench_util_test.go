@@ -1,0 +1,23 @@
+package darnet
+
+import (
+	"bytes"
+	"io"
+
+	"darnet/internal/wire"
+)
+
+// benchDuplex is an in-memory bidirectional stream for benchmarks.
+type benchDuplex struct {
+	io.Reader
+	io.Writer
+}
+
+// benchPipe returns two wire connections sharing in-memory buffers.
+func benchPipe() (*wire.Conn, *wire.Conn) {
+	aToB := &bytes.Buffer{}
+	bToA := &bytes.Buffer{}
+	a := wire.NewConn(benchDuplex{Reader: bToA, Writer: aToB})
+	b := wire.NewConn(benchDuplex{Reader: aToB, Writer: bToA})
+	return a, b
+}

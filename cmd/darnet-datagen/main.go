@@ -1,0 +1,166 @@
+// Command darnet-datagen generates the synthetic driving datasets and
+// inspects them: per-class counts, IMU channel statistics, and optional
+// sample-frame dumps.
+//
+//	darnet-datagen -set table1 -scale 0.04
+//	darnet-datagen -set 18class -per-class 60
+//	darnet-datagen -set table1 -dump-frames 3 -out ./frames
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	"darnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("darnet-datagen: ")
+
+	var (
+		set        = flag.String("set", "table1", "dataset: table1|18class")
+		scale      = flag.Float64("scale", 0.04, "table1 scale factor")
+		perClass   = flag.Int("per-class", 110, "18class frames per class")
+		seed       = flag.Int64("seed", 1, "generation seed")
+		imgSize    = flag.Int("size", 32, "frame width/height in pixels")
+		dumpFrames = flag.Int("dump-frames", 0, "PNG sample frames to write per class")
+		outDir     = flag.String("out", "frames", "output directory for dumped frames")
+		savePath   = flag.String("save", "", "write the generated dataset to this gob file")
+	)
+	flag.Parse()
+
+	if err := run(*set, *scale, *perClass, *seed, *imgSize, *dumpFrames, *outDir, *savePath); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(set string, scale float64, perClass int, seed int64, imgSize, dumpFrames int, outDir, savePath string) error {
+	var (
+		ds  *darnet.Dataset
+		err error
+	)
+	switch set {
+	case "table1":
+		cfg := darnet.DefaultDatasetConfig()
+		cfg.Scale = scale
+		cfg.Seed = seed
+		cfg.ImgW, cfg.ImgH = imgSize, imgSize
+		ds, err = darnet.GenerateDataset(cfg)
+	case "18class":
+		cfg := darnet.DefaultDataset18Config()
+		cfg.PerClass = perClass
+		cfg.Seed = seed
+		cfg.ImgW, cfg.ImgH = imgSize, imgSize
+		ds, err = darnet.Generate18ClassDataset(cfg)
+	default:
+		return fmt.Errorf("unknown dataset %q", set)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("dataset %q: %d samples, %d classes, %dx%d frames\n", set, ds.Len(), ds.Classes, ds.ImgW, ds.ImgH)
+	counts := ds.ClassCounts()
+	for c, n := range counts {
+		name := fmt.Sprintf("class %d", c)
+		if ds.Classes == darnet.NumClasses {
+			name = darnet.Class(c).String()
+		}
+		fmt.Printf("  %-17s %6d\n", name, n)
+	}
+
+	if set == "table1" {
+		printIMUStats(ds)
+	}
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", savePath, err)
+		}
+		err = ds.Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("save dataset: %w", err)
+		}
+		info, err := os.Stat(savePath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("saved dataset to %s (%d bytes)\n", savePath, info.Size())
+	}
+	if dumpFrames > 0 {
+		return dump(ds, dumpFrames, outDir)
+	}
+	return nil
+}
+
+// printIMUStats summarizes the IMU channel per IMU class: mean gravity
+// magnitude and accelerometer energy, a quick sanity check of the generator.
+func printIMUStats(ds *darnet.Dataset) {
+	type agg struct {
+		n       int
+		gravMag float64
+		accVar  float64
+	}
+	aggs := make([]agg, darnet.NumIMUClasses)
+	for _, s := range ds.Samples {
+		k := s.Class.IMUClass()
+		for _, smp := range s.Window.Samples {
+			g := math.Sqrt(smp.Gravity[0]*smp.Gravity[0] + smp.Gravity[1]*smp.Gravity[1] + smp.Gravity[2]*smp.Gravity[2])
+			a := smp.Accel[0]*smp.Accel[0] + smp.Accel[1]*smp.Accel[1] + smp.Accel[2]*smp.Accel[2]
+			aggs[k].gravMag += g
+			aggs[k].accVar += a
+			aggs[k].n++
+		}
+	}
+	fmt.Println("IMU channel summary (per IMU class):")
+	names := []string{"normal", "talking", "texting"}
+	for k, a := range aggs {
+		if a.n == 0 {
+			continue
+		}
+		fmt.Printf("  %-8s steps %7d  mean|gravity| %6.2f  mean|accel|^2 %7.2f\n",
+			names[k], a.n, a.gravMag/float64(a.n), a.accVar/float64(a.n))
+	}
+}
+
+func dump(ds *darnet.Dataset, perClass int, outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("create %s: %w", outDir, err)
+	}
+	written := make(map[int]int)
+	for i, s := range ds.Samples {
+		c := int(s.Class)
+		if written[c] >= perClass {
+			continue
+		}
+		written[c]++
+		name := fmt.Sprintf("class%02d-%d.png", c, written[c])
+		path := filepath.Join(outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = s.Frame.WritePNG(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		_ = i
+	}
+	total := 0
+	for _, n := range written {
+		total += n
+	}
+	fmt.Printf("wrote %d frames to %s\n", total, outDir)
+	return nil
+}

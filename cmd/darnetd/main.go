@@ -1,0 +1,202 @@
+// Command darnetd runs DarNet's collection middleware over TCP.
+//
+// Controller mode (default) accepts agent connections, aggregates readings
+// into the time-series store, and acts as the clock-sync master:
+//
+//	darnetd -listen 127.0.0.1:7700
+//
+// Agent mode simulates an in-vehicle device streaming synthetic IMU data to
+// a running controller:
+//
+//	darnetd -agent -connect 127.0.0.1:7700 -id imu-1 -duration 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"darnet/internal/collect"
+	"darnet/internal/core"
+	"darnet/internal/imu"
+	"darnet/internal/synth"
+	"darnet/internal/tsdb"
+	"darnet/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("darnetd: ")
+
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7700", "controller listen address")
+		agentMode  = flag.Bool("agent", false, "run as a simulated agent instead of the controller")
+		connect    = flag.String("connect", "127.0.0.1:7700", "controller address (agent mode)")
+		agentID    = flag.String("id", "imu-1", "agent identifier (agent mode)")
+		duration   = flag.Duration("duration", 5*time.Second, "how long the agent streams (agent mode)")
+		drift      = flag.Float64("drift", 0.002, "simulated clock drift of the agent (fraction)")
+		enginePath = flag.String("engine", "", "serve remote classification from this engine snapshot instead of collecting")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *agentMode:
+		err = runAgent(*connect, *agentID, *duration, *drift)
+	case *enginePath != "":
+		err = runEngineServer(*listen, *enginePath)
+	default:
+		err = runController(*listen)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runEngineServer runs the paper's remote configuration: a server holding
+// the trained analytics engine, answering classify requests over the wire
+// protocol.
+func runEngineServer(listen, enginePath string) error {
+	f, err := os.Open(enginePath)
+	if err != nil {
+		return fmt.Errorf("open engine snapshot: %w", err)
+	}
+	eng, err := core.LoadEngine(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("load engine: %w", err)
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	fmt.Printf("analytics engine (%d classes, %dx%d frames) serving on %s\n",
+		eng.Classes, eng.ImgW, eng.ImgH, ln.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	var wg sync.WaitGroup
+	go func() {
+		<-stop
+		fmt.Println("\nshutting down")
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			break
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			if err := eng.ServeClassify(wire.NewConn(conn)); err != nil {
+				log.Printf("client %v: %v", conn.RemoteAddr(), err)
+			}
+		}(conn)
+	}
+	wg.Wait()
+	return nil
+}
+
+func wallMillis() int64 { return time.Now().UnixMilli() }
+
+func runController(listen string) error {
+	db := tsdb.New()
+	ctrl := collect.NewController(db, wallMillis)
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	fmt.Printf("controller listening on %s (clock re-sync every %d ms)\n", ln.Addr(), collect.SyncPeriodMillis)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	var wg sync.WaitGroup
+	go func() {
+		<-stop
+		fmt.Println("\nshutting down")
+		ln.Close()
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			break // listener closed
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			remote := conn.RemoteAddr()
+			if err := ctrl.ServeConn(wire.NewConn(conn)); err != nil {
+				log.Printf("agent %v: %v", remote, err)
+				return
+			}
+			fmt.Printf("agent %v disconnected\n", remote)
+		}(conn)
+	}
+	wg.Wait()
+
+	// Session summary.
+	for _, id := range ctrl.AgentIDs() {
+		st, _ := ctrl.AgentStats(id)
+		fmt.Printf("agent %-10s modality=%-7s batches=%d readings=%d last-skew=%dms rtt=%dms\n",
+			id, st.Modality, st.Batches, st.Readings, st.LastSkewMill, st.LastRTTMillis)
+	}
+	for _, s := range db.Series() {
+		first, last, ok := db.Bounds(s)
+		if ok {
+			fmt.Printf("series %-24s %6d points over %d ms\n", s, db.Len(s), last-first)
+		}
+	}
+	return nil
+}
+
+func runAgent(addr, id string, duration time.Duration, drift float64) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("connect: %w", err)
+	}
+	defer conn.Close()
+
+	clock := collect.NewDriftClock(wallMillis, drift)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	// Stream a talking-class IMU signature, replaying the generator window
+	// by window.
+	window := synth.GenerateWindow(rng, synth.Talking, synth.DefaultIMUGen())
+	step := 0
+	next := func() imu.Sample {
+		s := window.Samples[step%len(window.Samples)]
+		step++
+		if step%len(window.Samples) == 0 {
+			window = synth.GenerateWindow(rng, synth.Talking, synth.DefaultIMUGen())
+		}
+		return s
+	}
+	current := next()
+	sensors := collect.IMUSensors(func() imu.Sample { return current })
+	agent, err := collect.NewAgent(collect.AgentConfig{
+		ID: id, Modality: "imu", PollPeriodMS: 25, LatencyComp: 2,
+	}, clock, sensors, wire.NewConn(conn))
+	if err != nil {
+		return err
+	}
+	runner, err := collect.StartRunner(agent, 500*time.Millisecond, func() { current = next() })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("agent %s streaming to %s for %v (drift %.3f%%)\n", id, addr, duration, drift*100)
+	time.Sleep(duration)
+	if err := runner.Shutdown(); err != nil {
+		return err
+	}
+	fmt.Printf("agent %s done, final clock skew %d ms\n", id, agent.ClockSkewMillis())
+	return nil
+}

@@ -1,0 +1,29 @@
+// Package darnet is a from-scratch Go reproduction of "DarNet: A Deep
+// Learning Solution for Distracted Driving Detection" (Streiffer,
+// Raghavendra, Benson, Srivatsa — Middleware Industry '17).
+//
+// DarNet detects and classifies distracted driving behaviour by fusing two
+// sensing modalities: dashcam frames, classified per-frame by a
+// convolutional neural network, and IMU windows from the driver's phone,
+// classified by a deep bidirectional LSTM, with a per-class Bayesian Network
+// combining the two probability distributions into a single inference. A
+// privacy extension trains "denoising CNNs" on down-sampled frames by
+// unsupervised distillation against the full-resolution model.
+//
+// The package exposes four areas:
+//
+//   - Synthetic datasets (GenerateDataset, Generate18ClassDataset) that stand
+//     in for the paper's private datasets, engineered to reproduce the same
+//     modality structure (see DESIGN.md, "Substitutions").
+//   - The analytics engine (TrainEngine, (*Engine).Evaluate,
+//     (*Engine).Classify): CNN + RNN + SVM + Bayesian Network ensemble.
+//   - The privacy path (Distort, Distill, Router): distortion levels, tagged
+//     routing, and teacher-student dCNN training.
+//   - The collection middleware (NewAgent, NewController, wire protocol):
+//     sensor polling, clock synchronization, alignment, and smoothing.
+//
+// Everything is implemented with the Go standard library only: the tensor,
+// neural-network, recurrent-network, and SVM substrates live in internal
+// packages and are re-exported here where they form part of the public
+// surface.
+package darnet

@@ -1,0 +1,139 @@
+// Privacy demo: render a driver frame, apply the three distortion levels
+// (paper Figure 4), pick a level from simulated network conditions, train a
+// dCNN student by unsupervised distillation, and route tagged frames to the
+// matching classifier (paper §4.3, Figure 3).
+//
+//	go run ./examples/privacy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"darnet"
+	"darnet/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(11))
+
+	// 1. The distortion ladder on one frame, written as PNGs.
+	driver := synth.NewDriverProfile(rng)
+	amb := synth.DefaultAmbiguity()
+	amb.NoiseSigma = 0.03
+	frame := synth.RenderScene(rng, 300, 300, darnet.Texting, driver, amb)
+	outDir := "privacy-frames"
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for _, level := range []darnet.DistortionLevel{
+		darnet.DistortNone, darnet.DistortLow, darnet.DistortMedium, darnet.DistortHigh,
+	} {
+		tagged, err := darnet.Distort(frame, level, darnet.PaperDistortionRatios())
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, fmt.Sprintf("distort-%v.png", level))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = tagged.Image.WritePNG(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	// 2. The controller's processing decision picks a distortion level from
+	// network conditions (paper §3.2).
+	policy := darnet.DefaultProcessingPolicy()
+	for _, net := range []darnet.NetworkConditions{
+		{BandwidthKbps: 5000, LatencyMillis: 40},
+		{BandwidthKbps: 300, LatencyMillis: 80},
+		{BandwidthKbps: 30, LatencyMillis: 120},
+		{BandwidthKbps: 8, LatencyMillis: 50},
+	} {
+		mode, level := policy.Decide(net)
+		fmt.Printf("link %5.0f kbps / %3.0f ms -> process %-6v distortion %v\n",
+			net.BandwidthKbps, net.LatencyMillis, mode, level)
+	}
+
+	// 3. Unsupervised dCNN distillation on a small 18-class set.
+	cfg := darnet.DefaultDataset18Config()
+	cfg.PerClass = 80
+	ds, err := darnet.Generate18ClassDataset(cfg)
+	if err != nil {
+		return err
+	}
+	train, test, err := ds.Split(rng, 0.2)
+	if err != nil {
+		return err
+	}
+
+	cnnCfg := darnet.DefaultCNNConfig()
+	teacher, err := darnet.BuildFrameCNN(rng, cfg.ImgW, cfg.ImgH, 18, cnnCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ntraining teacher CNN on clean frames...")
+	if err := darnet.TrainNetwork(teacher, train, 16, 3, nil); err != nil {
+		return err
+	}
+	teacherAcc, err := darnet.EvaluateNetwork(teacher, test, darnet.DistortNone, darnet.CompactDistortionRatios())
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("distilling dCNN-L from the teacher (no labels used)...")
+	build := func(rng *rand.Rand) (*darnet.Network, error) {
+		return darnet.BuildFrameCNN(rng, cfg.ImgW, cfg.ImgH, 18, cnnCfg)
+	}
+	dc := darnet.DefaultDistillConfig()
+	dc.Epochs = 8
+	student, err := darnet.Distill(teacher, build, train, darnet.DistortLow, darnet.CompactDistortionRatios(), rng, dc)
+	if err != nil {
+		return err
+	}
+	studentAcc, err := darnet.EvaluateNetwork(student, test, darnet.DistortLow, darnet.CompactDistortionRatios())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("teacher CNN on clean frames:     %.1f%%\n", teacherAcc*100)
+	fmt.Printf("dCNN-L on down-sampled frames:   %.1f%%\n", studentAcc*100)
+
+	// 4. Tagged routing: the remote server picks the classifier by tag.
+	router := darnet.NewDCNNRouter()
+	router.Register(darnet.DistortNone, teacher)
+	router.Register(darnet.DistortLow, student)
+	smallFrame := test.Samples[0].Frame
+	tagged, err := darnet.Distort(smallFrame, darnet.DistortLow, darnet.CompactDistortionRatios())
+	if err != nil {
+		return err
+	}
+	probs, err := router.Classify(tagged)
+	if err != nil {
+		return err
+	}
+	best, bi := probs[0], 0
+	for i, p := range probs[1:] {
+		if p > best {
+			best, bi = p, i+1
+		}
+	}
+	fmt.Printf("routed a %v-tagged frame: predicted class %d (p=%.2f), true class %d\n",
+		tagged.Level, bi, best, int(test.Samples[0].Class))
+	return nil
+}

@@ -1,0 +1,3 @@
+module darnet
+
+go 1.24

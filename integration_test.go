@@ -1,0 +1,148 @@
+package darnet
+
+// Integration test covering the full system path the paper's Figure 2
+// describes: collection agents stream sensor data to the centralized
+// controller over a real TCP connection, the controller keeps the agent
+// clock synchronized and aligns the streams, and the aligned windows are
+// classified by the IMU sequence model.
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"darnet/internal/collect"
+	"darnet/internal/imu"
+	"darnet/internal/nn"
+	"darnet/internal/rnn"
+	"darnet/internal/synth"
+	"darnet/internal/tensor"
+	"darnet/internal/tsdb"
+	"darnet/internal/wire"
+)
+
+func TestCollectionToAnalyticsPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(33))
+
+	// Train a compact IMU classifier.
+	dcfg := synth.DefaultConfig()
+	dcfg.Scale = 0.008
+	ds, err := synth.GenerateTable1(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := imu.FitStats(ds.IMUWindows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := make([]*tensor.Tensor, ds.Len())
+	for i, w := range ds.IMUWindows() {
+		seqs[i] = stats.Normalize(w)
+	}
+	cls, err := rnn.NewClassifier("imu", rng, rnn.Config{
+		Input: imu.FeatureDim, Hidden: 16, Layers: 1, Classes: synth.NumIMUClasses,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cls.Train(nn.NewAdam(0.005), rng, seqs, ds.IMULabels(), rnn.TrainConfig{
+		Epochs: 5, BatchSize: 16, ClipNorm: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream a two-segment session (texting, then normal) through the
+	// middleware over loopback TCP with simulated time.
+	gen := synth.DefaultIMUGen()
+	gen.TransitionProb = 0
+	gen.RandomOrientationProb = 0
+	var session []imu.Sample
+	script := []synth.Class{synth.Texting, synth.NormalDriving}
+	for _, c := range script {
+		for k := 0; k < 2; k++ { // 2 windows per segment
+			session = append(session, synth.GenerateWindow(rng, c, gen).Samples...)
+		}
+	}
+
+	mt := collect.NewManualTime(10_000)
+	db := tsdb.New()
+	ctrl := collect.NewController(db, mt.Now)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if err := ctrl.ServeConn(wire.NewConn(conn)); err != nil {
+			t.Errorf("controller: %v", err)
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock := collect.NewDriftClock(mt.Now, 0.003)
+	cursor := 0
+	agent, err := collect.NewAgent(collect.AgentConfig{
+		ID: "phone", Modality: "imu", PollPeriodMS: 250,
+	}, clock, collect.IMUSensors(func() imu.Sample { return session[cursor] }), wire.NewConn(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	for cursor = 0; cursor < len(session); cursor++ {
+		agent.Poll()
+		mt.Advance(250)
+		if cursor%20 == 19 {
+			if err := agent.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := agent.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	wg.Wait()
+
+	// Assemble windows through the controller's engine bridge and classify.
+	windows, err := ctrl.AssembleIMUWindows("phone", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) < 4 {
+		t.Fatalf("assembled only %d windows", len(windows))
+	}
+	_ = db
+
+	correct := 0
+	for i, w := range windows {
+		pred, err := cls.Predict(stats.Normalize(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantClass := script[min(i/2, len(script)-1)]
+		if pred == wantClass.IMUClass() {
+			correct++
+		}
+	}
+	// The streamed session must be classified mostly correctly end to end.
+	if float64(correct)/float64(len(windows)) < 0.75 {
+		t.Fatalf("pipeline classified %d/%d windows correctly", correct, len(windows))
+	}
+}

@@ -1,0 +1,237 @@
+// Package bayes implements DarNet's ensemble combiner: one small Bayesian
+// Network per class, each with two parent nodes (the CNN's frame prediction
+// and the RNN's or SVM's IMU-sequence prediction) and a binary child node
+// ("the behaviour is this class"). Conditional probability tables are
+// estimated from true-positive counts on training data (paper §4.2,
+// "Ensemble Learning"), and at inference time the parents' probability
+// distributions are marginalized through the CPTs to score every class.
+//
+// The two parents may range over different class sets — in DarNet the CNN
+// sees all six driving behaviours while the IMU models see only the three
+// phone-related ones — which is exactly why a learned combiner is needed
+// instead of a naive per-class product.
+package bayes
+
+import (
+	"fmt"
+	"math"
+)
+
+// Combiner fuses two categorical predictions into a distribution over
+// classes classes, where parent A has arityA outcomes and parent B arityB.
+type Combiner struct {
+	classes int
+	arityA  int
+	arityB  int
+	// cpt[k][a][b] = P(class = k | parentA = a, parentB = b).
+	cpt    [][][]float64
+	fitted bool
+}
+
+// NewCombiner returns an unfitted combiner.
+func NewCombiner(classes, arityA, arityB int) (*Combiner, error) {
+	if classes < 2 || arityA < 1 || arityB < 1 {
+		return nil, fmt.Errorf("bayes: invalid combiner dims classes=%d arityA=%d arityB=%d", classes, arityA, arityB)
+	}
+	cpt := make([][][]float64, classes)
+	for k := range cpt {
+		cpt[k] = make([][]float64, arityA)
+		for a := range cpt[k] {
+			cpt[k][a] = make([]float64, arityB)
+		}
+	}
+	return &Combiner{classes: classes, arityA: arityA, arityB: arityB, cpt: cpt}, nil
+}
+
+// Classes returns the number of output classes.
+func (c *Combiner) Classes() int { return c.classes }
+
+// Fit estimates the CPTs from aligned training observations: trueLabels[i] is
+// the ground-truth class, predA[i] and predB[i] the parents' hard (arg-max)
+// predictions for sample i. smoothing is the additive Laplace pseudo-count
+// applied to every (class, a, b) cell; it must be positive so unobserved
+// parent combinations yield a uniform rather than undefined conditional.
+func (c *Combiner) Fit(trueLabels, predA, predB []int, smoothing float64) error {
+	n := len(trueLabels)
+	if len(predA) != n || len(predB) != n {
+		return fmt.Errorf("bayes: misaligned observations: %d labels, %d predA, %d predB", n, len(predA), len(predB))
+	}
+	if n == 0 {
+		return fmt.Errorf("bayes: cannot fit on zero observations")
+	}
+	if smoothing <= 0 {
+		return fmt.Errorf("bayes: smoothing must be positive, got %g", smoothing)
+	}
+	counts := make([][][]float64, c.classes)
+	for k := range counts {
+		counts[k] = make([][]float64, c.arityA)
+		for a := range counts[k] {
+			counts[k][a] = make([]float64, c.arityB)
+			for b := range counts[k][a] {
+				counts[k][a][b] = smoothing
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		y, a, b := trueLabels[i], predA[i], predB[i]
+		if y < 0 || y >= c.classes {
+			return fmt.Errorf("bayes: label %d of sample %d out of range [0,%d)", y, i, c.classes)
+		}
+		if a < 0 || a >= c.arityA {
+			return fmt.Errorf("bayes: parent-A outcome %d of sample %d out of range [0,%d)", a, i, c.arityA)
+		}
+		if b < 0 || b >= c.arityB {
+			return fmt.Errorf("bayes: parent-B outcome %d of sample %d out of range [0,%d)", b, i, c.arityB)
+		}
+		counts[y][a][b]++
+	}
+	// Normalize over classes within each (a, b) cell:
+	// P(class | a, b) = count(class, a, b) / Σ_k count(k, a, b).
+	for a := 0; a < c.arityA; a++ {
+		for b := 0; b < c.arityB; b++ {
+			total := 0.0
+			for k := 0; k < c.classes; k++ {
+				total += counts[k][a][b]
+			}
+			for k := 0; k < c.classes; k++ {
+				c.cpt[k][a][b] = counts[k][a][b] / total
+			}
+		}
+	}
+	c.fitted = true
+	return nil
+}
+
+// CPT returns P(class = k | a, b). The combiner must be fitted.
+func (c *Combiner) CPT(k, a, b int) float64 { return c.cpt[k][a][b] }
+
+// Combine marginalizes the parents' probability distributions through the
+// CPTs and returns a normalized posterior over classes:
+//
+//	P(class = k) ∝ Σ_a Σ_b pA(a) · pB(b) · P(class = k | a, b).
+func (c *Combiner) Combine(pA, pB []float64) ([]float64, error) {
+	if !c.fitted {
+		return nil, fmt.Errorf("bayes: combiner not fitted")
+	}
+	if len(pA) != c.arityA {
+		return nil, fmt.Errorf("bayes: parent-A distribution has %d entries, want %d", len(pA), c.arityA)
+	}
+	if len(pB) != c.arityB {
+		return nil, fmt.Errorf("bayes: parent-B distribution has %d entries, want %d", len(pB), c.arityB)
+	}
+	post := make([]float64, c.classes)
+	total := 0.0
+	for k := 0; k < c.classes; k++ {
+		s := 0.0
+		for a, pa := range pA {
+			if pa == 0 {
+				continue
+			}
+			row := c.cpt[k][a]
+			for b, pb := range pB {
+				s += pa * pb * row[b]
+			}
+		}
+		post[k] = s
+		total += s
+	}
+	if total <= 0 || math.IsNaN(total) {
+		return nil, fmt.Errorf("bayes: degenerate posterior (total %g)", total)
+	}
+	for k := range post {
+		post[k] /= total
+	}
+	return post, nil
+}
+
+// Predict returns the arg-max class of Combine(pA, pB).
+func (c *Combiner) Predict(pA, pB []float64) (int, error) {
+	post, err := c.Combine(pA, pB)
+	if err != nil {
+		return 0, err
+	}
+	best, bi := post[0], 0
+	for k, p := range post[1:] {
+		if p > best {
+			best, bi = p, k+1
+		}
+	}
+	return bi, nil
+}
+
+// --- Naive combiners for the ablation bench ---------------------------------
+
+// ClassMap projects the full class space onto parent B's class space; entry k
+// is the parent-B outcome corresponding to full class k.
+type ClassMap []int
+
+// Validate checks that the mapping covers classes classes and targets arityB.
+func (m ClassMap) Validate(classes, arityB int) error {
+	if len(m) != classes {
+		return fmt.Errorf("bayes: class map has %d entries for %d classes", len(m), classes)
+	}
+	for k, b := range m {
+		if b < 0 || b >= arityB {
+			return fmt.Errorf("bayes: class map entry %d targets %d, outside [0,%d)", k, b, arityB)
+		}
+	}
+	return nil
+}
+
+// ProductCombine is the naive alternative the BN is ablated against:
+// score(k) = pA(k) · pB(map(k)), renormalized.
+func ProductCombine(pA, pB []float64, m ClassMap) ([]float64, error) {
+	if err := m.Validate(len(pA), len(pB)); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(pA))
+	total := 0.0
+	for k := range out {
+		out[k] = pA[k] * pB[m[k]]
+		total += out[k]
+	}
+	if total <= 0 {
+		// Degenerate overlap: fall back to parent A alone.
+		copy(out, pA)
+		return out, nil
+	}
+	for k := range out {
+		out[k] /= total
+	}
+	return out, nil
+}
+
+// AverageCombine is the second naive alternative:
+// score(k) = (pA(k) + pB(map(k))/|map⁻¹(map(k))|) / 2, renormalized. The
+// division spreads parent B's mass evenly over the full classes that share a
+// projected outcome.
+func AverageCombine(pA, pB []float64, m ClassMap) ([]float64, error) {
+	if err := m.Validate(len(pA), len(pB)); err != nil {
+		return nil, err
+	}
+	fan := make([]int, len(pB))
+	for _, b := range m {
+		fan[b]++
+	}
+	out := make([]float64, len(pA))
+	total := 0.0
+	for k := range out {
+		out[k] = 0.5*pA[k] + 0.5*pB[m[k]]/float64(fan[m[k]])
+		total += out[k]
+	}
+	for k := range out {
+		out[k] /= total
+	}
+	return out, nil
+}
+
+// ArgMax returns the index of the largest probability.
+func ArgMax(p []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, v := range p {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}

@@ -1,0 +1,270 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCombinerValidation(t *testing.T) {
+	bad := [][3]int{{1, 2, 2}, {2, 0, 2}, {2, 2, 0}}
+	for _, dims := range bad {
+		if _, err := NewCombiner(dims[0], dims[1], dims[2]); err == nil {
+			t.Fatalf("expected error for dims %v", dims)
+		}
+	}
+	if _, err := NewCombiner(3, 3, 2); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	c, err := NewCombiner(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fit([]int{0}, []int{0, 1}, []int{0}, 1); err == nil {
+		t.Fatal("expected misaligned error")
+	}
+	if err := c.Fit(nil, nil, nil, 1); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if err := c.Fit([]int{0}, []int{0}, []int{0}, 0); err == nil {
+		t.Fatal("expected smoothing error")
+	}
+	if err := c.Fit([]int{5}, []int{0}, []int{0}, 1); err == nil {
+		t.Fatal("expected label-range error")
+	}
+	if err := c.Fit([]int{0}, []int{5}, []int{0}, 1); err == nil {
+		t.Fatal("expected parent-A range error")
+	}
+	if err := c.Fit([]int{0}, []int{0}, []int{5}, 1); err == nil {
+		t.Fatal("expected parent-B range error")
+	}
+}
+
+func TestCombineBeforeFitErrors(t *testing.T) {
+	c, _ := NewCombiner(2, 2, 2)
+	if _, err := c.Combine([]float64{1, 0}, []float64{1, 0}); err == nil {
+		t.Fatal("expected not-fitted error")
+	}
+}
+
+func TestCPTNormalizationProperty(t *testing.T) {
+	// For any fitted combiner, Σ_k P(k | a, b) == 1 for every (a, b).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		classes, arityA, arityB := 2+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(4)
+		c, err := NewCombiner(classes, arityA, arityB)
+		if err != nil {
+			return false
+		}
+		n := 20 + rng.Intn(100)
+		labels := make([]int, n)
+		pa := make([]int, n)
+		pb := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(classes)
+			pa[i] = rng.Intn(arityA)
+			pb[i] = rng.Intn(arityB)
+		}
+		if err := c.Fit(labels, pa, pb, 0.5); err != nil {
+			return false
+		}
+		for a := 0; a < arityA; a++ {
+			for b := 0; b < arityB; b++ {
+				sum := 0.0
+				for k := 0; k < classes; k++ {
+					sum += c.CPT(k, a, b)
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombinePosteriorIsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, _ := NewCombiner(3, 3, 2)
+	n := 200
+	labels, pa, pb := make([]int, n), make([]int, n), make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(3)
+		pa[i] = labels[i] // parent A is a perfect predictor
+		pb[i] = rng.Intn(2)
+	}
+	if err := c.Fit(labels, pa, pb, 1); err != nil {
+		t.Fatal(err)
+	}
+	post, err := c.Combine([]float64{0.2, 0.5, 0.3}, []float64{0.6, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range post {
+		if p < 0 || p > 1 {
+			t.Fatalf("posterior entry %g outside [0,1]", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("posterior sums to %g", sum)
+	}
+}
+
+func TestCombinerLearnsPerfectParent(t *testing.T) {
+	// Parent A is always right; parent B is noise. The fitted BN should
+	// essentially follow parent A.
+	rng := rand.New(rand.NewSource(2))
+	c, _ := NewCombiner(3, 3, 3)
+	n := 600
+	labels, pa, pb := make([]int, n), make([]int, n), make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(3)
+		pa[i] = labels[i]
+		pb[i] = rng.Intn(3)
+	}
+	if err := c.Fit(labels, pa, pb, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	for want := 0; want < 3; want++ {
+		pA := []float64{0.05, 0.05, 0.05}
+		pA[want] = 0.9
+		got, err := c.Predict(pA, []float64{1.0 / 3, 1.0 / 3, 1.0 / 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("BN should follow the perfect parent: got %d, want %d", got, want)
+		}
+	}
+}
+
+func TestCombinerResolvesAmbiguityWithSecondParent(t *testing.T) {
+	// Parent A confuses classes 0 and 1 (predicts 0 for both); parent B
+	// separates them perfectly. The BN must use B to disambiguate — the
+	// paper's texting-vs-talking scenario in miniature.
+	rng := rand.New(rand.NewSource(3))
+	c, _ := NewCombiner(2, 2, 2)
+	n := 400
+	labels, pa, pb := make([]int, n), make([]int, n), make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(2)
+		pa[i] = 0 // A is blind
+		pb[i] = labels[i]
+	}
+	if err := c.Fit(labels, pa, pb, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Predict([]float64{1, 0}, []float64{0.1, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("BN ignored the informative parent: got %d, want 1", got)
+	}
+	got, err = c.Predict([]float64{1, 0}, []float64{0.9, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("BN ignored the informative parent: got %d, want 0", got)
+	}
+}
+
+func TestCombineDistributionValidation(t *testing.T) {
+	c, _ := NewCombiner(2, 2, 2)
+	if err := c.Fit([]int{0, 1}, []int{0, 1}, []int{0, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Combine([]float64{1}, []float64{1, 0}); err == nil {
+		t.Fatal("expected parent-A width error")
+	}
+	if _, err := c.Combine([]float64{1, 0}, []float64{1}); err == nil {
+		t.Fatal("expected parent-B width error")
+	}
+}
+
+func TestClassMapValidate(t *testing.T) {
+	m := ClassMap{0, 1, 2, 0, 0, 0}
+	if err := m.Validate(6, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(5, 3); err == nil {
+		t.Fatal("expected length error")
+	}
+	if err := (ClassMap{0, 5}).Validate(2, 3); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestProductCombine(t *testing.T) {
+	pA := []float64{0.5, 0.3, 0.2}
+	pB := []float64{0.9, 0.1}
+	m := ClassMap{0, 0, 1}
+	out, err := ProductCombine(pA, pB, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unnormalized: {0.45, 0.27, 0.02}; class 0 wins.
+	if ArgMax(out) != 0 {
+		t.Fatalf("product combine argmax = %d", ArgMax(out))
+	}
+	sum := 0.0
+	for _, p := range out {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("product combine sums to %g", sum)
+	}
+}
+
+func TestProductCombineDegenerateFallsBack(t *testing.T) {
+	pA := []float64{1, 0}
+	pB := []float64{0, 1}
+	m := ClassMap{0, 1}
+	out, err := ProductCombine(pA, pB, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 {
+		t.Fatalf("degenerate product should fall back to parent A, got %v", out)
+	}
+}
+
+func TestAverageCombine(t *testing.T) {
+	pA := []float64{0.25, 0.25, 0.25, 0.25}
+	pB := []float64{0.7, 0.3}
+	m := ClassMap{0, 0, 1, 1}
+	out, err := AverageCombine(pA, pB, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range out {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("average combine sums to %g", sum)
+	}
+	// Classes mapping to B-outcome 0 should outrank those mapping to 1.
+	if !(out[0] > out[2]) {
+		t.Fatalf("average combine ordering wrong: %v", out)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float64{0.1, 0.7, 0.2}) != 1 {
+		t.Fatal("ArgMax wrong")
+	}
+	if ArgMax([]float64{-3, -1, -2}) != 1 {
+		t.Fatal("ArgMax wrong for negatives")
+	}
+}

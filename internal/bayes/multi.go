@@ -1,0 +1,187 @@
+package bayes
+
+import (
+	"fmt"
+	"math"
+)
+
+// MultiCombiner generalizes Combiner to any number of parent modalities —
+// the paper's ensemble design is "extensible to adding more modalities"
+// (§6), and this is that extension: one CPT cell per joint parent outcome,
+// estimated from training observations with Laplace smoothing.
+//
+// The CPT has Π arity_i cells per class, so the combiner is practical for
+// the small parent counts a vehicle deployment sees (a handful of devices).
+type MultiCombiner struct {
+	classes int
+	arities []int
+	strides []int
+	cpt     [][]float64 // cpt[k][flat parent index]
+	fitted  bool
+}
+
+// NewMultiCombiner returns an unfitted combiner over parents with the given
+// outcome arities.
+func NewMultiCombiner(classes int, arities []int) (*MultiCombiner, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("bayes: need at least 2 classes, got %d", classes)
+	}
+	if len(arities) == 0 {
+		return nil, fmt.Errorf("bayes: need at least one parent")
+	}
+	cells := 1
+	for i, a := range arities {
+		if a < 1 {
+			return nil, fmt.Errorf("bayes: parent %d has arity %d", i, a)
+		}
+		if cells > 1<<20/a {
+			return nil, fmt.Errorf("bayes: joint parent space too large")
+		}
+		cells *= a
+	}
+	strides := make([]int, len(arities))
+	s := 1
+	for i := len(arities) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= arities[i]
+	}
+	cpt := make([][]float64, classes)
+	for k := range cpt {
+		cpt[k] = make([]float64, cells)
+	}
+	return &MultiCombiner{
+		classes: classes,
+		arities: append([]int(nil), arities...),
+		strides: strides,
+		cpt:     cpt,
+	}, nil
+}
+
+// Parents returns the number of parent modalities.
+func (c *MultiCombiner) Parents() int { return len(c.arities) }
+
+// Classes returns the number of output classes.
+func (c *MultiCombiner) Classes() int { return c.classes }
+
+func (c *MultiCombiner) flatIndex(outcomes []int) (int, error) {
+	if len(outcomes) != len(c.arities) {
+		return 0, fmt.Errorf("bayes: %d parent outcomes for %d parents", len(outcomes), len(c.arities))
+	}
+	idx := 0
+	for i, o := range outcomes {
+		if o < 0 || o >= c.arities[i] {
+			return 0, fmt.Errorf("bayes: parent %d outcome %d outside [0,%d)", i, o, c.arities[i])
+		}
+		idx += o * c.strides[i]
+	}
+	return idx, nil
+}
+
+// Fit estimates the CPT from aligned observations: trueLabels[i] is the
+// ground truth and preds[p][i] is parent p's hard prediction for sample i.
+func (c *MultiCombiner) Fit(trueLabels []int, preds [][]int, smoothing float64) error {
+	if len(preds) != len(c.arities) {
+		return fmt.Errorf("bayes: %d prediction streams for %d parents", len(preds), len(c.arities))
+	}
+	n := len(trueLabels)
+	if n == 0 {
+		return fmt.Errorf("bayes: cannot fit on zero observations")
+	}
+	if smoothing <= 0 {
+		return fmt.Errorf("bayes: smoothing must be positive, got %g", smoothing)
+	}
+	for p, stream := range preds {
+		if len(stream) != n {
+			return fmt.Errorf("bayes: parent %d has %d predictions for %d labels", p, len(stream), n)
+		}
+	}
+	counts := make([][]float64, c.classes)
+	for k := range counts {
+		counts[k] = make([]float64, len(c.cpt[k]))
+		for i := range counts[k] {
+			counts[k][i] = smoothing
+		}
+	}
+	outcomes := make([]int, len(preds))
+	for i := 0; i < n; i++ {
+		y := trueLabels[i]
+		if y < 0 || y >= c.classes {
+			return fmt.Errorf("bayes: label %d of sample %d out of range [0,%d)", y, i, c.classes)
+		}
+		for p := range preds {
+			outcomes[p] = preds[p][i]
+		}
+		idx, err := c.flatIndex(outcomes)
+		if err != nil {
+			return fmt.Errorf("bayes: sample %d: %w", i, err)
+		}
+		counts[y][idx]++
+	}
+	cells := len(c.cpt[0])
+	for idx := 0; idx < cells; idx++ {
+		total := 0.0
+		for k := 0; k < c.classes; k++ {
+			total += counts[k][idx]
+		}
+		for k := 0; k < c.classes; k++ {
+			c.cpt[k][idx] = counts[k][idx] / total
+		}
+	}
+	c.fitted = true
+	return nil
+}
+
+// Combine marginalizes the parents' probability distributions through the
+// joint CPT: P(k) ∝ Σ_joint Π_p probs[p][o_p] · P(k | o_1..o_P).
+func (c *MultiCombiner) Combine(probs [][]float64) ([]float64, error) {
+	if !c.fitted {
+		return nil, fmt.Errorf("bayes: multi-combiner not fitted")
+	}
+	if len(probs) != len(c.arities) {
+		return nil, fmt.Errorf("bayes: %d distributions for %d parents", len(probs), len(c.arities))
+	}
+	for p, dist := range probs {
+		if len(dist) != c.arities[p] {
+			return nil, fmt.Errorf("bayes: parent %d distribution has %d entries, want %d", p, len(dist), c.arities[p])
+		}
+	}
+	// Joint parent weights by iterating the flat product space.
+	cells := len(c.cpt[0])
+	post := make([]float64, c.classes)
+	outcomes := make([]int, len(c.arities))
+	for idx := 0; idx < cells; idx++ {
+		rem := idx
+		w := 1.0
+		for p := range c.arities {
+			outcomes[p] = rem / c.strides[p]
+			rem %= c.strides[p]
+			w *= probs[p][outcomes[p]]
+		}
+		if w == 0 {
+			continue
+		}
+		for k := 0; k < c.classes; k++ {
+			post[k] += w * c.cpt[k][idx]
+		}
+	}
+	total := 0.0
+	for _, v := range post {
+		total += v
+	}
+	if total <= 0 || math.IsNaN(total) {
+		return nil, fmt.Errorf("bayes: degenerate multi posterior (total %g)", total)
+	}
+	for k := range post {
+		post[k] /= total
+	}
+	return post, nil
+}
+
+// Predict returns the arg-max class of Combine(probs).
+func (c *MultiCombiner) Predict(probs [][]float64) (int, error) {
+	post, err := c.Combine(probs)
+	if err != nil {
+		return 0, err
+	}
+	return ArgMax(post), nil
+}

@@ -1,0 +1,207 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMultiCombinerValidation(t *testing.T) {
+	if _, err := NewMultiCombiner(1, []int{2}); err == nil {
+		t.Fatal("expected class-count error")
+	}
+	if _, err := NewMultiCombiner(2, nil); err == nil {
+		t.Fatal("expected no-parents error")
+	}
+	if _, err := NewMultiCombiner(2, []int{2, 0}); err == nil {
+		t.Fatal("expected arity error")
+	}
+	if _, err := NewMultiCombiner(2, []int{1 << 12, 1 << 12}); err == nil {
+		t.Fatal("expected joint-space-size error")
+	}
+	c, err := NewMultiCombiner(3, []int{6, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Parents() != 3 || c.Classes() != 3 {
+		t.Fatalf("dims wrong: %d parents %d classes", c.Parents(), c.Classes())
+	}
+}
+
+func TestMultiCombinerMatchesTwoParentCombiner(t *testing.T) {
+	// With exactly two parents, MultiCombiner must agree with Combiner.
+	rng := rand.New(rand.NewSource(1))
+	n := 400
+	labels := make([]int, n)
+	pa := make([]int, n)
+	pb := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(4)
+		pa[i] = rng.Intn(4)
+		pb[i] = rng.Intn(3)
+	}
+	two, err := NewCombiner(4, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := two.Fit(labels, pa, pb, 1); err != nil {
+		t.Fatal(err)
+	}
+	multi, err := NewMultiCombiner(4, []int{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := multi.Fit(labels, [][]int{pa, pb}, 1); err != nil {
+		t.Fatal(err)
+	}
+	pA := []float64{0.4, 0.3, 0.2, 0.1}
+	pB := []float64{0.5, 0.25, 0.25}
+	a, err := two.Combine(pA, pB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := multi.Combine([][]float64{pA, pB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a {
+		if math.Abs(a[k]-b[k]) > 1e-12 {
+			t.Fatalf("class %d: two-parent %g vs multi %g", k, a[k], b[k])
+		}
+	}
+}
+
+func TestMultiCombinerThirdModalityHelps(t *testing.T) {
+	// Parents A and B are blind between classes 0/1; parent C separates
+	// them. Adding C as a third modality must resolve the ambiguity — the
+	// paper's extensibility claim in miniature.
+	rng := rand.New(rand.NewSource(2))
+	n := 600
+	labels := make([]int, n)
+	pa := make([]int, n)
+	pb := make([]int, n)
+	pc := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(2)
+		pa[i] = 0
+		pb[i] = rng.Intn(2) // noise
+		pc[i] = labels[i]
+	}
+	c, err := NewMultiCombiner(2, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fit(labels, [][]int{pa, pb, pc}, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := c.Predict([][]float64{{1, 0}, {0.5, 0.5}, {0.1, 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 1 {
+		t.Fatalf("third modality ignored: predicted %d", pred)
+	}
+	pred, err = c.Predict([][]float64{{1, 0}, {0.5, 0.5}, {0.9, 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 0 {
+		t.Fatalf("third modality ignored: predicted %d", pred)
+	}
+}
+
+func TestMultiCombinerPosteriorIsDistributionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		classes := 2 + rng.Intn(3)
+		parents := 1 + rng.Intn(3)
+		arities := make([]int, parents)
+		for i := range arities {
+			arities[i] = 2 + rng.Intn(3)
+		}
+		c, err := NewMultiCombiner(classes, arities)
+		if err != nil {
+			return false
+		}
+		n := 50 + rng.Intn(100)
+		labels := make([]int, n)
+		preds := make([][]int, parents)
+		for p := range preds {
+			preds[p] = make([]int, n)
+		}
+		for i := 0; i < n; i++ {
+			labels[i] = rng.Intn(classes)
+			for p := range preds {
+				preds[p][i] = rng.Intn(arities[p])
+			}
+		}
+		if err := c.Fit(labels, preds, 0.5); err != nil {
+			return false
+		}
+		probs := make([][]float64, parents)
+		for p := range probs {
+			probs[p] = make([]float64, arities[p])
+			total := 0.0
+			for j := range probs[p] {
+				probs[p][j] = rng.Float64()
+				total += probs[p][j]
+			}
+			for j := range probs[p] {
+				probs[p][j] /= total
+			}
+		}
+		post, err := c.Combine(probs)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, v := range post {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiCombinerFitValidation(t *testing.T) {
+	c, err := NewMultiCombiner(2, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fit([]int{0}, [][]int{{0}}, 1); err == nil {
+		t.Fatal("expected stream-count error")
+	}
+	if err := c.Fit(nil, [][]int{{}, {}}, 1); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if err := c.Fit([]int{0}, [][]int{{0}, {0, 1}}, 1); err == nil {
+		t.Fatal("expected misaligned error")
+	}
+	if err := c.Fit([]int{0}, [][]int{{0}, {0}}, 0); err == nil {
+		t.Fatal("expected smoothing error")
+	}
+	if err := c.Fit([]int{9}, [][]int{{0}, {0}}, 1); err == nil {
+		t.Fatal("expected label-range error")
+	}
+	if err := c.Fit([]int{0}, [][]int{{5}, {0}}, 1); err == nil {
+		t.Fatal("expected outcome-range error")
+	}
+	if _, err := c.Combine([][]float64{{1, 0}, {1, 0}}); err == nil {
+		t.Fatal("expected not-fitted error")
+	}
+	if err := c.Fit([]int{0, 1}, [][]int{{0, 1}, {0, 1}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Combine([][]float64{{1, 0}}); err == nil {
+		t.Fatal("expected distribution-count error")
+	}
+	if _, err := c.Combine([][]float64{{1, 0}, {1}}); err == nil {
+		t.Fatal("expected distribution-width error")
+	}
+}

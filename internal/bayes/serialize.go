@@ -1,0 +1,57 @@
+package bayes
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// combinerBlob is the gob wire form of a fitted combiner.
+type combinerBlob struct {
+	Classes int
+	ArityA  int
+	ArityB  int
+	CPT     []float64 // flattened [k][a][b]
+	Fitted  bool
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c *Combiner) MarshalBinary() ([]byte, error) {
+	blob := combinerBlob{Classes: c.classes, ArityA: c.arityA, ArityB: c.arityB, Fitted: c.fitted}
+	blob.CPT = make([]float64, 0, c.classes*c.arityA*c.arityB)
+	for k := 0; k < c.classes; k++ {
+		for a := 0; a < c.arityA; a++ {
+			blob.CPT = append(blob.CPT, c.cpt[k][a]...)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
+		return nil, fmt.Errorf("bayes: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *Combiner) UnmarshalBinary(data []byte) error {
+	var blob combinerBlob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&blob); err != nil {
+		return fmt.Errorf("bayes: decode: %w", err)
+	}
+	fresh, err := NewCombiner(blob.Classes, blob.ArityA, blob.ArityB)
+	if err != nil {
+		return fmt.Errorf("bayes: snapshot: %w", err)
+	}
+	if len(blob.CPT) != blob.Classes*blob.ArityA*blob.ArityB {
+		return fmt.Errorf("bayes: snapshot CPT has %d entries, want %d", len(blob.CPT), blob.Classes*blob.ArityA*blob.ArityB)
+	}
+	i := 0
+	for k := 0; k < blob.Classes; k++ {
+		for a := 0; a < blob.ArityA; a++ {
+			copy(fresh.cpt[k][a], blob.CPT[i:i+blob.ArityB])
+			i += blob.ArityB
+		}
+	}
+	fresh.fitted = blob.Fitted
+	*c = *fresh
+	return nil
+}

@@ -1,0 +1,146 @@
+package collect
+
+import (
+	"fmt"
+	"io"
+
+	"darnet/internal/wire"
+)
+
+// Sensor is one pollable device channel (accelerometer, gyroscope, camera…).
+// Read returns the current values; the agent stamps them with its clock.
+type Sensor interface {
+	Name() string
+	Read() []float64
+}
+
+// SensorFunc adapts a function to the Sensor interface.
+type SensorFunc struct {
+	SensorName string
+	ReadFunc   func() []float64
+}
+
+// Name implements Sensor.
+func (s SensorFunc) Name() string { return s.SensorName }
+
+// Read implements Sensor.
+func (s SensorFunc) Read() []float64 { return s.ReadFunc() }
+
+// Agent is a collection agent (paper §3.1): it polls its sensors
+// periodically, maintains an internal clock for timestamping, buffers
+// readings, and transmits batches to the controller. The polling and
+// transmission cadences are decoupled, matching the paper's guidance that
+// poll period follows the sensor rate while transmission follows link
+// characteristics.
+type Agent struct {
+	ID           string
+	Modality     string
+	PollPeriodMS uint32
+
+	clock   *DriftClock
+	sensors []Sensor
+	conn    *wire.Conn
+	// latencyComp is the empirically measured one-way network delay added to
+	// the master's time when applying a ClockSync (§4.1).
+	latencyComp int64
+
+	buf []wire.Reading
+}
+
+// AgentConfig configures a collection agent.
+type AgentConfig struct {
+	ID           string
+	Modality     string
+	PollPeriodMS uint32
+	LatencyComp  int64
+}
+
+// NewAgent returns an agent over the given transport connection.
+func NewAgent(cfg AgentConfig, clock *DriftClock, sensors []Sensor, conn *wire.Conn) (*Agent, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("collect: agent needs an ID")
+	}
+	if len(sensors) == 0 {
+		return nil, fmt.Errorf("collect: agent %s has no sensors", cfg.ID)
+	}
+	if cfg.PollPeriodMS == 0 {
+		cfg.PollPeriodMS = 25 // paper: updates every 25 ms
+	}
+	return &Agent{
+		ID:           cfg.ID,
+		Modality:     cfg.Modality,
+		PollPeriodMS: cfg.PollPeriodMS,
+		clock:        clock,
+		sensors:      sensors,
+		conn:         conn,
+		latencyComp:  cfg.LatencyComp,
+	}, nil
+}
+
+// Hello registers the agent with the controller and waits for the ack.
+func (a *Agent) Hello() error {
+	if err := a.conn.Send(&wire.Hello{AgentID: a.ID, Modality: a.Modality, PeriodMillis: a.PollPeriodMS}); err != nil {
+		return fmt.Errorf("collect: %s hello: %w", a.ID, err)
+	}
+	return a.awaitAck()
+}
+
+// Poll reads every sensor once and buffers the readings, stamped with the
+// agent's local clock.
+func (a *Agent) Poll() {
+	now := a.clock.NowMillis()
+	for _, s := range a.sensors {
+		a.buf = append(a.buf, wire.Reading{
+			TimestampMillis: now,
+			Sensor:          s.Name(),
+			Values:          s.Read(),
+		})
+	}
+}
+
+// Buffered returns the number of unsent readings.
+func (a *Agent) Buffered() int { return len(a.buf) }
+
+// Flush transmits the buffered readings and processes the controller's
+// response, applying any clock synchronization that arrives before the ack.
+func (a *Agent) Flush() error {
+	if len(a.buf) == 0 {
+		return nil
+	}
+	batch := &wire.SampleBatch{AgentID: a.ID, Readings: a.buf}
+	if err := a.conn.Send(batch); err != nil {
+		return fmt.Errorf("collect: %s flush: %w", a.ID, err)
+	}
+	a.buf = a.buf[:0]
+	return a.awaitAck()
+}
+
+// awaitAck consumes controller messages until an Ack, handling interleaved
+// ClockSync requests: the agent sets its own clock to the master's UTC plus
+// the measured network delay and reports back (§4.1).
+func (a *Agent) awaitAck() error {
+	for {
+		msg, err := a.conn.Recv()
+		if err != nil {
+			if err == io.EOF {
+				return io.EOF
+			}
+			return fmt.Errorf("collect: %s await ack: %w", a.ID, err)
+		}
+		switch m := msg.(type) {
+		case *wire.Ack:
+			return nil
+		case *wire.ClockSync:
+			a.clock.SetMillis(m.MasterMillis + a.latencyComp)
+			if err := a.conn.Send(&wire.ClockAck{AgentID: a.ID, AgentMillis: a.clock.NowMillis()}); err != nil {
+				return fmt.Errorf("collect: %s clock ack: %w", a.ID, err)
+			}
+		default:
+			return fmt.Errorf("collect: %s unexpected %T while awaiting ack", a.ID, msg)
+		}
+	}
+}
+
+// ClockSkewMillis exposes the agent clock's current error, for tests and
+// telemetry.
+func (a *Agent) ClockSkewMillis() int64 { return a.clock.SkewMillis() }

@@ -1,0 +1,95 @@
+// Package collect implements DarNet's data collection middleware (paper §3,
+// §4.1): collection agents that poll sensors on a fixed period, stamp
+// readings with a local (drifting) clock, and batch them to a centralized
+// controller; and the controller itself, which aggregates readings into a
+// time-series store, distributes its UTC clock to agents every sync period
+// with latency compensation, and aligns the streams onto a common grid with
+// interpolation and moving-average smoothing.
+package collect
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// TimeSource yields the true reference time in milliseconds. Tests use a
+// manually advanced source; deployments use wall time.
+type TimeSource func() int64
+
+// DriftClock simulates a device clock that drifts relative to true time — the
+// "system clock is highly susceptible to drift" condition that motivates the
+// paper's 5-second re-synchronization. The clock reads
+//
+//	offset + (true - trueAtSet) * (1 + drift)
+//
+// and Set re-anchors the offset (the agent-side effect of a ClockSync).
+type DriftClock struct {
+	mu        sync.Mutex
+	source    TimeSource
+	drift     float64 // fractional rate error, e.g. 2e-4 = 0.2 ms/s
+	offset    int64
+	trueAtSet int64
+}
+
+// NewDriftClock returns a clock over the given source with the given
+// fractional drift, initially synchronized to the source.
+func NewDriftClock(source TimeSource, drift float64) *DriftClock {
+	now := source()
+	return &DriftClock{source: source, drift: drift, offset: now, trueAtSet: now}
+}
+
+// NowMillis returns the clock's current (drifted) reading.
+func (c *DriftClock) NowMillis() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elapsed := float64(c.source() - c.trueAtSet)
+	return c.offset + int64(math.Round(elapsed*(1+c.drift)))
+}
+
+// SetMillis re-anchors the clock to the given reading, as an agent does when
+// it receives the controller's ClockSync (master time plus measured network
+// delay, §4.1).
+func (c *DriftClock) SetMillis(t int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.offset = t
+	c.trueAtSet = c.source()
+}
+
+// SkewMillis returns the clock's current error relative to true time.
+func (c *DriftClock) SkewMillis() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elapsed := float64(c.source() - c.trueAtSet)
+	return c.offset + int64(math.Round(elapsed*(1+c.drift))) - c.source()
+}
+
+// ManualTime is a test-friendly TimeSource advanced explicitly.
+type ManualTime struct {
+	mu  sync.Mutex
+	now int64
+}
+
+// NewManualTime returns a manual source starting at start.
+func NewManualTime(start int64) *ManualTime {
+	return &ManualTime{now: start}
+}
+
+// Now implements TimeSource.
+func (m *ManualTime) Now() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Advance moves time forward by d milliseconds. It panics on negative d,
+// which indicates a test bug.
+func (m *ManualTime) Advance(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("collect: cannot advance time by %d", d))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now += d
+}

@@ -1,0 +1,455 @@
+package collect
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"darnet/internal/tsdb"
+	"darnet/internal/wire"
+)
+
+func TestDriftClockDrifts(t *testing.T) {
+	mt := NewManualTime(0)
+	c := NewDriftClock(mt.Now, 0.001) // 1 ms per second
+	mt.Advance(10_000)
+	if got := c.NowMillis(); got != 10_010 {
+		t.Fatalf("drifted clock = %d, want 10010", got)
+	}
+	if skew := c.SkewMillis(); skew != 10 {
+		t.Fatalf("skew = %d, want 10", skew)
+	}
+	c.SetMillis(mt.Now())
+	if skew := c.SkewMillis(); skew != 0 {
+		t.Fatalf("skew after set = %d, want 0", skew)
+	}
+	mt.Advance(5000)
+	if skew := c.SkewMillis(); skew != 5 {
+		t.Fatalf("skew after further drift = %d, want 5", skew)
+	}
+}
+
+func TestManualTimeAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewManualTime(0).Advance(-1)
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	mt := NewManualTime(0)
+	clk := NewDriftClock(mt.Now, 0)
+	sensors := []Sensor{SensorFunc{SensorName: "s", ReadFunc: func() []float64 { return []float64{1} }}}
+	if _, err := NewAgent(AgentConfig{}, clk, sensors, nil); err == nil {
+		t.Fatal("expected missing-ID error")
+	}
+	if _, err := NewAgent(AgentConfig{ID: "a"}, clk, nil, nil); err == nil {
+		t.Fatal("expected no-sensors error")
+	}
+	a, err := NewAgent(AgentConfig{ID: "a"}, clk, sensors, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PollPeriodMS != 25 {
+		t.Fatalf("default poll period = %d, want 25 (paper §4.1)", a.PollPeriodMS)
+	}
+}
+
+// runSession wires one agent to a controller over an in-memory connection,
+// runs fn with the agent, and returns the controller once the agent side is
+// done.
+func runSession(t *testing.T, mt *ManualTime, drift float64, latencyComp int64, fn func(a *Agent)) *Controller {
+	t.Helper()
+	db := tsdb.New()
+	ctrl := NewController(db, mt.Now)
+	aConnRaw, cConnRaw := net.Pipe()
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- ctrl.ServeConn(wire.NewConn(cConnRaw))
+	}()
+
+	clk := NewDriftClock(mt.Now, drift)
+	value := 0.0
+	sensors := []Sensor{
+		SensorFunc{SensorName: "accel", ReadFunc: func() []float64 {
+			value++
+			return []float64{value, -value, 9.8}
+		}},
+		SensorFunc{SensorName: "gyro", ReadFunc: func() []float64 { return []float64{0.1} }},
+	}
+	agent, err := NewAgent(AgentConfig{ID: "imu-1", Modality: "imu", PollPeriodMS: 25, LatencyComp: latencyComp}, clk, sensors, wire.NewConn(aConnRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	fn(agent)
+	if err := aConnRaw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("controller: %v", err)
+	}
+	return ctrl
+}
+
+func TestAgentControllerSession(t *testing.T) {
+	mt := NewManualTime(1_000_000)
+	ctrl := runSession(t, mt, 0, 0, func(a *Agent) {
+		for i := 0; i < 10; i++ {
+			a.Poll()
+			mt.Advance(25)
+		}
+		if a.Buffered() != 20 { // 2 sensors × 10 polls
+			t.Fatalf("buffered = %d", a.Buffered())
+		}
+		if err := a.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if a.Buffered() != 0 {
+			t.Fatal("flush did not clear buffer")
+		}
+	})
+
+	ids := ctrl.AgentIDs()
+	if len(ids) != 1 || ids[0] != "imu-1" {
+		t.Fatalf("agents = %v", ids)
+	}
+	st, ok := ctrl.AgentStats("imu-1")
+	if !ok || st.Batches != 1 || st.Readings != 20 || st.Modality != "imu" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, ok := ctrl.AgentStats("nobody"); ok {
+		t.Fatal("unknown agent should not have stats")
+	}
+
+	// Per-axis series were created and hold ordered points.
+	db := ctrl.DB()
+	names := db.Series()
+	wantSeries := []string{"imu-1/accel[0]", "imu-1/accel[1]", "imu-1/accel[2]", "imu-1/gyro[0]"}
+	if len(names) != len(wantSeries) {
+		t.Fatalf("series = %v", names)
+	}
+	for i, w := range wantSeries {
+		if names[i] != w {
+			t.Fatalf("series = %v, want %v", names, wantSeries)
+		}
+	}
+	if db.Len("imu-1/accel[0]") != 10 {
+		t.Fatalf("accel[0] has %d points", db.Len("imu-1/accel[0]"))
+	}
+}
+
+func TestClockSyncCorrectsDrift(t *testing.T) {
+	mt := NewManualTime(0)
+	// Strong drift: 5 ms per second.
+	runSession(t, mt, 0.005, 0, func(a *Agent) {
+		// Let the clock drift for 10 simulated seconds.
+		mt.Advance(10_000)
+		if skew := a.ClockSkewMillis(); skew != 50 {
+			t.Fatalf("pre-sync skew = %d, want 50", skew)
+		}
+		a.Poll()
+		// The first flush after >5 s triggers a ClockSync (period elapsed).
+		if err := a.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if skew := a.ClockSkewMillis(); skew != 0 {
+			t.Fatalf("post-sync skew = %d, want 0", skew)
+		}
+	})
+}
+
+func TestClockSyncAppliesLatencyCompensation(t *testing.T) {
+	mt := NewManualTime(0)
+	runSession(t, mt, 0.005, 7, func(a *Agent) {
+		mt.Advance(10_000)
+		a.Poll()
+		if err := a.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		// Clock set to master + 7 ms compensation.
+		if skew := a.ClockSkewMillis(); skew != 7 {
+			t.Fatalf("post-sync skew = %d, want 7", skew)
+		}
+	})
+}
+
+func TestSyncPeriodRespected(t *testing.T) {
+	mt := NewManualTime(0)
+	ctrl := runSession(t, mt, 0.01, 0, func(a *Agent) {
+		// Flush every simulated second for 12 seconds: syncs should happen
+		// only when 5 s have elapsed (at t=5 s and t=10 s, not every flush).
+		for i := 0; i < 12; i++ {
+			mt.Advance(1000)
+			a.Poll()
+			if err := a.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// After the t=10s sync the clock drifted 2 more seconds at 1%.
+		if skew := a.ClockSkewMillis(); skew != 20 {
+			t.Fatalf("final skew = %d, want 20 (2 s of 1%% drift since last sync)", skew)
+		}
+	})
+	st, _ := ctrl.AgentStats("imu-1")
+	if st.Batches != 12 {
+		t.Fatalf("batches = %d", st.Batches)
+	}
+}
+
+func TestAlignResamplesAndSmooths(t *testing.T) {
+	mt := NewManualTime(0)
+	db := tsdb.New()
+	ctrl := NewController(db, mt.Now)
+	// Two sensors at different, offset rates observing linear signals.
+	for ts := int64(0); ts <= 1000; ts += 40 {
+		db.Insert("a/accel[0]", tsdb.Point{TimestampMillis: ts, Value: float64(ts)})
+	}
+	for ts := int64(13); ts <= 1000; ts += 100 {
+		db.Insert("b/gyro[0]", tsdb.Point{TimestampMillis: ts, Value: 2 * float64(ts)})
+	}
+	al, err := ctrl.Align([]string{"a/accel[0]", "b/gyro[0]"}, AlignConfig{
+		FromMillis: 100, ToMillis: 900, StepMillis: 50, SmoothWindow: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(al.Values) != 2 || len(al.Values[0]) != 16 || len(al.Values[1]) != 16 {
+		t.Fatalf("aligned shape %dx%d", len(al.Values), len(al.Values[0]))
+	}
+	// Linear signals resample exactly.
+	for i, v := range al.Values[0] {
+		want := float64(100 + 50*i)
+		if math.Abs(v-want) > 1e-9 {
+			t.Fatalf("aligned accel[%d] = %g, want %g", i, v, want)
+		}
+	}
+	for i, v := range al.Values[1] {
+		want := 2 * float64(100+50*i)
+		if math.Abs(v-want) > 1e-9 {
+			t.Fatalf("aligned gyro[%d] = %g, want %g", i, v, want)
+		}
+	}
+
+	// Smoothing path.
+	sm, err := ctrl.Align([]string{"a/accel[0]"}, AlignConfig{
+		FromMillis: 100, ToMillis: 900, StepMillis: 50, SmoothWindow: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sm.Values[0]) != 16 {
+		t.Fatalf("smoothed length %d", len(sm.Values[0]))
+	}
+
+	if _, err := ctrl.Align(nil, AlignConfig{}); err == nil {
+		t.Fatal("expected empty-series error")
+	}
+	if _, err := ctrl.Align([]string{"missing"}, AlignConfig{FromMillis: 0, ToMillis: 10, StepMillis: 1}); err == nil {
+		t.Fatal("expected missing-series error")
+	}
+}
+
+func TestProcessingPolicyDecisions(t *testing.T) {
+	p := DefaultProcessingPolicy()
+	tests := []struct {
+		name     string
+		net      NetworkConditions
+		wantMode ProcessingMode
+		wantDist DistortionLevel
+	}{
+		{"no bandwidth", NetworkConditions{BandwidthKbps: 10, LatencyMillis: 50}, ProcessLocal, DistortNone},
+		{"too laggy", NetworkConditions{BandwidthKbps: 5000, LatencyMillis: 900}, ProcessLocal, DistortNone},
+		{"fat pipe", NetworkConditions{BandwidthKbps: 5000, LatencyMillis: 50}, ProcessRemote, DistortNone},
+		{"medium pipe", NetworkConditions{BandwidthKbps: 300, LatencyMillis: 50}, ProcessRemote, DistortLow},
+		{"thin pipe", NetworkConditions{BandwidthKbps: 80, LatencyMillis: 50}, ProcessRemote, DistortMedium},
+		{"straw", NetworkConditions{BandwidthKbps: 20, LatencyMillis: 50}, ProcessRemote, DistortHigh},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			mode, dist := p.Decide(tt.net)
+			if mode != tt.wantMode || dist != tt.wantDist {
+				t.Fatalf("Decide(%+v) = %v/%v, want %v/%v", tt.net, mode, dist, tt.wantMode, tt.wantDist)
+			}
+		})
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if ProcessLocal.String() != "local" || ProcessRemote.String() != "remote" {
+		t.Fatal("processing mode strings wrong")
+	}
+	if !strings.Contains(ProcessingMode(9).String(), "9") {
+		t.Fatal("unknown mode should render its value")
+	}
+	for d, want := range map[DistortionLevel]string{
+		DistortNone: "none", DistortLow: "low", DistortMedium: "medium", DistortHigh: "high",
+	} {
+		if d.String() != want {
+			t.Fatalf("distortion %d = %q", d, d.String())
+		}
+	}
+}
+
+func TestControllerRejectsForeignBatch(t *testing.T) {
+	mt := NewManualTime(0)
+	db := tsdb.New()
+	ctrl := NewController(db, mt.Now)
+	aRaw, cRaw := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- ctrl.ServeConn(wire.NewConn(cRaw)) }()
+
+	conn := wire.NewConn(aRaw)
+	if err := conn.Send(&wire.Hello{AgentID: "a", Modality: "imu", PeriodMillis: 25}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(&wire.SampleBatch{AgentID: "intruder"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("controller should reject mismatched agent IDs")
+	}
+	aRaw.Close()
+}
+
+func TestControllerRejectsBadHandshake(t *testing.T) {
+	mt := NewManualTime(0)
+	ctrl := NewController(tsdb.New(), mt.Now)
+	aRaw, cRaw := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- ctrl.ServeConn(wire.NewConn(cRaw)) }()
+	conn := wire.NewConn(aRaw)
+	if err := conn.Send(&wire.Ack{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("controller should reject a non-hello first message")
+	}
+	aRaw.Close()
+}
+
+// delayedRW advances a manual clock on every read, simulating one-way
+// network latency on messages flowing toward the wrapped reader.
+type delayedRW struct {
+	rw    net.Conn
+	mt    *ManualTime
+	delay int64
+}
+
+func (d delayedRW) Read(p []byte) (int, error) {
+	n, err := d.rw.Read(p)
+	d.mt.Advance(d.delay)
+	return n, err
+}
+
+func (d delayedRW) Write(p []byte) (int, error) { return d.rw.Write(p) }
+
+func TestClockSyncMeasuresRTT(t *testing.T) {
+	mt := NewManualTime(0)
+	db := tsdb.New()
+	ctrl := NewController(db, mt.Now)
+	aRaw, cRaw := net.Pipe()
+	done := make(chan error, 1)
+	// 3 ms delay toward each side: RTT should measure ~6 ms.
+	go func() {
+		done <- ctrl.ServeConn(wire.NewConn(delayedRW{rw: cRaw, mt: mt, delay: 3}))
+	}()
+	clk := NewDriftClock(mt.Now, 0)
+	sensors := []Sensor{SensorFunc{SensorName: "s", ReadFunc: func() []float64 { return []float64{1} }}}
+	agent, err := NewAgent(AgentConfig{ID: "a", PollPeriodMS: 25}, clk, sensors, wire.NewConn(delayedRW{rw: aRaw, mt: mt, delay: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	mt.Advance(6000) // past the sync period
+	agent.Poll()
+	if err := agent.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	aRaw.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st, ok := ctrl.AgentStats("a")
+	if !ok {
+		t.Fatal("missing stats")
+	}
+	// The clock-sync exchange crosses the link twice; intermediate protocol
+	// messages add their own read delays, so assert a sane band.
+	if st.LastRTTMillis < 6 || st.LastRTTMillis > 20 {
+		t.Fatalf("measured RTT = %d ms, want within [6, 20]", st.LastRTTMillis)
+	}
+}
+
+func TestMultipleAgentsConcurrently(t *testing.T) {
+	// Several agents stream to one controller over separate connections at
+	// once; all series and stats must land correctly (run with -race).
+	mt := NewManualTime(0)
+	db := tsdb.New()
+	ctrl := NewController(db, mt.Now)
+
+	const agents = 4
+	var wg sync.WaitGroup
+	for a := 0; a < agents; a++ {
+		aRaw, cRaw := net.Pipe()
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := ctrl.ServeConn(wire.NewConn(cRaw)); err != nil {
+				t.Errorf("controller: %v", err)
+			}
+		}()
+		go func(id int, raw net.Conn) {
+			defer wg.Done()
+			defer raw.Close()
+			clk := NewDriftClock(mt.Now, 0)
+			v := float64(id)
+			sensors := []Sensor{SensorFunc{SensorName: "s", ReadFunc: func() []float64 { return []float64{v} }}}
+			agent, err := NewAgent(AgentConfig{ID: fmt.Sprintf("agent-%d", id), Modality: "imu", PollPeriodMS: 25}, clk, sensors, wire.NewConn(raw))
+			if err != nil {
+				t.Errorf("agent: %v", err)
+				return
+			}
+			if err := agent.Hello(); err != nil {
+				t.Errorf("hello: %v", err)
+				return
+			}
+			for k := 0; k < 30; k++ {
+				agent.Poll()
+				if k%10 == 9 {
+					if err := agent.Flush(); err != nil {
+						t.Errorf("flush: %v", err)
+						return
+					}
+				}
+			}
+		}(a, aRaw)
+	}
+	wg.Wait()
+
+	if got := len(ctrl.AgentIDs()); got != agents {
+		t.Fatalf("registered %d agents, want %d", got, agents)
+	}
+	for a := 0; a < agents; a++ {
+		id := fmt.Sprintf("agent-%d", a)
+		if n := db.Len(id + "/s[0]"); n != 30 {
+			t.Fatalf("%s stored %d points, want 30", id, n)
+		}
+		st, ok := ctrl.AgentStats(id)
+		if !ok || st.Readings != 30 {
+			t.Fatalf("%s stats = %+v", id, st)
+		}
+	}
+}

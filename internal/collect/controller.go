@@ -1,0 +1,344 @@
+package collect
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"darnet/internal/tsdb"
+	"darnet/internal/wire"
+)
+
+// SyncPeriodMillis is how often the controller re-distributes its clock to
+// each agent (paper §4.1: "this synchronization process is repeated every 5
+// seconds").
+const SyncPeriodMillis = 5000
+
+// Controller is the centralized controller (paper §3.2): it aggregates
+// readings from agents into a time-series store, acts as the clock-sync
+// master, and aligns the collected streams for the analytics engine.
+type Controller struct {
+	db          *tsdb.DB
+	source      TimeSource
+	framesStore *frameStore
+
+	mu       sync.Mutex
+	agents   map[string]*agentState
+	syncEach int64
+}
+
+type agentState struct {
+	modality     string
+	periodMillis uint32
+	lastSyncAt   int64
+	lastSkew     int64
+	lastRTT      int64
+	batches      int
+	readings     int
+}
+
+// NewController returns a controller storing into db and keeping master time
+// from source.
+func NewController(db *tsdb.DB, source TimeSource) *Controller {
+	return &Controller{
+		db:          db,
+		source:      source,
+		framesStore: newFrameStore(),
+		agents:      make(map[string]*agentState),
+		syncEach:    SyncPeriodMillis,
+	}
+}
+
+// DB exposes the underlying time-series store.
+func (c *Controller) DB() *tsdb.DB { return c.db }
+
+// SetSyncPeriod overrides the clock re-sync period (tests use shorter ones).
+func (c *Controller) SetSyncPeriod(millis int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncEach = millis
+}
+
+// AgentIDs returns the registered agent identifiers.
+func (c *Controller) AgentIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.agents))
+	for id := range c.agents {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Stats summarizes one agent's session.
+type Stats struct {
+	Modality     string
+	Batches      int
+	Readings     int
+	LastSkewMill int64
+	// LastRTTMillis is the round-trip time measured during the most recent
+	// clock-sync exchange — the controller's empirical basis for the latency
+	// compensation agents apply (§4.1 "plus the empirically measured network
+	// delay").
+	LastRTTMillis int64
+}
+
+// AgentStats returns per-agent session statistics.
+func (c *Controller) AgentStats(id string) (Stats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.agents[id]
+	if !ok {
+		return Stats{}, false
+	}
+	return Stats{
+		Modality:      st.modality,
+		Batches:       st.batches,
+		Readings:      st.readings,
+		LastSkewMill:  st.lastSkew,
+		LastRTTMillis: st.lastRTT,
+	}, true
+}
+
+// ServeConn runs the controller side of the protocol for one agent
+// connection until the agent disconnects (io.EOF) or a protocol error
+// occurs. It is safe to call concurrently for multiple connections.
+func (c *Controller) ServeConn(conn *wire.Conn) error {
+	msg, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("collect: controller handshake: %w", err)
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		return fmt.Errorf("collect: expected hello, got %T", msg)
+	}
+	c.mu.Lock()
+	st := &agentState{
+		modality:     hello.Modality,
+		periodMillis: hello.PeriodMillis,
+		lastSyncAt:   c.source(),
+	}
+	c.agents[hello.AgentID] = st
+	c.mu.Unlock()
+	if err := conn.Send(&wire.Ack{}); err != nil {
+		return fmt.Errorf("collect: hello ack: %w", err)
+	}
+
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("collect: controller recv: %w", err)
+		}
+		batch, ok := msg.(*wire.SampleBatch)
+		if !ok {
+			return fmt.Errorf("collect: expected sample batch, got %T", msg)
+		}
+		if batch.AgentID != hello.AgentID {
+			return fmt.Errorf("collect: batch from %q on connection of %q", batch.AgentID, hello.AgentID)
+		}
+		for _, rd := range batch.Readings {
+			// Camera frames carry W*H pixels and go to the frame store;
+			// scalar sensor channels go to the time-series database per axis.
+			if rd.Sensor == FrameSensorName {
+				c.framesStore.insert(batch.AgentID, TimedFrame{
+					TimestampMillis: rd.TimestampMillis,
+					Pix:             append([]float64(nil), rd.Values...),
+				})
+				continue
+			}
+			series := SeriesName(batch.AgentID, rd.Sensor)
+			for axis, v := range rd.Values {
+				c.db.Insert(fmt.Sprintf("%s[%d]", series, axis), tsdb.Point{
+					TimestampMillis: rd.TimestampMillis,
+					Value:           v,
+				})
+			}
+		}
+
+		now := c.source()
+		c.mu.Lock()
+		needSync := now-st.lastSyncAt >= c.syncEach
+		if needSync {
+			st.lastSyncAt = now
+		}
+		st.batches++
+		st.readings += len(batch.Readings)
+		c.mu.Unlock()
+
+		// Clock synchronization piggybacks on the batch exchange: the
+		// controller pushes its UTC, waits for the agent's resulting clock,
+		// and records the residual skew.
+		if needSync {
+			sentAt := c.source()
+			if err := conn.Send(&wire.ClockSync{MasterMillis: now}); err != nil {
+				return fmt.Errorf("collect: send clock sync: %w", err)
+			}
+			reply, err := conn.Recv()
+			if err != nil {
+				return fmt.Errorf("collect: await clock ack: %w", err)
+			}
+			ack, ok := reply.(*wire.ClockAck)
+			if !ok {
+				return fmt.Errorf("collect: expected clock ack, got %T", reply)
+			}
+			c.mu.Lock()
+			st.lastRTT = c.source() - sentAt
+			st.lastSkew = ack.AgentMillis - c.source()
+			c.mu.Unlock()
+		}
+		if err := conn.Send(&wire.Ack{Count: uint32(len(batch.Readings))}); err != nil {
+			return fmt.Errorf("collect: batch ack: %w", err)
+		}
+	}
+}
+
+// SeriesName returns the time-series name for one agent sensor channel.
+func SeriesName(agentID, sensor string) string {
+	return agentID + "/" + sensor
+}
+
+// AlignConfig describes the common grid the controller resamples all series
+// onto before handing data to the analytics engine (§3.2 "Data
+// Normalization").
+type AlignConfig struct {
+	FromMillis   int64
+	ToMillis     int64
+	StepMillis   int64
+	SmoothWindow int // odd moving-average width; 1 disables smoothing
+}
+
+// Aligned holds resampled, smoothed, time-aligned channels.
+type Aligned struct {
+	Series []string
+	Step   int64
+	From   int64
+	Values [][]float64 // Values[i] corresponds to Series[i]
+}
+
+// Align resamples the named series (full channel names, including the axis
+// suffix) onto a common grid with linear interpolation and applies
+// moving-average smoothing.
+func (c *Controller) Align(series []string, cfg AlignConfig) (*Aligned, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("collect: align needs at least one series")
+	}
+	if cfg.SmoothWindow <= 0 {
+		cfg.SmoothWindow = 1
+	}
+	out := &Aligned{Series: append([]string(nil), series...), Step: cfg.StepMillis, From: cfg.FromMillis}
+	for _, s := range series {
+		vals, err := c.db.ResampleLinear(s, cfg.FromMillis, cfg.ToMillis, cfg.StepMillis)
+		if err != nil {
+			return nil, fmt.Errorf("collect: align %q: %w", s, err)
+		}
+		if cfg.SmoothWindow > 1 {
+			vals, err = tsdb.SmoothMovingAverage(vals, cfg.SmoothWindow)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out.Values = append(out.Values, vals)
+	}
+	return out, nil
+}
+
+// ProcessingMode is where the analytics run (§3.2 "Processing Decision").
+type ProcessingMode int
+
+// Processing modes.
+const (
+	ProcessLocal ProcessingMode = iota + 1
+	ProcessRemote
+)
+
+// String implements fmt.Stringer.
+func (m ProcessingMode) String() string {
+	switch m {
+	case ProcessLocal:
+		return "local"
+	case ProcessRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("ProcessingMode(%d)", int(m))
+	}
+}
+
+// NetworkConditions summarize the controller's view of the uplink.
+type NetworkConditions struct {
+	BandwidthKbps float64
+	LatencyMillis float64
+}
+
+// ProcessingPolicy decides between local and remote processing and, for the
+// remote path, which privacy/down-sampling level to request given bandwidth
+// (§3.2, §4.3).
+type ProcessingPolicy struct {
+	// MinRemoteKbps is the bandwidth below which processing stays local.
+	MinRemoteKbps float64
+	// MaxRemoteLatencyMillis is the latency above which processing stays local.
+	MaxRemoteLatencyMillis float64
+	// FullResKbps is the bandwidth needed to ship full-resolution frames;
+	// below it the policy requests increasing down-sampling.
+	FullResKbps float64
+}
+
+// DefaultProcessingPolicy returns a policy with sensible thresholds.
+func DefaultProcessingPolicy() ProcessingPolicy {
+	return ProcessingPolicy{
+		MinRemoteKbps:          16,
+		MaxRemoteLatencyMillis: 400,
+		FullResKbps:            2000,
+	}
+}
+
+// DistortionLevel is the privacy down-sampling level of §4.3.
+type DistortionLevel int
+
+// Distortion levels: none ships full resolution; low/medium/high correspond
+// to the paper's 100×100 / 50×50 / 25×25 paths.
+const (
+	DistortNone DistortionLevel = iota
+	DistortLow
+	DistortMedium
+	DistortHigh
+)
+
+// String implements fmt.Stringer.
+func (d DistortionLevel) String() string {
+	switch d {
+	case DistortNone:
+		return "none"
+	case DistortLow:
+		return "low"
+	case DistortMedium:
+		return "medium"
+	case DistortHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("DistortionLevel(%d)", int(d))
+	}
+}
+
+// Decide returns the processing mode and, for remote processing, the
+// distortion level that fits the available bandwidth.
+func (p ProcessingPolicy) Decide(net NetworkConditions) (ProcessingMode, DistortionLevel) {
+	if net.BandwidthKbps < p.MinRemoteKbps || net.LatencyMillis > p.MaxRemoteLatencyMillis {
+		return ProcessLocal, DistortNone
+	}
+	// Down-sampling to 100×100 / 50×50 / 25×25 shrinks a 300×300 frame by
+	// roughly 9× / 36× / 144× (§4.3), so each level needs proportionally
+	// less bandwidth.
+	switch {
+	case net.BandwidthKbps >= p.FullResKbps:
+		return ProcessRemote, DistortNone
+	case net.BandwidthKbps >= p.FullResKbps/9:
+		return ProcessRemote, DistortLow
+	case net.BandwidthKbps >= p.FullResKbps/36:
+		return ProcessRemote, DistortMedium
+	default:
+		return ProcessRemote, DistortHigh
+	}
+}

@@ -1,0 +1,53 @@
+package collect_test
+
+import (
+	"fmt"
+
+	"darnet/internal/collect"
+	"darnet/internal/imu"
+)
+
+// The paper's §5.1 protocol: 15-second scripted segments, repeated, with
+// windows labelled by majority overlap afterwards.
+func ExampleSessionScript() {
+	script, err := collect.NewSessionScript(
+		collect.ScriptSegment{Label: 0, DurationMillis: 15000}, // normal
+		collect.ScriptSegment{Label: 2, DurationMillis: 15000}, // texting
+	)
+	if err != nil {
+		panic(err)
+	}
+	repeated, err := script.Repeat(10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("segments:", len(repeated.Segments))
+	fmt.Println("duration:", repeated.TotalMillis()/1000, "s")
+
+	// A 5-second window starting 16 s into the session lies in the texting
+	// segment.
+	samples := make([]imu.Sample, imu.WindowSize)
+	for i := range samples {
+		samples[i].TimestampMillis = 16_000 + int64(i)*250
+	}
+	labels, err := repeated.LabelWindows(0, []imu.Window{{Samples: samples}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("window label:", labels[0])
+	// Output:
+	// segments: 20
+	// duration: 300 s
+	// window label: 2
+}
+
+// The processing policy picks where to run analytics and which privacy
+// level fits the link (paper §3.2).
+func ExampleProcessingPolicy_Decide() {
+	policy := collect.DefaultProcessingPolicy()
+	mode, level := policy.Decide(collect.NetworkConditions{
+		BandwidthKbps: 120, LatencyMillis: 60,
+	})
+	fmt.Println(mode, level)
+	// Output: remote medium
+}

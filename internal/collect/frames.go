@@ -1,0 +1,107 @@
+package collect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FrameSensorName is the reserved sensor channel name for camera frames.
+// Readings on this channel carry W*H pixel values and are routed into the
+// controller's frame store instead of the scalar time-series database.
+const FrameSensorName = "frame"
+
+// TimedFrame is one camera frame with its capture timestamp.
+type TimedFrame struct {
+	TimestampMillis int64
+	Pix             []float64
+}
+
+// frameStore keeps per-agent frames ordered by timestamp.
+type frameStore struct {
+	mu     sync.RWMutex
+	frames map[string][]TimedFrame
+}
+
+func newFrameStore() *frameStore {
+	return &frameStore{frames: make(map[string][]TimedFrame)}
+}
+
+func (fs *frameStore) insert(agentID string, f TimedFrame) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	frames := fs.frames[agentID]
+	i := sort.Search(len(frames), func(i int) bool {
+		return frames[i].TimestampMillis > f.TimestampMillis
+	})
+	frames = append(frames, TimedFrame{})
+	copy(frames[i+1:], frames[i:])
+	frames[i] = f
+	fs.frames[agentID] = frames
+}
+
+// FrameCount returns the number of stored frames for an agent.
+func (c *Controller) FrameCount(agentID string) int {
+	c.framesStore.mu.RLock()
+	defer c.framesStore.mu.RUnlock()
+	return len(c.framesStore.frames[agentID])
+}
+
+// Frames returns a copy of an agent's stored frames in timestamp order.
+func (c *Controller) Frames(agentID string) []TimedFrame {
+	c.framesStore.mu.RLock()
+	defer c.framesStore.mu.RUnlock()
+	src := c.framesStore.frames[agentID]
+	out := make([]TimedFrame, len(src))
+	for i, f := range src {
+		out[i] = TimedFrame{
+			TimestampMillis: f.TimestampMillis,
+			Pix:             append([]float64(nil), f.Pix...),
+		}
+	}
+	return out
+}
+
+// FrameNear returns the stored frame whose timestamp is closest to t — the
+// cross-modality alignment step that pairs a camera frame with an IMU
+// window for the fused classifier. maxSkewMillis bounds the acceptable
+// distance; 0 accepts any frame.
+func (c *Controller) FrameNear(agentID string, t int64, maxSkewMillis int64) (TimedFrame, error) {
+	c.framesStore.mu.RLock()
+	defer c.framesStore.mu.RUnlock()
+	frames := c.framesStore.frames[agentID]
+	if len(frames) == 0 {
+		return TimedFrame{}, fmt.Errorf("collect: agent %q has no stored frames", agentID)
+	}
+	i := sort.Search(len(frames), func(i int) bool {
+		return frames[i].TimestampMillis >= t
+	})
+	best := -1
+	var bestDist int64
+	for _, cand := range []int{i - 1, i} {
+		if cand < 0 || cand >= len(frames) {
+			continue
+		}
+		d := frames[cand].TimestampMillis - t
+		if d < 0 {
+			d = -d
+		}
+		if best == -1 || d < bestDist {
+			best, bestDist = cand, d
+		}
+	}
+	if maxSkewMillis > 0 && bestDist > maxSkewMillis {
+		return TimedFrame{}, fmt.Errorf("collect: nearest frame of %q is %d ms from t=%d (max %d)", agentID, bestDist, t, maxSkewMillis)
+	}
+	f := frames[best]
+	return TimedFrame{
+		TimestampMillis: f.TimestampMillis,
+		Pix:             append([]float64(nil), f.Pix...),
+	}, nil
+}
+
+// FrameSensor adapts a frame source into a camera-agent sensor: each poll
+// reads the current frame's pixels onto the reserved frame channel.
+func FrameSensor(current func() []float64) Sensor {
+	return SensorFunc{SensorName: FrameSensorName, ReadFunc: current}
+}

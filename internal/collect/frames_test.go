@@ -1,0 +1,126 @@
+package collect
+
+import (
+	"net"
+	"testing"
+
+	"darnet/internal/tsdb"
+	"darnet/internal/wire"
+)
+
+func TestFrameStoreOrderingAndCopy(t *testing.T) {
+	mt := NewManualTime(0)
+	ctrl := NewController(tsdb.New(), mt.Now)
+	for _, ts := range []int64{300, 100, 200} {
+		ctrl.framesStore.insert("cam", TimedFrame{TimestampMillis: ts, Pix: []float64{float64(ts)}})
+	}
+	frames := ctrl.Frames("cam")
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	for i := 1; i < len(frames); i++ {
+		if frames[i].TimestampMillis < frames[i-1].TimestampMillis {
+			t.Fatal("frames out of order")
+		}
+	}
+	// Returned frames must be copies.
+	frames[0].Pix[0] = 999
+	if ctrl.Frames("cam")[0].Pix[0] == 999 {
+		t.Fatal("Frames returned aliased storage")
+	}
+	if ctrl.FrameCount("cam") != 3 {
+		t.Fatalf("FrameCount = %d", ctrl.FrameCount("cam"))
+	}
+}
+
+func TestFrameNear(t *testing.T) {
+	mt := NewManualTime(0)
+	ctrl := NewController(tsdb.New(), mt.Now)
+	for _, ts := range []int64{100, 200, 300} {
+		ctrl.framesStore.insert("cam", TimedFrame{TimestampMillis: ts, Pix: []float64{float64(ts)}})
+	}
+	tests := []struct {
+		t    int64
+		want int64
+	}{
+		{0, 100},
+		{100, 100},
+		{149, 100},
+		{151, 200},
+		{250, 200}, // ties break toward the earlier frame
+		{999, 300},
+	}
+	for _, tt := range tests {
+		f, err := ctrl.FrameNear("cam", tt.t, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.TimestampMillis != tt.want {
+			t.Fatalf("FrameNear(%d) = %d, want %d", tt.t, f.TimestampMillis, tt.want)
+		}
+	}
+	if _, err := ctrl.FrameNear("cam", 1000, 100); err == nil {
+		t.Fatal("expected max-skew error")
+	}
+	if _, err := ctrl.FrameNear("ghost", 0, 0); err == nil {
+		t.Fatal("expected no-frames error")
+	}
+}
+
+func TestCameraAgentRoutesFramesToStore(t *testing.T) {
+	mt := NewManualTime(5_000)
+	db := tsdb.New()
+	ctrl := NewController(db, mt.Now)
+	aRaw, cRaw := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- ctrl.ServeConn(wire.NewConn(cRaw)) }()
+
+	clock := NewDriftClock(mt.Now, 0)
+	frameIdx := 0.0
+	sensors := []Sensor{
+		FrameSensor(func() []float64 {
+			frameIdx++
+			pix := make([]float64, 16)
+			pix[0] = frameIdx
+			return pix
+		}),
+		SensorFunc{SensorName: "lux", ReadFunc: func() []float64 { return []float64{0.8} }},
+	}
+	agent, err := NewAgent(AgentConfig{ID: "cam", Modality: "camera", PollPeriodMS: 100}, clock, sensors, wire.NewConn(aRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		agent.Poll()
+		mt.Advance(100)
+	}
+	if err := agent.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	aRaw.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Frames landed in the frame store, not the scalar database.
+	if got := ctrl.FrameCount("cam"); got != 5 {
+		t.Fatalf("frame count = %d, want 5", got)
+	}
+	if db.Len("cam/frame[0]") != 0 {
+		t.Fatal("frame pixels leaked into the time-series database")
+	}
+	// Scalar channel still went to the database.
+	if db.Len("cam/lux[0]") != 5 {
+		t.Fatalf("lux series has %d points", db.Len("cam/lux[0]"))
+	}
+	f, err := ctrl.FrameNear("cam", 5_200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Pix) != 16 {
+		t.Fatalf("frame has %d pixels", len(f.Pix))
+	}
+}

@@ -1,0 +1,102 @@
+package collect
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Runner drives an agent in real time: it polls the sensors at the agent's
+// configured period and flushes batches at the given cadence, on a managed
+// goroutine that Shutdown stops and waits for. This is the deployment-mode
+// counterpart of the manually-stepped loops the simulations use.
+type Runner struct {
+	agent      *Agent
+	flushEvery time.Duration
+	onPoll     func() // optional per-poll hook (e.g. advancing a replay cursor)
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu  sync.Mutex
+	err error
+}
+
+// StartRunner sends the agent's hello and starts the polling/flushing loop.
+// onPoll, when non-nil, runs before every sensor poll. The returned runner
+// must be stopped with Shutdown.
+func StartRunner(agent *Agent, flushEvery time.Duration, onPoll func()) (*Runner, error) {
+	if agent == nil {
+		return nil, fmt.Errorf("collect: runner needs an agent")
+	}
+	if flushEvery <= 0 {
+		return nil, fmt.Errorf("collect: flush cadence must be positive, got %v", flushEvery)
+	}
+	if err := agent.Hello(); err != nil {
+		return nil, fmt.Errorf("collect: runner hello: %w", err)
+	}
+	r := &Runner{
+		agent:      agent,
+		flushEvery: flushEvery,
+		onPoll:     onPoll,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	go r.loop()
+	return r, nil
+}
+
+func (r *Runner) loop() {
+	defer close(r.done)
+	poll := time.NewTicker(time.Duration(r.agent.PollPeriodMS) * time.Millisecond)
+	defer poll.Stop()
+	flush := time.NewTicker(r.flushEvery)
+	defer flush.Stop()
+	for {
+		select {
+		case <-poll.C:
+			if r.onPoll != nil {
+				r.onPoll()
+			}
+			r.agent.Poll()
+		case <-flush.C:
+			if err := r.agent.Flush(); err != nil {
+				r.setErr(err)
+				return
+			}
+		case <-r.stop:
+			r.setErr(r.agent.Flush())
+			return
+		}
+	}
+}
+
+func (r *Runner) setErr(err error) {
+	if err == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Shutdown signals the loop to stop, performs a final flush, waits for the
+// goroutine to exit, and returns the first error the loop encountered.
+func (r *Runner) Shutdown() error {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Err returns the first error the loop encountered so far (nil while
+// healthy). The loop stops itself on the first transport error.
+func (r *Runner) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}

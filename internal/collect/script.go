@@ -1,0 +1,129 @@
+package collect
+
+import (
+	"fmt"
+
+	"darnet/internal/imu"
+)
+
+// The paper collects labelled data by scripting sessions: "Each driver was
+// instructed (by the passenger, in real time) to perform a scripted set of
+// 'distractions' for a duration of 15 seconds and the entire script was
+// repeated 10 times for each driver" (§5.1), with each video verified and
+// labelled afterwards. SessionScript models that protocol and labels the
+// collected windows from it, turning a streamed session into a training set.
+
+// ScriptSegment is one scripted activity: a class label held for a duration.
+type ScriptSegment struct {
+	Label          int
+	DurationMillis int64
+}
+
+// SessionScript is an ordered sequence of scripted segments.
+type SessionScript struct {
+	Segments []ScriptSegment
+}
+
+// NewSessionScript builds a script from (label, duration) segments,
+// validating durations.
+func NewSessionScript(segments ...ScriptSegment) (*SessionScript, error) {
+	if len(segments) == 0 {
+		return nil, fmt.Errorf("collect: script needs at least one segment")
+	}
+	for i, seg := range segments {
+		if seg.DurationMillis <= 0 {
+			return nil, fmt.Errorf("collect: segment %d has non-positive duration %d", i, seg.DurationMillis)
+		}
+		if seg.Label < 0 {
+			return nil, fmt.Errorf("collect: segment %d has negative label %d", i, seg.Label)
+		}
+	}
+	return &SessionScript{Segments: append([]ScriptSegment(nil), segments...)}, nil
+}
+
+// Repeat returns the script repeated n times (the paper repeats its script
+// 10 times per driver).
+func (s *SessionScript) Repeat(n int) (*SessionScript, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("collect: repeat count %d must be >= 1", n)
+	}
+	out := &SessionScript{Segments: make([]ScriptSegment, 0, n*len(s.Segments))}
+	for i := 0; i < n; i++ {
+		out.Segments = append(out.Segments, s.Segments...)
+	}
+	return out, nil
+}
+
+// TotalMillis returns the script's total duration.
+func (s *SessionScript) TotalMillis() int64 {
+	total := int64(0)
+	for _, seg := range s.Segments {
+		total += seg.DurationMillis
+	}
+	return total
+}
+
+// LabelAt returns the scripted label at the given offset from session start,
+// or ok=false outside the script.
+func (s *SessionScript) LabelAt(offsetMillis int64) (label int, ok bool) {
+	if offsetMillis < 0 {
+		return 0, false
+	}
+	acc := int64(0)
+	for _, seg := range s.Segments {
+		acc += seg.DurationMillis
+		if offsetMillis < acc {
+			return seg.Label, true
+		}
+	}
+	return 0, false
+}
+
+// LabelWindows assigns each collected window the scripted label with the
+// greatest time overlap — the offline verification/labelling step of §5.1.
+// Windows entirely outside the script are an error; windows straddling a
+// segment boundary take the majority segment.
+func (s *SessionScript) LabelWindows(startMillis int64, windows []imu.Window) ([]int, error) {
+	labels := make([]int, len(windows))
+	for i, w := range windows {
+		if len(w.Samples) == 0 {
+			return nil, fmt.Errorf("collect: window %d is empty", i)
+		}
+		wStart := w.Samples[0].TimestampMillis - startMillis
+		wEnd := w.Samples[len(w.Samples)-1].TimestampMillis - startMillis
+		if wEnd < wStart {
+			return nil, fmt.Errorf("collect: window %d has reversed timestamps", i)
+		}
+		label, ok := s.majorityLabel(wStart, wEnd+1)
+		if !ok {
+			return nil, fmt.Errorf("collect: window %d ([%d, %d] ms) lies outside the script", i, wStart, wEnd)
+		}
+		labels[i] = label
+	}
+	return labels, nil
+}
+
+// majorityLabel returns the label with the greatest overlap with [from, to).
+func (s *SessionScript) majorityLabel(from, to int64) (int, bool) {
+	overlap := map[int]int64{}
+	segStart := int64(0)
+	for _, seg := range s.Segments {
+		segEnd := segStart + seg.DurationMillis
+		lo := max(from, segStart)
+		hi := min(to, segEnd)
+		if hi > lo {
+			overlap[seg.Label] += hi - lo
+		}
+		segStart = segEnd
+	}
+	best, bestDur := 0, int64(0)
+	for label, dur := range overlap {
+		if dur > bestDur || (dur == bestDur && bestDur > 0 && label < best) {
+			best, bestDur = label, dur
+		}
+	}
+	if bestDur == 0 {
+		return 0, false
+	}
+	return best, true
+}

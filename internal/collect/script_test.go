@@ -1,0 +1,142 @@
+package collect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"darnet/internal/imu"
+)
+
+func mkWindow(startMillis int64, stepMillis int64, n int) imu.Window {
+	samples := make([]imu.Sample, n)
+	for i := range samples {
+		samples[i].TimestampMillis = startMillis + int64(i)*stepMillis
+	}
+	return imu.Window{Samples: samples}
+}
+
+func TestNewSessionScriptValidation(t *testing.T) {
+	if _, err := NewSessionScript(); err == nil {
+		t.Fatal("expected empty-script error")
+	}
+	if _, err := NewSessionScript(ScriptSegment{Label: 0, DurationMillis: 0}); err == nil {
+		t.Fatal("expected duration error")
+	}
+	if _, err := NewSessionScript(ScriptSegment{Label: -1, DurationMillis: 10}); err == nil {
+		t.Fatal("expected label error")
+	}
+}
+
+func TestScriptRepeatAndTotal(t *testing.T) {
+	// The paper's protocol: 15-second distraction segments, script repeated
+	// 10 times.
+	s, err := NewSessionScript(
+		ScriptSegment{Label: 0, DurationMillis: 15000},
+		ScriptSegment{Label: 2, DurationMillis: 15000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Repeat(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Segments) != 20 {
+		t.Fatalf("repeated script has %d segments", len(r.Segments))
+	}
+	if r.TotalMillis() != 300_000 {
+		t.Fatalf("total = %d ms", r.TotalMillis())
+	}
+	if _, err := s.Repeat(0); err == nil {
+		t.Fatal("expected repeat-count error")
+	}
+}
+
+func TestLabelAt(t *testing.T) {
+	s, _ := NewSessionScript(
+		ScriptSegment{Label: 0, DurationMillis: 100},
+		ScriptSegment{Label: 5, DurationMillis: 50},
+	)
+	tests := []struct {
+		offset int64
+		want   int
+		ok     bool
+	}{
+		{0, 0, true},
+		{99, 0, true},
+		{100, 5, true},
+		{149, 5, true},
+		{150, 0, false},
+		{-1, 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := s.LabelAt(tt.offset)
+		if ok != tt.ok || (ok && got != tt.want) {
+			t.Fatalf("LabelAt(%d) = %d,%v; want %d,%v", tt.offset, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+func TestLabelWindowsMajority(t *testing.T) {
+	s, _ := NewSessionScript(
+		ScriptSegment{Label: 1, DurationMillis: 1000},
+		ScriptSegment{Label: 2, DurationMillis: 1000},
+	)
+	start := int64(50_000)
+	windows := []imu.Window{
+		mkWindow(start, 100, 5),      // [0, 400] entirely in segment 1
+		mkWindow(start+1200, 100, 5), // [1200, 1600] entirely in segment 2
+		mkWindow(start+800, 100, 5),  // [800, 1200]: 200ms in seg1, 201ms in seg2 -> 2
+		mkWindow(start+550, 100, 5),  // [550, 950]: all in seg1
+	}
+	labels, err := s.LabelWindows(start, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 2, 1}
+	for i, w := range want {
+		if labels[i] != w {
+			t.Fatalf("window %d labelled %d, want %d (labels=%v)", i, labels[i], w, labels)
+		}
+	}
+}
+
+func TestLabelWindowsErrors(t *testing.T) {
+	s, _ := NewSessionScript(ScriptSegment{Label: 1, DurationMillis: 100})
+	if _, err := s.LabelWindows(0, []imu.Window{{}}); err == nil {
+		t.Fatal("expected empty-window error")
+	}
+	if _, err := s.LabelWindows(0, []imu.Window{mkWindow(500, 10, 3)}); err == nil {
+		t.Fatal("expected outside-script error")
+	}
+}
+
+// Property: for any script, LabelWindows of a window fully inside one
+// segment returns that segment's label.
+func TestLabelWindowsInsideSegmentProperty(t *testing.T) {
+	f := func(seedSmall uint8) bool {
+		n := 1 + int(seedSmall%5)
+		segs := make([]ScriptSegment, n)
+		for i := range segs {
+			segs[i] = ScriptSegment{Label: i, DurationMillis: int64(100 + 50*i)}
+		}
+		s, err := NewSessionScript(segs...)
+		if err != nil {
+			return false
+		}
+		offset := int64(0)
+		for i, seg := range segs {
+			// A window occupying the middle of the segment.
+			w := mkWindow(offset+10, 1, int(seg.DurationMillis-20))
+			labels, err := s.LabelWindows(0, []imu.Window{w})
+			if err != nil || labels[0] != i {
+				return false
+			}
+			offset += seg.DurationMillis
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

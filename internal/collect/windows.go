@@ -1,0 +1,90 @@
+package collect
+
+import (
+	"fmt"
+
+	"darnet/internal/imu"
+)
+
+// imuChannels lists the sensor channels of one IMU agent in the order they
+// map onto an imu.Sample, using the controller's per-axis series naming.
+var imuChannels = []string{
+	"accel[0]", "accel[1]", "accel[2]",
+	"gyro[0]", "gyro[1]", "gyro[2]",
+	"gravity[0]", "gravity[1]", "gravity[2]",
+	"rotation[0]", "rotation[1]", "rotation[2]", "rotation[3]",
+}
+
+// IMUSeriesNames returns the full series names of one IMU agent's channels.
+func IMUSeriesNames(agentID string) []string {
+	out := make([]string, len(imuChannels))
+	for i, ch := range imuChannels {
+		out[i] = SeriesName(agentID, ch)
+	}
+	return out
+}
+
+// AssembleIMUWindows is the controller→analytics-engine bridge: it aligns an
+// IMU agent's stored channels onto the paper's 4 Hz grid (with the given
+// smoothing window) and segments the aligned stream into consecutive
+// imu.WindowSize windows ready for the sequence models.
+func (c *Controller) AssembleIMUWindows(agentID string, smoothWindow int) ([]imu.Window, error) {
+	series := IMUSeriesNames(agentID)
+	first, last, ok := c.db.Bounds(series[0])
+	if !ok {
+		return nil, fmt.Errorf("collect: agent %q has no stored IMU data", agentID)
+	}
+	step := int64(1000 / imu.SampleRateHz)
+	al, err := c.Align(series, AlignConfig{
+		FromMillis: first, ToMillis: last + 1, StepMillis: step, SmoothWindow: smoothWindow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	steps := len(al.Values[0])
+	var windows []imu.Window
+	for start := 0; start+imu.WindowSize <= steps; start += imu.WindowSize {
+		samples := make([]imu.Sample, imu.WindowSize)
+		for t := 0; t < imu.WindowSize; t++ {
+			col := start + t
+			var s imu.Sample
+			s.TimestampMillis = al.From + int64(col)*al.Step
+			for i := 0; i < 3; i++ {
+				s.Accel[i] = al.Values[i][col]
+				s.Gyro[i] = al.Values[3+i][col]
+				s.Gravity[i] = al.Values[6+i][col]
+			}
+			for i := 0; i < 4; i++ {
+				s.Rotation[i] = al.Values[9+i][col]
+			}
+			samples[t] = s
+		}
+		windows = append(windows, imu.Window{Samples: samples})
+	}
+	return windows, nil
+}
+
+// IMUSensors adapts a sample source into the four collection-agent sensors
+// (accelerometer, gyroscope, gravity, rotation) the paper's agent registers.
+// current is called once per sensor read and must return the sample to
+// expose.
+func IMUSensors(current func() imu.Sample) []Sensor {
+	return []Sensor{
+		SensorFunc{SensorName: "accel", ReadFunc: func() []float64 {
+			s := current()
+			return []float64{s.Accel[0], s.Accel[1], s.Accel[2]}
+		}},
+		SensorFunc{SensorName: "gyro", ReadFunc: func() []float64 {
+			s := current()
+			return []float64{s.Gyro[0], s.Gyro[1], s.Gyro[2]}
+		}},
+		SensorFunc{SensorName: "gravity", ReadFunc: func() []float64 {
+			s := current()
+			return []float64{s.Gravity[0], s.Gravity[1], s.Gravity[2]}
+		}},
+		SensorFunc{SensorName: "rotation", ReadFunc: func() []float64 {
+			s := current()
+			return []float64{s.Rotation[0], s.Rotation[1], s.Rotation[2], s.Rotation[3]}
+		}},
+	}
+}

@@ -1,0 +1,94 @@
+package collect
+
+import (
+	"math"
+	"testing"
+
+	"darnet/internal/imu"
+	"darnet/internal/tsdb"
+)
+
+func TestIMUSeriesNames(t *testing.T) {
+	names := IMUSeriesNames("phone")
+	if len(names) != imu.FeatureDim {
+		t.Fatalf("got %d series names, want %d", len(names), imu.FeatureDim)
+	}
+	if names[0] != "phone/accel[0]" || names[12] != "phone/rotation[3]" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestIMUSensorsExposeAllChannels(t *testing.T) {
+	sample := imu.Sample{
+		Accel:    [3]float64{1, 2, 3},
+		Gyro:     [3]float64{4, 5, 6},
+		Gravity:  [3]float64{7, 8, 9},
+		Rotation: [4]float64{10, 11, 12, 13},
+	}
+	sensors := IMUSensors(func() imu.Sample { return sample })
+	if len(sensors) != 4 {
+		t.Fatalf("got %d sensors", len(sensors))
+	}
+	var flat []float64
+	for _, s := range sensors {
+		flat = append(flat, s.Read()...)
+	}
+	want := sample.Features()
+	if len(flat) != len(want) {
+		t.Fatalf("flat length %d", len(flat))
+	}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("channel %d = %g, want %g", i, flat[i], want[i])
+		}
+	}
+}
+
+func TestAssembleIMUWindowsRoundTrip(t *testing.T) {
+	// Store two windows' worth of samples directly and reassemble them.
+	mt := NewManualTime(0)
+	db := tsdb.New()
+	ctrl := NewController(db, mt.Now)
+	step := int64(1000 / imu.SampleRateHz)
+	names := IMUSeriesNames("phone")
+	total := 2 * imu.WindowSize
+	for i := 0; i < total; i++ {
+		ts := int64(i) * step
+		for j, name := range names {
+			db.Insert(name, tsdb.Point{TimestampMillis: ts, Value: float64(i) + float64(j)/100})
+		}
+	}
+	windows, err := ctrl.AssembleIMUWindows("phone", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 2 {
+		t.Fatalf("assembled %d windows, want 2", len(windows))
+	}
+	// Sample t of window w should carry value (w*WindowSize + t) + channel/100.
+	for w, win := range windows {
+		if len(win.Samples) != imu.WindowSize {
+			t.Fatalf("window %d has %d samples", w, len(win.Samples))
+		}
+		for tt, s := range win.Samples {
+			base := float64(w*imu.WindowSize + tt)
+			if math.Abs(s.Accel[0]-base) > 1e-9 {
+				t.Fatalf("window %d sample %d accel[0] = %g, want %g", w, tt, s.Accel[0], base)
+			}
+			if math.Abs(s.Rotation[3]-(base+0.12)) > 1e-9 {
+				t.Fatalf("window %d sample %d rotation[3] = %g", w, tt, s.Rotation[3])
+			}
+			if s.TimestampMillis != int64(w*imu.WindowSize+tt)*step {
+				t.Fatalf("window %d sample %d timestamp = %d", w, tt, s.TimestampMillis)
+			}
+		}
+	}
+}
+
+func TestAssembleIMUWindowsNoData(t *testing.T) {
+	mt := NewManualTime(0)
+	ctrl := NewController(tsdb.New(), mt.Now)
+	if _, err := ctrl.AssembleIMUWindows("ghost", 1); err == nil {
+		t.Fatal("expected no-data error")
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Alerter turns the per-window classification stream into the real-time
+// driver/fleet-manager alerts the paper motivates (§1: "providing real-time
+// alerts to drivers and fleet managers"). It debounces with hysteresis: an
+// alert is raised after Trigger consecutive distracted windows and cleared
+// after Clear consecutive normal windows, so single misclassified windows —
+// which the paper's confusion matrices show are common — do not flap the
+// alert state.
+type Alerter struct {
+	// NormalClass is the class index considered non-distracted.
+	NormalClass int
+	// Trigger is the number of consecutive distracted windows that raises
+	// the alert.
+	Trigger int
+	// Clear is the number of consecutive normal windows that clears it.
+	Clear int
+
+	active        bool
+	distractedRun int
+	normalRun     int
+	lastClass     int
+}
+
+// AlertEvent describes a state change emitted by Observe.
+type AlertEvent int
+
+// Alert state transitions.
+const (
+	AlertNone AlertEvent = iota // no state change
+	AlertRaised
+	AlertCleared
+)
+
+// String implements fmt.Stringer.
+func (e AlertEvent) String() string {
+	switch e {
+	case AlertNone:
+		return "none"
+	case AlertRaised:
+		return "raised"
+	case AlertCleared:
+		return "cleared"
+	default:
+		return fmt.Sprintf("AlertEvent(%d)", int(e))
+	}
+}
+
+// NewAlerter returns an alerter with the given debounce thresholds.
+func NewAlerter(normalClass, trigger, clear int) (*Alerter, error) {
+	if normalClass < 0 {
+		return nil, fmt.Errorf("core: negative normal class %d", normalClass)
+	}
+	if trigger < 1 || clear < 1 {
+		return nil, fmt.Errorf("core: alert thresholds must be >= 1, got trigger=%d clear=%d", trigger, clear)
+	}
+	return &Alerter{NormalClass: normalClass, Trigger: trigger, Clear: clear, lastClass: normalClass}, nil
+}
+
+// Observe feeds one window classification and returns the resulting alert
+// transition (AlertNone if the state did not change).
+func (a *Alerter) Observe(class int) AlertEvent {
+	a.lastClass = class
+	if class == a.NormalClass {
+		a.normalRun++
+		a.distractedRun = 0
+		if a.active && a.normalRun >= a.Clear {
+			a.active = false
+			return AlertCleared
+		}
+		return AlertNone
+	}
+	a.distractedRun++
+	a.normalRun = 0
+	if !a.active && a.distractedRun >= a.Trigger {
+		a.active = true
+		return AlertRaised
+	}
+	return AlertNone
+}
+
+// Active reports whether an alert is currently raised.
+func (a *Alerter) Active() bool { return a.active }
+
+// LastClass returns the most recently observed class.
+func (a *Alerter) LastClass() int { return a.lastClass }

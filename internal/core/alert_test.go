@@ -1,0 +1,121 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAlerterValidation(t *testing.T) {
+	if _, err := NewAlerter(-1, 1, 1); err == nil {
+		t.Fatal("expected negative-class error")
+	}
+	if _, err := NewAlerter(0, 0, 1); err == nil {
+		t.Fatal("expected trigger error")
+	}
+	if _, err := NewAlerter(0, 1, 0); err == nil {
+		t.Fatal("expected clear error")
+	}
+}
+
+func TestAlerterRaisesAfterConsecutiveDistraction(t *testing.T) {
+	a, err := NewAlerter(0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev := a.Observe(2); ev != AlertNone {
+		t.Fatalf("first distracted window raised %v", ev)
+	}
+	if ev := a.Observe(2); ev != AlertNone {
+		t.Fatalf("second distracted window raised %v", ev)
+	}
+	if ev := a.Observe(1); ev != AlertRaised {
+		t.Fatalf("third distracted window gave %v", ev)
+	}
+	if !a.Active() {
+		t.Fatal("alert should be active")
+	}
+	// Further distraction does not re-raise.
+	if ev := a.Observe(2); ev != AlertNone {
+		t.Fatalf("re-raise: %v", ev)
+	}
+}
+
+func TestAlerterHysteresisIgnoresSingleBlips(t *testing.T) {
+	a, err := NewAlerter(0, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One misclassified window must not raise.
+	a.Observe(1)
+	if ev := a.Observe(0); ev != AlertNone || a.Active() {
+		t.Fatal("single blip raised an alert")
+	}
+	// Raise properly.
+	a.Observe(1)
+	if ev := a.Observe(1); ev != AlertRaised {
+		t.Fatal("alert not raised")
+	}
+	// One normal window must not clear.
+	a.Observe(0)
+	if !a.Active() {
+		t.Fatal("single normal window cleared the alert")
+	}
+	// A distracted window resets the clear counter.
+	a.Observe(2)
+	a.Observe(0)
+	a.Observe(0)
+	if !a.Active() {
+		t.Fatal("clear counter was not reset by distraction")
+	}
+	if ev := a.Observe(0); ev != AlertCleared || a.Active() {
+		t.Fatalf("third consecutive normal window gave %v", ev)
+	}
+	if a.LastClass() != 0 {
+		t.Fatalf("last class = %d", a.LastClass())
+	}
+}
+
+func TestAlertEventStrings(t *testing.T) {
+	if AlertRaised.String() != "raised" || AlertCleared.String() != "cleared" || AlertNone.String() != "none" {
+		t.Fatal("event strings wrong")
+	}
+	if !strings.Contains(AlertEvent(9).String(), "9") {
+		t.Fatal("unknown event should render its value")
+	}
+}
+
+// Property: Active() flips exactly on Raised/Cleared events and never
+// otherwise, for arbitrary class streams.
+func TestAlerterTransitionConsistencyProperty(t *testing.T) {
+	f := func(stream []uint8) bool {
+		a, err := NewAlerter(0, 2, 2)
+		if err != nil {
+			return false
+		}
+		prev := a.Active()
+		for _, c := range stream {
+			ev := a.Observe(int(c % 4))
+			now := a.Active()
+			switch ev {
+			case AlertRaised:
+				if prev || !now {
+					return false
+				}
+			case AlertCleared:
+				if !prev || now {
+					return false
+				}
+			case AlertNone:
+				if prev != now {
+					return false
+				}
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

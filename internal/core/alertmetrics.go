@@ -1,0 +1,97 @@
+package core
+
+import "fmt"
+
+// AlertReport quantifies the user-facing behaviour the paper's §5.2
+// discussion raises ("a high false positive rate for distracted driving
+// would diminish the user experience"): instead of per-window accuracy, it
+// scores the alerter's *episode-level* behaviour on a session — how many
+// true distraction episodes were alerted, how fast, and how many alerts
+// fired during genuinely normal driving.
+type AlertReport struct {
+	// Episodes is the number of ground-truth distraction episodes (maximal
+	// runs of consecutive non-normal windows).
+	Episodes int
+	// Detected is the number of episodes during which an alert was raised.
+	Detected int
+	// FalseAlerts counts alerts raised while the ground truth was normal.
+	FalseAlerts int
+	// MeanDetectionDelay is the mean number of windows between an episode's
+	// onset and its alert, over detected episodes (0 when none detected).
+	MeanDetectionDelay float64
+}
+
+// DetectionRate returns Detected/Episodes (0 when there are no episodes).
+func (r AlertReport) DetectionRate() float64 {
+	if r.Episodes == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.Episodes)
+}
+
+// EvaluateAlerts replays predicted window classes through an alerter and
+// scores the resulting alert stream against the ground truth. trueLabels and
+// predicted must be aligned per window; normalClass identifies non-distracted
+// windows in both.
+func EvaluateAlerts(trueLabels, predicted []int, normalClass, trigger, clear int) (AlertReport, error) {
+	if len(trueLabels) != len(predicted) {
+		return AlertReport{}, fmt.Errorf("core: %d true labels for %d predictions", len(trueLabels), len(predicted))
+	}
+	alerter, err := NewAlerter(normalClass, trigger, clear)
+	if err != nil {
+		return AlertReport{}, err
+	}
+
+	var report AlertReport
+	inEpisode := false
+	episodeStart := 0
+	episodeDetected := false
+	var delaySum int
+
+	endEpisode := func() {
+		if !inEpisode {
+			return
+		}
+		report.Episodes++
+		if episodeDetected {
+			report.Detected++
+		}
+		inEpisode = false
+		episodeDetected = false
+	}
+
+	for i := range trueLabels {
+		distractedTruth := trueLabels[i] != normalClass
+		if distractedTruth && !inEpisode {
+			inEpisode = true
+			episodeStart = i
+		}
+		if !distractedTruth {
+			endEpisode()
+		}
+
+		ev := alerter.Observe(predicted[i])
+		if ev == AlertRaised {
+			if inEpisode {
+				if !episodeDetected {
+					episodeDetected = true
+					delaySum += i - episodeStart
+				}
+			} else {
+				report.FalseAlerts++
+			}
+		}
+		// An alert that is already active when an episode begins counts as an
+		// immediate detection.
+		if inEpisode && !episodeDetected && alerter.Active() {
+			episodeDetected = true
+			delaySum += i - episodeStart
+		}
+	}
+	endEpisode()
+
+	if report.Detected > 0 {
+		report.MeanDetectionDelay = float64(delaySum) / float64(report.Detected)
+	}
+	return report, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateAlertsPerfectPredictions(t *testing.T) {
+	// Session: N N D D D N N D D N  (two episodes).
+	truth := []int{0, 0, 1, 1, 1, 0, 0, 2, 2, 0}
+	report, err := EvaluateAlerts(truth, truth, 0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Episodes != 2 {
+		t.Fatalf("episodes = %d, want 2", report.Episodes)
+	}
+	if report.Detected != 2 {
+		t.Fatalf("detected = %d, want 2", report.Detected)
+	}
+	if report.FalseAlerts != 0 {
+		t.Fatalf("false alerts = %d", report.FalseAlerts)
+	}
+	// Trigger=2: each episode alerts on its second window (delay 1).
+	if math.Abs(report.MeanDetectionDelay-1) > 1e-12 {
+		t.Fatalf("mean delay = %g, want 1", report.MeanDetectionDelay)
+	}
+	if report.DetectionRate() != 1 {
+		t.Fatalf("detection rate = %g", report.DetectionRate())
+	}
+}
+
+func TestEvaluateAlertsMissedEpisode(t *testing.T) {
+	truth := []int{0, 1, 1, 1, 0}
+	pred := []int{0, 0, 0, 0, 0} // model never notices
+	report, err := EvaluateAlerts(truth, pred, 0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Episodes != 1 || report.Detected != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	if report.DetectionRate() != 0 {
+		t.Fatalf("detection rate = %g", report.DetectionRate())
+	}
+}
+
+func TestEvaluateAlertsFalseAlert(t *testing.T) {
+	truth := []int{0, 0, 0, 0, 0, 0}
+	pred := []int{0, 1, 1, 0, 0, 0} // two misclassified windows raise a false alert
+	report, err := EvaluateAlerts(truth, pred, 0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Episodes != 0 {
+		t.Fatalf("episodes = %d", report.Episodes)
+	}
+	if report.FalseAlerts != 1 {
+		t.Fatalf("false alerts = %d, want 1", report.FalseAlerts)
+	}
+}
+
+func TestEvaluateAlertsSingleBlipDoesNotFalseAlert(t *testing.T) {
+	truth := make([]int, 8)
+	pred := []int{0, 1, 0, 0, 1, 0, 0, 0} // isolated blips
+	report, err := EvaluateAlerts(truth, pred, 0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.FalseAlerts != 0 {
+		t.Fatalf("false alerts = %d, want 0 (hysteresis should absorb blips)", report.FalseAlerts)
+	}
+}
+
+func TestEvaluateAlertsActiveAlertSpansEpisodes(t *testing.T) {
+	// The alert raised in episode 1 is still active when episode 2 begins
+	// (only one normal window between them, clear=2): episode 2 counts as
+	// detected immediately.
+	truth := []int{1, 1, 1, 0, 2, 2, 0, 0}
+	pred := []int{1, 1, 1, 1, 2, 2, 0, 0}
+	report, err := EvaluateAlerts(truth, pred, 0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Episodes != 2 || report.Detected != 2 {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+func TestEvaluateAlertsValidation(t *testing.T) {
+	if _, err := EvaluateAlerts([]int{0}, []int{0, 1}, 0, 2, 2); err == nil {
+		t.Fatal("expected alignment error")
+	}
+	if _, err := EvaluateAlerts([]int{0}, []int{0}, 0, 0, 2); err == nil {
+		t.Fatal("expected threshold error")
+	}
+}
+
+func TestEvaluateAlertsTrailingEpisodeCounted(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	pred := []int{0, 0, 1, 1}
+	report, err := EvaluateAlerts(truth, pred, 0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Episodes != 1 || report.Detected != 1 {
+		t.Fatalf("trailing episode not scored: %+v", report)
+	}
+}

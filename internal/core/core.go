@@ -1,0 +1,170 @@
+// Package core implements DarNet's analytics engine — the paper's primary
+// contribution: per-modality deep models (a MicroInception frame CNN and a
+// deep bidirectional LSTM for IMU windows), a baseline SVM, and the Bayesian
+// Network ensemble combiner that fuses the modalities into a single
+// classification (Figure 1). The engine maintains the paper's 1-to-1
+// relationship between device data streams and models (§3.3): each modality
+// is trained independently and combined at inference time, so new devices
+// can be added without retraining existing models.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"darnet/internal/imu"
+	"darnet/internal/nn"
+	"darnet/internal/tensor"
+)
+
+// Data is the modality-aligned dataset the engine trains and evaluates on:
+// row i of Frames, Windows[i], Labels[i], and IMULabels[i] describe the same
+// instant.
+type Data struct {
+	Frames     *tensor.Tensor // (N, ImgW*ImgH) grayscale rows
+	Windows    []imu.Window   // aligned IMU windows (empty windows allowed for image-only sets)
+	Labels     []int          // full-class labels
+	IMULabels  []int          // labels projected onto the IMU class space
+	ImgW, ImgH int
+	Classes    int
+	IMUClasses int
+	// ClassMap projects full classes onto IMU classes (for naive combiners).
+	ClassMap []int
+}
+
+// Validate checks the internal alignment of the dataset.
+func (d *Data) Validate() error {
+	if d.Frames == nil || d.Frames.Dims() != 2 {
+		return fmt.Errorf("core: data needs a 2-D frame matrix")
+	}
+	n := d.Frames.Dim(0)
+	if len(d.Labels) != n {
+		return fmt.Errorf("core: %d labels for %d frames", len(d.Labels), n)
+	}
+	if d.Frames.Dim(1) != d.ImgW*d.ImgH {
+		return fmt.Errorf("core: frame width %d != %dx%d", d.Frames.Dim(1), d.ImgW, d.ImgH)
+	}
+	if d.Classes < 2 {
+		return fmt.Errorf("core: need at least 2 classes")
+	}
+	if len(d.Windows) != 0 {
+		if len(d.Windows) != n || len(d.IMULabels) != n {
+			return fmt.Errorf("core: IMU stream misaligned: %d windows, %d IMU labels, %d frames", len(d.Windows), len(d.IMULabels), n)
+		}
+		if d.IMUClasses < 2 {
+			return fmt.Errorf("core: need at least 2 IMU classes")
+		}
+		if len(d.ClassMap) != d.Classes {
+			return fmt.Errorf("core: class map has %d entries for %d classes", len(d.ClassMap), d.Classes)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of aligned samples.
+func (d *Data) Len() int { return d.Frames.Dim(0) }
+
+// CNNConfig parameterizes the MicroInception frame classifier — the
+// CPU-scale stand-in for the paper's fine-tuned Inception-V3 (see DESIGN.md,
+// "Substitutions"). The architecture keeps Inception's signature parallel
+// 1×1/3×3/5×5/pool towers with channel concatenation.
+type CNNConfig struct {
+	StemChannels int     // stem conv output channels
+	Dropout      float64 // drop probability before the classification head
+}
+
+// DefaultCNNConfig returns the calibrated default.
+func DefaultCNNConfig() CNNConfig {
+	return CNNConfig{StemChannels: 12, Dropout: 0.15}
+}
+
+// BuildFrameCNN constructs the MicroInception network for w×h grayscale
+// frames and the given class count: stem conv → BN → pool → inception → BN →
+// pool → inception → BN → global average pool → dropout → dense head.
+func BuildFrameCNN(rng *rand.Rand, w, h, classes int, cfg CNNConfig) (*nn.Sequential, error) {
+	if w < 8 || h < 8 {
+		return nil, fmt.Errorf("core: frame size %dx%d too small for the CNN (min 8x8)", w, h)
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("core: need at least 2 classes")
+	}
+	stem := cfg.StemChannels
+	if stem <= 0 {
+		stem = 12
+	}
+	net := nn.NewSequential("framecnn")
+	net.Add(nn.NewConv2D("stem", rng, tensor.ConvGeom{
+		InC: 1, InH: h, InW: w, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}, stem))
+	net.Add(nn.NewBatchNorm("bn0", stem*h*w, stem))
+	net.Add(nn.NewReLU())
+	net.Add(nn.NewMaxPool2D("pool1", tensor.ConvGeom{
+		InC: stem, InH: h, InW: w, KH: 2, KW: 2, StrideH: 2, StrideW: 2,
+	}))
+	h2, w2 := h/2, w/2
+	sp1 := nn.InceptionSpec{
+		InC: stem, InH: h2, InW: w2,
+		C1x1: 8, C3x3Reduce: 8, C3x3: 16, C5x5Reduce: 4, C5x5: 4, CPool: 4,
+	}
+	net.Add(nn.NewInception("mix1", rng, sp1))
+	net.Add(nn.NewBatchNorm("bn1", sp1.OutC()*h2*w2, sp1.OutC()))
+	net.Add(nn.NewMaxPool2D("pool2", tensor.ConvGeom{
+		InC: sp1.OutC(), InH: h2, InW: w2, KH: 2, KW: 2, StrideH: 2, StrideW: 2,
+	}))
+	h3, w3 := h2/2, w2/2
+	sp2 := nn.InceptionSpec{
+		InC: sp1.OutC(), InH: h3, InW: w3,
+		C1x1: 16, C3x3Reduce: 8, C3x3: 20, C5x5Reduce: 4, C5x5: 6, CPool: 6,
+	}
+	net.Add(nn.NewInception("mix2", rng, sp2))
+	net.Add(nn.NewBatchNorm("bn2", sp2.OutC()*h3*w3, sp2.OutC()))
+	net.Add(nn.NewGlobalAvgPool("gap", sp2.OutC(), h3, w3))
+	if cfg.Dropout > 0 {
+		net.Add(nn.NewDropout("drop", rng, cfg.Dropout))
+	}
+	net.Add(nn.NewDense("head", rng, sp2.OutC(), classes))
+	return net, nil
+}
+
+// BuildPlainCNN constructs a plain convolutional stack (no inception
+// modules) at a comparable parameter budget — the ablation counterpart of
+// BuildFrameCNN.
+func BuildPlainCNN(rng *rand.Rand, w, h, classes int, cfg CNNConfig) (*nn.Sequential, error) {
+	if w < 8 || h < 8 {
+		return nil, fmt.Errorf("core: frame size %dx%d too small for the CNN (min 8x8)", w, h)
+	}
+	stem := cfg.StemChannels
+	if stem <= 0 {
+		stem = 12
+	}
+	net := nn.NewSequential("plaincnn")
+	net.Add(nn.NewConv2D("c0", rng, tensor.ConvGeom{
+		InC: 1, InH: h, InW: w, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}, stem))
+	net.Add(nn.NewBatchNorm("bn0", stem*h*w, stem))
+	net.Add(nn.NewReLU())
+	net.Add(nn.NewMaxPool2D("p0", tensor.ConvGeom{
+		InC: stem, InH: h, InW: w, KH: 2, KW: 2, StrideH: 2, StrideW: 2,
+	}))
+	h2, w2 := h/2, w/2
+	net.Add(nn.NewConv2D("c1", rng, tensor.ConvGeom{
+		InC: stem, InH: h2, InW: w2, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}, 32))
+	net.Add(nn.NewBatchNorm("bn1", 32*h2*w2, 32))
+	net.Add(nn.NewReLU())
+	net.Add(nn.NewMaxPool2D("p1", tensor.ConvGeom{
+		InC: 32, InH: h2, InW: w2, KH: 2, KW: 2, StrideH: 2, StrideW: 2,
+	}))
+	h3, w3 := h2/2, w2/2
+	net.Add(nn.NewConv2D("c2", rng, tensor.ConvGeom{
+		InC: 32, InH: h3, InW: w3, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}, 48))
+	net.Add(nn.NewBatchNorm("bn2", 48*h3*w3, 48))
+	net.Add(nn.NewReLU())
+	net.Add(nn.NewGlobalAvgPool("gap", 48, h3, w3))
+	if cfg.Dropout > 0 {
+		net.Add(nn.NewDropout("drop", rng, cfg.Dropout))
+	}
+	net.Add(nn.NewDense("head", rng, 48, classes))
+	return net, nil
+}

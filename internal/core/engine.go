@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"darnet/internal/bayes"
+	"darnet/internal/imu"
+	"darnet/internal/nn"
+	"darnet/internal/privacy"
+	"darnet/internal/rnn"
+	"darnet/internal/svm"
+	"darnet/internal/tensor"
+)
+
+// Engine is the trained analytics engine: one model per modality plus the
+// fitted Bayesian Network combiners.
+type Engine struct {
+	CNN      *nn.Sequential
+	RNN      *rnn.Classifier
+	SVM      *svm.Classifier
+	IMUStats *imu.Stats
+
+	// BNWithRNN and BNWithSVM are the fitted per-class Bayesian Network
+	// combiners for the CNN+RNN and CNN+SVM ensembles.
+	BNWithRNN *bayes.Combiner
+	BNWithSVM *bayes.Combiner
+
+	Classes    int
+	IMUClasses int
+	ClassMap   bayes.ClassMap
+	ImgW, ImgH int
+
+	// dcnn, when attached via SetDCNNRouter, serves the privacy path:
+	// distortion-tagged frames route to the matching student model.
+	dcnn *privacy.Router
+}
+
+// TrainConfig controls end-to-end engine training.
+type TrainConfig struct {
+	Seed      int64
+	CNN       CNNConfig
+	CNNEpochs int
+	CNNLR     float64
+	RNNHidden int // per-direction LSTM width (paper: 64)
+	RNNLayers int // stacked BiLSTM layers (paper: 2)
+	RNNEpochs int
+	RNNLR     float64
+	SVMEpochs int
+	SVMLR     float64
+	BatchSize int
+	Smoothing float64 // Laplace smoothing for the BN CPTs
+	// Progress, when non-nil, receives coarse progress events.
+	Progress func(stage string, epoch int, loss float64)
+}
+
+// DefaultTrainConfig returns the calibrated defaults used by the paper
+// reproduction benches.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Seed:      42,
+		CNN:       DefaultCNNConfig(),
+		CNNEpochs: 16,
+		CNNLR:     0.002,
+		RNNHidden: 64,
+		RNNLayers: 2,
+		RNNEpochs: 12,
+		RNNLR:     0.003,
+		SVMEpochs: 25,
+		SVMLR:     0.01,
+		BatchSize: 32,
+		Smoothing: 1,
+	}
+}
+
+func (c *TrainConfig) fillDefaults() {
+	d := DefaultTrainConfig()
+	if c.CNNEpochs <= 0 {
+		c.CNNEpochs = d.CNNEpochs
+	}
+	if c.CNNLR <= 0 {
+		c.CNNLR = d.CNNLR
+	}
+	if c.RNNHidden <= 0 {
+		c.RNNHidden = d.RNNHidden
+	}
+	if c.RNNLayers <= 0 {
+		c.RNNLayers = d.RNNLayers
+	}
+	if c.RNNEpochs <= 0 {
+		c.RNNEpochs = d.RNNEpochs
+	}
+	if c.RNNLR <= 0 {
+		c.RNNLR = d.RNNLR
+	}
+	if c.SVMEpochs <= 0 {
+		c.SVMEpochs = d.SVMEpochs
+	}
+	if c.SVMLR <= 0 {
+		c.SVMLR = d.SVMLR
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = d.BatchSize
+	}
+	if c.Smoothing <= 0 {
+		c.Smoothing = d.Smoothing
+	}
+	if c.CNN.StemChannels <= 0 {
+		c.CNN = d.CNN
+	}
+}
+
+func (c *TrainConfig) progress(stage string, epoch int, loss float64) {
+	if c.Progress != nil {
+		c.Progress(stage, epoch, loss)
+	}
+}
+
+// Train trains all modality models on train data and fits the Bayesian
+// Network combiners from the models' predictions on the training set — the
+// "true-positive observations from the training data" of paper §4.2.
+func Train(train *Data, cfg TrainConfig) (*Engine, error) {
+	if err := train.Validate(); err != nil {
+		return nil, err
+	}
+	if len(train.Windows) == 0 {
+		return nil, fmt.Errorf("core: engine training requires the IMU stream")
+	}
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	eng := &Engine{
+		Classes:    train.Classes,
+		IMUClasses: train.IMUClasses,
+		ClassMap:   append(bayes.ClassMap(nil), intsToClassMap(train.ClassMap)...),
+		ImgW:       train.ImgW,
+		ImgH:       train.ImgH,
+	}
+
+	// --- Frame CNN ----------------------------------------------------------
+	cnn, err := BuildFrameCNN(rng, train.ImgW, train.ImgH, train.Classes, cfg.CNN)
+	if err != nil {
+		return nil, err
+	}
+	opt := nn.NewAdam(cfg.CNNLR)
+	opt.WeightDecay = 1e-4
+	_, err = nn.TrainClassifier(cnn, opt, rng, train.Frames, train.Labels, nn.TrainConfig{
+		Epochs: cfg.CNNEpochs, BatchSize: cfg.BatchSize, ClipNorm: 5,
+		OnEpoch: func(e int, l float64) bool { cfg.progress("cnn", e, l); return true },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: train cnn: %w", err)
+	}
+	eng.CNN = cnn
+
+	// --- IMU preprocessing ---------------------------------------------------
+	stats, err := imu.FitStats(train.Windows)
+	if err != nil {
+		return nil, fmt.Errorf("core: fit imu stats: %w", err)
+	}
+	eng.IMUStats = stats
+	seqs := make([]*tensor.Tensor, len(train.Windows))
+	flat := tensor.New(len(train.Windows), len(train.Windows[0].Samples)*imu.FeatureDim)
+	for i, w := range train.Windows {
+		seqs[i] = stats.Normalize(w)
+		copy(flat.Row(i), stats.NormalizeFlat(w))
+	}
+
+	// --- IMU RNN -------------------------------------------------------------
+	rnnCls, err := rnn.NewClassifier("imurnn", rng, rnn.Config{
+		Input: imu.FeatureDim, Hidden: cfg.RNNHidden, Layers: cfg.RNNLayers, Classes: train.IMUClasses,
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, err = rnnCls.Train(nn.NewAdam(cfg.RNNLR), rng, seqs, train.IMULabels, rnn.TrainConfig{
+		Epochs: cfg.RNNEpochs, BatchSize: 16, ClipNorm: 5,
+		OnEpoch: func(e int, l float64) bool { cfg.progress("rnn", e, l); return true },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: train rnn: %w", err)
+	}
+	eng.RNN = rnnCls
+
+	// --- IMU SVM baseline ----------------------------------------------------
+	svmCls, err := svm.Train(rng, flat, train.IMULabels, train.IMUClasses, svm.TrainConfig{
+		Epochs: cfg.SVMEpochs, LR: cfg.SVMLR, Lambda: 1e-4,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: train svm: %w", err)
+	}
+	eng.SVM = svmCls
+	cfg.progress("svm", 0, 0)
+
+	// --- Bayesian Network combiners ------------------------------------------
+	cnnPred, err := nn.PredictClasses(cnn, train.Frames, 64)
+	if err != nil {
+		return nil, fmt.Errorf("core: cnn train predictions: %w", err)
+	}
+	rnnPred := make([]int, len(seqs))
+	svmPred := make([]int, len(seqs))
+	for i, s := range seqs {
+		p, err := rnnCls.Predict(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: rnn train prediction %d: %w", i, err)
+		}
+		rnnPred[i] = p
+		q, err := svmCls.Predict(flat.Row(i))
+		if err != nil {
+			return nil, fmt.Errorf("core: svm train prediction %d: %w", i, err)
+		}
+		svmPred[i] = q
+	}
+	bnRNN, err := bayes.NewCombiner(train.Classes, train.Classes, train.IMUClasses)
+	if err != nil {
+		return nil, err
+	}
+	if err := bnRNN.Fit(train.Labels, cnnPred, rnnPred, cfg.Smoothing); err != nil {
+		return nil, fmt.Errorf("core: fit CNN+RNN combiner: %w", err)
+	}
+	eng.BNWithRNN = bnRNN
+
+	bnSVM, err := bayes.NewCombiner(train.Classes, train.Classes, train.IMUClasses)
+	if err != nil {
+		return nil, err
+	}
+	if err := bnSVM.Fit(train.Labels, cnnPred, svmPred, cfg.Smoothing); err != nil {
+		return nil, fmt.Errorf("core: fit CNN+SVM combiner: %w", err)
+	}
+	eng.BNWithSVM = bnSVM
+	cfg.progress("combiner", 0, 0)
+	return eng, nil
+}
+
+func intsToClassMap(m []int) bayes.ClassMap {
+	out := make(bayes.ClassMap, len(m))
+	copy(out, m)
+	return out
+}
+
+// Classification is one fused inference over all modalities.
+type Classification struct {
+	// Class is the ensemble (CNN+RNN via BN) decision.
+	Class int
+	// Probs is the ensemble posterior over all classes.
+	Probs []float64
+	// CNNProbs and RNNProbs are the per-modality distributions that were
+	// combined (the two parent nodes of Figure 1).
+	CNNProbs []float64
+	RNNProbs []float64
+}
+
+// Classify runs the full DarNet inference for one aligned (frame, window)
+// observation: CNN on the frame, RNN on the normalized window, BN fusion.
+func (e *Engine) Classify(frame []float64, window imu.Window) (*Classification, error) {
+	if len(frame) != e.ImgW*e.ImgH {
+		return nil, fmt.Errorf("core: frame has %d pixels, want %d", len(frame), e.ImgW*e.ImgH)
+	}
+	x, err := tensor.FromSlice(frame, 1, len(frame))
+	if err != nil {
+		return nil, err
+	}
+	cnnProbs, err := nn.PredictProbs(e.CNN, x, 1)
+	if err != nil {
+		return nil, fmt.Errorf("core: cnn inference: %w", err)
+	}
+	rnnProbs, err := e.RNN.PredictProbs(e.IMUStats.Normalize(window))
+	if err != nil {
+		return nil, fmt.Errorf("core: rnn inference: %w", err)
+	}
+	cp := append([]float64(nil), cnnProbs.Row(0)...)
+	post, err := e.BNWithRNN.Combine(cp, rnnProbs)
+	if err != nil {
+		return nil, fmt.Errorf("core: bn combine: %w", err)
+	}
+	return &Classification{
+		Class:    bayes.ArgMax(post),
+		Probs:    post,
+		CNNProbs: cp,
+		RNNProbs: rnnProbs,
+	}, nil
+}

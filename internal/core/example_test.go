@@ -1,0 +1,24 @@
+package core_test
+
+import (
+	"fmt"
+
+	"darnet/internal/core"
+)
+
+// The alerter debounces per-window classifications; EvaluateAlerts scores a
+// whole session at the episode level.
+func ExampleEvaluateAlerts() {
+	// Ground truth: normal, then a 3-window texting episode, then normal.
+	truth := []int{0, 0, 2, 2, 2, 0, 0, 0}
+	// The classifier misses the first episode window and blips once later.
+	predicted := []int{0, 0, 0, 2, 2, 0, 2, 0}
+
+	report, err := core.EvaluateAlerts(truth, predicted, 0, 2, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("episodes: %d, detected: %d, false alerts: %d, mean delay: %.0f windows\n",
+		report.Episodes, report.Detected, report.FalseAlerts, report.MeanDetectionDelay)
+	// Output: episodes: 1, detected: 1, false alerts: 0, mean delay: 2 windows
+}

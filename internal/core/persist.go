@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"darnet/internal/bayes"
+	"darnet/internal/imu"
+	"darnet/internal/nn"
+	"darnet/internal/rnn"
+	"darnet/internal/svm"
+)
+
+// engineBlob is the gob wire form of a trained engine.
+type engineBlob struct {
+	Classes    int
+	IMUClasses int
+	ClassMap   []int
+	ImgW, ImgH int
+
+	CNNCfg    CNNConfig
+	CNNParams []byte
+
+	RNNHidden int
+	RNNLayers int
+	RNNParams []byte
+
+	SVMBlob   []byte
+	BNRNNBlob []byte
+	BNSVMBlob []byte
+
+	IMUMean [imu.FeatureDim]float64
+	IMUStd  [imu.FeatureDim]float64
+}
+
+// Save writes a complete snapshot of the trained engine: all model weights,
+// the fitted CPTs, and the IMU normalization statistics.
+func (e *Engine) Save(w io.Writer, cnnCfg CNNConfig, rnnHidden, rnnLayers int) error {
+	blob := engineBlob{
+		Classes:    e.Classes,
+		IMUClasses: e.IMUClasses,
+		ClassMap:   append([]int(nil), e.ClassMap...),
+		ImgW:       e.ImgW,
+		ImgH:       e.ImgH,
+		CNNCfg:     cnnCfg,
+		RNNHidden:  rnnHidden,
+		RNNLayers:  rnnLayers,
+		IMUMean:    e.IMUStats.Mean,
+		IMUStd:     e.IMUStats.Std,
+	}
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, append(e.CNN.Params(), e.CNN.StateParams()...)); err != nil {
+		return fmt.Errorf("core: save cnn: %w", err)
+	}
+	blob.CNNParams = append([]byte(nil), buf.Bytes()...)
+
+	buf.Reset()
+	if err := nn.SaveParams(&buf, e.RNN.Params()); err != nil {
+		return fmt.Errorf("core: save rnn: %w", err)
+	}
+	blob.RNNParams = append([]byte(nil), buf.Bytes()...)
+
+	var err error
+	if blob.SVMBlob, err = e.SVM.MarshalBinary(); err != nil {
+		return fmt.Errorf("core: save svm: %w", err)
+	}
+	if blob.BNRNNBlob, err = e.BNWithRNN.MarshalBinary(); err != nil {
+		return fmt.Errorf("core: save bn(rnn): %w", err)
+	}
+	if blob.BNSVMBlob, err = e.BNWithSVM.MarshalBinary(); err != nil {
+		return fmt.Errorf("core: save bn(svm): %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(blob); err != nil {
+		return fmt.Errorf("core: encode engine: %w", err)
+	}
+	return nil
+}
+
+// LoadEngine reconstructs a trained engine from a snapshot written by Save.
+func LoadEngine(r io.Reader) (*Engine, error) {
+	var blob engineBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("core: decode engine: %w", err)
+	}
+	// The rng only seeds initial weights, which the snapshot immediately
+	// overwrites.
+	rng := rand.New(rand.NewSource(0))
+
+	cnn, err := BuildFrameCNN(rng, blob.ImgW, blob.ImgH, blob.Classes, blob.CNNCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild cnn: %w", err)
+	}
+	if err := nn.LoadParams(bytes.NewReader(blob.CNNParams), append(cnn.Params(), cnn.StateParams()...)); err != nil {
+		return nil, fmt.Errorf("core: load cnn: %w", err)
+	}
+
+	rnnCls, err := rnn.NewClassifier("imurnn", rng, rnn.Config{
+		Input: imu.FeatureDim, Hidden: blob.RNNHidden, Layers: blob.RNNLayers, Classes: blob.IMUClasses,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild rnn: %w", err)
+	}
+	if err := nn.LoadParams(bytes.NewReader(blob.RNNParams), rnnCls.Params()); err != nil {
+		return nil, fmt.Errorf("core: load rnn: %w", err)
+	}
+
+	svmCls := &svm.Classifier{}
+	if err := svmCls.UnmarshalBinary(blob.SVMBlob); err != nil {
+		return nil, fmt.Errorf("core: load svm: %w", err)
+	}
+	bnRNN := &bayes.Combiner{}
+	if err := bnRNN.UnmarshalBinary(blob.BNRNNBlob); err != nil {
+		return nil, fmt.Errorf("core: load bn(rnn): %w", err)
+	}
+	bnSVM := &bayes.Combiner{}
+	if err := bnSVM.UnmarshalBinary(blob.BNSVMBlob); err != nil {
+		return nil, fmt.Errorf("core: load bn(svm): %w", err)
+	}
+
+	return &Engine{
+		CNN:        cnn,
+		RNN:        rnnCls,
+		SVM:        svmCls,
+		IMUStats:   &imu.Stats{Mean: blob.IMUMean, Std: blob.IMUStd},
+		BNWithRNN:  bnRNN,
+		BNWithSVM:  bnSVM,
+		Classes:    blob.Classes,
+		IMUClasses: blob.IMUClasses,
+		ClassMap:   append(bayes.ClassMap(nil), intsToClassMap(blob.ClassMap)...),
+		ImgW:       blob.ImgW,
+		ImgH:       blob.ImgH,
+	}, nil
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEngineSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	train := tinyData(rng, 36, 16, 16, 3, 3)
+	cfg := DefaultTrainConfig()
+	cfg.CNNEpochs = 2
+	cfg.RNNEpochs = 1
+	cfg.RNNHidden = 4
+	cfg.RNNLayers = 1
+	cfg.SVMEpochs = 3
+	eng, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := eng.Save(&buf, cfg.CNN, cfg.RNNHidden, cfg.RNNLayers); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Classes != eng.Classes || loaded.ImgW != eng.ImgW || loaded.IMUClasses != eng.IMUClasses {
+		t.Fatalf("metadata mismatch: %+v", loaded)
+	}
+
+	// The loaded engine must produce identical inferences.
+	for i := 0; i < 5; i++ {
+		a, err := eng.Classify(train.Frames.Row(i), train.Windows[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Classify(train.Frames.Row(i), train.Windows[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Class != b.Class {
+			t.Fatalf("sample %d: class %d vs %d after round trip", i, a.Class, b.Class)
+		}
+		for j := range a.Probs {
+			if math.Abs(a.Probs[j]-b.Probs[j]) > 1e-12 {
+				t.Fatalf("sample %d: posterior differs after round trip", i)
+			}
+		}
+	}
+}
+
+func TestLoadEngineRejectsGarbage(t *testing.T) {
+	if _, err := LoadEngine(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

@@ -1,0 +1,148 @@
+// Package imu provides the inertial-measurement substrate: the sensor sample
+// type aggregating the four sensors DarNet's collection agent registers
+// (accelerometer, gyroscope, gravity, rotation vector), sliding-window
+// segmentation at the paper's 4 Hz × 5 s = 20-step geometry, and per-channel
+// standardization for the sequence models.
+package imu
+
+import (
+	"fmt"
+	"math"
+
+	"darnet/internal/tensor"
+)
+
+// FeatureDim is the per-step feature width: accelerometer (3) + gyroscope (3)
+// + gravity (3) + rotation quaternion (4).
+const FeatureDim = 13
+
+// Paper window geometry: 4 Hz sampling over a 5-second window.
+const (
+	WindowSize   = 20 // samples per classification window
+	SampleRateHz = 4
+)
+
+// Sample is one time step of fused IMU readings.
+type Sample struct {
+	TimestampMillis int64
+	Accel           [3]float64
+	Gyro            [3]float64
+	Gravity         [3]float64
+	Rotation        [4]float64 // unit quaternion (x, y, z, w)
+}
+
+// Features flattens the sample into a FeatureDim-wide row.
+func (s Sample) Features() []float64 {
+	f := make([]float64, 0, FeatureDim)
+	f = append(f, s.Accel[0], s.Accel[1], s.Accel[2])
+	f = append(f, s.Gyro[0], s.Gyro[1], s.Gyro[2])
+	f = append(f, s.Gravity[0], s.Gravity[1], s.Gravity[2])
+	f = append(f, s.Rotation[0], s.Rotation[1], s.Rotation[2], s.Rotation[3])
+	return f
+}
+
+// Window is a fixed-length run of consecutive samples, the unit the sequence
+// models classify.
+type Window struct {
+	Samples []Sample
+}
+
+// Tensor converts the window into a (len, FeatureDim) sequence tensor.
+func (w Window) Tensor() *tensor.Tensor {
+	out := tensor.New(len(w.Samples), FeatureDim)
+	for t, s := range w.Samples {
+		copy(out.Row(t), s.Features())
+	}
+	return out
+}
+
+// Flatten converts the window into a single row of length len*FeatureDim —
+// the representation the SVM baseline consumes.
+func (w Window) Flatten() []float64 {
+	out := make([]float64, 0, len(w.Samples)*FeatureDim)
+	for _, s := range w.Samples {
+		out = append(out, s.Features()...)
+	}
+	return out
+}
+
+// SlidingWindows segments a sample stream into windows of the given size and
+// stride. It returns an error for non-positive size or stride; streams
+// shorter than size yield no windows.
+func SlidingWindows(samples []Sample, size, stride int) ([]Window, error) {
+	if size <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("imu: window size %d and stride %d must be positive", size, stride)
+	}
+	var out []Window
+	for start := 0; start+size <= len(samples); start += stride {
+		out = append(out, Window{Samples: samples[start : start+size]})
+	}
+	return out, nil
+}
+
+// Stats holds per-feature mean and standard deviation fitted on training
+// windows, applied identically to train and test splits.
+type Stats struct {
+	Mean [FeatureDim]float64
+	Std  [FeatureDim]float64
+}
+
+// FitStats computes per-feature statistics across all steps of all windows.
+// Zero-variance features get a standard deviation of 1.
+func FitStats(windows []Window) (*Stats, error) {
+	steps := 0
+	for _, w := range windows {
+		steps += len(w.Samples)
+	}
+	if steps == 0 {
+		return nil, fmt.Errorf("imu: cannot fit stats on empty window set")
+	}
+	st := &Stats{}
+	for _, w := range windows {
+		for _, s := range w.Samples {
+			for j, v := range s.Features() {
+				st.Mean[j] += v
+			}
+		}
+	}
+	for j := range st.Mean {
+		st.Mean[j] /= float64(steps)
+	}
+	for _, w := range windows {
+		for _, s := range w.Samples {
+			for j, v := range s.Features() {
+				d := v - st.Mean[j]
+				st.Std[j] += d * d
+			}
+		}
+	}
+	for j := range st.Std {
+		st.Std[j] = math.Sqrt(st.Std[j] / float64(steps))
+		if st.Std[j] < 1e-12 {
+			st.Std[j] = 1
+		}
+	}
+	return st, nil
+}
+
+// Normalize returns a standardized copy of the window's sequence tensor.
+func (st *Stats) Normalize(w Window) *tensor.Tensor {
+	out := w.Tensor()
+	for t := 0; t < out.Dim(0); t++ {
+		row := out.Row(t)
+		for j := range row {
+			row[j] = (row[j] - st.Mean[j]) / st.Std[j]
+		}
+	}
+	return out
+}
+
+// NormalizeFlat returns a standardized flattened row for the SVM baseline.
+func (st *Stats) NormalizeFlat(w Window) []float64 {
+	out := w.Flatten()
+	for i, v := range out {
+		j := i % FeatureDim
+		out[i] = (v - st.Mean[j]) / st.Std[j]
+	}
+	return out
+}

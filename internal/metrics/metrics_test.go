@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewConfusionMatrixValidation(t *testing.T) {
+	if _, err := NewConfusionMatrix([]string{"a"}); err == nil {
+		t.Fatal("expected class-count error")
+	}
+}
+
+func TestObserveAndTop1(t *testing.T) {
+	m, err := NewConfusionMatrix([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := [][2]int{{0, 0}, {0, 0}, {0, 1}, {1, 1}, {2, 2}, {2, 0}}
+	for _, o := range obs {
+		if err := m.Observe(o[0], o[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Total() != 6 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	if math.Abs(m.Top1()-4.0/6) > 1e-12 {
+		t.Fatalf("top1 = %g", m.Top1())
+	}
+	pca := m.PerClassAccuracy()
+	if math.Abs(pca[0]-2.0/3) > 1e-12 || pca[1] != 1 || pca[2] != 0.5 {
+		t.Fatalf("per-class = %v", pca)
+	}
+	if math.Abs(m.Rate(2, 0)-0.5) > 1e-12 {
+		t.Fatalf("rate(2,0) = %g", m.Rate(2, 0))
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	m, _ := NewConfusionMatrix([]string{"a", "b"})
+	if err := m.Observe(2, 0); err == nil {
+		t.Fatal("expected range error")
+	}
+	if err := m.Observe(0, -1); err == nil {
+		t.Fatal("expected range error")
+	}
+	if err := m.ObserveAll([]int{0}, []int{0, 1}); err == nil {
+		t.Fatal("expected alignment error")
+	}
+	if err := m.ObserveAll([]int{0, 1}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyMatrixSafe(t *testing.T) {
+	m, _ := NewConfusionMatrix([]string{"a", "b"})
+	if m.Top1() != 0 {
+		t.Fatal("empty top1 should be 0")
+	}
+	if m.Rate(0, 1) != 0 {
+		t.Fatal("empty rate should be 0")
+	}
+	pca := m.PerClassAccuracy()
+	if pca[0] != 0 || pca[1] != 0 {
+		t.Fatal("empty per-class should be 0")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m, _ := NewConfusionMatrix([]string{"Normal", "Talking"})
+	_ = m.ObserveAll([]int{0, 0, 1, 1}, []int{0, 1, 1, 1})
+	s := m.String()
+	if !strings.Contains(s, "Normal") || !strings.Contains(s, "0.500") || !strings.Contains(s, "1.000") {
+		t.Fatalf("rendering missing content:\n%s", s)
+	}
+}
+
+func TestFormatPercent(t *testing.T) {
+	if got := FormatPercent(0.8702); got != "87.02%" {
+		t.Fatalf("FormatPercent = %q", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	s, err := Table([]string{"CNN+RNN", "CNN"}, []float64{0.8702, 0.7388})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "CNN+RNN") || !strings.Contains(s, "87.02%") || !strings.Contains(s, "73.88%") {
+		t.Fatalf("table rendering:\n%s", s)
+	}
+	if _, err := Table([]string{"a"}, nil); err == nil {
+		t.Fatal("expected alignment error")
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	m, _ := NewConfusionMatrix([]string{"a", "b", "c"})
+	// true a: 3 predicted a, 1 predicted b.
+	// true b: 2 predicted b.
+	// true c: 1 predicted a, 1 predicted c.
+	_ = m.ObserveAll(
+		[]int{0, 0, 0, 0, 1, 1, 2, 2},
+		[]int{0, 0, 0, 1, 1, 1, 0, 2},
+	)
+	if p := m.Precision(0); math.Abs(p-3.0/4) > 1e-12 {
+		t.Fatalf("precision(a) = %g", p)
+	}
+	if r := m.Recall(0); math.Abs(r-3.0/4) > 1e-12 {
+		t.Fatalf("recall(a) = %g", r)
+	}
+	if f := m.F1(0); math.Abs(f-0.75) > 1e-12 {
+		t.Fatalf("f1(a) = %g", f)
+	}
+	if p := m.Precision(1); math.Abs(p-2.0/3) > 1e-12 {
+		t.Fatalf("precision(b) = %g", p)
+	}
+	if fp := m.FalsePositives(0); fp != 1 {
+		t.Fatalf("false positives(a) = %d", fp)
+	}
+	if fp := m.FalsePositives(1); fp != 1 {
+		t.Fatalf("false positives(b) = %d", fp)
+	}
+	// Unobserved/unpredicted classes are safe.
+	empty, _ := NewConfusionMatrix([]string{"a", "b"})
+	if empty.Precision(0) != 0 || empty.Recall(0) != 0 || empty.F1(0) != 0 {
+		t.Fatal("empty matrix should yield zeros")
+	}
+}
+
+func TestECEPerfectCalibration(t *testing.T) {
+	// Predictions at 100% confidence that are always right: ECE 0.
+	probs := [][]float64{{1, 0}, {0, 1}, {1, 0}}
+	labels := []int{0, 1, 0}
+	ece, err := ECE(probs, labels, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ece > 1e-12 {
+		t.Fatalf("ECE = %g, want 0", ece)
+	}
+}
+
+func TestECEOverconfidence(t *testing.T) {
+	// Always 90% confident but only 50% correct: ECE = 0.4.
+	probs := [][]float64{{0.9, 0.1}, {0.9, 0.1}, {0.9, 0.1}, {0.9, 0.1}}
+	labels := []int{0, 1, 0, 1}
+	ece, err := ECE(probs, labels, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ece-0.4) > 1e-12 {
+		t.Fatalf("ECE = %g, want 0.4", ece)
+	}
+}
+
+func TestECEValidation(t *testing.T) {
+	if _, err := ECE([][]float64{{1}}, []int{0, 1}, 10); err == nil {
+		t.Fatal("expected alignment error")
+	}
+	if _, err := ECE(nil, nil, 0); err == nil {
+		t.Fatal("expected bins error")
+	}
+	if _, err := ECE([][]float64{{}}, []int{0}, 5); err == nil {
+		t.Fatal("expected empty-prediction error")
+	}
+	ece, err := ECE(nil, nil, 5)
+	if err != nil || ece != 0 {
+		t.Fatalf("empty set: %g, %v", ece, err)
+	}
+}

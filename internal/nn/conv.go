@@ -1,0 +1,176 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"darnet/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW volumes flattened into batch rows.
+// The input geometry (channels, height, width, kernel, stride, padding) is
+// fixed at construction; the layer consumes rows of width InC*InH*InW and
+// produces rows of width OutC*OutH*OutW.
+//
+// The implementation lowers each sample to a patch matrix with im2col and
+// performs the convolution as a single matrix multiplication, the standard
+// CPU strategy.
+type Conv2D struct {
+	name string
+	geom tensor.ConvGeom
+	outC int
+	w    *Param // (outC, inC*KH*KW)
+	b    *Param // (outC)
+
+	x    *tensor.Tensor // cached input for Backward
+	cols []float64      // scratch patch matrix, reused across samples
+}
+
+// NewConv2D returns a convolution layer with He-initialized kernels.
+// It panics if the geometry is invalid, which indicates a construction-time
+// programming error rather than a runtime condition.
+func NewConv2D(name string, rng *rand.Rand, geom tensor.ConvGeom, outC int) *Conv2D {
+	if err := geom.Validate(); err != nil {
+		panic(fmt.Sprintf("nn: %s: %v", name, err))
+	}
+	if outC <= 0 {
+		panic(fmt.Sprintf("nn: %s: non-positive output channels %d", name, outC))
+	}
+	fanIn := geom.InC * geom.KH * geom.KW
+	return &Conv2D{
+		name: name,
+		geom: geom,
+		outC: outC,
+		w:    NewParam(name+".w", HeInit(rng, fanIn, outC, fanIn)),
+		b:    NewParam(name+".b", tensor.New(outC)),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// Geom returns the layer's convolution geometry.
+func (c *Conv2D) Geom() tensor.ConvGeom { return c.geom }
+
+// OutC returns the number of output channels.
+func (c *Conv2D) OutC() int { return c.outC }
+
+// OutFeatures implements Layer.
+func (c *Conv2D) OutFeatures(in int) (int, error) {
+	want := c.geom.InC * c.geom.InH * c.geom.InW
+	if in != want {
+		return 0, errBadWidth(c.name, want, in)
+	}
+	return c.outC * c.geom.OutH() * c.geom.OutW(), nil
+}
+
+func (c *Conv2D) patchRows() int { return c.geom.InC * c.geom.KH * c.geom.KW }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	inW := c.geom.InC * c.geom.InH * c.geom.InW
+	if x.Dims() != 2 || x.Dim(1) != inW {
+		return nil, errBadWidth(c.name, inW, x.Dim(x.Dims()-1))
+	}
+	n := x.Dim(0)
+	outH, outW := c.geom.OutH(), c.geom.OutW()
+	spatial := outH * outW
+	out := tensor.New(n, c.outC*spatial)
+
+	pr := c.patchRows()
+	if cap(c.cols) < pr*spatial {
+		c.cols = make([]float64, pr*spatial)
+	}
+	cols := c.cols[:pr*spatial]
+
+	wd := c.w.Value.Data()
+	bd := c.b.Value.Data()
+	for s := 0; s < n; s++ {
+		c.geom.Im2Col(x.Row(s), cols)
+		orow := out.Row(s)
+		// y[oc, p] = sum_r w[oc, r] * cols[r, p] + b[oc]
+		for oc := 0; oc < c.outC; oc++ {
+			wrow := wd[oc*pr : (oc+1)*pr]
+			dst := orow[oc*spatial : (oc+1)*spatial]
+			bias := bd[oc]
+			for p := range dst {
+				dst[p] = bias
+			}
+			for r, wv := range wrow {
+				if wv == 0 {
+					continue
+				}
+				crow := cols[r*spatial : (r+1)*spatial]
+				for p, cv := range crow {
+					dst[p] += wv * cv
+				}
+			}
+		}
+	}
+	if train {
+		c.x = x
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	n := grad.Dim(0)
+	outH, outW := c.geom.OutH(), c.geom.OutW()
+	spatial := outH * outW
+	if grad.Dim(1) != c.outC*spatial {
+		return nil, errBadWidth(c.name+" backward", c.outC*spatial, grad.Dim(1))
+	}
+	pr := c.patchRows()
+	cols := c.cols[:pr*spatial]
+	dcols := make([]float64, pr*spatial)
+
+	dx := tensor.New(c.x.Shape()...)
+	wd := c.w.Value.Data()
+	wg := c.w.Grad.Data()
+	bg := c.b.Grad.Data()
+
+	for s := 0; s < n; s++ {
+		c.geom.Im2Col(c.x.Row(s), cols)
+		grow := grad.Row(s)
+
+		for oc := 0; oc < c.outC; oc++ {
+			gslice := grow[oc*spatial : (oc+1)*spatial]
+			// Bias gradient: sum over spatial positions.
+			gs := 0.0
+			for _, g := range gslice {
+				gs += g
+			}
+			bg[oc] += gs
+			// Weight gradient: dW[oc, r] += sum_p g[p] * cols[r, p]
+			wgrow := wg[oc*pr : (oc+1)*pr]
+			for r := 0; r < pr; r++ {
+				crow := cols[r*spatial : (r+1)*spatial]
+				acc := 0.0
+				for p, g := range gslice {
+					acc += g * crow[p]
+				}
+				wgrow[r] += acc
+			}
+			// Column gradient: dcols[r, p] += w[oc, r] * g[p]
+			wrow := wd[oc*pr : (oc+1)*pr]
+			for r, wv := range wrow {
+				if wv == 0 {
+					continue
+				}
+				drow := dcols[r*spatial : (r+1)*spatial]
+				for p, g := range gslice {
+					drow[p] += wv * g
+				}
+			}
+		}
+		c.geom.Col2Im(dcols, dx.Row(s))
+		for i := range dcols {
+			dcols[i] = 0
+		}
+	}
+	return dx, nil
+}

@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"darnet/internal/tensor"
+)
+
+// Dropout randomly zeroes activations during training with probability p and
+// scales survivors by 1/(1-p) (inverted dropout), so inference is a no-op.
+type Dropout struct {
+	name string
+	p    float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout returns a dropout layer with drop probability p in [0, 1).
+func NewDropout(name string, rng *rand.Rand, p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: %s: drop probability %g outside [0,1)", name, p))
+	}
+	return &Dropout{name: name, p: p, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutFeatures implements Layer.
+func (d *Dropout) OutFeatures(in int) (int, error) { return in, nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if !train || d.p == 0 {
+		return x, nil
+	}
+	out := x.Clone()
+	if cap(d.mask) < out.Size() {
+		d.mask = make([]float64, out.Size())
+	}
+	d.mask = d.mask[:out.Size()]
+	scale := 1 / (1 - d.p)
+	od := out.Data()
+	for i := range od {
+		if d.rng.Float64() < d.p {
+			d.mask[i] = 0
+			od[i] = 0
+		} else {
+			d.mask[i] = scale
+			od[i] *= scale
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.p == 0 {
+		return grad, nil
+	}
+	out := grad.Clone()
+	od := out.Data()
+	for i := range od {
+		od[i] *= d.mask[i]
+	}
+	return out, nil
+}

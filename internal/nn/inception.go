@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"darnet/internal/tensor"
+)
+
+// Parallel runs several tower sub-networks on the same input and concatenates
+// their outputs along the feature axis. With convolutional towers that share
+// output spatial dimensions and channel-major layout, feature concatenation
+// is exactly channel concatenation — the Inception "mixed module" pattern of
+// Szegedy et al. that the paper's frame classifier builds on.
+type Parallel struct {
+	name   string
+	towers []Layer
+
+	splits []int // per-tower output widths from the most recent Forward
+}
+
+var _ Layer = (*Parallel)(nil)
+
+// NewParallel returns a module running towers on a shared input and
+// concatenating their outputs.
+func NewParallel(name string, towers ...Layer) *Parallel {
+	if len(towers) == 0 {
+		panic(fmt.Sprintf("nn: %s: parallel module needs at least one tower", name))
+	}
+	return &Parallel{name: name, towers: towers}
+}
+
+// Name implements Layer.
+func (p *Parallel) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *Parallel) Params() []*Param {
+	var ps []*Param
+	for _, t := range p.towers {
+		ps = append(ps, t.Params()...)
+	}
+	return ps
+}
+
+// StateParams implements Stateful by collecting tower state.
+func (p *Parallel) StateParams() []*Param {
+	var ps []*Param
+	for _, t := range p.towers {
+		if st, ok := t.(Stateful); ok {
+			ps = append(ps, st.StateParams()...)
+		}
+	}
+	return ps
+}
+
+// OutFeatures implements Layer: the sum of tower output widths.
+func (p *Parallel) OutFeatures(in int) (int, error) {
+	total := 0
+	for _, t := range p.towers {
+		w, err := t.OutFeatures(in)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", p.name, err)
+		}
+		total += w
+	}
+	return total, nil
+}
+
+// Forward implements Layer.
+func (p *Parallel) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	n := x.Dim(0)
+	outs := make([]*tensor.Tensor, len(p.towers))
+	p.splits = make([]int, len(p.towers))
+	total := 0
+	for i, t := range p.towers {
+		y, err := t.Forward(x, train)
+		if err != nil {
+			return nil, fmt.Errorf("%s: tower %s: %w", p.name, t.Name(), err)
+		}
+		if y.Dim(0) != n {
+			return nil, fmt.Errorf("%s: tower %s changed batch size %d -> %d", p.name, t.Name(), n, y.Dim(0))
+		}
+		outs[i] = y
+		p.splits[i] = y.Dim(1)
+		total += y.Dim(1)
+	}
+	out := tensor.New(n, total)
+	for s := 0; s < n; s++ {
+		orow := out.Row(s)
+		off := 0
+		for i, y := range outs {
+			copy(orow[off:off+p.splits[i]], y.Row(s))
+			off += p.splits[i]
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer: split the gradient per tower and sum the
+// resulting input gradients.
+func (p *Parallel) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	n := grad.Dim(0)
+	var dx *tensor.Tensor
+	off := 0
+	for i, t := range p.towers {
+		w := p.splits[i]
+		sub := tensor.New(n, w)
+		for s := 0; s < n; s++ {
+			copy(sub.Row(s), grad.Row(s)[off:off+w])
+		}
+		off += w
+		d, err := t.Backward(sub)
+		if err != nil {
+			return nil, fmt.Errorf("%s: tower %s backward: %w", p.name, t.Name(), err)
+		}
+		if dx == nil {
+			dx = d
+		} else {
+			dx.AddInPlace(d)
+		}
+	}
+	return dx, nil
+}
+
+// InceptionSpec configures one inception-style mixed module over a C×H×W
+// input volume. Each enabled tower preserves spatial dimensions ("same"
+// padding) so the outputs concatenate along the channel axis.
+type InceptionSpec struct {
+	InC, InH, InW int
+	C1x1          int // channels of the 1×1 tower (0 disables)
+	C3x3Reduce    int // 1×1 reduction before the 3×3 tower
+	C3x3          int // channels of the 3×3 tower (0 disables)
+	C5x5Reduce    int // 1×1 reduction before the 5×5 tower
+	C5x5          int // channels of the 5×5 tower (0 disables)
+	CPool         int // channels of the pool-projection tower (0 disables)
+}
+
+// OutC returns the module's total output channel count.
+func (sp InceptionSpec) OutC() int { return sp.C1x1 + sp.C3x3 + sp.C5x5 + sp.CPool }
+
+// NewInception builds an inception mixed module per spec: parallel 1×1, 1×1→3×3,
+// 1×1→5×5, and maxpool→1×1 towers with ReLU activations, concatenated along
+// channels. rng must be non-nil. It panics on an empty spec (programming error).
+func NewInception(name string, rng *rand.Rand, sp InceptionSpec) *Parallel {
+	conv := func(tag string, inC, outC, k, pad int) *Conv2D {
+		return NewConv2D(name+"."+tag, rng, tensor.ConvGeom{
+			InC: inC, InH: sp.InH, InW: sp.InW,
+			KH: k, KW: k, StrideH: 1, StrideW: 1, PadH: pad, PadW: pad,
+		}, outC)
+	}
+	var towers []Layer
+	if sp.C1x1 > 0 {
+		towers = append(towers, NewSequential(name+".t1",
+			conv("1x1", sp.InC, sp.C1x1, 1, 0), NewReLU()))
+	}
+	if sp.C3x3 > 0 {
+		t := NewSequential(name + ".t3")
+		inC := sp.InC
+		if sp.C3x3Reduce > 0 {
+			t.Add(conv("3x3r", sp.InC, sp.C3x3Reduce, 1, 0))
+			t.Add(NewReLU())
+			inC = sp.C3x3Reduce
+		}
+		t.Add(conv("3x3", inC, sp.C3x3, 3, 1))
+		t.Add(NewReLU())
+		towers = append(towers, t)
+	}
+	if sp.C5x5 > 0 {
+		t := NewSequential(name + ".t5")
+		inC := sp.InC
+		if sp.C5x5Reduce > 0 {
+			t.Add(conv("5x5r", sp.InC, sp.C5x5Reduce, 1, 0))
+			t.Add(NewReLU())
+			inC = sp.C5x5Reduce
+		}
+		t.Add(conv("5x5", inC, sp.C5x5, 5, 2))
+		t.Add(NewReLU())
+		towers = append(towers, t)
+	}
+	if sp.CPool > 0 {
+		pool := NewMaxPool2D(name+".pool", tensor.ConvGeom{
+			InC: sp.InC, InH: sp.InH, InW: sp.InW,
+			KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+		})
+		towers = append(towers, NewSequential(name+".tp",
+			pool, conv("poolproj", sp.InC, sp.CPool, 1, 0), NewReLU()))
+	}
+	if len(towers) == 0 {
+		panic(fmt.Sprintf("nn: %s: inception spec enables no towers", name))
+	}
+	return NewParallel(name, towers...)
+}

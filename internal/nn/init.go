@@ -1,0 +1,22 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"darnet/internal/tensor"
+)
+
+// HeInit returns a weight tensor initialized with He (Kaiming) normal
+// initialization, appropriate for ReLU networks: std = sqrt(2/fanIn).
+func HeInit(rng *rand.Rand, fanIn int, shape ...int) *tensor.Tensor {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	return tensor.Randn(rng, std, shape...)
+}
+
+// XavierInit returns a weight tensor initialized with Glorot normal
+// initialization: std = sqrt(2/(fanIn+fanOut)).
+func XavierInit(rng *rand.Rand, fanIn, fanOut int, shape ...int) *tensor.Tensor {
+	std := math.Sqrt(2.0 / float64(fanIn+fanOut))
+	return tensor.Randn(rng, std, shape...)
+}

@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"darnet/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and clears nothing; callers
+	// zero gradients between batches.
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum and L2 weight
+// decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD returns an SGD optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		g := p.Grad
+		if o.WeightDecay > 0 {
+			g = g.Clone().AddScaledInPlace(p.Value, o.WeightDecay)
+		}
+		if o.Momentum > 0 {
+			if o.velocity == nil {
+				o.velocity = make(map[*Param]*tensor.Tensor)
+			}
+			v, ok := o.velocity[p]
+			if !ok {
+				v = tensor.New(p.Value.Shape()...)
+				o.velocity[p] = v
+			}
+			v.ScaleInPlace(o.Momentum).AddInPlace(g)
+			g = v
+		}
+		p.Value.AddScaledInPlace(g, -o.LR)
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t int
+	m map[*Param]*tensor.Tensor
+	v map[*Param]*tensor.Tensor
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam returns an Adam optimizer with standard defaults
+// (beta1=0.9, beta2=0.999, eps=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	if o.m == nil {
+		o.m = make(map[*Param]*tensor.Tensor)
+		o.v = make(map[*Param]*tensor.Tensor)
+	}
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Shape()...)
+			o.m[p] = m
+			o.v[p] = tensor.New(p.Value.Shape()...)
+		}
+		v := o.v[p]
+		gd := p.Grad.Data()
+		md, vd, pd := m.Data(), v.Data(), p.Value.Data()
+		for i, g := range gd {
+			if o.WeightDecay > 0 {
+				g += o.WeightDecay * pd[i]
+			}
+			md[i] = o.Beta1*md[i] + (1-o.Beta1)*g
+			vd[i] = o.Beta2*vd[i] + (1-o.Beta2)*g*g
+			mhat := md[i] / bc1
+			vhat := vd[i] / bc2
+			pd[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+		}
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm does not exceed
+// maxNorm, returning the pre-clip norm. A non-positive maxNorm is an error.
+func ClipGradNorm(params []*Param, maxNorm float64) (float64, error) {
+	if maxNorm <= 0 {
+		return 0, fmt.Errorf("nn: clip norm must be positive, got %g", maxNorm)
+	}
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data() {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm {
+		scale := maxNorm / (norm + 1e-12)
+		for _, p := range params {
+			p.Grad.ScaleInPlace(scale)
+		}
+	}
+	return norm, nil
+}

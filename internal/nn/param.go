@@ -1,0 +1,61 @@
+// Package nn is a from-scratch CPU deep-learning library: composable layers
+// (dense, convolution, pooling, batch normalization, dropout, inception-style
+// parallel modules), loss functions, and first-order optimizers. It provides
+// the CNN substrate that DarNet's frame classifier and privacy-preserving
+// dCNN models are built on.
+//
+// Layers operate on 2-D batches: every input and output tensor has shape
+// (N, features), where spatially structured layers (Conv2D, pooling) interpret
+// the feature axis as a flattened C×H×W volume whose geometry is fixed at
+// construction time.
+package nn
+
+import (
+	"fmt"
+
+	"darnet/internal/tensor"
+)
+
+// Param is a trainable parameter: a value tensor and its accumulated gradient.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParam returns a parameter wrapping value, with a zeroed gradient of the
+// same shape.
+func NewParam(name string, value *tensor.Tensor) *Param {
+	return &Param{
+		Name:  name,
+		Value: value,
+		Grad:  tensor.New(value.Shape()...),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one differentiable stage of a network.
+//
+// Forward consumes a batch (N, inFeatures) and produces (N, outFeatures).
+// When train is true the layer may cache activations needed by Backward and
+// apply training-only behaviour (dropout masks, batch statistics).
+//
+// Backward consumes dL/dOut for the most recent Forward call and returns
+// dL/dIn, accumulating parameter gradients into Params. Calling Backward
+// without a preceding training-mode Forward is a programming error.
+type Layer interface {
+	Name() string
+	Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error)
+	Backward(grad *tensor.Tensor) (*tensor.Tensor, error)
+	Params() []*Param
+	// OutFeatures reports the width of the layer's output rows given the
+	// width of its input rows, or an error if the width is incompatible.
+	OutFeatures(in int) (int, error)
+}
+
+// errBadWidth builds the standard incompatible-input-width error.
+func errBadWidth(layer string, want, got int) error {
+	return fmt.Errorf("nn: %s expects input width %d, got %d", layer, want, got)
+}

@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// paramBlob is the gob wire form of one parameter.
+type paramBlob struct {
+	Name  string
+	Shape []int
+	Data  []float64
+}
+
+// SaveParams writes all parameter values to w in gob format, keyed by name.
+func SaveParams(w io.Writer, params []*Param) error {
+	blobs := make([]paramBlob, 0, len(params))
+	for _, p := range params {
+		blobs = append(blobs, paramBlob{
+			Name:  p.Name,
+			Shape: p.Value.Shape(),
+			Data:  append([]float64(nil), p.Value.Data()...),
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(blobs); err != nil {
+		return fmt.Errorf("nn: encode params: %w", err)
+	}
+	return nil
+}
+
+// LoadParams reads parameter values from r and copies them into params,
+// matching by name. Every parameter must be present with an identical shape.
+func LoadParams(r io.Reader, params []*Param) error {
+	var blobs []paramBlob
+	if err := gob.NewDecoder(r).Decode(&blobs); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	byName := make(map[string]paramBlob, len(blobs))
+	for _, b := range blobs {
+		byName[b.Name] = b
+	}
+	for _, p := range params {
+		b, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: snapshot missing parameter %q", p.Name)
+		}
+		if len(b.Data) != p.Value.Size() {
+			return fmt.Errorf("nn: parameter %q size mismatch: snapshot %d vs model %d", p.Name, len(b.Data), p.Value.Size())
+		}
+		copy(p.Value.Data(), b.Data)
+	}
+	return nil
+}
+
+// CopyParams copies parameter values from src into dst positionally.
+// The two networks must have structurally identical parameter lists — the
+// mechanism behind initializing a dCNN student from its teacher (paper §4.3).
+func CopyParams(dst, src []*Param) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("nn: copy params count mismatch %d vs %d", len(dst), len(src))
+	}
+	for i := range dst {
+		if dst[i].Value.Size() != src[i].Value.Size() {
+			return fmt.Errorf("nn: copy params %q size mismatch %d vs %d",
+				dst[i].Name, dst[i].Value.Size(), src[i].Value.Size())
+		}
+		copy(dst[i].Value.Data(), src[i].Value.Data())
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package rnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"darnet/internal/nn"
+	"darnet/internal/tensor"
+)
+
+// BiLSTM runs a forward-time and a backward-time LSTM cell over the same
+// sequence and concatenates their per-step hidden states, producing a
+// (T, 2*hidden) output — "each LSTM cell propagating its output forward and
+// backward through time" (paper §4.2).
+type BiLSTM struct {
+	name string
+	fwd  *LSTMCell
+	bwd  *LSTMCell
+}
+
+// biCache holds both directions' caches for one sequence.
+type biCache struct {
+	fwd *cellCache
+	bwd *cellCache
+	T   int
+}
+
+// NewBiLSTM returns a bidirectional LSTM layer mapping (T, in) to (T, 2*hidden).
+func NewBiLSTM(name string, rng *rand.Rand, in, hidden int) *BiLSTM {
+	return &BiLSTM{
+		name: name,
+		fwd:  NewLSTMCell(name+".fwd", rng, in, hidden),
+		bwd:  NewLSTMCell(name+".bwd", rng, in, hidden),
+	}
+}
+
+// Name returns the layer's name.
+func (b *BiLSTM) Name() string { return b.name }
+
+// In returns the input feature width.
+func (b *BiLSTM) In() int { return b.fwd.in }
+
+// OutWidth returns the per-step output width (2 × hidden).
+func (b *BiLSTM) OutWidth() int { return 2 * b.fwd.hidden }
+
+// Params returns both directions' parameters.
+func (b *BiLSTM) Params() []*nn.Param {
+	return append(b.fwd.Params(), b.bwd.Params()...)
+}
+
+// reverseRows returns x with its rows in reverse time order.
+func reverseRows(x *tensor.Tensor) *tensor.Tensor {
+	T := x.Dim(0)
+	out := tensor.New(x.Shape()...)
+	for t := 0; t < T; t++ {
+		copy(out.Row(T-1-t), x.Row(t))
+	}
+	return out
+}
+
+// Forward runs both directions and concatenates per-step outputs.
+func (b *BiLSTM) Forward(x *tensor.Tensor) (*tensor.Tensor, *biCache, error) {
+	hf, cf, err := b.fwd.Forward(x)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s forward direction: %w", b.name, err)
+	}
+	hbRev, cb, err := b.bwd.Forward(reverseRows(x))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s backward direction: %w", b.name, err)
+	}
+	hb := reverseRows(hbRev)
+
+	T, H := x.Dim(0), b.fwd.hidden
+	out := tensor.New(T, 2*H)
+	for t := 0; t < T; t++ {
+		row := out.Row(t)
+		copy(row[:H], hf.Row(t))
+		copy(row[H:], hb.Row(t))
+	}
+	return out, &biCache{fwd: cf, bwd: cb, T: T}, nil
+}
+
+// Backward splits the (T, 2*hidden) gradient into direction halves,
+// backpropagates each, and returns the summed (T, in) input gradient.
+func (b *BiLSTM) Backward(cache *biCache, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	T, H := cache.T, b.fwd.hidden
+	if grad.Dim(0) != T || grad.Dim(1) != 2*H {
+		return nil, fmt.Errorf("rnn: %s backward expects (%d, %d) grad, got %v", b.name, T, 2*H, grad.Shape())
+	}
+	gf := tensor.New(T, H)
+	gbRev := tensor.New(T, H)
+	for t := 0; t < T; t++ {
+		row := grad.Row(t)
+		copy(gf.Row(t), row[:H])
+		copy(gbRev.Row(T-1-t), row[H:]) // backward direction saw reversed time
+	}
+	dxf, err := b.fwd.Backward(cache.fwd, gf)
+	if err != nil {
+		return nil, err
+	}
+	dxbRev, err := b.bwd.Backward(cache.bwd, gbRev)
+	if err != nil {
+		return nil, err
+	}
+	dxb := reverseRows(dxbRev)
+	return dxf.AddInPlace(dxb), nil
+}

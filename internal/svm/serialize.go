@@ -1,0 +1,67 @@
+package svm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"darnet/internal/tensor"
+)
+
+// classifierBlob is the gob wire form of a trained classifier.
+type classifierBlob struct {
+	Classes int
+	Dim     int
+	W       []float64
+	B       []float64
+	Mean    []float64
+	Std     []float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for trained classifiers.
+func (c *Classifier) MarshalBinary() ([]byte, error) {
+	if c.scaler == nil {
+		return nil, fmt.Errorf("svm: cannot marshal an untrained classifier")
+	}
+	blob := classifierBlob{
+		Classes: c.classes,
+		Dim:     c.dim,
+		W:       append([]float64(nil), c.w.Data()...),
+		B:       append([]float64(nil), c.b...),
+		Mean:    append([]float64(nil), c.scaler.mean...),
+		Std:     append([]float64(nil), c.scaler.std...),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
+		return nil, fmt.Errorf("svm: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *Classifier) UnmarshalBinary(data []byte) error {
+	var blob classifierBlob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&blob); err != nil {
+		return fmt.Errorf("svm: decode: %w", err)
+	}
+	if blob.Classes < 2 || blob.Dim <= 0 {
+		return fmt.Errorf("svm: snapshot has invalid dims classes=%d dim=%d", blob.Classes, blob.Dim)
+	}
+	if len(blob.W) != blob.Classes*blob.Dim || len(blob.B) != blob.Classes ||
+		len(blob.Mean) != blob.Dim || len(blob.Std) != blob.Dim {
+		return fmt.Errorf("svm: snapshot field sizes inconsistent")
+	}
+	w, err := tensor.FromSlice(blob.W, blob.Classes, blob.Dim)
+	if err != nil {
+		return err
+	}
+	c.classes = blob.Classes
+	c.dim = blob.Dim
+	c.w = w
+	c.b = append([]float64(nil), blob.B...)
+	c.scaler = &Scaler{
+		mean: append([]float64(nil), blob.Mean...),
+		std:  append([]float64(nil), blob.Std...),
+	}
+	return nil
+}

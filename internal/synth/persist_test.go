@@ -1,0 +1,135 @@
+package synth
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestDatasetSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.003
+	ds, err := GenerateTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ds.Len() || loaded.Classes != ds.Classes || loaded.ImgW != ds.ImgW {
+		t.Fatalf("metadata mismatch after round trip: %d/%d", loaded.Len(), ds.Len())
+	}
+	for i, s := range ds.Samples {
+		l := loaded.Samples[i]
+		if l.Class != s.Class || l.Driver != s.Driver {
+			t.Fatalf("sample %d labels differ", i)
+		}
+		for j := range s.Frame.Pix {
+			if l.Frame.Pix[j] != s.Frame.Pix[j] {
+				t.Fatalf("sample %d pixels differ", i)
+			}
+		}
+		if len(l.Window.Samples) != len(s.Window.Samples) {
+			t.Fatalf("sample %d window length differs", i)
+		}
+		for k := range s.Window.Samples {
+			if l.Window.Samples[k] != s.Window.Samples[k] {
+				t.Fatalf("sample %d window step %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestLoadDatasetRejectsGarbage(t *testing.T) {
+	if _, err := LoadDataset(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestSplitByDriver(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.005
+	cfg.Drivers = 3
+	ds, err := GenerateTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drivers := ds.Drivers()
+	if len(drivers) != 3 {
+		t.Fatalf("drivers = %v", drivers)
+	}
+	train, test, err := ds.SplitByDriver(drivers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len()+test.Len() != ds.Len() {
+		t.Fatal("split loses samples")
+	}
+	for _, s := range test.Samples {
+		if s.Driver != drivers[0] {
+			t.Fatalf("test split contains driver %d", s.Driver)
+		}
+	}
+	for _, s := range train.Samples {
+		if s.Driver == drivers[0] {
+			t.Fatal("train split contains the held-out driver")
+		}
+	}
+	if _, _, err := ds.SplitByDriver(999); err == nil {
+		t.Fatal("expected unknown-driver error")
+	}
+}
+
+func TestKFold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.004
+	ds, err := GenerateTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	folds, err := ds.KFold(rng, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	seen := map[*Sample]int{}
+	for _, fold := range folds {
+		train, test := fold[0], fold[1]
+		if train.Len()+test.Len() != ds.Len() {
+			t.Fatal("fold loses samples")
+		}
+		for _, s := range test.Samples {
+			seen[s]++
+		}
+		// No overlap within a fold.
+		inTest := map[*Sample]bool{}
+		for _, s := range test.Samples {
+			inTest[s] = true
+		}
+		for _, s := range train.Samples {
+			if inTest[s] {
+				t.Fatal("sample in both train and test of one fold")
+			}
+		}
+	}
+	// Every sample appears in exactly one test fold.
+	if len(seen) != ds.Len() {
+		t.Fatalf("test folds cover %d of %d samples", len(seen), ds.Len())
+	}
+	for _, n := range seen {
+		if n != 1 {
+			t.Fatal("sample appears in multiple test folds")
+		}
+	}
+	if _, err := ds.KFold(rng, 1); err == nil {
+		t.Fatal("expected k validation error")
+	}
+}

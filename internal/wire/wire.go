@@ -1,0 +1,349 @@
+// Package wire implements the framing and message encoding spoken between
+// DarNet collection agents and the centralized controller (paper §3.1–3.2):
+// agent hello, timestamped sample batches, the master-slave clock
+// synchronization exchange, and acknowledgements. Frames are length-prefixed
+// binary, transport-agnostic (TCP in deployment, in-memory pipes in tests).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	TypeHello MsgType = iota + 1
+	TypeSampleBatch
+	TypeClockSync
+	TypeClockAck
+	TypeAck
+)
+
+// MaxFrameSize bounds a single frame; oversized frames indicate corruption
+// or abuse and abort the connection.
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// Message is one protocol message.
+type Message interface {
+	Type() MsgType
+	encodeBody(w *writer)
+	decodeBody(r *reader) error
+}
+
+// Hello announces an agent to the controller.
+type Hello struct {
+	AgentID      string
+	Modality     string // "imu", "camera", ...
+	PeriodMillis uint32 // sensor polling period
+}
+
+// Type implements Message.
+func (*Hello) Type() MsgType { return TypeHello }
+
+func (m *Hello) encodeBody(w *writer) {
+	w.str(m.AgentID)
+	w.str(m.Modality)
+	w.u32(m.PeriodMillis)
+}
+
+func (m *Hello) decodeBody(r *reader) error {
+	m.AgentID = r.str()
+	m.Modality = r.str()
+	m.PeriodMillis = r.u32()
+	return r.err
+}
+
+// Reading is one timestamped sensor observation: a named sensor channel and
+// its values (e.g. 3 accelerometer axes, or W*H pixels for a camera frame).
+type Reading struct {
+	TimestampMillis int64
+	Sensor          string
+	Values          []float64
+}
+
+// SampleBatch carries buffered readings from an agent.
+type SampleBatch struct {
+	AgentID  string
+	Readings []Reading
+}
+
+// Type implements Message.
+func (*SampleBatch) Type() MsgType { return TypeSampleBatch }
+
+func (m *SampleBatch) encodeBody(w *writer) {
+	w.str(m.AgentID)
+	w.u32(uint32(len(m.Readings)))
+	for _, rd := range m.Readings {
+		w.i64(rd.TimestampMillis)
+		w.str(rd.Sensor)
+		w.u32(uint32(len(rd.Values)))
+		for _, v := range rd.Values {
+			w.f64(v)
+		}
+	}
+}
+
+func (m *SampleBatch) decodeBody(r *reader) error {
+	m.AgentID = r.str()
+	n := r.u32()
+	if r.err != nil {
+		return r.err
+	}
+	if n > 1<<20 {
+		return fmt.Errorf("wire: batch of %d readings rejected", n)
+	}
+	m.Readings = make([]Reading, n)
+	for i := range m.Readings {
+		m.Readings[i].TimestampMillis = r.i64()
+		m.Readings[i].Sensor = r.str()
+		vn := r.u32()
+		if r.err != nil {
+			return r.err
+		}
+		if vn > 1<<22 {
+			return fmt.Errorf("wire: reading with %d values rejected", vn)
+		}
+		m.Readings[i].Values = make([]float64, vn)
+		for j := range m.Readings[i].Values {
+			m.Readings[i].Values[j] = r.f64()
+		}
+	}
+	return r.err
+}
+
+// ClockSync pushes the controller's UTC time to an agent (§4.1: master-slave
+// clock distribution, repeated every 5 seconds).
+type ClockSync struct {
+	MasterMillis int64
+}
+
+// Type implements Message.
+func (*ClockSync) Type() MsgType { return TypeClockSync }
+
+func (m *ClockSync) encodeBody(w *writer)       { w.i64(m.MasterMillis) }
+func (m *ClockSync) decodeBody(r *reader) error { m.MasterMillis = r.i64(); return r.err }
+
+// ClockAck reports the agent's clock after applying a sync, letting the
+// controller estimate residual skew and network delay.
+type ClockAck struct {
+	AgentID     string
+	AgentMillis int64
+}
+
+// Type implements Message.
+func (*ClockAck) Type() MsgType { return TypeClockAck }
+
+func (m *ClockAck) encodeBody(w *writer) {
+	w.str(m.AgentID)
+	w.i64(m.AgentMillis)
+}
+
+func (m *ClockAck) decodeBody(r *reader) error {
+	m.AgentID = r.str()
+	m.AgentMillis = r.i64()
+	return r.err
+}
+
+// Ack acknowledges a batch.
+type Ack struct {
+	Count uint32 // readings accepted
+}
+
+// Type implements Message.
+func (*Ack) Type() MsgType { return TypeAck }
+
+func (m *Ack) encodeBody(w *writer)       { w.u32(m.Count) }
+func (m *Ack) decodeBody(r *reader) error { m.Count = r.u32(); return r.err }
+
+// --- Framing -----------------------------------------------------------------
+
+// Conn frames messages over an io.ReadWriter and counts traffic, giving the
+// controller the byte-level accounting its processing policy's bandwidth
+// estimates build on.
+type Conn struct {
+	br *bufio.Reader
+	w  io.Writer
+
+	bytesRead    int64
+	bytesWritten int64
+}
+
+// NewConn wraps a transport stream.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{br: bufio.NewReader(rw), w: rw}
+}
+
+// Send writes one framed message.
+func (c *Conn) Send(m Message) error {
+	body := &writer{}
+	body.u8(uint8(m.Type()))
+	m.encodeBody(body)
+	if len(body.buf) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body.buf)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := c.w.Write(body.buf); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	c.bytesWritten += int64(len(hdr)) + int64(len(body.buf))
+	return nil
+}
+
+// BytesWritten returns the total framed bytes sent on this connection.
+func (c *Conn) BytesWritten() int64 { return c.bytesWritten }
+
+// BytesRead returns the total framed bytes received on this connection.
+func (c *Conn) BytesRead() int64 { return c.bytesRead }
+
+// Recv reads one framed message. io.EOF is returned unchanged on a clean
+// close between frames.
+func (c *Conn) Recv() (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	if size == 0 {
+		return nil, errors.New("wire: empty frame")
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	c.bytesRead += int64(len(hdr)) + int64(size)
+	r := &reader{buf: buf}
+	var m Message
+	switch MsgType(r.u8()) {
+	case TypeHello:
+		m = &Hello{}
+	case TypeSampleBatch:
+		m = &SampleBatch{}
+	case TypeClockSync:
+		m = &ClockSync{}
+	case TypeClockAck:
+		m = &ClockAck{}
+	case TypeAck:
+		m = &Ack{}
+	case TypeClassifyRequest:
+		m = &ClassifyRequest{}
+	case TypeClassifyResponse:
+		m = &ClassifyResponse{}
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", buf[0])
+	}
+	if err := m.decodeBody(r); err != nil {
+		return nil, err
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes in frame", len(r.buf)-r.off)
+	}
+	return m, nil
+}
+
+// --- Binary primitives --------------------------------------------------------
+
+var errShortFrame = errors.New("wire: truncated frame")
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8) { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+func (w *writer) i64(v int64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(v))
+}
+func (w *writer) f64(v float64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = errShortFrame
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) i64() int64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+func (r *reader) f64() float64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil {
+		return ""
+	}
+	if n > 1<<16 {
+		r.err = fmt.Errorf("wire: string of %d bytes rejected", n)
+		return ""
+	}
+	b := r.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}

@@ -1,0 +1,320 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// duplex is an in-memory bidirectional stream for tests.
+type duplex struct {
+	io.Reader
+	io.Writer
+}
+
+func pipePair() (*Conn, *Conn) {
+	aToB := &bytes.Buffer{}
+	bToA := &bytes.Buffer{}
+	a := NewConn(duplex{Reader: bToA, Writer: aToB})
+	b := NewConn(duplex{Reader: aToB, Writer: bToA})
+	return a, b
+}
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	a, b := pipePair()
+	if err := a.Send(m); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	return got
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	m := &Hello{AgentID: "imu-1", Modality: "imu", PeriodMillis: 25}
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip: %+v != %+v", got, m)
+	}
+}
+
+func TestSampleBatchRoundTrip(t *testing.T) {
+	m := &SampleBatch{
+		AgentID: "cam-7",
+		Readings: []Reading{
+			{TimestampMillis: 123456, Sensor: "accel", Values: []float64{0.1, -9.8, 3.5}},
+			{TimestampMillis: 123481, Sensor: "gyro", Values: []float64{}},
+			{TimestampMillis: 123506, Sensor: "frame", Values: make([]float64, 64)},
+		},
+	}
+	got := roundTrip(t, m)
+	gb, ok := got.(*SampleBatch)
+	if !ok {
+		t.Fatalf("got %T", got)
+	}
+	if gb.AgentID != m.AgentID || len(gb.Readings) != 3 {
+		t.Fatalf("batch mismatch: %+v", gb)
+	}
+	if gb.Readings[0].Values[1] != -9.8 || gb.Readings[2].Sensor != "frame" {
+		t.Fatalf("readings mismatch: %+v", gb.Readings)
+	}
+}
+
+func TestClockMessagesRoundTrip(t *testing.T) {
+	sync := roundTrip(t, &ClockSync{MasterMillis: 99999})
+	if sync.(*ClockSync).MasterMillis != 99999 {
+		t.Fatal("clock sync mismatch")
+	}
+	ack := roundTrip(t, &ClockAck{AgentID: "a", AgentMillis: 100001})
+	if ack.(*ClockAck).AgentMillis != 100001 {
+		t.Fatal("clock ack mismatch")
+	}
+	a := roundTrip(t, &Ack{Count: 7})
+	if a.(*Ack).Count != 7 {
+		t.Fatal("ack mismatch")
+	}
+}
+
+func TestMultipleMessagesInSequence(t *testing.T) {
+	a, b := pipePair()
+	msgs := []Message{
+		&Hello{AgentID: "x", Modality: "imu", PeriodMillis: 25},
+		&SampleBatch{AgentID: "x", Readings: []Reading{{TimestampMillis: 1, Sensor: "s", Values: []float64{1}}}},
+		&ClockSync{MasterMillis: 5},
+	}
+	for _, m := range msgs {
+		if err := a.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("type %d, want %d", got.Type(), want.Type())
+		}
+	}
+	if _, err := b.Recv(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF after drained stream, got %v", err)
+	}
+}
+
+func TestRecvRejectsUnknownType(t *testing.T) {
+	buf := &bytes.Buffer{}
+	buf.Write([]byte{0, 0, 0, 1, 200}) // frame of 1 byte: type 200
+	c := NewConn(duplex{Reader: buf, Writer: io.Discard})
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("expected unknown-type error")
+	}
+}
+
+func TestRecvRejectsOversizedFrame(t *testing.T) {
+	buf := &bytes.Buffer{}
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	c := NewConn(duplex{Reader: buf, Writer: io.Discard})
+	if _, err := c.Recv(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("expected ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestRecvRejectsTruncatedBody(t *testing.T) {
+	// A Hello frame claiming a long string but cut short.
+	buf := &bytes.Buffer{}
+	buf.Write([]byte{0, 0, 0, 5, byte(TypeHello), 0, 0, 0, 99})
+	c := NewConn(duplex{Reader: buf, Writer: io.Discard})
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("expected truncated-frame error")
+	}
+}
+
+func TestRecvRejectsTrailingGarbage(t *testing.T) {
+	// Encode an Ack then append an extra byte inside the same frame.
+	w := &writer{}
+	w.u8(uint8(TypeAck))
+	w.u32(1)
+	w.u8(0xEE)
+	buf := &bytes.Buffer{}
+	buf.Write([]byte{0, 0, 0, byte(len(w.buf))})
+	buf.Write(w.buf)
+	c := NewConn(duplex{Reader: buf, Writer: io.Discard})
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("expected trailing-bytes error")
+	}
+}
+
+func TestRecvRejectsEmptyFrame(t *testing.T) {
+	buf := &bytes.Buffer{}
+	buf.Write([]byte{0, 0, 0, 0})
+	c := NewConn(duplex{Reader: buf, Writer: io.Discard})
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("expected empty-frame error")
+	}
+}
+
+// Property: arbitrary sample batches survive a round trip bit-exactly.
+func TestSampleBatchRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &SampleBatch{AgentID: "agent"}
+		n := rng.Intn(6)
+		for i := 0; i < n; i++ {
+			rd := Reading{
+				TimestampMillis: rng.Int63(),
+				Sensor:          []string{"accel", "gyro", "frame"}[rng.Intn(3)],
+				Values:          make([]float64, rng.Intn(10)),
+			}
+			for j := range rd.Values {
+				rd.Values[j] = rng.NormFloat64() * 100
+			}
+			m.Readings = append(m.Readings, rd)
+		}
+		a, b := pipePair()
+		if err := a.Send(m); err != nil {
+			return false
+		}
+		got, err := b.Recv()
+		if err != nil {
+			return false
+		}
+		gb, ok := got.(*SampleBatch)
+		if !ok || gb.AgentID != m.AgentID || len(gb.Readings) != len(m.Readings) {
+			return false
+		}
+		for i, rd := range m.Readings {
+			g := gb.Readings[i]
+			if g.TimestampMillis != rd.TimestampMillis || g.Sensor != rd.Sensor || len(g.Values) != len(rd.Values) {
+				return false
+			}
+			for j := range rd.Values {
+				if g.Values[j] != rd.Values[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		c := NewConn(conn)
+		m, err := c.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		if h, ok := m.(*Hello); !ok || h.AgentID != "tcp-agent" {
+			done <- errors.New("unexpected hello")
+			return
+		}
+		done <- c.Send(&Ack{Count: 1})
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := NewConn(conn)
+	if err := c.Send(&Hello{AgentID: "tcp-agent", Modality: "imu", PeriodMillis: 25}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := m.(*Ack); !ok || a.Count != 1 {
+		t.Fatalf("unexpected reply %+v", m)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvMidFrameDisconnect(t *testing.T) {
+	// The peer dies after the header and half the body: Recv must return an
+	// error (wrapping io.ErrUnexpectedEOF), not hang or mis-parse.
+	full := &bytes.Buffer{}
+	c := NewConn(duplex{Reader: full, Writer: full})
+	if err := c.Send(&Hello{AgentID: "victim", Modality: "imu", PeriodMillis: 25}); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	cut := bytes.NewReader(raw[:len(raw)/2])
+	r := NewConn(duplex{Reader: cut, Writer: io.Discard})
+	_, err := r.Recv()
+	if err == nil {
+		t.Fatal("expected error on mid-frame disconnect")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("expected unexpected-EOF, got %v", err)
+	}
+}
+
+// Property: Recv never panics on arbitrary byte streams — it returns an
+// error or a message for any input (robustness against corrupted links).
+func TestRecvNeverPanicsOnGarbage(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		c := NewConn(duplex{Reader: bytes.NewReader(data), Writer: io.Discard})
+		for i := 0; i < 4; i++ {
+			if _, err := c.Recv(); err != nil {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	a, b := pipePair()
+	m := &Hello{AgentID: "count", Modality: "imu", PeriodMillis: 25}
+	if err := a.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if a.BytesWritten() == 0 {
+		t.Fatal("sender did not count bytes")
+	}
+	if b.BytesRead() != a.BytesWritten() {
+		t.Fatalf("read %d bytes, sent %d", b.BytesRead(), a.BytesWritten())
+	}
+	if a.BytesRead() != 0 || b.BytesWritten() != 0 {
+		t.Fatal("unused directions should be zero")
+	}
+}
