@@ -1,0 +1,34 @@
+# DarNet verify gate. `make verify` is the tier-1 check every change must
+# pass: formatting, go vet, the project's own static analyzers
+# (cmd/darnet-lint), a full build and test sweep, and the race detector over
+# the concurrent middleware packages.
+
+GO ?= go
+
+RACE_PKGS = ./internal/collect ./internal/tsdb ./internal/core
+
+.PHONY: verify fmt vet lint build test race
+
+verify: fmt vet lint build test race
+	@echo "verify: OK"
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/darnet-lint ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)

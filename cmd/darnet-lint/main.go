@@ -1,0 +1,122 @@
+// Command darnet-lint runs DarNet's project-specific static analyzers over
+// the module and exits non-zero on findings.
+//
+//	darnet-lint [-json] [-list] [packages...]
+//
+// Packages default to ./... (the whole module); "dir/..." subtree patterns
+// and plain directory paths are also accepted. Each finding is reported as
+//
+//	file:line:col: [rule] message
+//
+// or, with -json, as a JSON array of {file, line, col, rule, message}
+// objects so CI can diff lint results across commits. Suppress a finding
+// with a justified directive on the offending line or the line above:
+//
+//	//lint:ignore <rule> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"darnet/internal/lint"
+)
+
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := run(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darnet-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonFinding{
+				File: relPath(d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+				Rule: d.Rule, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "darnet-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func run(patterns []string) ([]lint.Diagnostic, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		return nil, err
+	}
+	analyzers := lint.All()
+	var diags []lint.Diagnostic
+	for _, pattern := range patterns {
+		pkgs, err := loader.ModulePackages(pattern)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkgs) == 0 {
+			return nil, fmt.Errorf("no packages match %q", pattern)
+		}
+		for _, p := range pkgs {
+			pkg, err := loader.LoadDir(p[0], p[1])
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, lint.Run(pkg, analyzers)...)
+		}
+	}
+	return diags, nil
+}
+
+func relPath(path string) string {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(cwd, path)
+	if err != nil {
+		return path
+	}
+	return rel
+}

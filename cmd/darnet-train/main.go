@@ -48,7 +48,9 @@ func run(scale float64, seed int64, cnnEpochs, rnnEpochs int, out, dataPath stri
 			return fmt.Errorf("open dataset: %w", err)
 		}
 		ds, err = darnet.LoadDataset(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return fmt.Errorf("load dataset: %w", err)
 		}

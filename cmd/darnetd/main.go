@@ -68,7 +68,9 @@ func runEngineServer(listen, enginePath string) error {
 		return fmt.Errorf("open engine snapshot: %w", err)
 	}
 	eng, err := core.LoadEngine(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return fmt.Errorf("load engine: %w", err)
 	}
@@ -85,6 +87,7 @@ func runEngineServer(listen, enginePath string) error {
 	go func() {
 		<-stop
 		fmt.Println("\nshutting down")
+		//lint:ignore errdrop shutdown path; the close error leaves nothing to act on
 		ln.Close()
 	}()
 	for {
@@ -122,6 +125,7 @@ func runController(listen string) error {
 	go func() {
 		<-stop
 		fmt.Println("\nshutting down")
+		//lint:ignore errdrop shutdown path; the close error leaves nothing to act on
 		ln.Close()
 	}()
 

@@ -1,0 +1,185 @@
+package collect
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"darnet/internal/tsdb"
+	"darnet/internal/wire"
+)
+
+// TestConcurrentCollectionStress hammers the controller from many agent
+// connections while reader goroutines sweep every query surface
+// (stats, frames, series, alignment, pruning) and manual time advances
+// continuously. It exists to give `go test -race ./internal/collect` real
+// contention to bite on: the sequential protocol tests never overlap
+// ServeConn with FrameNear or Prune, so they cannot catch a lock dropped
+// from the controller, frame store, or tsdb paths.
+func TestConcurrentCollectionStress(t *testing.T) {
+	const (
+		numAgents = 6
+		rounds    = 40
+	)
+	mt := NewManualTime(1_000_000)
+	db := tsdb.New()
+	ctrl := NewController(db, mt.Now)
+	ctrl.SetSyncPeriod(20) // force frequent clock-sync exchanges mid-stream
+
+	stopAdvance := make(chan struct{})
+	var advWG sync.WaitGroup
+	advWG.Add(1)
+	go func() {
+		defer advWG.Done()
+		for {
+			select {
+			case <-stopAdvance:
+				return
+			default:
+				mt.Advance(1)
+			}
+		}
+	}()
+
+	serveErrs := make(chan error, numAgents)
+	var agentsWG sync.WaitGroup
+	for i := 0; i < numAgents; i++ {
+		aRaw, cRaw := net.Pipe()
+		go func(raw net.Conn) {
+			serveErrs <- ctrl.ServeConn(wire.NewConn(raw))
+		}(cRaw)
+		agentsWG.Add(1)
+		go func(i int, raw net.Conn) {
+			defer agentsWG.Done()
+			defer raw.Close()
+			clk := NewDriftClock(mt.Now, 0.0005*float64(i))
+			var sensors []Sensor
+			modality := "imu"
+			if i%2 == 0 {
+				sensors = []Sensor{SensorFunc{
+					SensorName: "accel",
+					ReadFunc:   func() []float64 { return []float64{1, -2, 9.8} },
+				}}
+			} else {
+				modality = "camera"
+				pix := []float64{0.1, 0.2, 0.3, 0.4}
+				sensors = []Sensor{FrameSensor(func() []float64 { return pix })}
+			}
+			agent, err := NewAgent(AgentConfig{
+				ID: fmt.Sprintf("agent-%d", i), Modality: modality, PollPeriodMS: 5,
+			}, clk, sensors, wire.NewConn(raw))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := agent.Hello(); err != nil {
+				t.Error(err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				agent.Poll()
+				if err := agent.Flush(); err != nil {
+					t.Errorf("agent %d flush: %v", i, err)
+					return
+				}
+			}
+		}(i, aRaw)
+	}
+
+	// Readers overlap every controller/store query with the live writes.
+	readerStop := make(chan struct{})
+	var readersWG sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			for {
+				select {
+				case <-readerStop:
+					return
+				default:
+				}
+				for _, id := range ctrl.AgentIDs() {
+					ctrl.AgentStats(id)
+					ctrl.FrameCount(id)
+					ctrl.Frames(id)
+					_, _ = ctrl.FrameNear(id, mt.Now(), 0)
+				}
+				for _, s := range db.Series() {
+					db.Len(s)
+					db.Bounds(s)
+					db.Range(s, 0, mt.Now())
+					_, _ = ctrl.Align([]string{s}, AlignConfig{
+						FromMillis: mt.Now() - 500, ToMillis: mt.Now(), StepMillis: 50, SmoothWindow: 3,
+					})
+				}
+			}
+		}()
+	}
+	readersWG.Add(1)
+	go func() {
+		defer readersWG.Done()
+		for {
+			select {
+			case <-readerStop:
+				return
+			default:
+				db.Prune(mt.Now() - 5_000)
+			}
+		}
+	}()
+
+	agentsWG.Wait()
+	close(readerStop)
+	readersWG.Wait()
+	close(stopAdvance)
+	advWG.Wait()
+	for i := 0; i < numAgents; i++ {
+		if err := <-serveErrs; err != nil {
+			t.Errorf("controller: %v", err)
+		}
+	}
+	total := 0
+	for _, id := range ctrl.AgentIDs() {
+		st, ok := ctrl.AgentStats(id)
+		if !ok {
+			t.Fatalf("agent %s lost its stats", id)
+		}
+		total += st.Readings
+	}
+	if want := numAgents * rounds; total != want {
+		t.Fatalf("controller recorded %d readings, want %d", total, want)
+	}
+}
+
+// TestDriftClockConcurrency re-anchors a shared drift clock from one
+// goroutine while others read it — the agent-side shape of a ClockSync
+// arriving concurrently with sensor timestamping.
+func TestDriftClockConcurrency(t *testing.T) {
+	mt := NewManualTime(5_000)
+	clk := NewDriftClock(mt.Now, 0.002)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					clk.NowMillis()
+					clk.SkewMillis()
+					mt.Advance(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2_000; i++ {
+		clk.SetMillis(mt.Now() + int64(i%7))
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -77,8 +77,14 @@ func (e *Engine) Evaluate(test *Data, classNames []string) (*Evaluation, error) 
 	if err != nil {
 		return nil, err
 	}
-	cmRNN, _ := metrics.NewConfusionMatrix(classNames)
-	cmSVM, _ := metrics.NewConfusionMatrix(classNames)
+	cmRNN, err := metrics.NewConfusionMatrix(classNames)
+	if err != nil {
+		return nil, err
+	}
+	cmSVM, err := metrics.NewConfusionMatrix(classNames)
+	if err != nil {
+		return nil, err
+	}
 
 	cnnProbRows := make([][]float64, n)
 	fusedProbRows := make([][]float64, n)

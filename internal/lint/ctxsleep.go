@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Ctxsleep reports time.Sleep in non-test internal/ code. Collection agents
+// and the controller run managed loops that must stop promptly on Shutdown
+// (the Runner's stop-channel pattern); a sleeping goroutine cannot be
+// cancelled, which stalls shutdown by up to the sleep duration and leaks
+// goroutines in tests. Use time.NewTicker or time.NewTimer selected together
+// with a stop channel instead.
+var Ctxsleep = &Analyzer{
+	Name: "ctxsleep",
+	Doc:  "internal/ code must not time.Sleep; use a ticker/timer with a stop channel",
+	Run:  runCtxsleep,
+}
+
+func runCtxsleep(pass *Pass) {
+	if !pass.InInternal() {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				pass.Reportf(call.Pos(), "time.Sleep is uncancellable; select on a time.Ticker/Timer and a stop channel")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Errdrop reports error results that are discarded: calls used as bare
+// statements whose result includes an error, and errors assigned to the
+// blank identifier. The collection plane's transport (wire.Conn, tsdb
+// persistence, engine snapshots) surfaces partial failures only through
+// returned errors; dropping one turns a recoverable agent disconnect into
+// silent data loss.
+//
+// Exemptions: _test.go files and example packages (demonstration code),
+// deferred and go-routine'd calls (the defer f.Close() read-path
+// convention), and writers whose errors are documented never to occur
+// (fmt.Print*, strings.Builder, bytes.Buffer).
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "returned errors must be handled, not discarded or blanked",
+	Run:  runErrdrop,
+}
+
+func runErrdrop(pass *Pass) {
+	if pass.InExamples() {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok || errdropExempt(pass.TypesInfo, call) {
+					return true
+				}
+				if returnsError(pass.TypesInfo, call) {
+					pass.Reportf(n.Pos(), "%s returns an error that is ignored", callName(pass.TypesInfo, call))
+				}
+			case *ast.AssignStmt:
+				checkBlankedErrors(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call returns an error, alone or in a
+// tuple.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	if t, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+func checkBlankedErrors(pass *Pass, as *ast.AssignStmt) {
+	blankAt := func(i int) (*ast.Ident, bool) {
+		if i >= len(as.Lhs) {
+			return nil, false
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return nil, false
+		}
+		return id, true
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// Tuple form: x, _ := f()
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if ok && errdropExempt(pass.TypesInfo, call) {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[as.Rhs[0]]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i := 0; i < tuple.Len(); i++ {
+			if id, blank := blankAt(i); blank && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(id.Pos(), "error result discarded with _")
+			}
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		id, blank := blankAt(i)
+		if !blank {
+			continue
+		}
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && errdropExempt(pass.TypesInfo, call) {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[rhs]; ok && isErrorType(tv.Type) {
+			pass.Reportf(id.Pos(), "error result discarded with _")
+		}
+	}
+}
+
+// errdropExempt lists callees whose error results are conventionally
+// unactionable: fmt printers targeting stdout/stderr or the never-failing
+// in-memory writers, and methods on those writers themselves.
+func errdropExempt(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && safeWriter(info, call.Args[0])
+		}
+	case "strings", "bytes":
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			name := recv.Type().String()
+			return name == "*strings.Builder" || name == "*bytes.Buffer"
+		}
+	}
+	return false
+}
+
+// safeWriter reports whether w is an in-memory writer that cannot fail or
+// one of the process diagnostic streams, where a failed write leaves nothing
+// to report to anyway.
+func safeWriter(info *types.Info, w ast.Expr) bool {
+	w = ast.Unparen(w)
+	if tv, ok := info.Types[w]; ok {
+		switch tv.Type.String() {
+		case "*strings.Builder", "*bytes.Buffer":
+			return true
+		}
+	}
+	if sel, ok := w.(*ast.SelectorExpr); ok {
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil && v.Pkg().Path() == "os" {
+			return v.Name() == "Stdout" || v.Name() == "Stderr"
+		}
+	}
+	return false
+}
+
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		return fn.Name()
+	}
+	return "call"
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Floatcmp reports == and != between floating-point expressions outside
+// _test.go files. DarNet's analytics engine is float64 numerics end to end
+// (tensor ops, gradients, Bayesian posteriors); exact equality on computed
+// floats silently misclassifies instead of crashing, so comparisons must use
+// a tolerance (math.Abs(a-b) <= eps).
+//
+// Comparisons against an exact-zero constant are exempt by design: IEEE 754
+// makes "was this ever written / is this weight exactly zero" a
+// deterministic question, and the sparsity fast paths in conv and lstm
+// kernels rely on it. Anything else needs a tolerance or a justified
+// //lint:ignore floatcmp directive.
+var Floatcmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "floating-point equality outside tests must use a tolerance (exact-zero guards exempt)",
+	Run:  runFloatcmp,
+}
+
+func runFloatcmp(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			x, okX := pass.TypesInfo.Types[bin.X]
+			y, okY := pass.TypesInfo.Types[bin.Y]
+			if !okX || !okY || !isFloat(x.Type) || !isFloat(y.Type) {
+				return true
+			}
+			if isZeroConst(x) || isZeroConst(y) {
+				return true
+			}
+			pass.Reportf(bin.OpPos, "float %s float comparison; use a tolerance like math.Abs(a-b) <= eps", bin.Op)
+			return true
+		})
+	}
+}
+
+func isZeroConst(tv types.TypeAndValue) bool {
+	return tv.Value != nil && constant.Sign(tv.Value) == 0
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Globalrand reports calls to package-level math/rand functions (rand.Intn,
+// rand.Float64, rand.Shuffle, ...) inside internal/ packages. DarNet's
+// synthetic data generation and weight initialization must be reproducible:
+// every internal component takes an injected, seeded *rand.Rand (as
+// internal/synth and internal/nn already do), so classification results and
+// gradient checks are bit-for-bit repeatable. The global source is shared,
+// lock-contended, and unseeded — three properties an inference middleware
+// cannot afford.
+//
+// Constructors (rand.New, rand.NewSource, rand.NewZipf) are exactly how an
+// injected RNG is built and stay allowed.
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "internal/ code must use an injected *rand.Rand, not the global math/rand source",
+	Run:  runGlobalrand,
+}
+
+func runGlobalrand(pass *Pass) {
+	if !pass.InInternal() {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+			default:
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // method on an injected *rand.Rand
+			}
+			if strings.HasPrefix(fn.Name(), "New") {
+				return true // constructing an injected RNG
+			}
+			pass.Reportf(call.Pos(), "global math/rand.%s breaks deterministic inference; inject a seeded *rand.Rand", fn.Name())
+			return true
+		})
+	}
+}

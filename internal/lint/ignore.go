@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreSet indexes //lint:ignore directives by file and line. A directive
+// suppresses matching findings on its own line and the line directly below
+// it (the conventional "comment above the statement" placement).
+type ignoreSet struct {
+	// byLine maps file -> line -> rules ignored there ("all" matches any).
+	byLine    map[string]map[int][]string
+	malformed []Diagnostic
+}
+
+func buildIgnores(pkg *Package) *ignoreSet {
+	ig := &ignoreSet{byLine: make(map[string]map[int][]string)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				rest, ok := strings.CutPrefix(text, "lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					ig.malformed = append(ig.malformed, Diagnostic{
+						Pos:     pos,
+						Rule:    "ignore",
+						Message: "malformed directive: want //lint:ignore <rule> <reason>",
+					})
+					continue
+				}
+				lines := ig.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					ig.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], fields[0])
+			}
+		}
+	}
+	return ig
+}
+
+func (ig *ignoreSet) suppressed(d Diagnostic) bool {
+	lines := ig.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, rule := range lines[line] {
+			if rule == d.Rule || rule == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+// Package lint is DarNet's project-specific static-analysis framework. It is
+// built entirely on the standard library (go/parser, go/ast, go/types) and
+// exists because the middleware layers (collect, tsdb, core) are lock-guarded
+// concurrent code and the analytics layers (tensor, nn, rnn, bayes) are
+// numerics where silent invariant violations corrupt accuracy instead of
+// crashing. Each analyzer encodes one such invariant; the cmd/darnet-lint
+// driver runs the full registry over the module and fails on findings.
+//
+// Findings can be suppressed with an explicit, justified directive on the
+// offending line or the line above it:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The reason is mandatory; a directive without one is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, resolved to a file position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the finding in the canonical file:line:col: [rule] message
+// form the driver prints.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one static check. Run inspects the package held by the pass and
+// reports findings through it.
+type Analyzer struct {
+	// Name is the rule identifier used in reports and //lint:ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant the rule enforces.
+	Doc string
+	// Run executes the check over one type-checked package.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	PkgPath   string
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	rule   string
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos under the running analyzer's rule name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// InInternal reports whether the package under analysis is an internal/
+// package, where the middleware invariants (deterministic RNG, cancellable
+// agents) are binding.
+func (p *Pass) InInternal() bool {
+	return pathHasSegment(p.PkgPath, "internal")
+}
+
+// InExamples reports whether the package is example code, exempt from the
+// error-handling rule.
+func (p *Pass) InExamples() bool {
+	return pathHasSegment(p.PkgPath, "examples")
+}
+
+func pathHasSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over a loaded package and returns the surviving
+// findings: suppressed ones are dropped, malformed suppressions are added,
+// and the result is sorted by position then rule.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			PkgPath:   pkg.Path,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			rule:      a.Name,
+		}
+		pass.report = func(d Diagnostic) { diags = append(diags, d) }
+		a.Run(pass)
+	}
+	ig := buildIgnores(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ig.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, ig.malformed...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return kept
+}
+
+// isFloat reports whether t's core type is float32 or float64 (including
+// untyped float constants).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isErrorType reports whether t is exactly the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil for
+// builtins, conversions, and calls through function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,157 @@
+package lint_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"darnet/internal/lint"
+)
+
+// sharedLoader builds one loader (one `go list -export` sweep) for all
+// fixture tests.
+var sharedLoader = sync.OnceValues(func() (*lint.Loader, error) {
+	return lint.NewLoader(".")
+})
+
+// fixtureCase binds an analyzer to its fixture package. The synthetic import
+// path controls path-gated rules (internal/ vs examples/).
+type fixtureCase struct {
+	analyzer   *lint.Analyzer
+	fixture    string
+	importPath string
+}
+
+func fixtures() []fixtureCase {
+	const base = "darnet/internal/lintfixture/"
+	return []fixtureCase{
+		{lint.Locksafe, "locksafe", base + "locksafe"},
+		{lint.Floatcmp, "floatcmp", base + "floatcmp"},
+		{lint.Errdrop, "errdrop", base + "errdrop"},
+		{lint.Errdrop, "errdropexamples", "darnet/examples/lintfixture/errdropexamples"},
+		{lint.Globalrand, "globalrand", base + "globalrand"},
+		{lint.Ctxsleep, "ctxsleep", base + "ctxsleep"},
+		{lint.Shapecheck, "shapecheck", base + "shapecheck"},
+	}
+}
+
+func TestAnalyzersAgainstFixtures(t *testing.T) {
+	for _, tc := range fixtures() {
+		name := tc.analyzer.Name
+		if tc.fixture != name {
+			name = tc.analyzer.Name + "/" + tc.fixture
+		}
+		t.Run(name, func(t *testing.T) {
+			runFixture(t, tc)
+		})
+	}
+}
+
+// runFixture type-checks testdata/src/<fixture>, runs the analyzer, and
+// matches findings against the `// want "regex"` comments: every want line
+// must produce a matching finding and every finding must land on a want
+// line.
+func runFixture(t *testing.T, tc fixtureCase) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dir := filepath.Join("testdata", "src", tc.fixture)
+	pkg, err := loader.LoadDir(dir, tc.importPath)
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags := lint.Run(pkg, []*lint.Analyzer{tc.analyzer})
+
+	wants := collectWants(t, pkg)
+	matched := make(map[string]bool)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		w, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected finding %s", d)
+			continue
+		}
+		if !w.rx.MatchString(d.Message) {
+			t.Errorf("finding %s does not match want %q", d, w.rx)
+			continue
+		}
+		matched[key] = true
+	}
+	for key, w := range wants {
+		if !matched[key] {
+			t.Errorf("%s: want %q produced no finding", key, w.rx)
+		}
+	}
+}
+
+type wantExpect struct {
+	rx *regexp.Regexp
+}
+
+// collectWants parses `// want "regex"` comments out of the fixture files,
+// keyed by file:line.
+func collectWants(t *testing.T, pkg *lint.Package) map[string]wantExpect {
+	wants := make(map[string]wantExpect)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				quoted := strings.TrimSpace(rest)
+				pat, err := strconv.Unquote(quoted)
+				if err != nil {
+					t.Fatalf("%s: bad want comment %q: %v", pkg.Fset.Position(c.Pos()), quoted, err)
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = wantExpect{rx: rx}
+			}
+		}
+	}
+	if len(wants) == 0 && !strings.Contains(pkg.Path, "examples") {
+		t.Fatalf("fixture %s has no want comments", pkg.Dir)
+	}
+	return wants
+}
+
+// TestIgnoreDirectiveRequiresReason: a bare //lint:ignore without a rule and
+// reason is itself reported.
+func TestIgnoreDirectiveRequiresReason(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dir := filepath.Join("testdata", "src", "badignore")
+	pkg, err := loader.LoadDir(dir, "darnet/internal/lintfixture/badignore")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags := lint.Run(pkg, []*lint.Analyzer{lint.Ctxsleep})
+	var rules []string
+	for _, d := range diags {
+		rules = append(rules, d.Rule)
+	}
+	if len(diags) != 2 || rules[0] != "ctxsleep" && rules[1] != "ctxsleep" {
+		t.Fatalf("want one ctxsleep finding (directive malformed, so not suppressed) and one ignore finding, got %v", diags)
+	}
+	foundMalformed := false
+	for _, d := range diags {
+		if d.Rule == "ignore" && strings.Contains(d.Message, "malformed") {
+			foundMalformed = true
+		}
+	}
+	if !foundMalformed {
+		t.Fatalf("malformed directive not reported: %v", diags)
+	}
+}

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Locksafe reports functions that acquire a sync.Mutex or sync.RWMutex and
+// can reach a return (or fall off the end of the function) with the lock
+// still held and no deferred unlock registered. DarNet's controller, clock,
+// frame store, and tsdb are all lock-guarded hot paths serving concurrent
+// agent connections; a leaked lock deadlocks the whole collection plane.
+//
+// The check is a conservative, path-insensitive walk: branch bodies are
+// analyzed with a copy of the lock state, so unlock-and-return inside a
+// branch is fine, as is lock/unlock in straight line. Genuinely intentional
+// cross-function locking must carry a //lint:ignore locksafe directive.
+var Locksafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "a mutex lock must be released on every return path or deferred",
+	Run:  runLocksafe,
+}
+
+func runLocksafe(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkLockBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				// Each literal (goroutine body, handler) is its own function
+				// with its own defer stack and lock state.
+				checkLockBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+func checkLockBody(pass *Pass, body *ast.BlockStmt) {
+	w := &lockWalker{pass: pass, deferred: make(map[string]bool)}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed independently by runLocksafe
+		case *ast.DeferStmt:
+			w.markDeferred(n)
+		}
+		return true
+	})
+	held := w.block(body.List, make(map[string]token.Pos))
+	w.checkEnd(body, held)
+}
+
+type lockOpKind int
+
+const (
+	opLock lockOpKind = iota
+	opUnlock
+)
+
+type lockWalker struct {
+	pass     *Pass
+	deferred map[string]bool
+}
+
+// lockOp classifies a call as Lock/RLock or Unlock/RUnlock on a sync mutex
+// and returns the textual receiver (e.g. "c.mu") as the lock identity.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (name string, op lockOpKind, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	fn, isFn := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", 0, false
+	}
+	return types.ExprString(sel.X), op, true
+}
+
+// markDeferred records the unlocks a defer statement guarantees, including
+// the defer func() { mu.Unlock() }() form.
+func (w *lockWalker) markDeferred(d *ast.DeferStmt) {
+	if name, op, ok := w.lockOp(d.Call); ok && op == opUnlock {
+		w.deferred[name] = true
+		return
+	}
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, op, ok := w.lockOp(call); ok && op == opUnlock {
+				w.deferred[name] = true
+			}
+		}
+		return true
+	})
+}
+
+// block walks a statement list, tracking which locks are held on the
+// fall-through path. Branch bodies get a copy of the state: acquisitions and
+// releases inside a branch do not leak out, which keeps the check
+// conservative without a full CFG.
+func (w *lockWalker) block(stmts []ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	branch := func(body *ast.BlockStmt) {
+		if body != nil {
+			w.block(body.List, copyHeld(held))
+		}
+	}
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if name, op, ok := w.lockOp(call); ok {
+					if op == opLock {
+						held[name] = s.Pos()
+					} else {
+						delete(held, name)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for name := range held {
+				if !w.deferred[name] {
+					w.pass.Reportf(s.Pos(), "return with %s still locked and no deferred unlock", name)
+				}
+			}
+		case *ast.IfStmt:
+			branch(s.Body)
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				w.block(e.List, copyHeld(held))
+			case *ast.IfStmt:
+				w.block([]ast.Stmt{e}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			branch(s.Body)
+		case *ast.RangeStmt:
+			branch(s.Body)
+		case *ast.SwitchStmt:
+			branch(s.Body)
+		case *ast.TypeSwitchStmt:
+			branch(s.Body)
+		case *ast.SelectStmt:
+			branch(s.Body)
+		case *ast.CaseClause:
+			w.block(s.Body, copyHeld(held))
+		case *ast.CommClause:
+			w.block(s.Body, copyHeld(held))
+		case *ast.BlockStmt:
+			held = w.block(s.List, held)
+		case *ast.LabeledStmt:
+			held = w.block([]ast.Stmt{s.Stmt}, held)
+		}
+	}
+	return held
+}
+
+// checkEnd reports locks still held when control falls off the end of a
+// body, unless the final statement cannot fall through (returns are handled
+// in block; panics and condition-less for loops terminate without falling
+// through).
+func (w *lockWalker) checkEnd(body *ast.BlockStmt, held map[string]token.Pos) {
+	if len(body.List) > 0 {
+		switch last := body.List[len(body.List)-1].(type) {
+		case *ast.ReturnStmt:
+			return
+		case *ast.ForStmt:
+			if last.Cond == nil {
+				return
+			}
+		case *ast.ExprStmt:
+			if call, ok := last.X.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					return
+				}
+			}
+		}
+	}
+	for name, pos := range held {
+		if !w.deferred[name] {
+			w.pass.Reportf(pos, "%s is locked here but the function can exit without unlocking it", name)
+		}
+	}
+}
+
+func copyHeld(m map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+package lint
+
+// All returns the full analyzer registry in the order findings are
+// conventionally reported.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Locksafe,
+		Floatcmp,
+		Errdrop,
+		Globalrand,
+		Ctxsleep,
+		Shapecheck,
+	}
+}

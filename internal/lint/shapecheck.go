@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Shapecheck verifies statically-known shape invariants at calls into the
+// numerics constructors:
+//
+//   - tensor.FromSlice / tensor.MustFromSlice with a literal data slice and
+//     constant dims: the dim product must equal the literal length. At run
+//     time this mismatch is an error/panic on a path that may only trigger
+//     once a specific inference branch is hit — the linter fails it at
+//     review time instead.
+//   - tensor.New / tensor.Full / tensor.Randn / tensor.Uniform /
+//     FromSlice / MustFromSlice: constant dims must be non-negative.
+//   - nn.NewBatchNorm with constant width and groups: width must divide
+//     evenly into groups, the constructor's panic condition.
+var Shapecheck = &Analyzer{
+	Name: "shapecheck",
+	Doc:  "literal dims passed to tensor/nn constructors must be consistent with literal data",
+	Run:  runShapecheck,
+}
+
+// dimArgStart maps tensor constructors to the argument index where the
+// variadic shape begins.
+var dimArgStart = map[string]int{
+	"New":           0,
+	"FromSlice":     1,
+	"MustFromSlice": 1,
+	"Full":          1,
+	"Randn":         2,
+	"Uniform":       3,
+}
+
+func runShapecheck(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case strings.HasSuffix(fn.Pkg().Path(), "internal/tensor"):
+				checkTensorCtor(pass, call, fn.Name())
+			case strings.HasSuffix(fn.Pkg().Path(), "internal/nn") && fn.Name() == "NewBatchNorm":
+				checkBatchNorm(pass, call)
+			}
+			return true
+		})
+	}
+}
+
+func checkTensorCtor(pass *Pass, call *ast.CallExpr, name string) {
+	start, ok := dimArgStart[name]
+	if !ok || call.Ellipsis.IsValid() || len(call.Args) < start {
+		return
+	}
+	dims := call.Args[start:]
+	product := 1
+	allConst := len(dims) > 0
+	for _, d := range dims {
+		v, known := constIntValue(pass.TypesInfo, d)
+		if !known {
+			allConst = false
+			continue
+		}
+		if v < 0 {
+			pass.Reportf(d.Pos(), "tensor.%s dimension %d is negative (constructor panics)", name, v)
+			return
+		}
+		product *= int(v)
+	}
+	if name != "FromSlice" && name != "MustFromSlice" || !allConst {
+		return
+	}
+	length, ok := literalLen(call.Args[0])
+	if !ok {
+		return
+	}
+	if product != length {
+		pass.Reportf(call.Pos(), "tensor.%s: dims multiply to %d but the data literal has %d elements", name, product, length)
+	}
+}
+
+func checkBatchNorm(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 3 {
+		return
+	}
+	width, okW := constIntValue(pass.TypesInfo, call.Args[1])
+	groups, okG := constIntValue(pass.TypesInfo, call.Args[2])
+	if !okW || !okG {
+		return
+	}
+	if width <= 0 || groups <= 0 || width%groups != 0 {
+		pass.Reportf(call.Pos(), "nn.NewBatchNorm: width %d is not divisible into %d groups (constructor panics)", width, groups)
+	}
+}
+
+func constIntValue(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// literalLen counts the elements of a plain (unkeyed) composite literal.
+func literalLen(e ast.Expr) (int, bool) {
+	lit, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		return 0, false
+	}
+	for _, el := range lit.Elts {
+		if _, keyed := el.(*ast.KeyValueExpr); keyed {
+			return 0, false
+		}
+	}
+	return len(lit.Elts), true
+}

@@ -1,0 +1,10 @@
+// Package badignore is a lint fixture: a directive without a reason is
+// malformed, reported, and suppresses nothing.
+package badignore
+
+import "time"
+
+func sleepy() {
+	//lint:ignore ctxsleep
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,33 @@
+// Package ctxsleep is a lint fixture: uncancellable sleep cases.
+package ctxsleep
+
+import "time"
+
+func uncancellable() {
+	time.Sleep(time.Millisecond) // want "time.Sleep is uncancellable"
+}
+
+func tickerCompliant(stop chan struct{}) {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-stop:
+	}
+}
+
+func timerCompliant(stop chan struct{}) bool {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+func suppressed() {
+	//lint:ignore ctxsleep fixture demonstrates suppression
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,56 @@
+// Package errdrop is a lint fixture: discarded-error cases.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func ignoredEntirely() {
+	fail() // want "returns an error that is ignored"
+}
+
+func blankedSingle() {
+	_ = fail() // want "error result discarded"
+}
+
+func blankedInTuple() int {
+	n, _ := pair() // want "error result discarded"
+	return n
+}
+
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	n, err := pair()
+	if err != nil {
+		return err
+	}
+	_ = n // blanking a non-error is fine
+	return nil
+}
+
+func deferredCloseExempt(c io.Closer) {
+	defer c.Close()
+}
+
+func safeWritersExempt() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "render %d", 1)
+	fmt.Println("stdout printing")
+	fmt.Fprintln(os.Stderr, "diagnostics")
+	return sb.String()
+}
+
+func suppressed() {
+	//lint:ignore errdrop fixture demonstrates suppression
+	fail()
+}

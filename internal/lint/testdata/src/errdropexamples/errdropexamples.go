@@ -1,0 +1,11 @@
+// Package errdropexamples is a lint fixture loaded under an examples/
+// import path: demonstration code is exempt from errdrop entirely.
+package errdropexamples
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+func demo() {
+	fail() // no finding: examples packages are exempt
+}

@@ -1,0 +1,35 @@
+// Package floatcmp is a lint fixture: float equality cases.
+package floatcmp
+
+import "math"
+
+const eps = 1e-9
+
+func exactEquality(a, b float64) bool {
+	return a == b // want "float == float"
+}
+
+func exactInequality32(a, b float32) bool {
+	return a != b // want "float != float"
+}
+
+func nonZeroConstant(a float64) bool {
+	return a == 0.5 // want "float == float"
+}
+
+func zeroGuardExempt(a float64) bool {
+	return a == 0
+}
+
+func toleranceCompliant(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func intComparisonFine(a, b int) bool {
+	return a == b
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floatcmp fixture demonstrates suppression
+	return a == b
+}

@@ -1,0 +1,27 @@
+// Package globalrand is a lint fixture: global math/rand cases.
+package globalrand
+
+import "math/rand"
+
+func globalDraw() float64 {
+	return rand.Float64() // want "global math/rand.Float64"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "global math/rand.Shuffle"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func injectedCompliant(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+func constructorsAllowed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func suppressed() int {
+	//lint:ignore globalrand fixture demonstrates suppression
+	return rand.Intn(10)
+}

@@ -1,0 +1,79 @@
+// Package locksafe is a lint fixture: lock/unlock discipline cases.
+package locksafe
+
+import (
+	"errors"
+	"sync"
+)
+
+var errBoom = errors.New("boom")
+
+type store struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	val int
+}
+
+func (s *store) leakOnEarlyReturn(fail bool) error {
+	s.mu.Lock()
+	if fail {
+		return errBoom // want "return with s.mu still locked"
+	}
+	s.val++
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *store) neverUnlocks() {
+	s.mu.Lock() // want "can exit without unlocking"
+	s.val++
+}
+
+func (s *store) leakReadLock() int {
+	s.rw.RLock()
+	return s.val // want "return with s.rw still locked"
+}
+
+func (s *store) deferredUnlock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.val
+}
+
+func (s *store) deferredInClosure() int {
+	s.mu.Lock()
+	defer func() { s.mu.Unlock() }()
+	return s.val
+}
+
+func (s *store) straightLine() int {
+	s.mu.Lock()
+	v := s.val
+	s.mu.Unlock()
+	return v
+}
+
+func (s *store) unlockPerBranch(b bool) int {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		return 0
+	}
+	v := s.val
+	s.mu.Unlock()
+	return v
+}
+
+func (s *store) goroutineHasOwnState() {
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.val++
+	}()
+}
+
+func (s *store) handoff() {
+	//lint:ignore locksafe fixture demonstrates an intentional lock handoff
+	s.mu.Lock()
+	s.val++
+}
