@@ -5,9 +5,13 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/collect ./internal/tsdb ./internal/core
+RACE_PKGS = ./internal/collect ./internal/tsdb ./internal/core ./internal/telemetry
 
-.PHONY: verify fmt vet lint build test race
+# bench-smoke artifact location; override with BENCH_OUT=BENCH_PR3.json to
+# refresh the committed benchmark (then bump the scale/epochs back up).
+BENCH_OUT ?= /tmp/darnet-bench-smoke.json
+
+.PHONY: verify fmt vet lint build test race bench-smoke
 
 verify: fmt vet lint build test race
 	@echo "verify: OK"
@@ -32,3 +36,10 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# bench-smoke trains a deliberately tiny configuration, probes the serving
+# path, writes the machine-readable benchmark, and validates its schema. The
+# committed BENCH_PR3.json is produced at default scale/epochs instead.
+bench-smoke:
+	$(GO) run ./cmd/darnet-eval -exp bench -scale 0.012 -cnn-epochs 2 -rnn-epochs 2 -q -bench-out $(BENCH_OUT)
+	$(GO) run ./cmd/darnet-eval -check-bench $(BENCH_OUT)

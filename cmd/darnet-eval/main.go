@@ -31,6 +31,7 @@ import (
 	"darnet/internal/nn"
 	"darnet/internal/rnn"
 	"darnet/internal/synth"
+	"darnet/internal/telemetry"
 	"darnet/internal/tensor"
 )
 
@@ -39,19 +40,33 @@ func main() {
 	log.SetPrefix("darnet-eval: ")
 
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|figure5|figure4|table3|ablations|driver-split|kfold|all")
-		scale     = flag.Float64("scale", 0.04, "fraction of the paper's Table 1 frame counts to generate")
-		seed      = flag.Int64("seed", 42, "train/eval random seed")
-		outDir    = flag.String("out", "figures", "output directory for figure artifacts")
-		cnnEpochs = flag.Int("cnn-epochs", 16, "frame CNN training epochs")
-		rnnEpochs = flag.Int("rnn-epochs", 12, "IMU RNN training epochs")
-		quiet     = flag.Bool("q", false, "suppress training progress")
-		dataPath  = flag.String("data", "", "load a saved 6-class dataset (darnet-datagen -save) instead of generating")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|figure5|figure4|table3|ablations|driver-split|kfold|bench|all")
+		scale      = flag.Float64("scale", 0.04, "fraction of the paper's Table 1 frame counts to generate")
+		seed       = flag.Int64("seed", 42, "train/eval random seed")
+		outDir     = flag.String("out", "figures", "output directory for figure artifacts")
+		cnnEpochs  = flag.Int("cnn-epochs", 16, "frame CNN training epochs")
+		rnnEpochs  = flag.Int("rnn-epochs", 12, "IMU RNN training epochs")
+		quiet      = flag.Bool("q", false, "suppress training progress")
+		dataPath   = flag.String("data", "", "load a saved 6-class dataset (darnet-datagen -save) instead of generating")
+		telem      = flag.Bool("telemetry", false, "print stage latency histograms and the most recent trace after the experiment")
+		benchOut   = flag.String("bench-out", "BENCH_PR3.json", "output path for the machine-readable benchmark (-exp bench)")
+		checkBench = flag.String("check-bench", "", "validate a benchmark JSON file and exit")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *scale, *seed, *outDir, *cnnEpochs, *rnnEpochs, *quiet, *dataPath); err != nil {
+	if *checkBench != "" {
+		if err := checkBenchFile(*checkBench); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := run(*exp, *scale, *seed, *outDir, *cnnEpochs, *rnnEpochs, *quiet, *dataPath, *benchOut); err != nil {
 		log.Fatal(err)
+	}
+	if *telem {
+		if err := telemetry.WriteReport(os.Stdout, telemetry.Default.Snapshot(), telemetry.DefaultTracer); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 
@@ -71,12 +86,12 @@ func loadOrGenerate(dataPath string, scale float64) (*darnet.Dataset, error) {
 	return darnet.LoadDataset(f)
 }
 
-func run(exp string, scale float64, seed int64, outDir string, cnnEpochs, rnnEpochs int, quiet bool, dataPath string) error {
+func run(exp string, scale float64, seed int64, outDir string, cnnEpochs, rnnEpochs int, quiet bool, dataPath, benchOut string) error {
 	switch exp {
 	case "table1":
 		return table1(scale)
 	case "table2", "figure5":
-		ev, err := trainAndEvaluate(dataPath, scale, seed, cnnEpochs, rnnEpochs, quiet)
+		_, _, ev, err := trainAndEvaluate(dataPath, scale, seed, cnnEpochs, rnnEpochs, quiet)
 		if err != nil {
 			return err
 		}
@@ -96,6 +111,8 @@ func run(exp string, scale float64, seed int64, outDir string, cnnEpochs, rnnEpo
 		return kfold(dataPath, scale, seed, cnnEpochs, rnnEpochs, quiet)
 	case "table3":
 		return table3(seed, cnnEpochs, quiet)
+	case "bench":
+		return bench(dataPath, scale, seed, cnnEpochs, rnnEpochs, quiet, benchOut)
 	case "all":
 		if err := table1(scale); err != nil {
 			return err
@@ -103,7 +120,7 @@ func run(exp string, scale float64, seed int64, outDir string, cnnEpochs, rnnEpo
 		if err := figure4(outDir); err != nil {
 			return err
 		}
-		ev, err := trainAndEvaluate(dataPath, scale, seed, cnnEpochs, rnnEpochs, quiet)
+		_, _, ev, err := trainAndEvaluate(dataPath, scale, seed, cnnEpochs, rnnEpochs, quiet)
 		if err != nil {
 			return err
 		}
@@ -137,16 +154,18 @@ func table1(scale float64) error {
 	return nil
 }
 
-// trainAndEvaluate runs the full Table 2 / Figure 5 experiment.
-func trainAndEvaluate(dataPath string, scale float64, seed int64, cnnEpochs, rnnEpochs int, quiet bool) (*darnet.Evaluation, error) {
+// trainAndEvaluate runs the full Table 2 / Figure 5 experiment, returning
+// the trained engine and the held-out test set alongside the evaluation so
+// follow-up probes (the bench experiment) can reuse them.
+func trainAndEvaluate(dataPath string, scale float64, seed int64, cnnEpochs, rnnEpochs int, quiet bool) (*darnet.Engine, *darnet.Dataset, *darnet.Evaluation, error) {
 	ds, err := loadOrGenerate(dataPath, scale)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	rng := rand.New(rand.NewSource(seed))
 	train, test, err := ds.Split(rng, 0.2) // the paper's 80/20 partition
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	tc := darnet.DefaultEngineTrainConfig()
@@ -161,9 +180,13 @@ func trainAndEvaluate(dataPath string, scale float64, seed int64, cnnEpochs, rnn
 	}
 	eng, err := darnet.TrainEngine(train, tc)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	return darnet.EvaluateEngine(eng, test)
+	ev, err := darnet.EvaluateEngine(eng, test)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return eng, test, ev, nil
 }
 
 // kfold evaluates the three architectures under 5-fold cross-validation,

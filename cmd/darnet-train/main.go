@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +19,7 @@ import (
 
 	"darnet"
 	"darnet/internal/metrics"
+	"darnet/internal/telemetry"
 )
 
 func main() {
@@ -32,15 +34,16 @@ func main() {
 		out       = flag.String("out", "darnet-engine.gob", "snapshot output path")
 		dataPath  = flag.String("data", "", "load a saved dataset (darnet-datagen -save) instead of generating")
 		quiet     = flag.Bool("q", false, "suppress training progress")
+		telem     = flag.Bool("telemetry", false, "probe per-sample inference latency and print stage histograms plus the most recent trace")
 	)
 	flag.Parse()
 
-	if err := run(*scale, *seed, *cnnEpochs, *rnnEpochs, *out, *dataPath, *quiet); err != nil {
+	if err := run(*scale, *seed, *cnnEpochs, *rnnEpochs, *out, *dataPath, *quiet, *telem); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(scale float64, seed int64, cnnEpochs, rnnEpochs int, out, dataPath string, quiet bool) error {
+func run(scale float64, seed int64, cnnEpochs, rnnEpochs int, out, dataPath string, quiet, telem bool) error {
 	var ds *darnet.Dataset
 	if dataPath != "" {
 		f, err := os.Open(dataPath)
@@ -91,6 +94,20 @@ func run(scale float64, seed int64, cnnEpochs, rnnEpochs int, out, dataPath stri
 	}
 	fmt.Printf("test Top-1: CNN+RNN %s, CNN+SVM %s, CNN %s\n",
 		metrics.FormatPercent(ev.CNNRNN), metrics.FormatPercent(ev.CNNSVM), metrics.FormatPercent(ev.CNN))
+
+	if telem {
+		// Fill the darnet_core_* stage histograms by running held-out samples
+		// through the per-sample serving path before printing the report.
+		ctx := context.Background()
+		for _, s := range test.Samples[:min(64, test.Len())] {
+			if _, err := eng.ClassifyCtx(ctx, s.Frame.Pix, s.Window); err != nil {
+				return fmt.Errorf("telemetry probe: %w", err)
+			}
+		}
+		if err := telemetry.WriteReport(os.Stdout, telemetry.Default.Snapshot(), telemetry.DefaultTracer); err != nil {
+			return err
+		}
+	}
 
 	f, err := os.Create(out)
 	if err != nil {

@@ -9,14 +9,22 @@
 // a running controller:
 //
 //	darnetd -agent -connect 127.0.0.1:7700 -id imu-1 -duration 5s
+//
+// Either server mode can additionally expose the telemetry ops endpoint
+// (/metrics, /healthz, /tracez, /debug/pprof) with -ops:
+//
+//	darnetd -listen 127.0.0.1:7700 -ops 127.0.0.1:7701
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -26,6 +34,7 @@ import (
 	"darnet/internal/core"
 	"darnet/internal/imu"
 	"darnet/internal/synth"
+	"darnet/internal/telemetry"
 	"darnet/internal/tsdb"
 	"darnet/internal/wire"
 )
@@ -36,6 +45,7 @@ func main() {
 
 	var (
 		listen     = flag.String("listen", "127.0.0.1:7700", "controller listen address")
+		ops        = flag.String("ops", "", "also serve the ops endpoint (/metrics, /healthz, /tracez, /debug/pprof) on this address")
 		agentMode  = flag.Bool("agent", false, "run as a simulated agent instead of the controller")
 		connect    = flag.String("connect", "127.0.0.1:7700", "controller address (agent mode)")
 		agentID    = flag.String("id", "imu-1", "agent identifier (agent mode)")
@@ -50,19 +60,209 @@ func main() {
 	case *agentMode:
 		err = runAgent(*connect, *agentID, *duration, *drift)
 	case *enginePath != "":
-		err = runEngineServer(*listen, *enginePath)
+		err = runEngineServer(*listen, *ops, *enginePath)
 	default:
-		err = runController(*listen)
+		err = runController(*listen, *ops)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
 }
 
+// notifyInterrupt returns a channel that closes on the first SIGINT and a
+// release function that unregisters the handler and lets the signal
+// goroutine exit. (An earlier version leaked that goroutine forever when the
+// accept loop ended for any reason other than a signal.)
+func notifyInterrupt() (<-chan struct{}, func()) {
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	done := make(chan struct{})
+	go func() {
+		defer signal.Stop(sig)
+		select {
+		case <-sig:
+			close(stop)
+		case <-done:
+		}
+	}()
+	return stop, func() { close(done) }
+}
+
+// listenPair opens the service listener and, when opsAddr is non-empty, the
+// ops listener.
+func listenPair(addr, opsAddr string) (ln, opsLn net.Listener, err error) {
+	ln, err = net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("listen: %w", err)
+	}
+	if opsAddr != "" {
+		opsLn, err = net.Listen("tcp", opsAddr)
+		if err != nil {
+			//lint:ignore errdrop already failing; the close error adds nothing
+			ln.Close()
+			return nil, nil, fmt.Errorf("ops listen: %w", err)
+		}
+	}
+	return ln, opsLn, nil
+}
+
+// statusf writes operator status output. out is stdout in deployment and a
+// discard sink in tests; a failed status write leaves nothing to act on.
+func statusf(out io.Writer, format string, args ...any) {
+	//lint:ignore errdrop status output; a failed write leaves nothing to act on
+	fmt.Fprintf(out, format, args...)
+}
+
+// connTracker remembers accepted connections so shutdown can unblock their
+// serve goroutines by closing them.
+type connTracker struct {
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func newConnTracker() *connTracker {
+	return &connTracker{conns: make(map[net.Conn]struct{})}
+}
+
+func (t *connTracker) add(c net.Conn) {
+	t.mu.Lock()
+	t.conns[c] = struct{}{}
+	t.mu.Unlock()
+}
+
+// remove closes c and stops tracking it.
+func (t *connTracker) remove(c net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, c)
+	t.mu.Unlock()
+	//lint:ignore errdrop connection teardown; the close error leaves nothing to act on
+	c.Close()
+}
+
+func (t *connTracker) closeAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for c := range t.conns {
+		//lint:ignore errdrop shutdown path; the close error leaves nothing to act on
+		c.Close()
+	}
+}
+
+// startOps serves the telemetry ops endpoint on ln (nil disables it). The
+// returned server must be Closed to release its listener and goroutine.
+func startOps(ln net.Listener, out io.Writer) *http.Server {
+	if ln == nil {
+		return nil
+	}
+	srv := &http.Server{Handler: telemetry.NewOpsHandler(telemetry.Default, telemetry.DefaultTracer)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("ops: %v", err)
+		}
+	}()
+	statusf(out, "ops endpoint on http://%s/metrics\n", ln.Addr())
+	return srv
+}
+
+// acceptLoop accepts connections on ln and hands each to handle on its own
+// goroutine until stop closes or the listener fails. When opsLn is non-nil
+// the ops endpoint serves on it for the duration. On return both listeners
+// and every tracked connection are closed and all spawned goroutines have
+// exited.
+func acceptLoop(ln, opsLn net.Listener, stop <-chan struct{}, out io.Writer, handle func(net.Conn)) {
+	opsSrv := startOps(opsLn, out)
+	tracker := newConnTracker()
+	done := make(chan struct{})
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		select {
+		case <-stop:
+			statusf(out, "\nshutting down\n")
+		case <-done:
+		}
+		//lint:ignore errdrop shutdown path; the close error leaves nothing to act on
+		ln.Close()
+		tracker.closeAll()
+	}()
+
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			break // listener closed
+		}
+		tracker.add(conn)
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer tracker.remove(conn)
+			handle(conn)
+		}(conn)
+	}
+	close(done)
+	watch.Wait()
+	wg.Wait()
+	if opsSrv != nil {
+		//lint:ignore errdrop shutdown path; the close error leaves nothing to act on
+		opsSrv.Close()
+	}
+}
+
+func wallMillis() int64 { return time.Now().UnixMilli() }
+
+func runController(listen, opsAddr string) error {
+	ln, opsLn, err := listenPair(listen, opsAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("controller listening on %s (clock re-sync every %d ms)\n", ln.Addr(), collect.SyncPeriodMillis)
+	db := tsdb.New()
+	ctrl := collect.NewController(db, wallMillis)
+	stop, release := notifyInterrupt()
+	defer release()
+	serveController(ctrl, db, ln, opsLn, stop, os.Stdout)
+	return nil
+}
+
+// serveController runs the controller accept loop until stop closes, then
+// prints the session summary. Split from runController so tests can drive it
+// with ephemeral listeners and a controllable stop channel.
+func serveController(ctrl *collect.Controller, db *tsdb.DB, ln, opsLn net.Listener, stop <-chan struct{}, out io.Writer) {
+	acceptLoop(ln, opsLn, stop, out, func(conn net.Conn) {
+		remote := conn.RemoteAddr()
+		err := ctrl.ServeConn(wire.NewConn(conn))
+		switch {
+		case err == nil:
+			statusf(out, "agent %v disconnected\n", remote)
+		case errors.Is(err, net.ErrClosed):
+			// Shutdown closed the connection under a blocked read; not an
+			// agent fault, nothing to report.
+		default:
+			log.Printf("agent %v: %v", remote, err)
+		}
+	})
+
+	// Session summary.
+	for _, id := range ctrl.AgentIDs() {
+		st, _ := ctrl.AgentStats(id)
+		statusf(out, "agent %-10s modality=%-7s batches=%d readings=%d last-skew=%dms rtt=%dms\n",
+			id, st.Modality, st.Batches, st.Readings, st.LastSkewMill, st.LastRTTMillis)
+	}
+	for _, s := range db.Series() {
+		first, last, ok := db.Bounds(s)
+		if ok {
+			statusf(out, "series %-24s %6d points over %d ms\n", s, db.Len(s), last-first)
+		}
+	}
+}
+
 // runEngineServer runs the paper's remote configuration: a server holding
 // the trained analytics engine, answering classify requests over the wire
 // protocol.
-func runEngineServer(listen, enginePath string) error {
+func runEngineServer(listen, opsAddr, enginePath string) error {
 	f, err := os.Open(enginePath)
 	if err != nil {
 		return fmt.Errorf("open engine snapshot: %w", err)
@@ -74,93 +274,26 @@ func runEngineServer(listen, enginePath string) error {
 	if err != nil {
 		return fmt.Errorf("load engine: %w", err)
 	}
-	ln, err := net.Listen("tcp", listen)
+	ln, opsLn, err := listenPair(listen, opsAddr)
 	if err != nil {
-		return fmt.Errorf("listen: %w", err)
+		return err
 	}
 	fmt.Printf("analytics engine (%d classes, %dx%d frames) serving on %s\n",
 		eng.Classes, eng.ImgW, eng.ImgH, ln.Addr())
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
-	var wg sync.WaitGroup
-	go func() {
-		<-stop
-		fmt.Println("\nshutting down")
-		//lint:ignore errdrop shutdown path; the close error leaves nothing to act on
-		ln.Close()
-	}()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			break
-		}
-		wg.Add(1)
-		go func(conn net.Conn) {
-			defer wg.Done()
-			defer conn.Close()
-			if err := eng.ServeClassify(wire.NewConn(conn)); err != nil {
-				log.Printf("client %v: %v", conn.RemoteAddr(), err)
-			}
-		}(conn)
-	}
-	wg.Wait()
+	stop, release := notifyInterrupt()
+	defer release()
+	serveEngine(eng, ln, opsLn, stop, os.Stdout)
 	return nil
 }
 
-func wallMillis() int64 { return time.Now().UnixMilli() }
-
-func runController(listen string) error {
-	db := tsdb.New()
-	ctrl := collect.NewController(db, wallMillis)
-	ln, err := net.Listen("tcp", listen)
-	if err != nil {
-		return fmt.Errorf("listen: %w", err)
-	}
-	fmt.Printf("controller listening on %s (clock re-sync every %d ms)\n", ln.Addr(), collect.SyncPeriodMillis)
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
-	var wg sync.WaitGroup
-	go func() {
-		<-stop
-		fmt.Println("\nshutting down")
-		//lint:ignore errdrop shutdown path; the close error leaves nothing to act on
-		ln.Close()
-	}()
-
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			break // listener closed
+// serveEngine runs the classify accept loop until stop closes.
+func serveEngine(eng *core.Engine, ln, opsLn net.Listener, stop <-chan struct{}, out io.Writer) {
+	acceptLoop(ln, opsLn, stop, out, func(conn net.Conn) {
+		err := eng.ServeClassify(wire.NewConn(conn))
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Printf("client %v: %v", conn.RemoteAddr(), err)
 		}
-		wg.Add(1)
-		go func(conn net.Conn) {
-			defer wg.Done()
-			defer conn.Close()
-			remote := conn.RemoteAddr()
-			if err := ctrl.ServeConn(wire.NewConn(conn)); err != nil {
-				log.Printf("agent %v: %v", remote, err)
-				return
-			}
-			fmt.Printf("agent %v disconnected\n", remote)
-		}(conn)
-	}
-	wg.Wait()
-
-	// Session summary.
-	for _, id := range ctrl.AgentIDs() {
-		st, _ := ctrl.AgentStats(id)
-		fmt.Printf("agent %-10s modality=%-7s batches=%d readings=%d last-skew=%dms rtt=%dms\n",
-			id, st.Modality, st.Batches, st.Readings, st.LastSkewMill, st.LastRTTMillis)
-	}
-	for _, s := range db.Series() {
-		first, last, ok := db.Bounds(s)
-		if ok {
-			fmt.Printf("series %-24s %6d points over %d ms\n", s, db.Len(s), last-first)
-		}
-	}
-	return nil
+	})
 }
 
 func runAgent(addr, id string, duration time.Duration, drift float64) error {

@@ -4,9 +4,27 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
+	"darnet/internal/telemetry"
 	"darnet/internal/tsdb"
 	"darnet/internal/wire"
+)
+
+// Controller-plane metrics: ingest throughput and latency, the clock-sync
+// loop's round trips, and the connected-agent population. The ingest span
+// tree (darnet_ingest_batch → agent_read / store / clock_sync / ack) is
+// what /tracez shows for a running darnetd.
+var (
+	gAgents   = telemetry.NewGauge("darnet_collect_agents_connected", "agent connections currently registered")
+	mBatches  = telemetry.NewCounter("darnet_collect_batches_total", "sample batches ingested")
+	mReadings = telemetry.NewCounter("darnet_collect_readings_total", "sensor readings ingested")
+	mFrames   = telemetry.NewCounter("darnet_collect_frames_total", "camera frames routed to the frame store")
+	mSyncs    = telemetry.NewCounter("darnet_collect_clock_syncs_total", "clock-sync exchanges completed")
+	hIngest   = telemetry.NewHistogram("darnet_collect_ingest_seconds", "controller-side processing of one batch (store, sync, ack; excludes the wait for agent data)", nil)
+	hSyncRTT  = telemetry.NewHistogram("darnet_collect_sync_rtt_seconds", "round-trip time of the clock-sync exchange", nil)
+	gSkew     = telemetry.NewGauge("darnet_collect_clock_skew_millis", "residual agent clock skew at the most recent sync")
+	hAlign    = telemetry.NewHistogram("darnet_collect_align_seconds", "resample + smooth of one series set", nil)
 )
 
 // SyncPeriodMillis is how often the controller re-distributes its clock to
@@ -103,6 +121,11 @@ func (c *Controller) AgentStats(id string) (Stats, bool) {
 // ServeConn runs the controller side of the protocol for one agent
 // connection until the agent disconnects (io.EOF) or a protocol error
 // occurs. It is safe to call concurrently for multiple connections.
+//
+// Every batch iteration is traced as a darnet_ingest_batch span with
+// agent_read (blocking wait + wire decode), store (frame store and tsdb
+// inserts), clock_sync, and ack children; traces abandoned by a disconnect
+// mid-iteration are dropped rather than published incomplete.
 func (c *Controller) ServeConn(conn *wire.Conn) error {
 	msg, err := conn.Recv()
 	if err != nil {
@@ -123,15 +146,21 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 	if err := conn.Send(&wire.Ack{}); err != nil {
 		return fmt.Errorf("collect: hello ack: %w", err)
 	}
+	gAgents.Add(1)
+	defer gAgents.Add(-1)
 
 	for {
+		root := telemetry.DefaultTracer.StartRoot("darnet_ingest_batch")
+		readSp := root.StartChild("darnet_stage_agent_read")
 		msg, err := conn.Recv()
+		readSp.End()
 		if err != nil {
 			if err == io.EOF {
 				return nil
 			}
 			return fmt.Errorf("collect: controller recv: %w", err)
 		}
+		ingestStart := time.Now()
 		batch, ok := msg.(*wire.SampleBatch)
 		if !ok {
 			return fmt.Errorf("collect: expected sample batch, got %T", msg)
@@ -139,6 +168,8 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 		if batch.AgentID != hello.AgentID {
 			return fmt.Errorf("collect: batch from %q on connection of %q", batch.AgentID, hello.AgentID)
 		}
+		storeSp := root.StartChild("darnet_stage_store")
+		frames := 0
 		for _, rd := range batch.Readings {
 			// Camera frames carry W*H pixels and go to the frame store;
 			// scalar sensor channels go to the time-series database per axis.
@@ -147,6 +178,7 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 					TimestampMillis: rd.TimestampMillis,
 					Pix:             append([]float64(nil), rd.Values...),
 				})
+				frames++
 				continue
 			}
 			series := SeriesName(batch.AgentID, rd.Sensor)
@@ -157,6 +189,7 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 				})
 			}
 		}
+		storeSp.End()
 
 		now := c.source()
 		c.mu.Lock()
@@ -172,6 +205,7 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 		// controller pushes its UTC, waits for the agent's resulting clock,
 		// and records the residual skew.
 		if needSync {
+			syncSp := root.StartChild("darnet_stage_clock_sync")
 			sentAt := c.source()
 			if err := conn.Send(&wire.ClockSync{MasterMillis: now}); err != nil {
 				return fmt.Errorf("collect: send clock sync: %w", err)
@@ -184,14 +218,27 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 			if !ok {
 				return fmt.Errorf("collect: expected clock ack, got %T", reply)
 			}
+			rtt := c.source() - sentAt
+			skew := ack.AgentMillis - c.source()
 			c.mu.Lock()
-			st.lastRTT = c.source() - sentAt
-			st.lastSkew = ack.AgentMillis - c.source()
+			st.lastRTT = rtt
+			st.lastSkew = skew
 			c.mu.Unlock()
+			syncSp.End()
+			mSyncs.Inc()
+			hSyncRTT.Observe(float64(rtt) / 1000)
+			gSkew.Set(float64(skew))
 		}
+		ackSp := root.StartChild("darnet_stage_ack")
 		if err := conn.Send(&wire.Ack{Count: uint32(len(batch.Readings))}); err != nil {
 			return fmt.Errorf("collect: batch ack: %w", err)
 		}
+		ackSp.End()
+		mBatches.Inc()
+		mReadings.Add(int64(len(batch.Readings)))
+		mFrames.Add(int64(frames))
+		hIngest.ObserveSince(ingestStart)
+		root.End()
 	}
 }
 
@@ -228,6 +275,7 @@ func (c *Controller) Align(series []string, cfg AlignConfig) (*Aligned, error) {
 	if cfg.SmoothWindow <= 0 {
 		cfg.SmoothWindow = 1
 	}
+	defer hAlign.ObserveSince(time.Now())
 	out := &Aligned{Series: append([]string(nil), series...), Step: cfg.StepMillis, From: cfg.FromMillis}
 	for _, s := range series {
 		vals, err := c.db.ResampleLinear(s, cfg.FromMillis, cfg.ToMillis, cfg.StepMillis)

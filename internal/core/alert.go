@@ -70,6 +70,8 @@ func (a *Alerter) Observe(class int) AlertEvent {
 		a.distractedRun = 0
 		if a.active && a.normalRun >= a.Clear {
 			a.active = false
+			mAlertsCleared.Inc()
+			gAlertActive.Set(0)
 			return AlertCleared
 		}
 		return AlertNone
@@ -78,6 +80,8 @@ func (a *Alerter) Observe(class int) AlertEvent {
 	a.normalRun = 0
 	if !a.active && a.distractedRun >= a.Trigger {
 		a.active = true
+		mAlertsRaised.Inc()
+		gAlertActive.Set(1)
 		return AlertRaised
 	}
 	return AlertNone

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"darnet/internal/bayes"
 	"darnet/internal/imu"
@@ -10,6 +12,7 @@ import (
 	"darnet/internal/privacy"
 	"darnet/internal/rnn"
 	"darnet/internal/svm"
+	"darnet/internal/telemetry"
 	"darnet/internal/tensor"
 )
 
@@ -253,26 +256,56 @@ type Classification struct {
 // Classify runs the full DarNet inference for one aligned (frame, window)
 // observation: CNN on the frame, RNN on the normalized window, BN fusion.
 func (e *Engine) Classify(frame []float64, window imu.Window) (*Classification, error) {
+	return e.ClassifyCtx(context.Background(), frame, window)
+}
+
+// ClassifyCtx is Classify with span tracing: each model stage (CNN forward,
+// RNN forward, BN fusion) becomes a child of the span carried by ctx (or of
+// a fresh root when ctx carries none), and stage latencies feed the
+// darnet_core_* histograms.
+func (e *Engine) ClassifyCtx(ctx context.Context, frame []float64, window imu.Window) (*Classification, error) {
+	start := time.Now()
+	_, span := telemetry.DefaultTracer.StartSpan(ctx, "darnet_stage_classify")
+	defer span.End()
 	if len(frame) != e.ImgW*e.ImgH {
+		mClassifyErrors.Inc()
 		return nil, fmt.Errorf("core: frame has %d pixels, want %d", len(frame), e.ImgW*e.ImgH)
 	}
 	x, err := tensor.FromSlice(frame, 1, len(frame))
 	if err != nil {
+		mClassifyErrors.Inc()
 		return nil, err
 	}
+	cnnSp := span.StartChild("darnet_stage_cnn_forward")
+	cnnStart := time.Now()
 	cnnProbs, err := nn.PredictProbs(e.CNN, x, 1)
+	cnnSp.End()
 	if err != nil {
+		mClassifyErrors.Inc()
 		return nil, fmt.Errorf("core: cnn inference: %w", err)
 	}
+	hCNNForward.ObserveSince(cnnStart)
+	rnnSp := span.StartChild("darnet_stage_rnn_forward")
+	rnnStart := time.Now()
 	rnnProbs, err := e.RNN.PredictProbs(e.IMUStats.Normalize(window))
+	rnnSp.End()
 	if err != nil {
+		mClassifyErrors.Inc()
 		return nil, fmt.Errorf("core: rnn inference: %w", err)
 	}
+	hRNNForward.ObserveSince(rnnStart)
 	cp := append([]float64(nil), cnnProbs.Row(0)...)
+	bnSp := span.StartChild("darnet_stage_bn_combine")
+	bnStart := time.Now()
 	post, err := e.BNWithRNN.Combine(cp, rnnProbs)
+	bnSp.End()
 	if err != nil {
+		mClassifyErrors.Inc()
 		return nil, fmt.Errorf("core: bn combine: %w", err)
 	}
+	hBNCombine.ObserveSince(bnStart)
+	mClassifications.Inc()
+	hClassify.ObserveSince(start)
 	return &Classification{
 		Class:    bayes.ArgMax(post),
 		Probs:    post,

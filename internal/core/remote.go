@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"darnet/internal/bayes"
 	"darnet/internal/collect"
 	"darnet/internal/imu"
 	"darnet/internal/privacy"
+	"darnet/internal/telemetry"
 	"darnet/internal/vision"
 	"darnet/internal/wire"
 )
@@ -30,14 +33,22 @@ func (e *Engine) ServeClassify(conn *wire.Conn) error {
 		if !ok {
 			return fmt.Errorf("core: expected classify request, got %T", msg)
 		}
-		resp := e.answer(req)
+		start := time.Now()
+		root := telemetry.DefaultTracer.StartRoot("darnet_classify_request")
+		resp := e.answer(telemetry.ContextWithSpan(context.Background(), root), req)
+		root.End()
+		mRemoteRequests.Inc()
+		if resp.Error != "" {
+			mRemoteErrors.Inc()
+		}
+		hRemoteRequest.ObserveSince(start)
 		if err := conn.Send(resp); err != nil {
 			return fmt.Errorf("core: serve classify send: %w", err)
 		}
 	}
 }
 
-func (e *Engine) answer(req *wire.ClassifyRequest) *wire.ClassifyResponse {
+func (e *Engine) answer(ctx context.Context, req *wire.ClassifyRequest) *wire.ClassifyResponse {
 	if err := req.Validate(); err != nil {
 		return &wire.ClassifyResponse{Error: err.Error()}
 	}
@@ -57,7 +68,7 @@ func (e *Engine) answer(req *wire.ClassifyRequest) *wire.ClassifyResponse {
 	if level := collect.DistortionLevel(req.Distortion); level != collect.DistortNone {
 		res, err = e.classifyDistorted(req.Frame, level, window)
 	} else {
-		res, err = e.Classify(req.Frame, window)
+		res, err = e.ClassifyCtx(ctx, req.Frame, window)
 	}
 	if err != nil {
 		return &wire.ClassifyResponse{Error: err.Error()}

@@ -36,6 +36,7 @@ func fixtures() []fixtureCase {
 		{lint.Globalrand, "globalrand", base + "globalrand"},
 		{lint.Ctxsleep, "ctxsleep", base + "ctxsleep"},
 		{lint.Shapecheck, "shapecheck", base + "shapecheck"},
+		{lint.Metricname, "metricname", base + "metricname"},
 	}
 }
 

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+
+	"darnet/internal/telemetry"
+)
+
+// Metricname verifies the names handed to telemetry registration and span
+// creation: they must be compile-time string constants (so the ops
+// endpoint's metric inventory is greppable) and valid per
+// telemetry.ValidName — snake_case with a darnet_ prefix. Registration
+// panics on a bad name at startup; this rule fails it at review time, and
+// catches span names, which are never validated at run time because span
+// start is a hot path.
+//
+// The telemetry package itself is exempt: its implementation and tests
+// construct arbitrary names to exercise the validator.
+var Metricname = &Analyzer{
+	Name: "metricname",
+	Doc:  "telemetry metric and span names must be literal darnet_-prefixed snake_case strings",
+	Run:  runMetricname,
+}
+
+// metricNameArg maps telemetry name-taking functions to the index of the
+// name argument.
+var metricNameArg = map[string]int{
+	"NewCounter":   0,
+	"NewGauge":     0,
+	"NewHistogram": 0,
+	"Counter":      0, // Registry.Counter
+	"Gauge":        0, // Registry.Gauge
+	"Histogram":    0, // Registry.Histogram
+	"StartRoot":    0, // Tracer.StartRoot
+	"StartChild":   0, // Span.StartChild
+	"StartSpan":    1, // Tracer.StartSpan(ctx, name)
+}
+
+func runMetricname(pass *Pass) {
+	if strings.HasSuffix(pass.PkgPath, "internal/telemetry") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/telemetry") {
+				return true
+			}
+			idx, ok := metricNameArg[fn.Name()]
+			if !ok || len(call.Args) <= idx {
+				return true
+			}
+			arg := call.Args[idx]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "telemetry.%s name must be a string literal, not a computed value", fn.Name())
+				return true
+			}
+			if name := constant.StringVal(tv.Value); !telemetry.ValidName(name) {
+				pass.Reportf(arg.Pos(), "telemetry name %q is not darnet_-prefixed snake_case", name)
+			}
+			return true
+		})
+	}
+}

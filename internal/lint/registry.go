@@ -10,5 +10,6 @@ func All() []*Analyzer {
 		Globalrand,
 		Ctxsleep,
 		Shapecheck,
+		Metricname,
 	}
 }

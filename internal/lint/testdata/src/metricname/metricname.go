@@ -1,0 +1,58 @@
+// Package metricname is a lint fixture: telemetry name cases.
+package metricname
+
+import (
+	"context"
+
+	"darnet/internal/telemetry"
+)
+
+var reg = telemetry.NewRegistry()
+
+var good = telemetry.NewCounter("darnet_fixture_total", "ok")
+
+var badPrefix = telemetry.NewCounter("fixture_total", "no prefix") // want "not darnet_-prefixed snake_case"
+
+var badCase = reg.Gauge("darnet_Fixture", "uppercase") // want "not darnet_-prefixed snake_case"
+
+var badChars = reg.Histogram("darnet_fixture-seconds", "dash", nil) // want "not darnet_-prefixed snake_case"
+
+var badDouble = reg.Counter("darnet__fixture_total", "double underscore") // want "not darnet_-prefixed snake_case"
+
+func computed(name string) *telemetry.Counter {
+	return reg.Counter(name, "dynamic") // want "must be a string literal"
+}
+
+func concatenated(suffix string) *telemetry.Counter {
+	return reg.Counter("darnet_"+suffix, "built at run time") // want "must be a string literal"
+}
+
+// constName is a compile-time constant, which is literal enough: the full
+// name still appears in the source.
+const constName = "darnet_fixture_const_total"
+
+func namedConst() *telemetry.Counter {
+	return reg.Counter(constName, "named constant")
+}
+
+func spans(ctx context.Context, tr *telemetry.Tracer) {
+	root := tr.StartRoot("darnet_fixture_span")
+	child := root.StartChild("fixture_child") // want "not darnet_-prefixed snake_case"
+	_, staged := tr.StartSpan(ctx, "darnet_fixture_stage")
+	_, badStage := tr.StartSpan(ctx, "Bad Stage") // want "not darnet_-prefixed snake_case"
+	badStage.End()
+	staged.End()
+	child.End()
+	root.End()
+}
+
+func suppressed() *telemetry.Counter {
+	//lint:ignore metricname fixture demonstrates suppression
+	return reg.Counter("legacy_total", "grandfathered")
+}
+
+var _ = good
+var _ = badPrefix
+var _ = badCase
+var _ = badChars
+var _ = badDouble

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// The acceptance bar for leaving telemetry on in production: counter
+// increments and span start/stop must be allocation-free after warm-up.
+// These tests enforce it in CI; the benchmarks below report the actual cost.
+
+func TestCounterIncAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("darnet_alloc_total", "")
+	if n := testing.AllocsPerRun(1000, c.Inc); n != 0 {
+		t.Fatalf("Counter.Inc allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestGaugeSetAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("darnet_alloc_gauge", "")
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1.5) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestHistogramObserveAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("darnet_alloc_seconds", "", nil)
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.00123) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestSpanStartEndAllocationFree(t *testing.T) {
+	tr := NewTracer(8, 0) // unsampled path: the 63-of-64 production case
+	// Warm the pool first: the very first spans allocate their pooled
+	// backing objects.
+	for i := 0; i < 16; i++ {
+		s := tr.StartRoot("darnet_warm")
+		s.StartChild("darnet_warm_child").End()
+		s.End()
+	}
+	n := testing.AllocsPerRun(1000, func() {
+		s := tr.StartRoot("darnet_alloc_span")
+		c := s.StartChild("darnet_alloc_child")
+		c.End()
+		s.End()
+	})
+	if n != 0 {
+		t.Fatalf("span start/child/stop allocates %.1f per op, want 0", n)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("darnet_bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("darnet_bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.000123)
+	}
+}
+
+func BenchmarkHistogramObserveSince(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("darnet_bench_since_seconds", "", nil)
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(start)
+	}
+}
+
+func BenchmarkSpanStartEndUnsampled(b *testing.B) {
+	tr := NewTracer(8, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.StartRoot("darnet_bench_span")
+		s.End()
+	}
+}
+
+func BenchmarkSpanTreeSampled(b *testing.B) {
+	tr := NewTracer(8, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.StartRoot("darnet_bench_span")
+		c := s.StartChild("darnet_bench_child")
+		c.End()
+		s.End()
+	}
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+)
+
+// WriteText renders a registry snapshot in a Prometheus-style text
+// exposition: HELP/TYPE comment lines, counter and gauge samples, and for
+// histograms the quantile summaries plus _sum and _count.
+func WriteText(w io.Writer, s Snapshot) error {
+	var b bytes.Buffer
+	for _, c := range s.Counters {
+		writeHeader(&b, c.Name, c.Help, "counter")
+		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		writeHeader(&b, g.Name, g.Help, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", g.Name, formatFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		writeHeader(&b, h.Name, h.Help, "summary")
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", h.Name, formatFloat(h.P50))
+		fmt.Fprintf(&b, "%s{quantile=\"0.9\"} %s\n", h.Name, formatFloat(h.P90))
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %s\n", h.Name, formatFloat(h.P99))
+		fmt.Fprintf(&b, "%s_sum %s\n", h.Name, formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+func writeHeader(b *bytes.Buffer, name, help, kind string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, kind)
+}
+
+func formatFloat(v float64) string {
+	//lint:ignore floatcmp exact integrality test decides formatting, not numerics
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// NewOpsHandler returns the ops endpoint handler darnetd serves behind
+// -ops: /metrics (text, or JSON with ?format=json), /healthz, /tracez
+// (recent sampled traces, JSON or ?format=text), and the net/http/pprof
+// suite under /debug/pprof/.
+func NewOpsHandler(reg *Registry, tracer *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			writeJSON(w, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WriteText(w, snap); err != nil {
+			// The response is already partially written; nothing to send the
+			// client, and a broken scrape connection is not actionable here.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := io.WriteString(w, "ok\n"); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		traces := tracer.RecentTraces()
+		if r.URL.Query().Get("format") == "text" {
+			var b bytes.Buffer
+			for _, tr := range traces {
+				b.WriteString(RenderTree(tr))
+				b.WriteString("\n")
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if _, err := w.Write(b.Bytes()); err != nil {
+				return
+			}
+			return
+		}
+		writeJSON(w, struct {
+			Traces []*TraceNode `json:"traces"`
+		}{Traces: traces})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Encoding registry snapshots and trace trees cannot fail; a write
+		// error means the scraper hung up, which is not actionable.
+		return
+	}
+}

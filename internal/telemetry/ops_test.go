@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func opsFixture() (*Registry, *Tracer) {
+	reg := NewRegistry()
+	reg.Counter("darnet_ops_batches_total", "batches").Add(3)
+	reg.Gauge("darnet_ops_agents", "connected agents").Set(2)
+	reg.Histogram("darnet_ops_ingest_seconds", "ingest latency", nil).Observe(0.0015)
+	tr := NewTracer(8, 1)
+	root := tr.StartRoot("darnet_ingest_batch")
+	c := root.StartChild("darnet_stage_store")
+	c.End()
+	root.End()
+	return reg, tr
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestOpsEndpoints(t *testing.T) {
+	reg, tr := opsFixture()
+	srv := httptest.NewServer(NewOpsHandler(reg, tr))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"darnet_ops_batches_total 3",
+		"darnet_ops_agents 2",
+		"darnet_ops_ingest_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=json status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 3 {
+		t.Fatalf("unexpected JSON counters: %+v", snap.Counters)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 1 {
+		t.Fatalf("unexpected JSON histograms: %+v", snap.Histograms)
+	}
+
+	code, body = get(t, srv, "/tracez")
+	if code != http.StatusOK {
+		t.Fatalf("/tracez status %d", code)
+	}
+	var traces struct {
+		Traces []*TraceNode `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("tracez JSON: %v", err)
+	}
+	if len(traces.Traces) != 1 || traces.Traces[0].Name != "darnet_ingest_batch" ||
+		len(traces.Traces[0].Children) != 1 {
+		t.Fatalf("unexpected traces: %+v", traces.Traces)
+	}
+
+	code, body = get(t, srv, "/tracez?format=text")
+	if code != http.StatusOK || !strings.Contains(body, "darnet_stage_store") {
+		t.Fatalf("/tracez?format=text = %d %q", code, body)
+	}
+
+	code, body = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}

@@ -1,0 +1,32 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteReport renders the human-readable telemetry summary the CLI
+// -telemetry flags print: every non-empty histogram as one table row
+// (count, mean, p50/p90/p99 in milliseconds) followed by the most recent
+// completed trace tree from tracer (nil skips the trace section).
+func WriteReport(w io.Writer, snap Snapshot, tracer *Tracer) error {
+	var b strings.Builder
+	b.WriteString("== telemetry: stage latency ==\n")
+	fmt.Fprintf(&b, "%-36s %8s %10s %10s %10s %10s\n", "histogram", "count", "mean ms", "p50 ms", "p90 ms", "p99 ms")
+	for _, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-36s %8d %10.3f %10.3f %10.3f %10.3f\n",
+			h.Name, h.Count, h.Mean*1000, h.P50*1000, h.P90*1000, h.P99*1000)
+	}
+	if tracer != nil {
+		if traces := tracer.RecentTraces(); len(traces) > 0 {
+			b.WriteString("\n== telemetry: most recent trace ==\n")
+			b.WriteString(RenderTree(traces[len(traces)-1]))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := NewTracer(4, 1) // sample everything
+	root := tr.StartRoot("darnet_pipeline_window")
+	a := root.StartChild("darnet_stage_align")
+	a.End()
+	c := root.StartChild("darnet_stage_classify")
+	cc := c.StartChild("darnet_stage_cnn_forward")
+	cc.End()
+	c.End()
+	root.End()
+
+	traces := tr.RecentTraces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	n := traces[0]
+	if n.Name != "darnet_pipeline_window" || len(n.Children) != 2 {
+		t.Fatalf("unexpected tree: %+v", n)
+	}
+	if n.Children[1].Name != "darnet_stage_classify" || len(n.Children[1].Children) != 1 {
+		t.Fatalf("unexpected classify subtree: %+v", n.Children[1])
+	}
+	if n.DurationNanos <= 0 {
+		t.Fatal("root duration not recorded")
+	}
+	rendered := RenderTree(n)
+	if !strings.Contains(rendered, "darnet_pipeline_window") ||
+		!strings.Contains(rendered, "  darnet_stage_align") ||
+		!strings.Contains(rendered, "    darnet_stage_cnn_forward") {
+		t.Fatalf("unexpected rendering:\n%s", rendered)
+	}
+}
+
+func TestTracerSamplingCadence(t *testing.T) {
+	tr := NewTracer(100, 4) // first of every 4 roots
+	for i := 0; i < 8; i++ {
+		s := tr.StartRoot("darnet_trace")
+		s.End()
+	}
+	if got := len(tr.RecentTraces()); got != 2 {
+		t.Fatalf("got %d sampled traces of 8 roots at 1-in-4, want 2", got)
+	}
+
+	off := NewTracer(4, 0) // sampling disabled
+	for i := 0; i < 4; i++ {
+		s := off.StartRoot("darnet_trace")
+		if s.Sampled() {
+			t.Fatal("sampling disabled but span sampled")
+		}
+		s.End()
+	}
+	if got := len(off.RecentTraces()); got != 0 {
+		t.Fatalf("got %d traces with sampling off, want 0", got)
+	}
+}
+
+func TestTracerRingCapacity(t *testing.T) {
+	tr := NewTracer(3, 1)
+	for i := 0; i < 10; i++ {
+		tr.StartRoot("darnet_trace").End()
+	}
+	if got := len(tr.RecentTraces()); got != 3 {
+		t.Fatalf("ring holds %d traces, want 3", got)
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	s.End()
+	if c := s.StartChild("darnet_child"); c != nil {
+		t.Fatal("nil parent produced a child")
+	}
+	if s.Sampled() || s.DurationNanos() != 0 || s.Tree() != nil {
+		t.Fatal("nil span accessors not zero-valued")
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := NewTracer(4, 1)
+	s := tr.StartRoot("darnet_trace")
+	s.End()
+	s.End()
+	if got := len(tr.RecentTraces()); got != 1 {
+		t.Fatalf("double End recorded %d traces, want 1", got)
+	}
+}
+
+func TestUnsampledChildrenNotRetained(t *testing.T) {
+	tr := NewTracer(4, 0)
+	root := tr.StartRoot("darnet_trace")
+	child := root.StartChild("darnet_child")
+	child.End()
+	root.End()
+	if root.Tree() != nil {
+		t.Fatal("unsampled root produced a tree")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := NewTracer(4, 1)
+	ctx := context.Background()
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("empty context carries a span")
+	}
+	ctx, root := tr.StartSpan(ctx, "darnet_root")
+	if SpanFromContext(ctx) != root {
+		t.Fatal("context does not carry the root")
+	}
+	ctx2, child := tr.StartSpan(ctx, "darnet_child")
+	if SpanFromContext(ctx2) != child {
+		t.Fatal("derived context does not carry the child")
+	}
+	child.End()
+	root.End()
+	traces := tr.RecentTraces()
+	if len(traces) != 1 || len(traces[0].Children) != 1 || traces[0].Children[0].Name != "darnet_child" {
+		t.Fatalf("context-started spans did not link: %+v", traces)
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	tr := NewTracer(4, 1)
+	root := tr.StartRoot("darnet_trace")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.StartChild("darnet_worker")
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	traces := tr.RecentTraces()
+	if len(traces) != 1 || len(traces[0].Children) != 16 {
+		t.Fatalf("concurrent children lost: %+v", traces)
+	}
+}
+
+func TestRunningChildrenExcludedFromTree(t *testing.T) {
+	tr := NewTracer(4, 1)
+	root := tr.StartRoot("darnet_trace")
+	done := root.StartChild("darnet_done")
+	done.End()
+	_ = root.StartChild("darnet_still_running") // never ended
+	root.End()
+	traces := tr.RecentTraces()
+	if len(traces) != 1 || len(traces[0].Children) != 1 || traces[0].Children[0].Name != "darnet_done" {
+		t.Fatalf("running child should be excluded: %+v", traces)
+	}
+}

@@ -9,6 +9,21 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"darnet/internal/telemetry"
+)
+
+// Store-level metrics: per-operation latency histograms, point throughput,
+// and series cardinality (the gauge the prune policy watches).
+var (
+	hInsert  = telemetry.NewHistogram("darnet_tsdb_insert_seconds", "latency of one point insert", nil)
+	hQuery   = telemetry.NewHistogram("darnet_tsdb_query_seconds", "latency of range/resample reads", nil)
+	hPrune   = telemetry.NewHistogram("darnet_tsdb_prune_seconds", "latency of one prune sweep", nil)
+	mPoints  = telemetry.NewCounter("darnet_tsdb_points_inserted_total", "points inserted across all series")
+	mPruned  = telemetry.NewCounter("darnet_tsdb_points_pruned_total", "points dropped by prune sweeps")
+	gSeries  = telemetry.NewGauge("darnet_tsdb_series", "current series cardinality across all open databases")
+	mQueries = telemetry.NewCounter("darnet_tsdb_queries_total", "range/resample reads served")
 )
 
 // Point is one timestamped scalar observation.
@@ -32,9 +47,9 @@ func New() *DB {
 // Agents deliver batches out of order across the network, so insertion
 // position is found by binary search.
 func (db *DB) Insert(series string, p Point) {
+	start := time.Now()
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	pts := db.series[series]
+	pts, existed := db.series[series]
 	i := sort.Search(len(pts), func(i int) bool {
 		return pts[i].TimestampMillis > p.TimestampMillis
 	})
@@ -42,6 +57,12 @@ func (db *DB) Insert(series string, p Point) {
 	copy(pts[i+1:], pts[i:])
 	pts[i] = p
 	db.series[series] = pts
+	db.mu.Unlock()
+	if !existed {
+		gSeries.Add(1)
+	}
+	mPoints.Inc()
+	hInsert.ObserveSince(start)
 }
 
 // InsertBatch adds many points to a series.
@@ -72,6 +93,7 @@ func (db *DB) Len(series string) int {
 
 // Range returns a copy of the points with from <= timestamp < to.
 func (db *DB) Range(series string, from, to int64) []Point {
+	start := time.Now()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	pts := db.series[series]
@@ -79,6 +101,8 @@ func (db *DB) Range(series string, from, to int64) []Point {
 	hi := sort.Search(len(pts), func(i int) bool { return pts[i].TimestampMillis >= to })
 	out := make([]Point, hi-lo)
 	copy(out, pts[lo:hi])
+	mQueries.Inc()
+	hQuery.ObserveSince(start)
 	return out
 }
 
@@ -101,6 +125,11 @@ func (db *DB) Bounds(series string) (first, last int64, ok bool) {
 // boundary value. It returns an error for an empty series or non-positive
 // step.
 func (db *DB) ResampleLinear(series string, from, to, stepMillis int64) ([]float64, error) {
+	start := time.Now()
+	defer func() {
+		mQueries.Inc()
+		hQuery.ObserveSince(start)
+	}()
 	if stepMillis <= 0 {
 		return nil, fmt.Errorf("tsdb: step must be positive, got %d", stepMillis)
 	}
@@ -167,9 +196,9 @@ func SmoothMovingAverage(values []float64, window int) ([]float64, error) {
 // points dropped. Long-running collection sessions call this to bound
 // memory.
 func (db *DB) Prune(cutoff int64) int {
+	start := time.Now()
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	dropped := 0
+	dropped, deleted := 0, 0
 	for name, pts := range db.series {
 		i := sort.Search(len(pts), func(i int) bool { return pts[i].TimestampMillis >= cutoff })
 		if i == 0 {
@@ -179,11 +208,16 @@ func (db *DB) Prune(cutoff int64) int {
 		rest := pts[i:]
 		if len(rest) == 0 {
 			delete(db.series, name)
+			deleted++
 			continue
 		}
 		kept := make([]Point, len(rest))
 		copy(kept, rest)
 		db.series[name] = kept
 	}
+	db.mu.Unlock()
+	gSeries.Add(float64(-deleted))
+	mPruned.Add(int64(dropped))
+	hPrune.ObserveSince(start)
 	return dropped
 }

@@ -12,6 +12,20 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"darnet/internal/telemetry"
+)
+
+// Process-wide transport metrics: bytes and messages crossing every wire
+// connection, plus malformed-frame rejections. Per-connection accounting
+// (Conn.BytesRead/BytesWritten) remains the processing policy's bandwidth
+// input; these aggregate across connections for the ops endpoint.
+var (
+	mBytesSent    = telemetry.NewCounter("darnet_wire_bytes_sent_total", "framed bytes written across all connections")
+	mBytesRecv    = telemetry.NewCounter("darnet_wire_bytes_received_total", "framed bytes read across all connections")
+	mMsgsSent     = telemetry.NewCounter("darnet_wire_messages_sent_total", "protocol messages sent")
+	mMsgsRecv     = telemetry.NewCounter("darnet_wire_messages_received_total", "protocol messages received")
+	mDecodeErrors = telemetry.NewCounter("darnet_wire_decode_errors_total", "frames rejected as malformed (oversized, empty, unknown type, short body, trailing bytes)")
 )
 
 // MsgType identifies a protocol message.
@@ -200,6 +214,8 @@ func (c *Conn) Send(m Message) error {
 		return fmt.Errorf("wire: write body: %w", err)
 	}
 	c.bytesWritten += int64(len(hdr)) + int64(len(body.buf))
+	mBytesSent.Add(int64(len(hdr)) + int64(len(body.buf)))
+	mMsgsSent.Inc()
 	return nil
 }
 
@@ -221,9 +237,11 @@ func (c *Conn) Recv() (Message, error) {
 	}
 	size := binary.BigEndian.Uint32(hdr[:])
 	if size > MaxFrameSize {
+		mDecodeErrors.Inc()
 		return nil, ErrFrameTooLarge
 	}
 	if size == 0 {
+		mDecodeErrors.Inc()
 		return nil, errors.New("wire: empty frame")
 	}
 	buf := make([]byte, size)
@@ -249,14 +267,19 @@ func (c *Conn) Recv() (Message, error) {
 	case TypeClassifyResponse:
 		m = &ClassifyResponse{}
 	default:
+		mDecodeErrors.Inc()
 		return nil, fmt.Errorf("wire: unknown message type %d", buf[0])
 	}
 	if err := m.decodeBody(r); err != nil {
+		mDecodeErrors.Inc()
 		return nil, err
 	}
 	if r.off != len(r.buf) {
+		mDecodeErrors.Inc()
 		return nil, fmt.Errorf("wire: %d trailing bytes in frame", len(r.buf)-r.off)
 	}
+	mBytesRecv.Add(int64(len(hdr)) + int64(size))
+	mMsgsRecv.Inc()
 	return m, nil
 }
 
