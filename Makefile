@@ -11,7 +11,7 @@ RACE_PKGS = ./internal/collect ./internal/tsdb ./internal/core ./internal/teleme
 # refresh the committed benchmark (then bump the scale/epochs back up).
 BENCH_OUT ?= /tmp/darnet-bench-smoke.json
 
-.PHONY: verify fmt vet lint build test race bench-smoke
+.PHONY: verify fmt vet lint lint-fast build test race bench-smoke
 
 verify: fmt vet lint build test race
 	@echo "verify: OK"
@@ -25,8 +25,15 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# lint runs the full analyzer registry, including the interprocedural
+# analyzers (goleak, lockorder, hotalloc, ctxprop), with per-analyzer wall
+# time on stderr. lint-fast runs only the intra-procedural analyzers — the
+# quick inner-loop check; verify always runs the full suite.
 lint:
-	$(GO) run ./cmd/darnet-lint ./...
+	$(GO) run ./cmd/darnet-lint -timings ./...
+
+lint-fast:
+	$(GO) run ./cmd/darnet-lint -skip goleak,lockorder,hotalloc,ctxprop ./...
 
 build:
 	$(GO) build ./...

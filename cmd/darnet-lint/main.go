@@ -1,7 +1,7 @@
 // Command darnet-lint runs DarNet's project-specific static analyzers over
 // the module and exits non-zero on findings.
 //
-//	darnet-lint [-json] [-list] [packages...]
+//	darnet-lint [-json|-sarif] [-list] [-only rules] [-skip rules] [-timings] [packages...]
 //
 // Packages default to ./... (the whole module); "dir/..." subtree patterns
 // and plain directory paths are also accepted. Each finding is reported as
@@ -9,33 +9,36 @@
 //	file:line:col: [rule] message
 //
 // or, with -json, as a JSON array of {file, line, col, rule, message}
-// objects so CI can diff lint results across commits. Suppress a finding
-// with a justified directive on the offending line or the line above:
+// objects, or, with -sarif, as a SARIF 2.1.0 log — all three sorted by
+// (file, line, column, rule) so CI can diff lint results across commits.
+//
+// -only and -skip take comma-separated analyzer names (see -list) and
+// select a subset of the registry; naming an unknown analyzer is an error,
+// not a silent no-op. -timings reports per-analyzer wall time (aggregated
+// across packages) on stderr.
+//
+// Suppress a finding with a justified directive on the offending line or
+// the line above:
 //
 //	//lint:ignore <rule> <reason>
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"strings"
 
 	"darnet/internal/lint"
 )
 
-type jsonFinding struct {
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Rule    string `json:"rule"`
-	Message string `json:"message"`
-}
-
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
 	list := flag.Bool("list", false, "list registered analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated analyzers to exclude")
+	timings := flag.Bool("timings", false, "report per-analyzer wall time on stderr")
 	flag.Parse()
 
 	if *list {
@@ -44,79 +47,132 @@ func main() {
 		}
 		return
 	}
-
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "darnet-lint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
 	}
-	diags, err := run(patterns)
+
+	analyzers, err := selectAnalyzers(*only, *skip)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "darnet-lint: %v\n", err)
 		os.Exit(2)
 	}
 
-	if *jsonOut {
-		out := make([]jsonFinding, 0, len(diags))
-		for _, d := range diags {
-			out = append(out, jsonFinding{
-				File: relPath(d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
-				Rule: d.Rule, Message: d.Message,
-			})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintf(os.Stderr, "darnet-lint: %v\n", err)
-			os.Exit(2)
-		}
-	} else {
-		for _, d := range diags {
-			fmt.Printf("%s:%d:%d: [%s] %s\n", relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
-		}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, spent, err := run(patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darnet-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var out string
+	switch {
+	case *jsonOut:
+		out, err = renderJSON(diags)
+	case *sarifOut:
+		out, err = renderSARIF(diags, analyzers)
+	default:
+		out = renderText(diags)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darnet-lint: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(out)
+
+	if *timings {
+		fmt.Fprint(os.Stderr, renderTimings(analyzers, spent))
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
 }
 
-func run(patterns []string) ([]lint.Diagnostic, error) {
-	cwd, err := os.Getwd()
+// selectAnalyzers resolves -only/-skip against the registry. Unknown names
+// are errors: a typo must not silently disable a check.
+func selectAnalyzers(only, skip string) ([]*lint.Analyzer, error) {
+	byName := make(map[string]*lint.Analyzer)
+	for _, a := range lint.All() {
+		byName[a.Name] = a
+	}
+	parse := func(flagName, csv string) (map[string]bool, error) {
+		if csv == "" {
+			return nil, nil
+		}
+		set := make(map[string]bool)
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := byName[name]; !ok {
+				return nil, fmt.Errorf("-%s: unknown analyzer %q (see -list)", flagName, name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse("only", only)
 	if err != nil {
 		return nil, err
+	}
+	skipSet, err := parse("skip", skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*lint.Analyzer
+	for _, a := range lint.All() {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("selection leaves no analyzers to run")
+	}
+	return out, nil
+}
+
+// run loads every package matching the patterns, applies the analyzers, and
+// returns the globally sorted findings plus per-analyzer wall time (in
+// nanoseconds) summed across packages.
+func run(patterns []string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, map[string]int64, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, nil, err
 	}
 	loader, err := lint.NewLoader(cwd)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	analyzers := lint.All()
+	spent := make(map[string]int64)
 	var diags []lint.Diagnostic
 	for _, pattern := range patterns {
 		pkgs, err := loader.ModulePackages(pattern)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if len(pkgs) == 0 {
-			return nil, fmt.Errorf("no packages match %q", pattern)
+			return nil, nil, fmt.Errorf("no packages match %q", pattern)
 		}
 		for _, p := range pkgs {
 			pkg, err := loader.LoadDir(p[0], p[1])
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			diags = append(diags, lint.Run(pkg, analyzers)...)
+			got, timings := lint.RunTimed(pkg, analyzers)
+			diags = append(diags, got...)
+			for _, tm := range timings {
+				spent[tm.Analyzer] += tm.Elapsed.Nanoseconds()
+			}
 		}
 	}
-	return diags, nil
-}
-
-func relPath(path string) string {
-	cwd, err := os.Getwd()
-	if err != nil {
-		return path
-	}
-	rel, err := filepath.Rel(cwd, path)
-	if err != nil {
-		return path
-	}
-	return rel
+	lint.SortDiagnostics(diags)
+	return diags, spent, nil
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"darnet/internal/lint"
+)
+
+// fixtureDirs are lint-fixture packages (addressed directly: the ... walk
+// deliberately skips testdata) that are known to produce findings.
+var fixtureDirs = []string{
+	"internal/lint/testdata/src/ctxprop",
+	"internal/lint/testdata/src/goleak",
+	"internal/lint/testdata/src/hotalloc",
+	"internal/lint/testdata/src/lockorder",
+}
+
+// TestDriverOutputDeterministic runs the driver pipeline twice over the same
+// fixture tree and asserts all three output formats are byte-identical: the
+// contract CI relies on to diff lint results across commits.
+func TestDriverOutputDeterministic(t *testing.T) {
+	analyzers := lint.All()
+	var text, jsonOut, sarif [2]string
+	for i := 0; i < 2; i++ {
+		diags, spent, err := run(fixtureDirs, analyzers)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if len(diags) == 0 {
+			t.Fatalf("run %d: fixture packages produced no findings", i)
+		}
+		for _, a := range analyzers {
+			if _, ok := spent[a.Name]; !ok {
+				t.Fatalf("run %d: no timing recorded for %s", i, a.Name)
+			}
+		}
+		text[i] = renderText(diags)
+		if jsonOut[i], err = renderJSON(diags); err != nil {
+			t.Fatalf("run %d: render json: %v", i, err)
+		}
+		if sarif[i], err = renderSARIF(diags, analyzers); err != nil {
+			t.Fatalf("run %d: render sarif: %v", i, err)
+		}
+	}
+	if text[0] != text[1] {
+		t.Errorf("text output differs between runs:\n--- first\n%s\n--- second\n%s", text[0], text[1])
+	}
+	if jsonOut[0] != jsonOut[1] {
+		t.Errorf("json output differs between runs")
+	}
+	if sarif[0] != sarif[1] {
+		t.Errorf("sarif output differs between runs")
+	}
+
+	// Spot-check the sort contract on the text form: lines must be ordered.
+	lines := strings.Split(strings.TrimSuffix(text[0], "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			t.Fatalf("text output not sorted: %q precedes %q", lines[i-1], lines[i])
+		}
+	}
+	if !strings.Contains(sarif[0], `"version": "2.1.0"`) {
+		t.Fatalf("sarif output missing version marker:\n%s", sarif[0])
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	all := lint.All()
+
+	got, err := selectAnalyzers("", "")
+	if err != nil || len(got) != len(all) {
+		t.Fatalf("default selection: got %d analyzers, err %v; want all %d", len(got), err, len(all))
+	}
+
+	got, err = selectAnalyzers("goleak,ctxprop", "")
+	if err != nil {
+		t.Fatalf("-only: %v", err)
+	}
+	if len(got) != 2 || got[0].Name != "goleak" || got[1].Name != "ctxprop" {
+		t.Fatalf("-only goleak,ctxprop: got %v", names(got))
+	}
+
+	got, err = selectAnalyzers("", "goleak,lockorder,hotalloc,ctxprop")
+	if err != nil {
+		t.Fatalf("-skip: %v", err)
+	}
+	if len(got) != len(all)-4 {
+		t.Fatalf("-skip four: got %v", names(got))
+	}
+	for _, a := range got {
+		switch a.Name {
+		case "goleak", "lockorder", "hotalloc", "ctxprop":
+			t.Fatalf("-skip left %s selected", a.Name)
+		}
+	}
+
+	if _, err := selectAnalyzers("nosuch", ""); err == nil {
+		t.Fatal("-only with unknown analyzer must error")
+	}
+	if _, err := selectAnalyzers("", "nosuch"); err == nil {
+		t.Fatal("-skip with unknown analyzer must error")
+	}
+	if _, err := selectAnalyzers("goleak", "goleak"); err == nil {
+		t.Fatal("empty selection must error")
+	}
+}
+
+func names(as []*lint.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -286,11 +287,22 @@ func runEngineServer(listen, opsAddr, enginePath string) error {
 	return nil
 }
 
-// serveEngine runs the classify accept loop until stop closes.
+// serveEngine runs the classify accept loop until stop closes. The stop
+// channel is bridged into a context so per-connection serving loops (and the
+// span contexts they derive) observe server shutdown.
 func serveEngine(eng *core.Engine, ln, opsLn net.Listener, stop <-chan struct{}, out io.Writer) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-stop:
+		case <-ctx.Done():
+		}
+		cancel()
+	}()
 	acceptLoop(ln, opsLn, stop, out, func(conn net.Conn) {
-		err := eng.ServeClassify(wire.NewConn(conn))
-		if err != nil && !errors.Is(err, net.ErrClosed) {
+		err := eng.ServeClassifyCtx(ctx, wire.NewConn(conn))
+		if err != nil && !errors.Is(err, net.ErrClosed) && !errors.Is(err, context.Canceled) {
 			log.Printf("client %v: %v", conn.RemoteAddr(), err)
 		}
 	})

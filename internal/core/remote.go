@@ -20,8 +20,22 @@ import (
 // engine's fused classification until the peer disconnects. Malformed
 // requests are answered with an error response rather than dropping the
 // connection, so one bad observation does not interrupt the stream.
+//
+// ServeClassify serves with a background context; a server with a shutdown
+// signal should use ServeClassifyCtx so cancellation reaches the loop.
 func (e *Engine) ServeClassify(conn *wire.Conn) error {
+	return e.ServeClassifyCtx(context.Background(), conn)
+}
+
+// ServeClassifyCtx is ServeClassify with cancellation: the loop exits
+// between requests once ctx is canceled, and each request's span context
+// derives from ctx — not a manufactured Background — so downstream stages
+// observe the server's shutdown.
+func (e *Engine) ServeClassifyCtx(ctx context.Context, conn *wire.Conn) error {
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		msg, err := conn.Recv()
 		if err != nil {
 			if err == io.EOF {
@@ -35,7 +49,7 @@ func (e *Engine) ServeClassify(conn *wire.Conn) error {
 		}
 		start := time.Now()
 		root := telemetry.DefaultTracer.StartRoot("darnet_classify_request")
-		resp := e.answer(telemetry.ContextWithSpan(context.Background(), root), req)
+		resp := e.answer(telemetry.ContextWithSpan(ctx, root), req)
 		root.End()
 		mRemoteRequests.Inc()
 		if resp.Error != "" {

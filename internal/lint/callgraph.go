@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file builds the package-level call graph the interprocedural
+// analyzers (goleak, lockorder, hotalloc, ctxprop) share. Nodes are the
+// package's declared functions, methods, and function literals; edges are
+// call sites, classified by how the callee runs (plain call, defer, or a
+// conservative "referenced as a value" edge for closures that escape into
+// variables or arguments). `go` statements are recorded separately as spawn
+// sites, because a spawned goroutine's blocking does not block its spawner.
+//
+// Resolution is conservative in the direction that keeps the analyzers
+// sound-for-this-package:
+//
+//   - Static calls resolve through go/types to the callee's node when the
+//     callee is declared in the package.
+//   - Method calls through an interface resolve to every method declared in
+//     this package with the same name whose receiver implements the
+//     interface (the classic class-hierarchy-analysis over-approximation).
+//   - Calls through plain function values are left unresolved; summaries
+//     treat unknown callees as neutral rather than inventing facts.
+
+// edgeKind classifies how a call edge transfers control.
+type edgeKind int
+
+const (
+	edgeCall  edgeKind = iota // plain call expression
+	edgeDefer                 // deferred call (runs before return)
+	edgeRef                   // function literal referenced as a value; may run later
+)
+
+// CallSite is one resolved edge in the call graph.
+type CallSite struct {
+	Callee *FuncNode
+	Pos    token.Pos
+	Kind   edgeKind
+	// ViaInterface marks edges resolved conservatively through an
+	// interface method set rather than a static callee.
+	ViaInterface bool
+}
+
+// GoSite is one `go` statement. Targets lists the local functions the spawned
+// goroutine may enter (the literal's node, or the conservatively resolved
+// callees); it is empty when the spawned callee is unknown (dynamic call or
+// external function).
+type GoSite struct {
+	Pos     token.Pos
+	Targets []*FuncNode
+}
+
+// FuncNode is one function in the call graph: a declared function or method
+// (Decl != nil) or a function literal (Lit != nil).
+type FuncNode struct {
+	Name string      // qualified display name, e.g. "(*Runner).loop" or "func literal runner.go:46"
+	Fn   *types.Func // nil for literals
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Body *ast.BlockStmt
+
+	Calls   []CallSite
+	GoSites []GoSite
+
+	summary *Summary
+}
+
+// Hotpath reports whether the function is annotated as a //lint:hotpath
+// root (the directive sits in the doc comment of the declaration).
+func (n *FuncNode) Hotpath() bool {
+	if n.Decl == nil || n.Decl.Doc == nil {
+		return false
+	}
+	for _, c := range n.Decl.Doc.List {
+		if commentIsDirective(c.Text, "lint:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// commentIsDirective reports whether a comment's text is the given //-style
+// directive (optionally followed by free text).
+func commentIsDirective(text, directive string) bool {
+	rest, ok := cutCommentMarker(text)
+	if !ok {
+		return false
+	}
+	if rest == directive {
+		return true
+	}
+	return len(rest) > len(directive) && rest[:len(directive)] == directive &&
+		(rest[len(directive)] == ' ' || rest[len(directive)] == '\t')
+}
+
+func cutCommentMarker(text string) (string, bool) {
+	if len(text) >= 2 && text[:2] == "//" {
+		return text[2:], true
+	}
+	return "", false
+}
+
+// CallGraph holds the package's function nodes in deterministic source
+// order, with lookup from the type-checker's function objects.
+type CallGraph struct {
+	pkg   *Package
+	Nodes []*FuncNode // declaration order across files, literals after their encloser
+	byFn  map[*types.Func]*FuncNode
+	byLit map[*ast.FuncLit]*FuncNode
+
+	// methods indexes declared methods by name for conservative interface
+	// resolution.
+	methods map[string][]*FuncNode
+}
+
+// NodeFor returns the node of a declared function, or nil.
+func (g *CallGraph) NodeFor(fn *types.Func) *FuncNode { return g.byFn[fn] }
+
+func buildCallGraph(pkg *Package) *CallGraph {
+	g := &CallGraph{
+		pkg:     pkg,
+		byFn:    make(map[*types.Func]*FuncNode),
+		byLit:   make(map[*ast.FuncLit]*FuncNode),
+		methods: make(map[string][]*FuncNode),
+	}
+	// First pass: create nodes for every declared function so edges can
+	// resolve forward references.
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &FuncNode{Name: funcDisplayName(fn), Fn: fn, Decl: fd, Body: fd.Body}
+			g.Nodes = append(g.Nodes, n)
+			g.byFn[fn] = n
+			if fn.Type().(*types.Signature).Recv() != nil {
+				g.methods[fn.Name()] = append(g.methods[fn.Name()], n)
+			}
+		}
+	}
+	// Second pass: walk bodies, creating literal nodes and edges.
+	for _, n := range append([]*FuncNode(nil), g.Nodes...) {
+		g.walkBody(n)
+	}
+	return g
+}
+
+// walkBody records n's call sites, go sites, and nested literal nodes. Each
+// literal gets its own node (its blocking and locking are its own), and the
+// encloser gets an edge to it matching how the literal is used.
+func (g *CallGraph) walkBody(n *FuncNode) {
+	var walk func(ast.Node) bool
+	walk = func(node ast.Node) bool {
+		switch s := node.(type) {
+		case *ast.GoStmt:
+			g.addGoSite(n, s)
+			// Arguments to the spawned call are evaluated in the spawner.
+			for _, arg := range s.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			return false
+		case *ast.DeferStmt:
+			g.addCallEdges(n, s.Call, edgeDefer)
+			for _, arg := range s.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			return false
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(s.Fun).(*ast.FuncLit); ok {
+				child := g.litNode(n, lit)
+				n.Calls = append(n.Calls, CallSite{Callee: child, Pos: s.Pos(), Kind: edgeCall})
+				for _, arg := range s.Args {
+					ast.Inspect(arg, walk)
+				}
+				return false
+			}
+			g.addCallEdges(n, s, edgeCall)
+			return true
+		case *ast.FuncLit:
+			// A literal that is not immediately called escapes as a value;
+			// assume it may run in the encloser's context.
+			child := g.litNode(n, s)
+			n.Calls = append(n.Calls, CallSite{Callee: child, Pos: s.Pos(), Kind: edgeRef})
+			return false
+		}
+		return true
+	}
+	ast.Inspect(n.Body, walk)
+}
+
+// litNode creates (and registers) the node for a function literal nested in
+// parent, then walks its body.
+func (g *CallGraph) litNode(parent *FuncNode, lit *ast.FuncLit) *FuncNode {
+	pos := g.pkg.Fset.Position(lit.Pos())
+	child := &FuncNode{
+		Name: fmt.Sprintf("func literal %s:%d", shortPath(pos.Filename), pos.Line),
+		Lit:  lit,
+		Body: lit.Body,
+	}
+	g.Nodes = append(g.Nodes, child)
+	g.byLit[lit] = child
+	g.walkBody(child)
+	return child
+}
+
+// addGoSite records a `go` statement and resolves its spawn targets.
+func (g *CallGraph) addGoSite(n *FuncNode, s *ast.GoStmt) {
+	site := GoSite{Pos: s.Pos()}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		site.Targets = []*FuncNode{g.litNode(n, lit)}
+	} else {
+		targets, _ := g.resolve(s.Call)
+		site.Targets = targets
+	}
+	n.GoSites = append(n.GoSites, site)
+}
+
+// addCallEdges resolves call and records edges on caller.
+func (g *CallGraph) addCallEdges(caller *FuncNode, call *ast.CallExpr, kind edgeKind) {
+	targets, viaIface := g.resolve(call)
+	for _, t := range targets {
+		caller.Calls = append(caller.Calls, CallSite{Callee: t, Pos: call.Pos(), Kind: kind, ViaInterface: viaIface})
+	}
+}
+
+// resolve returns the package-local functions a call may invoke. Interface
+// method calls resolve to every declared method implementing the interface;
+// viaIface reports when that over-approximation was used.
+func (g *CallGraph) resolve(call *ast.CallExpr) (targets []*FuncNode, viaIface bool) {
+	fn := calleeFunc(g.pkg.Info, call)
+	if fn == nil {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, false
+	}
+	if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		iface, ok := recv.Type().Underlying().(*types.Interface)
+		if !ok {
+			return nil, false
+		}
+		for _, m := range g.methods[fn.Name()] {
+			mrecv := m.Fn.Type().(*types.Signature).Recv().Type()
+			if types.Implements(mrecv, iface) || types.Implements(types.NewPointer(mrecv), iface) {
+				targets = append(targets, m)
+			}
+		}
+		return targets, true
+	}
+	if n := g.byFn[fn]; n != nil {
+		return []*FuncNode{n}, false
+	}
+	return nil, false
+}
+
+// funcDisplayName renders a function object the way findings name it:
+// "Name" for package functions, "(T).Name" / "(*T).Name" for methods.
+func funcDisplayName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		return fmt.Sprintf("(%s).%s", types.TypeString(recv.Type(), func(*types.Package) string { return "" }), fn.Name())
+	}
+	return fn.Name()
+}
+
+// shortPath trims a filename to its base for display names.
+func shortPath(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,55 @@
+package lint
+
+import "strconv"
+
+// Goleak reports `go` statements that spawn a goroutine able to block
+// forever on a channel operation (or a lost sync.WaitGroup/Cond wake-up)
+// with no cancellation or close path — the bug class behind darnetd's
+// original leaked signal goroutine. The decision uses the interprocedural
+// summaries: a spawned function blocks forever when it (or any function it
+// synchronously calls) contains a bare send, a receive without a comma-ok,
+// a single-case select, select{}, or a sync Wait, and no escape shape
+// (multi-case select, default case, comma-ok receive, range-over-channel)
+// guards that site.
+//
+// Blocking network reads are deliberately out of scope: they are unblocked
+// by closing the connection, which the conn-tracker shutdown pattern
+// already enforces.
+var Goleak = &Analyzer{
+	Name: "goleak",
+	Doc:  "a spawned goroutine must not be able to block forever without a cancellation or close path",
+	Run:  runGoleak,
+}
+
+func runGoleak(pass *Pass) {
+	ipa := pass.IPA()
+	for _, n := range ipa.Graph.Nodes {
+		for _, gs := range n.GoSites {
+			for _, t := range gs.Targets {
+				s := t.Summary()
+				if !s.BlocksForever {
+					continue
+				}
+				loc := pass.Fset.Position(s.ForeverPos)
+				site := pass.formatShortPos(loc.Filename, loc.Line)
+				switch {
+				case t.Fn != nil && s.ForeverVia != "":
+					pass.Reportf(gs.Pos, "goroutine %s can block forever: %s at %s (reached via %s) has no cancellation or close path", t.Name, s.ForeverWhat, site, s.ForeverVia)
+				case t.Fn != nil:
+					pass.Reportf(gs.Pos, "goroutine %s can block forever: %s at %s has no cancellation or close path", t.Name, s.ForeverWhat, site)
+				case s.ForeverVia != "":
+					pass.Reportf(gs.Pos, "spawned goroutine can block forever: %s at %s (reached via %s) has no cancellation or close path", s.ForeverWhat, site, s.ForeverVia)
+				default:
+					pass.Reportf(gs.Pos, "spawned goroutine can block forever: %s at %s has no cancellation or close path", s.ForeverWhat, site)
+				}
+				break // one finding per go statement
+			}
+		}
+	}
+}
+
+// formatShortPos renders file:line with the file trimmed to its base name,
+// keeping messages stable across checkouts.
+func (p *Pass) formatShortPos(filename string, line int) string {
+	return shortPath(filename) + ":" + strconv.Itoa(line)
+}

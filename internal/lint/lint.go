@@ -21,6 +21,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one analyzer finding, resolved to a file position.
@@ -55,8 +56,16 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	pkg    *Package
 	rule   string
 	report func(Diagnostic)
+}
+
+// IPA returns the package's interprocedural analysis engine (call graph plus
+// function summaries), building it on first use and sharing it between the
+// whole-program analyzers of one Run.
+func (p *Pass) IPA() *IPA {
+	return p.pkg.ipa()
 }
 
 // Reportf records a finding at pos under the running analyzer's rule name.
@@ -95,11 +104,25 @@ func pathHasSegment(path, seg string) bool {
 	return false
 }
 
+// Timing records one analyzer's wall time over one package.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
 // Run executes the analyzers over a loaded package and returns the surviving
 // findings: suppressed ones are dropped, malformed suppressions are added,
 // and the result is sorted by position then rule.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(pkg, analyzers)
+	return diags
+}
+
+// RunTimed is Run with per-analyzer wall-time measurement, for the driver's
+// -timings flag. Timings are returned in analyzer order.
+func RunTimed(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 	var diags []Diagnostic
+	timings := make([]Timing, 0, len(analyzers))
 	for _, a := range analyzers {
 		pass := &Pass{
 			Fset:      pkg.Fset,
@@ -107,10 +130,13 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			PkgPath:   pkg.Path,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			pkg:       pkg,
 			rule:      a.Name,
 		}
 		pass.report = func(d Diagnostic) { diags = append(diags, d) }
+		start := time.Now()
 		a.Run(pass)
+		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: time.Since(start)})
 	}
 	ig := buildIgnores(pkg)
 	kept := diags[:0]
@@ -120,8 +146,15 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 	kept = append(kept, ig.malformed...)
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	SortDiagnostics(kept)
+	return kept, timings
+}
+
+// SortDiagnostics orders findings by (file, line, column, rule), the stable
+// order every output mode prints in.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -133,7 +166,6 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return kept
 }
 
 // isFloat reports whether t's core type is float32 or float64 (including

@@ -2,6 +2,7 @@ package lint_test
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
@@ -19,24 +20,31 @@ var sharedLoader = sync.OnceValues(func() (*lint.Loader, error) {
 })
 
 // fixtureCase binds an analyzer to its fixture package. The synthetic import
-// path controls path-gated rules (internal/ vs examples/).
+// path controls path-gated rules (internal/ vs examples/). allowNoWants marks
+// deliberately clean fixtures (the analyzer must stay silent over them).
 type fixtureCase struct {
-	analyzer   *lint.Analyzer
-	fixture    string
-	importPath string
+	analyzer     *lint.Analyzer
+	fixture      string
+	importPath   string
+	allowNoWants bool
 }
 
 func fixtures() []fixtureCase {
 	const base = "darnet/internal/lintfixture/"
 	return []fixtureCase{
-		{lint.Locksafe, "locksafe", base + "locksafe"},
-		{lint.Floatcmp, "floatcmp", base + "floatcmp"},
-		{lint.Errdrop, "errdrop", base + "errdrop"},
-		{lint.Errdrop, "errdropexamples", "darnet/examples/lintfixture/errdropexamples"},
-		{lint.Globalrand, "globalrand", base + "globalrand"},
-		{lint.Ctxsleep, "ctxsleep", base + "ctxsleep"},
-		{lint.Shapecheck, "shapecheck", base + "shapecheck"},
-		{lint.Metricname, "metricname", base + "metricname"},
+		{analyzer: lint.Locksafe, fixture: "locksafe", importPath: base + "locksafe"},
+		{analyzer: lint.Floatcmp, fixture: "floatcmp", importPath: base + "floatcmp"},
+		{analyzer: lint.Errdrop, fixture: "errdrop", importPath: base + "errdrop"},
+		{analyzer: lint.Errdrop, fixture: "errdropexamples", importPath: "darnet/examples/lintfixture/errdropexamples"},
+		{analyzer: lint.Globalrand, fixture: "globalrand", importPath: base + "globalrand"},
+		{analyzer: lint.Ctxsleep, fixture: "ctxsleep", importPath: base + "ctxsleep"},
+		{analyzer: lint.Shapecheck, fixture: "shapecheck", importPath: base + "shapecheck"},
+		{analyzer: lint.Metricname, fixture: "metricname", importPath: base + "metricname"},
+		{analyzer: lint.Goleak, fixture: "goleak", importPath: base + "goleak"},
+		{analyzer: lint.Lockorder, fixture: "lockorder", importPath: base + "lockorder"},
+		{analyzer: lint.Hotalloc, fixture: "hotalloc", importPath: base + "hotalloc"},
+		{analyzer: lint.Hotalloc, fixture: "hotallocpool", importPath: base + "hotallocpool", allowNoWants: true},
+		{analyzer: lint.Ctxprop, fixture: "ctxprop", importPath: base + "ctxprop"},
 	}
 }
 
@@ -68,7 +76,7 @@ func runFixture(t *testing.T, tc fixtureCase) {
 	}
 	diags := lint.Run(pkg, []*lint.Analyzer{tc.analyzer})
 
-	wants := collectWants(t, pkg)
+	wants := collectWants(t, pkg, tc.allowNoWants)
 	matched := make(map[string]bool)
 	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
@@ -96,7 +104,7 @@ type wantExpect struct {
 
 // collectWants parses `// want "regex"` comments out of the fixture files,
 // keyed by file:line.
-func collectWants(t *testing.T, pkg *lint.Package) map[string]wantExpect {
+func collectWants(t *testing.T, pkg *lint.Package, allowEmpty bool) map[string]wantExpect {
 	wants := make(map[string]wantExpect)
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -120,10 +128,48 @@ func collectWants(t *testing.T, pkg *lint.Package) map[string]wantExpect {
 			}
 		}
 	}
-	if len(wants) == 0 && !strings.Contains(pkg.Path, "examples") {
+	if len(wants) == 0 && !allowEmpty && !strings.Contains(pkg.Path, "examples") {
 		t.Fatalf("fixture %s has no want comments", pkg.Dir)
 	}
 	return wants
+}
+
+// TestHotallocPoolMutation is the acceptance check for the hotalloc
+// contract: the hotallocpool fixture mirrors internal/telemetry/span.go's
+// sync.Pool reuse and is clean as written; deleting the reuse (rewriting the
+// pool.Get line into a bare &span literal) must produce a hotalloc finding.
+func TestHotallocPoolMutation(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "hotallocpool", "pool.go"))
+	if err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	const reuse = "s = t.pool.Get().(*span)"
+	mutated := strings.Replace(string(src), reuse, "s = &span{}", 1)
+	if mutated == string(src) {
+		t.Fatalf("fixture drifted: pool reuse line %q not found", reuse)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "pool.go"), []byte(mutated), 0o644); err != nil {
+		t.Fatalf("write mutated fixture: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, "darnet/internal/lintfixture/hotallocpoolmut")
+	if err != nil {
+		t.Fatalf("load mutated fixture: %v", err)
+	}
+	diags := lint.Run(pkg, []*lint.Analyzer{lint.Hotalloc})
+	found := false
+	for _, d := range diags {
+		if d.Rule == "hotalloc" && strings.Contains(d.Message, "composite literal allocation") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deleting the sync.Pool reuse must trip hotalloc, got %v", diags)
+	}
 }
 
 // TestIgnoreDirectiveRequiresReason: a bare //lint:ignore without a rule and

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed, type-checked package ready for analysis.
@@ -23,6 +24,16 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	ipaOnce sync.Once
+	ipaVal  *IPA
+}
+
+// ipa lazily builds the package's interprocedural engine exactly once, no
+// matter how many whole-program analyzers ask for it.
+func (p *Package) ipa() *IPA {
+	p.ipaOnce.Do(func() { p.ipaVal = buildIPA(p) })
+	return p.ipaVal
 }
 
 // Loader parses module packages from source and type-checks them against

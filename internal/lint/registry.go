@@ -1,8 +1,15 @@
 package lint
 
 // All returns the full analyzer registry in the order findings are
-// conventionally reported.
+// conventionally reported: the intra-procedural rules first, then the
+// whole-program analyzers built on the interprocedural engine.
 func All() []*Analyzer {
+	return append(Intraprocedural(), Interprocedural()...)
+}
+
+// Intraprocedural returns the single-function AST rules — the fast subset
+// `make lint-fast` runs in edit loops.
+func Intraprocedural() []*Analyzer {
 	return []*Analyzer{
 		Locksafe,
 		Floatcmp,
@@ -11,5 +18,16 @@ func All() []*Analyzer {
 		Ctxsleep,
 		Shapecheck,
 		Metricname,
+	}
+}
+
+// Interprocedural returns the whole-program analyzers that share the
+// package call graph and function summaries.
+func Interprocedural() []*Analyzer {
+	return []*Analyzer{
+		Goleak,
+		Lockorder,
+		Hotalloc,
+		Ctxprop,
 	}
 }

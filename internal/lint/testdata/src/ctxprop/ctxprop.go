@@ -1,0 +1,54 @@
+// Package ctxprop exercises the ctxprop analyzer: blocking functions that
+// drop their context, manufactured Background contexts, and the safe
+// shapes (threaded context, non-blocking unused parameter).
+package ctxprop
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// drop blocks on a channel but never consults ctx.
+func drop(ctx context.Context, ch chan int) int { // want "drops its context parameter ctx"
+	return <-ch
+}
+
+// dropViaCallee reaches blocking only through a callee's lock acquisition.
+func dropViaCallee(ctx context.Context, mu *sync.Mutex) { // want "drops its context parameter ctx"
+	lockedWork(mu)
+}
+
+func lockedWork(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// manufactured has a context in hand yet severs cancellation for one call.
+func manufactured(ctx context.Context, ch chan int) {
+	if len(ch) == 0 {
+		threaded(context.Background(), ch) // want "passes context.Background to threaded"
+	}
+	threaded(ctx, ch)
+}
+
+// threaded is the safe shape: the context reaches the select.
+func threaded(ctx context.Context, ch chan int) {
+	select {
+	case <-ctx.Done():
+	case <-ch:
+	}
+}
+
+// futureProofed takes a context it does not need yet; a non-blocking
+// function with an unused context is not a finding.
+func futureProofed(ctx context.Context, n int) int {
+	return n * 2
+}
+
+// sleepy blocks via time.Sleep under a justified suppression.
+//
+//lint:ignore ctxprop fixture demonstrates a justified suppression
+func sleepy(ctx context.Context) {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,71 @@
+// Package goleak exercises the goleak analyzer: spawned goroutines that
+// can block forever on channel operations with no cancellation or close
+// path, versus the cancellable shapes that must stay clean.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// leakyRecv blocks forever on a bare receive; goleak reaches it through the
+// call graph when it is spawned.
+func leakyRecv(ch chan int) {
+	<-ch
+}
+
+// helperWait blocks forever when the WaitGroup's Done side is lost; reached
+// interprocedurally through a literal's call edge.
+func helperWait(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+func spawnLeaks(ch chan int, wg *sync.WaitGroup) {
+	go func() { // want "can block forever: channel receive"
+		<-ch
+	}()
+	go func() { // want "can block forever: channel send"
+		ch <- 1
+	}()
+	go leakyRecv(ch) // want "goroutine leakyRecv can block forever"
+	go func() {      // want "can block forever: single-case select"
+		select {
+		case <-ch:
+		}
+	}()
+	go func() { // want "reached via helperWait"
+		helperWait(wg)
+	}()
+}
+
+func spawnSafe(ctx context.Context, ch chan int) {
+	// A second select case is a cancellation path.
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-ch:
+		}
+	}()
+	// A comma-ok receive observes close.
+	go func() {
+		v, ok := <-ch
+		_, _ = v, ok
+	}()
+	// Range over a channel terminates on close.
+	go func() {
+		for range ch {
+		}
+	}()
+	// A default case never blocks.
+	go func() {
+		select {
+		case <-ch:
+		default:
+		}
+	}()
+	// A justified suppression is the documented escape hatch.
+	//lint:ignore goleak fixture demonstrates a justified suppression
+	go func() {
+		<-ch
+	}()
+}

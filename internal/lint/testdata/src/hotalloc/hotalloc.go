@@ -1,0 +1,55 @@
+// Package hotalloc exercises the hotalloc analyzer: allocation constructs
+// reachable from //lint:hotpath roots are findings; the same constructs off
+// the hot path are not.
+package hotalloc
+
+import "fmt"
+
+type buf struct {
+	data []byte
+}
+
+// record is a hot-path root: everything it reaches must be allocation-free.
+// Amortized append growth is deliberately allowed.
+//
+//lint:hotpath
+func record(b *buf, v byte) {
+	b.data = append(b.data, v)
+	stamp(b)
+}
+
+// stamp is only a finding because record reaches it.
+func stamp(b *buf) {
+	b.data = make([]byte, 0, 8) // want "make allocates on a hot path"
+}
+
+// describe formats on the hot path.
+//
+//lint:hotpath
+func describe(b *buf) string {
+	return fmt.Sprintf("%d bytes", len(b.data)) // want "fmt.Sprintf call allocates on a hot path"
+}
+
+// box passes a non-pointer-shaped value to an interface parameter.
+//
+//lint:hotpath
+func box(b *buf) {
+	sink(len(b.data)) // want "interface boxing of int allocates on a hot path"
+}
+
+func sink(v any) { _ = v }
+
+// spawnHot creates a closure on the hot path.
+//
+//lint:hotpath
+func spawnHot() func() {
+	return func() {} // want "closure allocates on a hot path"
+}
+
+// coldAlloc uses the same constructs but is unreachable from any root: no
+// findings.
+func coldAlloc() []int {
+	out := make([]int, 4)
+	_ = fmt.Sprintf("%d", len(out))
+	return out
+}

@@ -1,0 +1,43 @@
+// Package hotallocpool mirrors internal/telemetry/span.go's pooled span
+// reuse: the span-start hot path takes spans from a sync.Pool and only the
+// sampled branch allocates, under a justified suppression. The mutation
+// test rewrites the pool.Get line into a bare &span literal — deleting the
+// reuse — and asserts hotalloc fails.
+package hotallocpool
+
+import "sync"
+
+type span struct {
+	name    string
+	sampled bool
+}
+
+type tracer struct {
+	pool sync.Pool
+}
+
+// start is the span-start hot path: pool reuse keeps it allocation-free.
+//
+//lint:hotpath
+func (t *tracer) start(name string, sampled bool) *span {
+	var s *span
+	if sampled {
+		//lint:ignore hotalloc sampled 1-in-N branch retains its span tree deliberately
+		s = &span{}
+	} else {
+		s = t.pool.Get().(*span)
+	}
+	s.name = name
+	s.sampled = sampled
+	return s
+}
+
+// finish returns an unsampled span to the pool; a pointer into an interface
+// parameter does not heap-allocate.
+//
+//lint:hotpath
+func (t *tracer) finish(s *span) {
+	if !s.sampled {
+		t.pool.Put(s)
+	}
+}

@@ -1,0 +1,13 @@
+// Package loadbroken deliberately fails type-checking: LoadDir must report
+// the error with a position, not panic and not hand analyzers a half-built
+// package.
+package loadbroken
+
+func mismatch() string {
+	var s string = 42
+	return s
+}
+
+func undefinedCallee() {
+	neverDeclared()
+}

@@ -1,0 +1,41 @@
+// Package loadgenerics verifies the loader and the interprocedural engine
+// over generic code: type parameters, constraint interfaces, generic
+// methods, and instantiations at several types.
+package loadgenerics
+
+type number interface {
+	~int | ~float64
+}
+
+func sum[T number](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+type stack[T any] struct {
+	items []T
+}
+
+func (s *stack[T]) push(v T) {
+	s.items = append(s.items, v)
+}
+
+func (s *stack[T]) pop() (T, bool) {
+	var zero T
+	if len(s.items) == 0 {
+		return zero, false
+	}
+	v := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return v, true
+}
+
+func useAll() (int, float64) {
+	var st stack[int]
+	st.push(1)
+	v, _ := st.pop()
+	return sum([]int{v}), sum([]float64{1.5})
+}

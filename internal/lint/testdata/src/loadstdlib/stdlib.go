@@ -1,0 +1,43 @@
+// Package loadstdlib verifies that type-checking resolves stdlib imports —
+// including packages outside the module's own dependency graph, which the
+// loader must fetch export data for lazily — without building them from
+// source.
+package loadstdlib
+
+import (
+	"container/list"
+	"encoding/json"
+	"net/url"
+)
+
+type payload struct {
+	Name string `json:"name"`
+}
+
+func roundTrip(p payload) (payload, error) {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return payload{}, err
+	}
+	var out payload
+	if err := json.Unmarshal(data, &out); err != nil {
+		return payload{}, err
+	}
+	return out, nil
+}
+
+func hostOf(raw string) (string, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", err
+	}
+	return u.Host, nil
+}
+
+func enqueue(vals []int) *list.List {
+	l := list.New()
+	for _, v := range vals {
+		l.PushBack(v)
+	}
+	return l
+}

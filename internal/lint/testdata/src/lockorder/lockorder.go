@@ -1,0 +1,114 @@
+// Package lockorder exercises the lockorder analyzer: a direct ABBA cycle,
+// a cycle closed through a callee's acquisitions, a self-deadlock, and the
+// safe consistent-order shape that must stay clean.
+package lockorder
+
+import "sync"
+
+type store struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// abFirst establishes the order a-then-b.
+func (s *store) abFirst() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock() // want "lock acquisition order cycle"
+	defer s.b.Unlock()
+}
+
+// baFirst reverses it, closing the cycle.
+func (s *store) baFirst() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock()
+	defer s.a.Unlock()
+}
+
+type inner struct {
+	d sync.Mutex
+}
+
+type outer struct {
+	c  sync.Mutex
+	in inner
+}
+
+// lockThenCall holds c across a call whose callee acquires d: the edge is
+// interprocedural, derived from lockD's summary.
+func (o *outer) lockThenCall() {
+	o.c.Lock()
+	defer o.c.Unlock()
+	o.lockD() // want "lock acquisition order cycle"
+}
+
+func (o *outer) lockD() {
+	o.in.d.Lock()
+	defer o.in.d.Unlock()
+}
+
+// reverse closes the interprocedural cycle.
+func (o *outer) reverse() {
+	o.in.d.Lock()
+	defer o.in.d.Unlock()
+	o.c.Lock()
+	defer o.c.Unlock()
+}
+
+type rec struct {
+	mu sync.Mutex
+}
+
+// outerLock re-acquires mu through a callee while already holding it.
+func (r *rec) outerLock() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.innerLock() // want "self-deadlock"
+}
+
+func (r *rec) innerLock() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+type safe struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+// one and two agree on x-then-y: a consistent order is not a finding.
+func (s *safe) one() {
+	s.x.Lock()
+	defer s.x.Unlock()
+	s.y.Lock()
+	defer s.y.Unlock()
+}
+
+func (s *safe) two() {
+	s.x.Lock()
+	defer s.x.Unlock()
+	s.y.Lock()
+	defer s.y.Unlock()
+}
+
+type pair struct {
+	p sync.Mutex
+	q sync.Mutex
+}
+
+// pq carries a justified suppression at the reported acquisition site.
+func (s *pair) pq() {
+	s.p.Lock()
+	defer s.p.Unlock()
+	//lint:ignore lockorder fixture demonstrates a justified suppression
+	s.q.Lock()
+	defer s.q.Unlock()
+}
+
+func (s *pair) qp() {
+	s.q.Lock()
+	defer s.q.Unlock()
+	s.p.Lock()
+	defer s.p.Unlock()
+}

@@ -65,6 +65,8 @@ func (h *Histogram) Name() string { return h.name }
 
 // Observe records one observation (in the unit of the bucket bounds;
 // seconds for latency histograms).
+//
+//lint:hotpath
 func (h *Histogram) Observe(v float64) {
 	// Binary search for the first bound >= v; the overflow bucket catches
 	// the rest.
@@ -89,6 +91,8 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // ObserveSince records the seconds elapsed since start.
+//
+//lint:hotpath
 func (h *Histogram) ObserveSince(start time.Time) {
 	h.Observe(time.Since(start).Seconds())
 }

@@ -60,6 +60,8 @@ type Span struct {
 
 // StartRoot begins a new trace. The returned span must be ended; its
 // children are created with StartChild.
+//
+//lint:hotpath
 func (t *Tracer) StartRoot(name string) *Span {
 	seq := t.seq.Add(1)
 	sampled := t.sampleEvery > 0 && (seq-1)%t.sampleEvery == 0
@@ -69,7 +71,8 @@ func (t *Tracer) StartRoot(name string) *Span {
 func (t *Tracer) newSpan(name string, parent *Span, sampled bool) *Span {
 	var s *Span
 	if sampled {
-		s = &Span{} // retained in the trace tree; never pooled
+		//lint:ignore hotalloc the sampled 1-in-N branch retains its span tree and is never pooled
+		s = &Span{}
 	} else {
 		s = t.pool.Get().(*Span)
 		s.children = nil
@@ -86,6 +89,8 @@ func (t *Tracer) newSpan(name string, parent *Span, sampled bool) *Span {
 
 // StartChild begins a child stage of s. Safe to call from multiple
 // goroutines on the same parent. On a nil span it returns nil.
+//
+//lint:hotpath
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
@@ -103,6 +108,8 @@ func (s *Span) StartChild(name string) *Span {
 // completed trace to the tracer for /tracez. End is idempotent; on a nil
 // span it no-ops. An unsampled span must not be used after End (it is
 // recycled through the tracer's pool).
+//
+//lint:hotpath
 func (s *Span) End() {
 	if s == nil || !s.ended.CompareAndSwap(false, true) {
 		return

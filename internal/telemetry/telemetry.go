@@ -67,11 +67,16 @@ type Counter struct {
 }
 
 // Inc adds 1.
+//
+//lint:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n; negative n panics (counters are monotonic).
+//
+//lint:hotpath
 func (c *Counter) Add(n int64) {
 	if n < 0 {
+		//lint:ignore hotalloc formatting a programming-error panic is not a live path
 		panic(fmt.Sprintf("telemetry: counter %s cannot decrease", c.name))
 	}
 	c.v.Add(n)
@@ -91,9 +96,13 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//lint:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add shifts the gauge by delta (CAS loop; deltas may be negative).
+//
+//lint:hotpath
 func (g *Gauge) Add(delta float64) {
 	for {
 		old := g.bits.Load()

@@ -45,14 +45,24 @@ func New() *DB {
 
 // Insert adds a point to a series, keeping the series ordered by timestamp.
 // Agents deliver batches out of order across the network, so insertion
-// position is found by binary search.
+// position is found by binary search — open-coded rather than sort.Search,
+// which would capture pts and p in a closure on the per-point path.
+//
+//lint:hotpath
 func (db *DB) Insert(series string, p Point) {
 	start := time.Now()
 	db.mu.Lock()
 	pts, existed := db.series[series]
-	i := sort.Search(len(pts), func(i int) bool {
-		return pts[i].TimestampMillis > p.TimestampMillis
-	})
+	lo, hi := 0, len(pts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pts[mid].TimestampMillis > p.TimestampMillis {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo
 	pts = append(pts, Point{})
 	copy(pts[i+1:], pts[i:])
 	pts[i] = p

@@ -188,6 +188,11 @@ type Conn struct {
 	br *bufio.Reader
 	w  io.Writer
 
+	// scratch is the frame-body buffer Send reuses across calls. A Conn is
+	// owned by a single goroutine (one reader or writer loop per transport
+	// stream), so no locking is needed.
+	scratch writer
+
 	bytesRead    int64
 	bytesWritten int64
 }
@@ -197,9 +202,14 @@ func NewConn(rw io.ReadWriter) *Conn {
 	return &Conn{br: bufio.NewReader(rw), w: rw}
 }
 
-// Send writes one framed message.
+// Send writes one framed message. It runs once per sample batch on every
+// connection, so the body is encoded into the per-Conn scratch buffer
+// instead of a fresh writer per message.
+//
+//lint:hotpath
 func (c *Conn) Send(m Message) error {
-	body := &writer{}
+	body := &c.scratch
+	body.buf = body.buf[:0]
 	body.u8(uint8(m.Type()))
 	m.encodeBody(body)
 	if len(body.buf) > MaxFrameSize {
@@ -208,9 +218,11 @@ func (c *Conn) Send(m Message) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body.buf)))
 	if _, err := c.w.Write(hdr[:]); err != nil {
+		//lint:ignore hotalloc error path tears the connection down; allocation is irrelevant there
 		return fmt.Errorf("wire: write header: %w", err)
 	}
 	if _, err := c.w.Write(body.buf); err != nil {
+		//lint:ignore hotalloc error path tears the connection down; allocation is irrelevant there
 		return fmt.Errorf("wire: write body: %w", err)
 	}
 	c.bytesWritten += int64(len(hdr)) + int64(len(body.buf))
