@@ -5,13 +5,13 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/collect ./internal/tsdb ./internal/core ./internal/telemetry
+RACE_PKGS = ./internal/collect ./internal/tsdb ./internal/core ./internal/telemetry ./internal/fault
 
 # bench-smoke artifact location; override with BENCH_OUT=BENCH_PR3.json to
 # refresh the committed benchmark (then bump the scale/epochs back up).
 BENCH_OUT ?= /tmp/darnet-bench-smoke.json
 
-.PHONY: verify fmt vet lint lint-fast build test race bench-smoke
+.PHONY: verify fmt vet lint lint-fast build test race bench-smoke chaos
 
 verify: fmt vet lint build test race
 	@echo "verify: OK"
@@ -50,3 +50,14 @@ race:
 bench-smoke:
 	$(GO) run ./cmd/darnet-eval -exp bench -scale 0.012 -cnn-epochs 2 -rnn-epochs 2 -q -bench-out $(BENCH_OUT)
 	$(GO) run ./cmd/darnet-eval -check-bench $(BENCH_OUT)
+
+# chaos runs the fault-injection suite under the race detector: the
+# deterministic chaos-transport unit tests, the collect resilience tests, and
+# the end-to-end chaos pipeline (reconnect/backoff, at-least-once dedupe,
+# degraded classification). It then replays the chaos benchmark schedule and
+# validates the report schema.
+chaos:
+	$(GO) test -race ./internal/fault ./internal/collect
+	$(GO) test -race -run TestChaosPipeline .
+	$(GO) run ./cmd/darnet-eval -exp chaos -bench-out /tmp/darnet-chaos-bench.json
+	$(GO) run ./cmd/darnet-eval -check-bench /tmp/darnet-chaos-bench.json

@@ -117,11 +117,22 @@ func bench(dataPath string, scale float64, seed int64, cnnEpochs, rnnEpochs int,
 
 // checkBenchFile validates a benchmark JSON file: schema fields present,
 // accuracies in [0,1], and every reported stage non-empty with ordered
-// quantiles. It is the -check-bench mode make bench-smoke gates on.
+// quantiles. It is the -check-bench mode make bench-smoke gates on. Chaos
+// benchmarks (experiment "chaos") carry a different schema and dispatch to
+// checkChaosBench.
 func checkBenchFile(path string) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return err
+	}
+	var probe struct {
+		Experiment string `json:"experiment"`
+	}
+	if err := json.Unmarshal(buf, &probe); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if probe.Experiment == "chaos" {
+		return checkChaosBench(path, buf)
 	}
 	var report benchReport
 	if err := json.Unmarshal(buf, &report); err != nil {

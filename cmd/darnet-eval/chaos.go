@@ -1,0 +1,242 @@
+package main
+
+// The chaos experiment measures the collection middleware's resilience under
+// a fixed fault schedule: an agent streams over loopback TCP through a
+// fault.Transport that hard-partitions the first two connections and
+// duplicates frames afterwards, and the report records ingest throughput,
+// per-partition recovery time, and the dedupe/spill accounting. It is the
+// robustness counterpart of the -exp bench latency probe.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"darnet/internal/collect"
+	"darnet/internal/fault"
+	"darnet/internal/tsdb"
+	"darnet/internal/wire"
+)
+
+// Fixed fault schedule for the chaos experiment: two scheduled partitions,
+// then duplicated frames for the rest of the run.
+const (
+	chaosPartitionAfter = 40  // writes before each scheduled partition
+	chaosDupRate        = 0.3 // duplicate-delivery probability after the partitions
+	chaosRunFor         = 3 * time.Second
+)
+
+// chaosReport is the BENCH_PR5.json schema: provenance, ingest throughput
+// under faults, recovery time for every injected partition, and the
+// resilience accounting (reconnects, deduped replays, spilled readings).
+type chaosReport struct {
+	PR         int     `json:"pr"`
+	Experiment string  `json:"experiment"`
+	Seed       int64   `json:"seed"`
+	DurationMS float64 `json:"duration_ms"`
+
+	ReadingsStored int     `json:"readings_stored"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+
+	Partitions    int       `json:"partitions"`
+	Reconnects    int       `json:"reconnects"`
+	Deduped       int       `json:"deduped"`
+	SpillDropped  int64     `json:"spill_dropped"`
+	RecoveryMS    []float64 `json:"recovery_ms"`
+	RecoveryMaxMS float64   `json:"recovery_max_ms"`
+}
+
+// chaosBench runs the fixed fault schedule and writes the machine-readable
+// resilience benchmark to outPath.
+func chaosBench(seed int64, quiet bool, outPath string) error {
+	db := tsdb.New()
+	ctrl := collect.NewController(db, func() int64 { return time.Now().UnixMilli() })
+	ctrl.SetIdleTimeout(2 * time.Second)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				//lint:ignore errdrop chaos sessions end in injected faults by design
+				ctrl.ServeConn(wire.NewConn(conn))
+			}()
+		}
+	}()
+
+	// Partition timestamps feed the recovery-time measurement below.
+	var mu sync.Mutex
+	var partitionAt []time.Time
+	var dials int64
+	dialer := func() (*wire.Conn, error) {
+		raw, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		dials++
+		n := dials
+		mu.Unlock()
+		cfg := fault.Config{Seed: seed + n}
+		if n <= 2 {
+			cfg.PartitionAfterWrites = []int{chaosPartitionAfter}
+			cfg.OnEvent = func(e fault.Event) {
+				if e.Kind == fault.EventPartition {
+					mu.Lock()
+					partitionAt = append(partitionAt, time.Now())
+					mu.Unlock()
+				}
+			}
+		} else {
+			cfg.DupRate = chaosDupRate
+		}
+		return wire.NewConn(fault.NewTransport(raw, cfg)), nil
+	}
+
+	conn, err := dialer()
+	if err != nil {
+		return err
+	}
+	clock := collect.NewDriftClock(func() int64 { return time.Now().UnixMilli() }, 0)
+	var tick int64
+	sensors := []collect.Sensor{collect.SensorFunc{SensorName: "s", ReadFunc: func() []float64 {
+		tick++
+		return []float64{float64(tick)}
+	}}}
+	agent, err := collect.NewAgent(collect.AgentConfig{
+		ID: "chaos", Modality: "imu", PollPeriodMS: 2,
+		AckTimeout: time.Second, MaxSpill: 100_000,
+	}, clock, sensors, conn)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	runner, err := collect.StartRunnerConfig(agent, collect.RunnerConfig{
+		FlushEvery:  10 * time.Millisecond,
+		Dialer:      dialer,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		MaxAttempts: -1,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Recovery time of partition k: from the injected fault to the first new
+	// reading stored afterwards — the span during which ingest was down.
+	series := collect.SeriesName("chaos", "s") + "[0]"
+	var recoveredAt []time.Time
+	lastLen := 0
+	for time.Since(start) < chaosRunFor {
+		time.Sleep(time.Millisecond)
+		if n := db.Len(series); n > lastLen {
+			lastLen = n
+			mu.Lock()
+			if len(recoveredAt) < len(partitionAt) {
+				recoveredAt = append(recoveredAt, time.Now())
+			}
+			mu.Unlock()
+		}
+	}
+	if err := runner.Shutdown(); err != nil {
+		return fmt.Errorf("chaos runner: %w", err)
+	}
+	elapsed := time.Since(start)
+
+	st, ok := ctrl.AgentStats("chaos")
+	if !ok {
+		return fmt.Errorf("chaos agent never registered")
+	}
+	stored := db.Len(series)
+	if stored == 0 {
+		return fmt.Errorf("chaos run stored no readings")
+	}
+	if got := runner.Reconnects(); got < 2 {
+		return fmt.Errorf("chaos run survived only %d partitions, want 2", got)
+	}
+
+	report := chaosReport{
+		PR:             5,
+		Experiment:     "chaos",
+		Seed:           seed,
+		DurationMS:     float64(elapsed.Milliseconds()),
+		ReadingsStored: stored,
+		ThroughputRPS:  float64(stored) / elapsed.Seconds(),
+		Partitions:     len(partitionAt),
+		Reconnects:     runner.Reconnects(),
+		Deduped:        st.Deduped,
+		SpillDropped:   agent.SpillDropped(),
+	}
+	for i, p := range partitionAt {
+		if i < len(recoveredAt) {
+			ms := float64(recoveredAt[i].Sub(p).Microseconds()) / 1000
+			report.RecoveryMS = append(report.RecoveryMS, ms)
+			if ms > report.RecoveryMaxMS {
+				report.RecoveryMaxMS = ms
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return fmt.Errorf("write chaos benchmark: %w", err)
+	}
+	if !quiet {
+		fmt.Printf("== chaos: %v fault-schedule run ==\n", chaosRunFor)
+		fmt.Printf("stored %d readings (%.0f/s), survived %d partitions with %d reconnects\n",
+			stored, report.ThroughputRPS, report.Partitions, report.Reconnects)
+		fmt.Printf("deduped %d replayed batches, spill-dropped %d readings\n", report.Deduped, report.SpillDropped)
+		for i, ms := range report.RecoveryMS {
+			fmt.Printf("partition %d recovered in %.1f ms\n", i+1, ms)
+		}
+	}
+	fmt.Printf("wrote %s\n\n", outPath)
+	return nil
+}
+
+// checkChaosBench validates a chaos benchmark file (the -check-bench branch
+// for experiment "chaos").
+func checkChaosBench(path string, buf []byte) error {
+	var report chaosReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if report.PR <= 0 || report.Experiment != "chaos" {
+		return fmt.Errorf("%s: missing provenance (pr=%d experiment=%q)", path, report.PR, report.Experiment)
+	}
+	if report.ReadingsStored <= 0 || report.ThroughputRPS <= 0 {
+		return fmt.Errorf("%s: no ingest recorded (stored=%d throughput=%v)", path, report.ReadingsStored, report.ThroughputRPS)
+	}
+	if report.Partitions < 2 {
+		return fmt.Errorf("%s: only %d partitions injected, schedule promises 2", path, report.Partitions)
+	}
+	if report.Reconnects < report.Partitions {
+		return fmt.Errorf("%s: %d reconnects for %d partitions — an outage was not survived", path, report.Reconnects, report.Partitions)
+	}
+	if len(report.RecoveryMS) == 0 {
+		return fmt.Errorf("%s: no recovery times recorded", path)
+	}
+	for i, ms := range report.RecoveryMS {
+		if ms <= 0 || ms > report.RecoveryMaxMS {
+			return fmt.Errorf("%s: recovery_ms[%d] = %v inconsistent with max %v", path, i, ms, report.RecoveryMaxMS)
+		}
+	}
+	fmt.Printf("%s ok: %.0f readings/s under faults, %d partitions survived, worst recovery %.1f ms\n",
+		path, report.ThroughputRPS, report.Partitions, report.RecoveryMaxMS)
+	return nil
+}

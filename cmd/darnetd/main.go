@@ -53,17 +53,20 @@ func main() {
 		duration   = flag.Duration("duration", 5*time.Second, "how long the agent streams (agent mode)")
 		drift      = flag.Float64("drift", 0.002, "simulated clock drift of the agent (fraction)")
 		enginePath = flag.String("engine", "", "serve remote classification from this engine snapshot instead of collecting")
+		idleT      = flag.Duration("idle-timeout", 0, "reap agent connections silent for this long (controller mode; 0 disables)")
+		reconnect  = flag.Bool("reconnect", true, "redial the controller with exponential backoff after transport failures (agent mode)")
+		ackTimeout = flag.Duration("ack-timeout", 5*time.Second, "bound each wait for a controller ack (agent mode; 0 waits forever)")
 	)
 	flag.Parse()
 
 	var err error
 	switch {
 	case *agentMode:
-		err = runAgent(*connect, *agentID, *duration, *drift)
+		err = runAgent(*connect, *agentID, *duration, *drift, *reconnect, *ackTimeout)
 	case *enginePath != "":
 		err = runEngineServer(*listen, *ops, *enginePath)
 	default:
-		err = runController(*listen, *ops)
+		err = runController(*listen, *ops, *idleT)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -214,7 +217,7 @@ func acceptLoop(ln, opsLn net.Listener, stop <-chan struct{}, out io.Writer, han
 
 func wallMillis() int64 { return time.Now().UnixMilli() }
 
-func runController(listen, opsAddr string) error {
+func runController(listen, opsAddr string, idleTimeout time.Duration) error {
 	ln, opsLn, err := listenPair(listen, opsAddr)
 	if err != nil {
 		return err
@@ -222,6 +225,10 @@ func runController(listen, opsAddr string) error {
 	fmt.Printf("controller listening on %s (clock re-sync every %d ms)\n", ln.Addr(), collect.SyncPeriodMillis)
 	db := tsdb.New()
 	ctrl := collect.NewController(db, wallMillis)
+	if idleTimeout > 0 {
+		ctrl.SetIdleTimeout(idleTimeout)
+		fmt.Printf("reaping connections silent for %v\n", idleTimeout)
+	}
 	stop, release := notifyInterrupt()
 	defer release()
 	serveController(ctrl, db, ln, opsLn, stop, os.Stdout)
@@ -308,12 +315,22 @@ func serveEngine(eng *core.Engine, ln, opsLn net.Listener, stop <-chan struct{},
 	})
 }
 
-func runAgent(addr, id string, duration time.Duration, drift float64) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("connect: %w", err)
+func runAgent(addr, id string, duration time.Duration, drift float64, reconnect bool, ackTimeout time.Duration) error {
+	dial := func() (*wire.Conn, error) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("connect: %w", err)
+		}
+		return wire.NewConn(c), nil
 	}
-	defer conn.Close()
+	conn, err := dial()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//lint:ignore errdrop session teardown; the close error leaves nothing to act on
+		conn.Close()
+	}()
 
 	clock := collect.NewDriftClock(wallMillis, drift)
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
@@ -332,20 +349,26 @@ func runAgent(addr, id string, duration time.Duration, drift float64) error {
 	current := next()
 	sensors := collect.IMUSensors(func() imu.Sample { return current })
 	agent, err := collect.NewAgent(collect.AgentConfig{
-		ID: id, Modality: "imu", PollPeriodMS: 25, LatencyComp: 2,
-	}, clock, sensors, wire.NewConn(conn))
+		ID: id, Modality: "imu", PollPeriodMS: 25, LatencyComp: 2, AckTimeout: ackTimeout,
+	}, clock, sensors, conn)
 	if err != nil {
 		return err
 	}
-	runner, err := collect.StartRunner(agent, 500*time.Millisecond, func() { current = next() })
+	rcfg := collect.RunnerConfig{FlushEvery: 500 * time.Millisecond, OnPoll: func() { current = next() }}
+	if reconnect {
+		rcfg.Dialer = dial
+		rcfg.Seed = time.Now().UnixNano() // decorrelate fleet backoff jitter
+	}
+	runner, err := collect.StartRunnerConfig(agent, rcfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("agent %s streaming to %s for %v (drift %.3f%%)\n", id, addr, duration, drift*100)
+	fmt.Printf("agent %s streaming to %s for %v (drift %.3f%%, reconnect=%v)\n", id, addr, duration, drift*100, reconnect)
 	time.Sleep(duration)
 	if err := runner.Shutdown(); err != nil {
 		return err
 	}
-	fmt.Printf("agent %s done, final clock skew %d ms\n", id, agent.ClockSkewMillis())
+	fmt.Printf("agent %s done, final clock skew %d ms, survived %d outages, spill-dropped %d readings\n",
+		id, agent.ClockSkewMillis(), runner.Reconnects(), agent.SpillDropped())
 	return nil
 }

@@ -3,9 +3,24 @@ package collect
 import (
 	"fmt"
 	"io"
+	"time"
 
+	"darnet/internal/telemetry"
 	"darnet/internal/wire"
 )
+
+// Agent-side resilience metrics: readings sacrificed to the spill bound and
+// batch retransmissions after reconnects.
+var (
+	mSpillDropped = telemetry.NewCounter("darnet_collect_spill_dropped_total", "readings dropped oldest-first when the agent spill buffer overflowed during an outage")
+	mRetransmits  = telemetry.NewCounter("darnet_collect_batches_retransmitted_total", "unacked batches re-sent after a reconnect")
+	mHeartbeatsTx = telemetry.NewCounter("darnet_collect_heartbeats_sent_total", "liveness heartbeats sent by agents with nothing to flush")
+)
+
+// DefaultMaxSpill bounds the readings an agent retains while its link is
+// down: at the paper's 25 ms poll period and four IMU sensors this is ~25
+// seconds of outage before the oldest readings are sacrificed.
+const DefaultMaxSpill = 4096
 
 // Sensor is one pollable device channel (accelerometer, gyroscope, camera…).
 // Read returns the current values; the agent stamps them with its clock.
@@ -32,6 +47,16 @@ func (s SensorFunc) Read() []float64 { return s.ReadFunc() }
 // transmission cadences are decoupled, matching the paper's guidance that
 // poll period follows the sensor rate while transmission follows link
 // characteristics.
+//
+// Delivery is at-least-once (protocol v2): each flush freezes the buffered
+// readings into a pending batch with the next sequence number, and the
+// sequence only advances once the controller acks it. If the link dies
+// mid-flight the pending batch is retransmitted verbatim after Reconnect, so
+// a controller that already stored it can recognize the replay by its
+// sequence number and drop it. Readings polled while a batch is in flight
+// accumulate in a spill buffer bounded by MaxSpill; when an outage outlasts
+// the bound, the oldest spilled readings are dropped first (the freshest
+// data is the most valuable for real-time classification).
 type Agent struct {
 	ID           string
 	Modality     string
@@ -43,8 +68,19 @@ type Agent struct {
 	// latencyComp is the empirically measured one-way network delay added to
 	// the master's time when applying a ClockSync (§4.1).
 	latencyComp int64
+	// ackTimeout bounds each wait for a controller response; zero disables
+	// the deadline (legacy behavior: wait forever).
+	ackTimeout time.Duration
+	maxSpill   int
 
-	buf []wire.Reading
+	buf []wire.Reading // readings not yet frozen into a batch
+	// pending is the frozen in-flight batch awaiting its ack; it is resent
+	// unchanged across reconnects so the controller's dedupe stays sound.
+	pending    []wire.Reading
+	pendingSeq uint64
+	seq        uint64 // last acked batch sequence
+	dropped    int64  // readings sacrificed to the spill bound
+	sent       bool   // pending was transmitted at least once since frozen
 }
 
 // AgentConfig configures a collection agent.
@@ -53,6 +89,13 @@ type AgentConfig struct {
 	Modality     string
 	PollPeriodMS uint32
 	LatencyComp  int64
+	// AckTimeout bounds each wait for a controller ack; past it the flush
+	// fails with a deadline error and the runner's reconnect path takes
+	// over. Zero waits forever (the pre-fault-tolerance behavior).
+	AckTimeout time.Duration
+	// MaxSpill bounds retained readings across outages; 0 means
+	// DefaultMaxSpill, negative means unbounded.
+	MaxSpill int
 }
 
 // NewAgent returns an agent over the given transport connection.
@@ -66,6 +109,9 @@ func NewAgent(cfg AgentConfig, clock *DriftClock, sensors []Sensor, conn *wire.C
 	if cfg.PollPeriodMS == 0 {
 		cfg.PollPeriodMS = 25 // paper: updates every 25 ms
 	}
+	if cfg.MaxSpill == 0 {
+		cfg.MaxSpill = DefaultMaxSpill
+	}
 	return &Agent{
 		ID:           cfg.ID,
 		Modality:     cfg.Modality,
@@ -74,6 +120,8 @@ func NewAgent(cfg AgentConfig, clock *DriftClock, sensors []Sensor, conn *wire.C
 		sensors:      sensors,
 		conn:         conn,
 		latencyComp:  cfg.LatencyComp,
+		ackTimeout:   cfg.AckTimeout,
+		maxSpill:     cfg.MaxSpill,
 	}, nil
 }
 
@@ -82,11 +130,21 @@ func (a *Agent) Hello() error {
 	if err := a.conn.Send(&wire.Hello{AgentID: a.ID, Modality: a.Modality, PeriodMillis: a.PollPeriodMS}); err != nil {
 		return fmt.Errorf("collect: %s hello: %w", a.ID, err)
 	}
-	return a.awaitAck()
+	return a.awaitAck(0)
+}
+
+// Reconnect swaps in a fresh transport connection after an outage and
+// re-registers with the controller. The controller recognizes the agent ID
+// and resumes the session — sequence numbering and dedupe state carry over.
+// The pending batch (if any) stays frozen; the next Flush retransmits it.
+func (a *Agent) Reconnect(conn *wire.Conn) error {
+	a.conn = conn
+	return a.Hello()
 }
 
 // Poll reads every sensor once and buffers the readings, stamped with the
-// agent's local clock.
+// agent's local clock. When an outage has filled the spill bound, the oldest
+// unfrozen readings are dropped first.
 func (a *Agent) Poll() {
 	now := a.clock.NowMillis()
 	for _, s := range a.sensors {
@@ -96,29 +154,83 @@ func (a *Agent) Poll() {
 			Values:          s.Read(),
 		})
 	}
+	if a.maxSpill > 0 {
+		if over := len(a.pending) + len(a.buf) - a.maxSpill; over > 0 && len(a.buf) > 0 {
+			if over > len(a.buf) {
+				over = len(a.buf)
+			}
+			a.buf = append(a.buf[:0], a.buf[over:]...)
+			a.dropped += int64(over)
+			mSpillDropped.Add(int64(over))
+		}
+	}
 }
 
-// Buffered returns the number of unsent readings.
-func (a *Agent) Buffered() int { return len(a.buf) }
+// Buffered returns the number of unacked readings the agent retains
+// (in-flight batch plus spill buffer).
+func (a *Agent) Buffered() int { return len(a.pending) + len(a.buf) }
 
-// Flush transmits the buffered readings and processes the controller's
-// response, applying any clock synchronization that arrives before the ack.
+// SpillDropped returns the total readings sacrificed to the spill bound.
+func (a *Agent) SpillDropped() int64 { return a.dropped }
+
+// NextSeq returns the sequence number the next fresh batch will carry.
+func (a *Agent) NextSeq() uint64 { return a.seq + 1 }
+
+// Flush transmits the pending batch — freezing the spill buffer into one
+// first if none is in flight — and processes the controller's response,
+// applying any clock synchronization that arrives before the ack. On error
+// the batch stays pending and a later Flush (typically after Reconnect)
+// retransmits it with the same sequence number.
 func (a *Agent) Flush() error {
-	if len(a.buf) == 0 {
-		return nil
+	if a.pending == nil {
+		if len(a.buf) == 0 {
+			return nil
+		}
+		a.pending = a.buf
+		a.pendingSeq = a.seq + 1
+		a.buf = nil
+		a.sent = false
 	}
-	batch := &wire.SampleBatch{AgentID: a.ID, Readings: a.buf}
+	batch := &wire.SampleBatch{AgentID: a.ID, Seq: a.pendingSeq, Readings: a.pending}
+	if a.sent {
+		mRetransmits.Inc()
+	}
 	if err := a.conn.Send(batch); err != nil {
 		return fmt.Errorf("collect: %s flush: %w", a.ID, err)
 	}
-	a.buf = a.buf[:0]
-	return a.awaitAck()
+	a.sent = true
+	if err := a.awaitAck(a.pendingSeq); err != nil {
+		return err
+	}
+	a.pending = nil
+	a.seq = a.pendingSeq
+	return nil
 }
 
-// awaitAck consumes controller messages until an Ack, handling interleaved
-// ClockSync requests: the agent sets its own clock to the master's UTC plus
-// the measured network delay and reports back (§4.1).
-func (a *Agent) awaitAck() error {
+// Heartbeat proves liveness to the controller when there is nothing to
+// flush, keeping the connection inside the controller's read deadline.
+func (a *Agent) Heartbeat() error {
+	if err := a.conn.Send(&wire.Heartbeat{AgentID: a.ID}); err != nil {
+		return fmt.Errorf("collect: %s heartbeat: %w", a.ID, err)
+	}
+	mHeartbeatsTx.Inc()
+	return a.awaitAck(0)
+}
+
+// awaitAck consumes controller messages until an Ack for at least minSeq,
+// handling interleaved ClockSync requests: the agent sets its own clock to
+// the master's UTC plus the measured network delay and reports back (§4.1).
+// Acks echoing a sequence below minSeq are stale — a chaos transport that
+// duplicates a batch frame makes the controller ack it twice, and advancing
+// on the second (stale) ack would let a flush report success before its own
+// batch was stored. With AckTimeout set, each wait is bounded by a read
+// deadline so a dead controller surfaces as an error instead of a hang.
+func (a *Agent) awaitAck(minSeq uint64) error {
+	if a.ackTimeout > 0 {
+		//lint:ignore errdrop transports without deadlines no-op; the Recv error is authoritative
+		a.conn.SetReadDeadline(time.Now().Add(a.ackTimeout))
+		defer a.conn.SetReadDeadline(time.Time{})
+	}
 	for {
 		msg, err := a.conn.Recv()
 		if err != nil {
@@ -129,6 +241,9 @@ func (a *Agent) awaitAck() error {
 		}
 		switch m := msg.(type) {
 		case *wire.Ack:
+			if m.Seq < minSeq {
+				continue // stale ack for an already-settled batch
+			}
 			return nil
 		case *wire.ClockSync:
 			a.clock.SetMillis(m.MasterMillis + a.latencyComp)

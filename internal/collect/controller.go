@@ -1,8 +1,10 @@
 package collect
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -25,7 +27,18 @@ var (
 	hSyncRTT  = telemetry.NewHistogram("darnet_collect_sync_rtt_seconds", "round-trip time of the clock-sync exchange", nil)
 	gSkew     = telemetry.NewGauge("darnet_collect_clock_skew_millis", "residual agent clock skew at the most recent sync")
 	hAlign    = telemetry.NewHistogram("darnet_collect_align_seconds", "resample + smooth of one series set", nil)
+
+	// Fault-tolerance counters: every deduped replay, resumed session, served
+	// heartbeat, and idle-reaped connection is an observable recovery event.
+	mDeduped      = telemetry.NewCounter("darnet_collect_batches_deduped_total", "replayed batches dropped by sequence-number dedupe (at-least-once delivery)")
+	mResumed      = telemetry.NewCounter("darnet_collect_sessions_resumed_total", "sessions resumed by a re-hello from a known agent ID")
+	mHeartbeatsRx = telemetry.NewCounter("darnet_collect_heartbeats_total", "liveness heartbeats served")
+	mIdleReaps    = telemetry.NewCounter("darnet_collect_idle_reaps_total", "connections reaped after missing the read deadline")
 )
+
+// ErrIdleReaped marks a connection the controller abandoned because the
+// agent went silent past the idle timeout; match with errors.Is.
+var ErrIdleReaped = errors.New("collect: connection reaped after idle timeout")
 
 // SyncPeriodMillis is how often the controller re-distributes its clock to
 // each agent (paper §4.1: "this synchronization process is repeated every 5
@@ -40,9 +53,10 @@ type Controller struct {
 	source      TimeSource
 	framesStore *frameStore
 
-	mu       sync.Mutex
-	agents   map[string]*agentState
-	syncEach int64
+	mu          sync.Mutex
+	agents      map[string]*agentState
+	syncEach    int64
+	idleTimeout time.Duration
 }
 
 type agentState struct {
@@ -53,6 +67,12 @@ type agentState struct {
 	lastRTT      int64
 	batches      int
 	readings     int
+	// lastSeq is the highest stored batch sequence number; replays at or
+	// below it are deduped. It survives reconnects — the dedupe window is
+	// the agent session, not the connection.
+	lastSeq  uint64
+	deduped  int
+	sessions int
 }
 
 // NewController returns a controller storing into db and keeping master time
@@ -77,6 +97,28 @@ func (c *Controller) SetSyncPeriod(millis int64) {
 	c.syncEach = millis
 }
 
+// SetIdleTimeout arms a per-read deadline on agent connections: a connection
+// that delivers neither a batch nor a heartbeat within d is reaped
+// (ServeConn returns ErrIdleReaped) instead of leaking its goroutine on a
+// dead link. Zero (the default) disables reaping. The deadline uses the wall
+// clock of the transport, independent of the controller's TimeSource.
+func (c *Controller) SetIdleTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.idleTimeout = d
+}
+
+// armDeadline pushes the idle deadline out before a blocking read.
+func (c *Controller) armDeadline(conn *wire.Conn) {
+	c.mu.Lock()
+	d := c.idleTimeout
+	c.mu.Unlock()
+	if d > 0 {
+		//lint:ignore errdrop transports without deadlines no-op; the Recv error is authoritative
+		conn.SetReadDeadline(time.Now().Add(d))
+	}
+}
+
 // AgentIDs returns the registered agent identifiers.
 func (c *Controller) AgentIDs() []string {
 	c.mu.Lock()
@@ -99,6 +141,12 @@ type Stats struct {
 	// compensation agents apply (§4.1 "plus the empirically measured network
 	// delay").
 	LastRTTMillis int64
+	// LastSeq is the highest stored batch sequence number; Deduped counts
+	// replayed batches dropped below it. Sessions counts connections that
+	// carried this agent ID, so Sessions-1 is the number of resumes.
+	LastSeq  uint64
+	Deduped  int
+	Sessions int
 }
 
 // AgentStats returns per-agent session statistics.
@@ -115,20 +163,36 @@ func (c *Controller) AgentStats(id string) (Stats, bool) {
 		Readings:      st.readings,
 		LastSkewMill:  st.lastSkew,
 		LastRTTMillis: st.lastRTT,
+		LastSeq:       st.lastSeq,
+		Deduped:       st.deduped,
+		Sessions:      st.sessions,
 	}, true
 }
 
 // ServeConn runs the controller side of the protocol for one agent
-// connection until the agent disconnects (io.EOF) or a protocol error
-// occurs. It is safe to call concurrently for multiple connections.
+// connection until the agent disconnects (io.EOF), a protocol error occurs,
+// or the idle timeout reaps it. It is safe to call concurrently for multiple
+// connections.
+//
+// A Hello carrying a known agent ID resumes that agent's session: batch
+// statistics and — critically — the dedupe sequence state carry over, so a
+// batch the agent retransmits after reconnecting is recognized as a replay
+// (its sequence number is not above the last stored one), acked, and
+// dropped without storing duplicate rows. Heartbeats keep idle connections
+// alive under the read deadline.
 //
 // Every batch iteration is traced as a darnet_ingest_batch span with
 // agent_read (blocking wait + wire decode), store (frame store and tsdb
 // inserts), clock_sync, and ack children; traces abandoned by a disconnect
 // mid-iteration are dropped rather than published incomplete.
 func (c *Controller) ServeConn(conn *wire.Conn) error {
+	c.armDeadline(conn)
 	msg, err := conn.Recv()
 	if err != nil {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			mIdleReaps.Inc()
+			return fmt.Errorf("%w: silent before hello", ErrIdleReaped)
+		}
 		return fmt.Errorf("collect: controller handshake: %w", err)
 	}
 	hello, ok := msg.(*wire.Hello)
@@ -136,13 +200,25 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 		return fmt.Errorf("collect: expected hello, got %T", msg)
 	}
 	c.mu.Lock()
-	st := &agentState{
-		modality:     hello.Modality,
-		periodMillis: hello.PeriodMillis,
-		lastSyncAt:   c.source(),
+	st, resumed := c.agents[hello.AgentID]
+	if resumed {
+		// Session resume: refresh the link parameters, keep the sequence and
+		// accounting state the dedupe depends on.
+		st.modality = hello.Modality
+		st.periodMillis = hello.PeriodMillis
+	} else {
+		st = &agentState{
+			modality:     hello.Modality,
+			periodMillis: hello.PeriodMillis,
+			lastSyncAt:   c.source(),
+		}
+		c.agents[hello.AgentID] = st
 	}
-	c.agents[hello.AgentID] = st
+	st.sessions++
 	c.mu.Unlock()
+	if resumed {
+		mResumed.Inc()
+	}
 	if err := conn.Send(&wire.Ack{}); err != nil {
 		return fmt.Errorf("collect: hello ack: %w", err)
 	}
@@ -152,21 +228,54 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 	for {
 		root := telemetry.DefaultTracer.StartRoot("darnet_ingest_batch")
 		readSp := root.StartChild("darnet_stage_agent_read")
+		c.armDeadline(conn)
 		msg, err := conn.Recv()
 		readSp.End()
 		if err != nil {
 			if err == io.EOF {
 				return nil
 			}
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				mIdleReaps.Inc()
+				return fmt.Errorf("%w: agent %s silent past the deadline", ErrIdleReaped, hello.AgentID)
+			}
 			return fmt.Errorf("collect: controller recv: %w", err)
 		}
 		ingestStart := time.Now()
+		if hb, ok := msg.(*wire.Heartbeat); ok {
+			if hb.AgentID != hello.AgentID {
+				return fmt.Errorf("collect: heartbeat from %q on connection of %q", hb.AgentID, hello.AgentID)
+			}
+			if err := conn.Send(&wire.Ack{}); err != nil {
+				return fmt.Errorf("collect: heartbeat ack: %w", err)
+			}
+			mHeartbeatsRx.Inc()
+			root.End()
+			continue
+		}
 		batch, ok := msg.(*wire.SampleBatch)
 		if !ok {
-			return fmt.Errorf("collect: expected sample batch, got %T", msg)
+			return fmt.Errorf("collect: expected sample batch or heartbeat, got %T", msg)
 		}
 		if batch.AgentID != hello.AgentID {
 			return fmt.Errorf("collect: batch from %q on connection of %q", batch.AgentID, hello.AgentID)
+		}
+		// At-least-once delivery: a sequence number at or below the last
+		// stored one is a replay of a batch whose ack was lost. Ack it again
+		// (so the agent advances) but store nothing.
+		c.mu.Lock()
+		dup := batch.Seq != 0 && batch.Seq <= st.lastSeq
+		if dup {
+			st.deduped++
+		}
+		c.mu.Unlock()
+		if dup {
+			if err := conn.Send(&wire.Ack{Seq: batch.Seq}); err != nil {
+				return fmt.Errorf("collect: replay ack: %w", err)
+			}
+			mDeduped.Inc()
+			root.End()
+			continue
 		}
 		storeSp := root.StartChild("darnet_stage_store")
 		frames := 0
@@ -199,6 +308,9 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 		}
 		st.batches++
 		st.readings += len(batch.Readings)
+		if batch.Seq > st.lastSeq {
+			st.lastSeq = batch.Seq
+		}
 		c.mu.Unlock()
 
 		// Clock synchronization piggybacks on the batch exchange: the
@@ -230,7 +342,7 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 			gSkew.Set(float64(skew))
 		}
 		ackSp := root.StartChild("darnet_stage_ack")
-		if err := conn.Send(&wire.Ack{Count: uint32(len(batch.Readings))}); err != nil {
+		if err := conn.Send(&wire.Ack{Count: uint32(len(batch.Readings)), Seq: batch.Seq}); err != nil {
 			return fmt.Errorf("collect: batch ack: %w", err)
 		}
 		ackSp.End()

@@ -241,16 +241,68 @@ func intsToClassMap(m []int) bayes.ClassMap {
 	return out
 }
 
-// Classification is one fused inference over all modalities.
+// ClassifyMode names which modalities backed a classification.
+type ClassifyMode int
+
+// Classification modes: fused is the healthy CNN+RNN ensemble; the single-
+// modality modes are the degraded fallbacks used when the other modality's
+// stream is absent (partitioned agent, stale window, missing frame).
+const (
+	ModeFused ClassifyMode = iota
+	ModeCNNOnly
+	ModeRNNOnly
+)
+
+// String implements fmt.Stringer.
+func (m ClassifyMode) String() string {
+	switch m {
+	case ModeFused:
+		return "fused"
+	case ModeCNNOnly:
+		return "cnn-only"
+	case ModeRNNOnly:
+		return "rnn-only"
+	default:
+		return fmt.Sprintf("ClassifyMode(%d)", int(m))
+	}
+}
+
+// DegradedConfidenceDiscount is the factor applied to the posterior-peak
+// confidence of a single-modality classification: with one parent of the
+// Bayesian Network replaced by an uninformative uniform, the decision rests
+// on half the evidence and downstream alerting should trust it accordingly.
+const DegradedConfidenceDiscount = 0.5
+
+// Classification is one inference over the available modalities.
 type Classification struct {
 	// Class is the ensemble (CNN+RNN via BN) decision.
 	Class int
 	// Probs is the ensemble posterior over all classes.
 	Probs []float64
 	// CNNProbs and RNNProbs are the per-modality distributions that were
-	// combined (the two parent nodes of Figure 1).
+	// combined (the two parent nodes of Figure 1). In a degraded mode the
+	// absent modality's slice is nil and the combiner saw a uniform
+	// distribution in its place.
 	CNNProbs []float64
 	RNNProbs []float64
+	// Mode records which modalities produced this result.
+	Mode ClassifyMode
+	// Confidence is the posterior peak probability, discounted by
+	// DegradedConfidenceDiscount when Mode is not ModeFused.
+	Confidence float64
+}
+
+// Degraded reports whether the classification fell back to one modality.
+func (c *Classification) Degraded() bool { return c.Mode != ModeFused }
+
+// uniform returns the uninformative distribution over n outcomes — the
+// stand-in parent for an absent modality in degraded classification.
+func uniform(n int) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	return p
 }
 
 // Classify runs the full DarNet inference for one aligned (frame, window)
@@ -263,53 +315,87 @@ func (e *Engine) Classify(frame []float64, window imu.Window) (*Classification, 
 // RNN forward, BN fusion) becomes a child of the span carried by ctx (or of
 // a fresh root when ctx carries none), and stage latencies feed the
 // darnet_core_* histograms.
+//
+// Graceful degradation: an empty frame or an empty window selects the
+// corresponding single-modality mode instead of failing — the absent parent
+// of the Bayesian Network is replaced by a uniform distribution, so the
+// posterior reduces to the surviving model's evidence reweighted by the
+// class priors, and the result carries a discounted Confidence plus a
+// non-fused Mode (and bumps darnet_core_degraded_classify_total). Only when
+// both modalities are absent is there nothing to classify and an error is
+// returned.
 func (e *Engine) ClassifyCtx(ctx context.Context, frame []float64, window imu.Window) (*Classification, error) {
 	start := time.Now()
 	_, span := telemetry.DefaultTracer.StartSpan(ctx, "darnet_stage_classify")
 	defer span.End()
-	if len(frame) != e.ImgW*e.ImgH {
+	haveFrame := len(frame) > 0
+	haveWindow := len(window.Samples) > 0
+	if !haveFrame && !haveWindow {
+		mClassifyErrors.Inc()
+		return nil, fmt.Errorf("core: both modalities absent, nothing to classify")
+	}
+	if haveFrame && len(frame) != e.ImgW*e.ImgH {
 		mClassifyErrors.Inc()
 		return nil, fmt.Errorf("core: frame has %d pixels, want %d", len(frame), e.ImgW*e.ImgH)
 	}
-	x, err := tensor.FromSlice(frame, 1, len(frame))
-	if err != nil {
-		mClassifyErrors.Inc()
-		return nil, err
+
+	out := &Classification{Mode: ModeFused}
+	pA := uniform(e.Classes) // CNN parent stand-in until the CNN runs
+	if haveFrame {
+		x, err := tensor.FromSlice(frame, 1, len(frame))
+		if err != nil {
+			mClassifyErrors.Inc()
+			return nil, err
+		}
+		cnnSp := span.StartChild("darnet_stage_cnn_forward")
+		cnnStart := time.Now()
+		cnnProbs, err := nn.PredictProbs(e.CNN, x, 1)
+		cnnSp.End()
+		if err != nil {
+			mClassifyErrors.Inc()
+			return nil, fmt.Errorf("core: cnn inference: %w", err)
+		}
+		hCNNForward.ObserveSince(cnnStart)
+		out.CNNProbs = append([]float64(nil), cnnProbs.Row(0)...)
+		pA = out.CNNProbs
+	} else {
+		out.Mode = ModeRNNOnly
 	}
-	cnnSp := span.StartChild("darnet_stage_cnn_forward")
-	cnnStart := time.Now()
-	cnnProbs, err := nn.PredictProbs(e.CNN, x, 1)
-	cnnSp.End()
-	if err != nil {
-		mClassifyErrors.Inc()
-		return nil, fmt.Errorf("core: cnn inference: %w", err)
+
+	pB := uniform(e.IMUClasses) // RNN parent stand-in when the window is absent
+	if haveWindow {
+		rnnSp := span.StartChild("darnet_stage_rnn_forward")
+		rnnStart := time.Now()
+		rnnProbs, err := e.RNN.PredictProbs(e.IMUStats.Normalize(window))
+		rnnSp.End()
+		if err != nil {
+			mClassifyErrors.Inc()
+			return nil, fmt.Errorf("core: rnn inference: %w", err)
+		}
+		hRNNForward.ObserveSince(rnnStart)
+		out.RNNProbs = rnnProbs
+		pB = rnnProbs
+	} else {
+		out.Mode = ModeCNNOnly
 	}
-	hCNNForward.ObserveSince(cnnStart)
-	rnnSp := span.StartChild("darnet_stage_rnn_forward")
-	rnnStart := time.Now()
-	rnnProbs, err := e.RNN.PredictProbs(e.IMUStats.Normalize(window))
-	rnnSp.End()
-	if err != nil {
-		mClassifyErrors.Inc()
-		return nil, fmt.Errorf("core: rnn inference: %w", err)
-	}
-	hRNNForward.ObserveSince(rnnStart)
-	cp := append([]float64(nil), cnnProbs.Row(0)...)
+
 	bnSp := span.StartChild("darnet_stage_bn_combine")
 	bnStart := time.Now()
-	post, err := e.BNWithRNN.Combine(cp, rnnProbs)
+	post, err := e.BNWithRNN.Combine(pA, pB)
 	bnSp.End()
 	if err != nil {
 		mClassifyErrors.Inc()
 		return nil, fmt.Errorf("core: bn combine: %w", err)
 	}
 	hBNCombine.ObserveSince(bnStart)
+	out.Class = bayes.ArgMax(post)
+	out.Probs = post
+	out.Confidence = post[out.Class]
+	if out.Degraded() {
+		out.Confidence *= DegradedConfidenceDiscount
+		mDegraded.Inc()
+	}
 	mClassifications.Inc()
 	hClassify.ObserveSince(start)
-	return &Classification{
-		Class:    bayes.ArgMax(post),
-		Probs:    post,
-		CNNProbs: cp,
-		RNNProbs: rnnProbs,
-	}, nil
+	return out, nil
 }

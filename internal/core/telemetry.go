@@ -16,6 +16,8 @@ var (
 	mRemoteErrors   = telemetry.NewCounter("darnet_core_remote_errors_total", "classify requests answered with an error response")
 	hRemoteRequest  = telemetry.NewHistogram("darnet_core_remote_request_seconds", "server-side handling of one classify request", nil)
 
+	mDegraded = telemetry.NewCounter("darnet_core_degraded_classify_total", "classifications served in degraded single-modality mode because a modality was absent")
+
 	mAlertsRaised  = telemetry.NewCounter("darnet_core_alerts_raised_total", "distracted-driving alerts raised")
 	mAlertsCleared = telemetry.NewCounter("darnet_core_alerts_cleared_total", "alerts cleared after sustained normal driving")
 	gAlertActive   = telemetry.NewGauge("darnet_core_alert_active", "1 while a distracted-driving alert is raised")

@@ -1,0 +1,329 @@
+// Package fault is DarNet's deterministic chaos-injection layer: a transport
+// wrapper that makes every failure mode of a flaky mobile uplink — lost
+// frames, duplicate deliveries, corrupted and truncated frames, delivery
+// delays, and hard partitions — reproducible in unit tests from a fixed
+// seed. The collection middleware's resilience machinery (agent reconnect
+// with backoff, at-least-once delivery with controller-side dedupe, degraded
+// single-modality classification) is exercised end to end by wrapping the
+// agent side of a connection in a Transport with a scripted fault schedule.
+//
+// Faults are injected on Write only and per frame: wire.Conn issues exactly
+// one Write per protocol frame, so a dropped Write is a lost frame, a
+// doubled Write is a duplicate delivery, and a flipped byte is a corrupted
+// frame the peer must reject with a typed error rather than a panic. Reads
+// pass through untouched; a partition severs both directions by closing the
+// underlying stream, which unblocks any peer blocked in a read.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"darnet/internal/telemetry"
+)
+
+// Process-wide chaos accounting, so injected faults are observable next to
+// the recovery counters they provoke (darnet_collect_reconnects_total and
+// friends) on the ops endpoint.
+var (
+	mDrops      = telemetry.NewCounter("darnet_fault_frames_dropped_total", "frames silently discarded by chaos transports")
+	mDups       = telemetry.NewCounter("darnet_fault_frames_duplicated_total", "frames delivered twice by chaos transports")
+	mCorrupts   = telemetry.NewCounter("darnet_fault_frames_corrupted_total", "frames delivered with a flipped byte by chaos transports")
+	mTruncates  = telemetry.NewCounter("darnet_fault_frames_truncated_total", "frames cut mid-delivery by chaos transports")
+	mDelays     = telemetry.NewCounter("darnet_fault_frames_delayed_total", "frames delayed by chaos transports")
+	mPartitions = telemetry.NewCounter("darnet_fault_partitions_total", "hard partitions triggered by chaos transports")
+)
+
+// ErrPartitioned is returned by Read and Write once the link is hard
+// partitioned. It is a terminal transport error: the connection is gone and
+// only a redial (a fresh Transport) recovers.
+var ErrPartitioned = errors.New("fault: link partitioned")
+
+// EventKind names one injected fault.
+type EventKind int
+
+// Fault kinds, in the deterministic order they are considered per write.
+const (
+	EventPartition EventKind = iota + 1
+	EventDrop
+	EventDuplicate
+	EventCorrupt
+	EventTruncate
+	EventDelay
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventPartition:
+		return "partition"
+	case EventDrop:
+		return "drop"
+	case EventDuplicate:
+		return "duplicate"
+	case EventCorrupt:
+		return "corrupt"
+	case EventTruncate:
+		return "truncate"
+	case EventDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event describes one injected fault: its kind and the 1-based index of the
+// write it struck.
+type Event struct {
+	Kind  EventKind
+	Write int
+}
+
+// Config is a chaos schedule. Rates are per-frame probabilities in [0, 1]
+// drawn from a rand.Rand seeded with Seed, so a given (seed, write sequence)
+// pair always injects the same faults; PartitionAfterWrites is an explicit
+// deterministic schedule on top.
+type Config struct {
+	// Seed seeds the fault dice. Two transports with equal configs inject
+	// identical fault sequences.
+	Seed int64
+
+	// DropRate is the probability a written frame is silently discarded.
+	DropRate float64
+	// DupRate is the probability a written frame is delivered twice.
+	DupRate float64
+	// CorruptRate is the probability one byte of the frame is flipped.
+	CorruptRate float64
+	// TruncateRate is the probability the frame is cut mid-delivery; the
+	// stream is unrecoverable after the cut, so a truncation also partitions.
+	TruncateRate float64
+	// DelayRate is the probability delivery sleeps for Delay first.
+	DelayRate float64
+	// Delay is the injected delivery latency (used when DelayRate fires).
+	Delay time.Duration
+
+	// PartitionAfterWrites lists write counts at which the link hard
+	// partitions: {5} kills the connection when the 5th frame is written
+	// (that frame is lost with the link).
+	PartitionAfterWrites []int
+
+	// OnEvent, when non-nil, observes every injected fault synchronously —
+	// benches use it to timestamp partitions for recovery-time measurement.
+	OnEvent func(Event)
+
+	// Sleep replaces time.Sleep for delay injection (tests use a recorder).
+	Sleep func(time.Duration)
+}
+
+// Stats counts the faults a transport has injected.
+type Stats struct {
+	Writes      int64
+	Drops       int64
+	Duplicates  int64
+	Corruptions int64
+	Truncations int64
+	Delays      int64
+	Partitions  int64
+}
+
+// Transport wraps one transport stream with the chaos schedule of a Config.
+// It is safe for the usual wire.Conn discipline (one reader goroutine, one
+// writer goroutine) and for concurrent Partition/Close calls.
+type Transport struct {
+	mu          sync.Mutex
+	rw          io.ReadWriter
+	cfg         Config
+	rng         *rand.Rand
+	partitioned bool
+	stats       Stats
+}
+
+// NewTransport wraps rw in a chaos transport following cfg.
+func NewTransport(rw io.ReadWriter, cfg Config) *Transport {
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return &Transport{rw: rw, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// roll consumes one dice throw. Every fault kind rolls on every write, in a
+// fixed order, whether or not it fires — the stream of rng draws depends
+// only on the write count, keeping schedules deterministic.
+func (t *Transport) roll(rate float64) bool {
+	return t.rng.Float64() < rate
+}
+
+func (t *Transport) emit(kind EventKind, write int) {
+	if t.cfg.OnEvent != nil {
+		t.cfg.OnEvent(Event{Kind: kind, Write: write})
+	}
+}
+
+// Write delivers one frame through the chaos schedule. Dropped frames report
+// success — exactly what a lossy link does: the sender learns nothing until
+// the missing ack times out or the connection dies.
+//
+// The chaos decision — dice rolls, stats, partition scheduling — runs under
+// mu; the sleeps and underlying writes run unlocked, like Read, so a
+// concurrent Partition or Stats call never waits behind a slow link.
+func (t *Transport) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	if t.partitioned {
+		t.mu.Unlock()
+		return 0, ErrPartitioned
+	}
+	t.stats.Writes++
+	w := int(t.stats.Writes)
+
+	for _, at := range t.cfg.PartitionAfterWrites {
+		if w == at {
+			t.partitionLocked()
+			t.mu.Unlock()
+			t.emit(EventPartition, w)
+			return 0, ErrPartitioned
+		}
+	}
+	// Fixed roll order: drop, duplicate, corrupt, truncate, delay. Every
+	// kind rolls on every write whether or not it fires, so the rng stream
+	// depends only on the write count.
+	drop := t.roll(t.cfg.DropRate)
+	dup := t.roll(t.cfg.DupRate)
+	corrupt := t.roll(t.cfg.CorruptRate)
+	truncate := t.roll(t.cfg.TruncateRate)
+	delay := t.roll(t.cfg.DelayRate) && t.cfg.Delay > 0
+
+	truncate = truncate && !drop
+	dup = dup && !drop && !truncate
+	out := p
+	if corrupt = corrupt && !drop && !truncate && len(p) > 4; corrupt {
+		out = append([]byte(nil), p...)
+		// Flip a byte past the length prefix so the frame arrives whole but
+		// malformed — the receiver must fail typed, not desynchronize.
+		out[4+t.rng.Intn(len(out)-4)] ^= 0xFF
+	}
+	if delay {
+		t.stats.Delays++
+		mDelays.Inc()
+	}
+	if drop {
+		t.stats.Drops++
+		mDrops.Inc()
+	}
+	if truncate {
+		t.stats.Truncations++
+		mTruncates.Inc()
+	}
+	if corrupt {
+		t.stats.Corruptions++
+		mCorrupts.Inc()
+	}
+	if dup {
+		t.stats.Duplicates++
+		mDups.Inc()
+	}
+	t.mu.Unlock()
+
+	if delay {
+		t.emit(EventDelay, w)
+		t.cfg.Sleep(t.cfg.Delay)
+	}
+	if drop {
+		t.emit(EventDrop, w)
+		return len(p), nil
+	}
+	if truncate {
+		t.emit(EventTruncate, w)
+		if _, err := t.rw.Write(p[:len(p)/2]); err != nil {
+			return 0, err
+		}
+		t.Partition()
+		return 0, ErrPartitioned
+	}
+	if corrupt {
+		t.emit(EventCorrupt, w)
+	}
+	if _, err := t.rw.Write(out); err != nil {
+		return 0, err
+	}
+	if dup {
+		t.emit(EventDuplicate, w)
+		if _, err := t.rw.Write(out); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// Read passes through until the link partitions.
+func (t *Transport) Read(p []byte) (int, error) {
+	t.mu.Lock()
+	dead := t.partitioned
+	rw := t.rw
+	t.mu.Unlock()
+	if dead {
+		return 0, ErrPartitioned
+	}
+	// The read itself runs unlocked: it blocks until the peer writes, and
+	// holding the lock would deadlock Partition/Write. A partition closes
+	// the underlying stream, which fails this read at the transport layer.
+	return rw.Read(p)
+}
+
+// Partition severs the link now: all further Reads and Writes fail, and the
+// underlying stream is closed so a peer blocked mid-read wakes up.
+func (t *Transport) Partition() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.partitioned {
+		t.partitionLocked()
+		t.emit(EventPartition, int(t.stats.Writes))
+	}
+}
+
+func (t *Transport) partitionLocked() {
+	t.partitioned = true
+	t.stats.Partitions++
+	mPartitions.Inc()
+	if c, ok := t.rw.(io.Closer); ok {
+		//lint:ignore errdrop partition teardown; the close error leaves nothing to act on
+		c.Close()
+	}
+}
+
+// Partitioned reports whether the link has been severed.
+func (t *Transport) Partitioned() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.partitioned
+}
+
+// Close closes the underlying stream when it is a Closer. It takes no lock:
+// rw is immutable after construction, and partitionLocked closes the stream
+// while holding mu — locking here would make Transport.Close a self-deadlock
+// candidate for any io.Closer call under the lock.
+func (t *Transport) Close() error {
+	if c, ok := t.rw.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// SetReadDeadline forwards to the underlying stream when it supports
+// deadlines, keeping wire.Conn's reaping path intact through the wrapper.
+func (t *Transport) SetReadDeadline(dl time.Time) error {
+	if d, ok := t.rw.(interface{ SetReadDeadline(time.Time) error }); ok {
+		return d.SetReadDeadline(dl)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the faults injected so far.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}

@@ -1,0 +1,253 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sink is an io.ReadWriter recording every Write as a separate delivery.
+type sink struct {
+	mu     sync.Mutex
+	frames [][]byte
+}
+
+func (s *sink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frames = append(s.frames, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+func (s *sink) Read(p []byte) (int, error) { return 0, io.EOF }
+
+func (s *sink) delivered() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frames
+}
+
+func frame(n int) []byte {
+	b := make([]byte, 16)
+	for i := range b {
+		b[i] = byte(n + i)
+	}
+	return b
+}
+
+func TestDropLosesFrameSilently(t *testing.T) {
+	s := &sink{}
+	tr := NewTransport(s, Config{Seed: 1, DropRate: 1})
+	n, err := tr.Write(frame(1))
+	if err != nil || n != 16 {
+		t.Fatalf("dropped write reported (%d, %v), want silent success", n, err)
+	}
+	if got := len(s.delivered()); got != 0 {
+		t.Fatalf("%d frames delivered, want 0", got)
+	}
+	if st := tr.Stats(); st.Drops != 1 || st.Writes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	s := &sink{}
+	tr := NewTransport(s, Config{Seed: 1, DupRate: 1})
+	if _, err := tr.Write(frame(1)); err != nil {
+		t.Fatal(err)
+	}
+	got := s.delivered()
+	if len(got) != 2 {
+		t.Fatalf("%d deliveries, want 2", len(got))
+	}
+	if !bytes.Equal(got[0], got[1]) {
+		t.Fatal("duplicate differs from original")
+	}
+}
+
+func TestCorruptFlipsOneBytePastThePrefix(t *testing.T) {
+	s := &sink{}
+	tr := NewTransport(s, Config{Seed: 7, CorruptRate: 1})
+	orig := frame(3)
+	if _, err := tr.Write(orig); err != nil {
+		t.Fatal(err)
+	}
+	got := s.delivered()
+	if len(got) != 1 {
+		t.Fatalf("%d deliveries, want 1", len(got))
+	}
+	diff := 0
+	for i := range orig {
+		if got[0][i] != orig[i] {
+			if i < 4 {
+				t.Fatalf("length prefix byte %d corrupted; corruption must stay past the prefix", i)
+			}
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	// The caller's buffer must stay untouched (wire reuses its scratch).
+	if !bytes.Equal(orig, frame(3)) {
+		t.Fatal("corruption mutated the caller's buffer")
+	}
+}
+
+func TestTruncateCutsAndPartitions(t *testing.T) {
+	s := &sink{}
+	tr := NewTransport(s, Config{Seed: 1, TruncateRate: 1})
+	if _, err := tr.Write(frame(1)); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("err = %v, want ErrPartitioned", err)
+	}
+	got := s.delivered()
+	if len(got) != 1 || len(got[0]) != 8 {
+		t.Fatalf("delivered %d frames (first %d bytes), want one 8-byte cut", len(got), len(got[0]))
+	}
+	if _, err := tr.Write(frame(2)); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("post-cut write err = %v, want ErrPartitioned", err)
+	}
+}
+
+func TestDelayUsesInjectedSleep(t *testing.T) {
+	s := &sink{}
+	var slept []time.Duration
+	tr := NewTransport(s, Config{
+		Seed: 1, DelayRate: 1, Delay: 250 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	})
+	if _, err := tr.Write(frame(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != 250*time.Millisecond {
+		t.Fatalf("slept %v, want one 250ms delay", slept)
+	}
+	if len(s.delivered()) != 1 {
+		t.Fatal("delayed frame was not delivered")
+	}
+}
+
+func TestPartitionScheduleKillsTheLink(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	tr := NewTransport(a, Config{Seed: 1, PartitionAfterWrites: []int{3}})
+
+	peerDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				peerDone <- err
+				return
+			}
+		}
+	}()
+
+	for i := 1; i <= 2; i++ {
+		if _, err := tr.Write(frame(i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := tr.Write(frame(3)); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("write 3 err = %v, want ErrPartitioned", err)
+	}
+	if !tr.Partitioned() {
+		t.Fatal("transport not marked partitioned")
+	}
+	// The peer's blocked read must fail: the partition closed the pipe.
+	select {
+	case <-peerDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer read still blocked after partition")
+	}
+	if _, err := tr.Read(make([]byte, 4)); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("read err = %v, want ErrPartitioned", err)
+	}
+}
+
+func TestManualPartitionIsIdempotent(t *testing.T) {
+	s := &sink{}
+	tr := NewTransport(s, Config{Seed: 1})
+	events := 0
+	tr.cfg.OnEvent = func(Event) { events++ }
+	tr.Partition()
+	tr.Partition()
+	if st := tr.Stats(); st.Partitions != 1 {
+		t.Fatalf("partitions = %d, want 1", st.Partitions)
+	}
+	if events != 1 {
+		t.Fatalf("events = %d, want 1", events)
+	}
+}
+
+// TestScheduleIsDeterministic replays the same write sequence through two
+// identically-configured transports and demands identical fault schedules —
+// the property every chaos test in the repo leans on.
+func TestScheduleIsDeterministic(t *testing.T) {
+	run := func() ([]Event, [][]byte) {
+		s := &sink{}
+		var events []Event
+		tr := NewTransport(s, Config{
+			Seed:     42,
+			DropRate: 0.3, DupRate: 0.2, CorruptRate: 0.2,
+			OnEvent: func(e Event) { events = append(events, e) },
+		})
+		for i := 0; i < 50; i++ {
+			if _, err := tr.Write(frame(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return events, s.delivered()
+	}
+	e1, d1 := run()
+	e2, d2 := run()
+	if len(e1) == 0 {
+		t.Fatal("no faults fired in 50 writes at these rates")
+	}
+	if len(e1) != len(e2) {
+		t.Fatalf("fault counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+	if len(d1) != len(d2) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if !bytes.Equal(d1[i], d2[i]) {
+			t.Fatalf("delivery %d differs", i)
+		}
+	}
+}
+
+// TestConcurrentPartitionAndWrite exercises the lock under the race
+// detector: a partition racing in-flight writes must never panic or deliver
+// after the cut.
+func TestConcurrentPartitionAndWrite(t *testing.T) {
+	s := &sink{}
+	tr := NewTransport(s, Config{Seed: 1})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if _, err := tr.Write(frame(i)); err != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		tr.Partition()
+	}()
+	wg.Wait()
+	if _, err := tr.Write(frame(0)); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("write after partition: %v", err)
+	}
+}

@@ -69,3 +69,30 @@ func spawnSafe(ctx context.Context, ch chan int) {
 		<-ch
 	}()
 }
+
+// spawnReconnectLoop mirrors the collection runner's fault-tolerance shape:
+// a managed loop that keeps polling on a ticker while backing off between
+// reconnect attempts. Every blocking point is a multi-case select with a
+// stop path, so the analyzer must stay quiet — the reconnect loop is the
+// escape shape, not a leak.
+func spawnReconnectLoop(poll <-chan int, backoff <-chan int, stop chan struct{}, done chan struct{}) {
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-poll:
+				// keep polling (spilling) through the outage
+			case <-backoff:
+				// one reconnect attempt, then re-arm the backoff timer
+			case <-stop:
+				return
+			}
+		}
+	}()
+	// The watchdog that waits for the loop to exit observes close(done):
+	// a comma-ok receive terminates when the loop closes the channel.
+	go func() {
+		_, ok := <-done
+		_ = ok
+	}()
+}

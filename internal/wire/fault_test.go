@@ -1,0 +1,223 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// rwBuf wraps raw stream bytes in the io.ReadWriter NewConn expects.
+func rwBuf(b []byte) *bytes.Buffer { return bytes.NewBuffer(b) }
+
+// encodeFrame renders one message to its on-the-wire bytes.
+func encodeFrame(t *testing.T, m Message) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := NewConn(&buf).Send(m); err != nil {
+		t.Fatalf("encode %T: %v", m, err)
+	}
+	return buf.Bytes()
+}
+
+func testBatch() *SampleBatch {
+	return &SampleBatch{
+		AgentID: "imu-1",
+		Seq:     7,
+		Readings: []Reading{
+			{TimestampMillis: 100, Sensor: "accel", Values: []float64{1, 2, 3}},
+			{TimestampMillis: 125, Sensor: "gyro", Values: []float64{0.5}},
+		},
+	}
+}
+
+// TestRecvCorruptedFrames drives fuzz-style corruptions of a valid frame
+// through Recv and asserts each yields its typed error — never a panic, and
+// never a silently mis-decoded message.
+func TestRecvCorruptedFrames(t *testing.T) {
+	base := encodeFrame(t, testBatch())
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{
+			name: "length prefix inflated past the body",
+			mutate: func(b []byte) []byte {
+				binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4)+64)
+				return b
+			},
+			// The stream ends before the declared frame does: an unexpected
+			// EOF reading the body, not a clean close.
+			wantErr: io.ErrUnexpectedEOF,
+		},
+		{
+			name: "length prefix beyond MaxFrameSize",
+			mutate: func(b []byte) []byte {
+				binary.BigEndian.PutUint32(b[:4], MaxFrameSize+1)
+				return b
+			},
+			wantErr: ErrFrameTooLarge,
+		},
+		{
+			name: "zero length prefix",
+			mutate: func(b []byte) []byte {
+				binary.BigEndian.PutUint32(b[:4], 0)
+				return b
+			},
+			wantErr: ErrEmptyFrame,
+		},
+		{
+			name: "flipped type byte",
+			mutate: func(b []byte) []byte {
+				b[4] = 0xEE
+				return b
+			},
+			wantErr: ErrUnknownType,
+		},
+		{
+			name: "length prefix shortened mid-body",
+			mutate: func(b []byte) []byte {
+				// Keep only the first 12 body bytes: the batch decoder runs
+				// out of frame mid-field, and the bytes that follow belong to
+				// no frame — but this first Recv must fail typed.
+				binary.BigEndian.PutUint32(b[:4], 12)
+				return b
+			},
+			wantErr: ErrTruncatedFrame,
+		},
+		{
+			name: "reading count inflated",
+			mutate: func(b []byte) []byte {
+				// Body layout: type u8, agentID (u32 len + 5), seq u64; the
+				// reading count u32 sits at body offset 1+4+5+8 = 18.
+				binary.BigEndian.PutUint32(b[4+18:], 3)
+				return b
+			},
+			wantErr: ErrTruncatedFrame,
+		},
+		{
+			name: "trailing bytes after the last field",
+			mutate: func(b []byte) []byte {
+				b = append(b, 0xAA, 0xBB)
+				binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+				return b
+			},
+			wantErr: ErrTrailingBytes,
+		},
+		{
+			name: "string length inflated",
+			mutate: func(b []byte) []byte {
+				// The agentID length prefix is the first body field after the
+				// type byte (body offset 1).
+				binary.BigEndian.PutUint32(b[4+1:], 1<<20)
+				return b
+			},
+			wantErr: ErrFieldTooLarge,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame := tc.mutate(append([]byte(nil), base...))
+			msg, err := NewConn(rwBuf(frame)).Recv()
+			if err == nil {
+				t.Fatalf("corrupted frame decoded to %T", msg)
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRecvStringLengthCorruption corrupts the inner string length prefix so
+// it stays inside the 64 KiB string bound but overruns the frame: the reader
+// must fail with the string-rejection or truncation error, not panic.
+func TestRecvInnerCorruptionsNeverPanic(t *testing.T) {
+	base := encodeFrame(t, testBatch())
+	// Flip every single byte in turn; Recv must always return (message, nil)
+	// or (nil, error) without panicking. This is the fuzz-lite sweep the
+	// chaos transport's corrupt fault relies on.
+	for i := 4; i < len(base); i++ {
+		frame := append([]byte(nil), base...)
+		frame[i] ^= 0xFF
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic decoding frame with byte %d flipped: %v", i, r)
+				}
+			}()
+			_, _ = NewConn(rwBuf(frame)).Recv()
+		}()
+	}
+}
+
+// TestRecvReplayedBatch replays the identical batch frame twice on one
+// stream: both decode cleanly and carry the same sequence number, which is
+// exactly the signal the controller's dedupe keys on (at-least-once delivery
+// lives above the framing layer).
+func TestRecvReplayedBatch(t *testing.T) {
+	frame := encodeFrame(t, testBatch())
+	stream := append(append([]byte(nil), frame...), frame...)
+	conn := NewConn(rwBuf(stream))
+	first, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := conn.Recv()
+	if err != nil {
+		t.Fatalf("replayed frame rejected at the framing layer: %v", err)
+	}
+	b1, ok1 := first.(*SampleBatch)
+	b2, ok2 := second.(*SampleBatch)
+	if !ok1 || !ok2 {
+		t.Fatalf("decoded %T and %T, want *SampleBatch twice", first, second)
+	}
+	if b1.Seq != b2.Seq || b1.Seq != 7 {
+		t.Fatalf("replayed seq = %d vs %d, want both 7", b1.Seq, b2.Seq)
+	}
+	if len(b2.Readings) != len(b1.Readings) {
+		t.Fatalf("replay decoded %d readings, want %d", len(b2.Readings), len(b1.Readings))
+	}
+}
+
+// TestHeartbeatRoundTrip covers the protocol v2 liveness message.
+func TestHeartbeatRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	conn := NewConn(&buf)
+	if err := conn.Send(&Heartbeat{AgentID: "cam-2"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := NewConn(rwBuf(buf.Bytes())).Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, ok := msg.(*Heartbeat)
+	if !ok {
+		t.Fatalf("decoded %T, want *Heartbeat", msg)
+	}
+	if hb.AgentID != "cam-2" {
+		t.Fatalf("agent ID = %q", hb.AgentID)
+	}
+}
+
+// TestSampleBatchSeqRoundTrip pins the v2 sequence-number field through a
+// full encode/decode cycle, including the zero legacy value.
+func TestSampleBatchSeqRoundTrip(t *testing.T) {
+	for _, seq := range []uint64{0, 1, 1 << 40} {
+		b := testBatch()
+		b.Seq = seq
+		msg, err := NewConn(rwBuf(encodeFrame(t, b))).Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := msg.(*SampleBatch)
+		if !ok {
+			t.Fatalf("decoded %T", msg)
+		}
+		if got.Seq != seq {
+			t.Fatalf("seq = %d, want %d", got.Seq, seq)
+		}
+	}
+}

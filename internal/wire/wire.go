@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"darnet/internal/telemetry"
 )
@@ -38,14 +39,39 @@ const (
 	TypeClockSync
 	TypeClockAck
 	TypeAck
+	TypeHeartbeat
 )
+
+// ProtocolVersion is the wire protocol revision (see PROTOCOL.md). Version 2
+// added per-agent batch sequence numbers and the heartbeat message, the basis
+// of at-least-once delivery with controller-side deduplication.
+const ProtocolVersion = 2
 
 // MaxFrameSize bounds a single frame; oversized frames indicate corruption
 // or abuse and abort the connection.
 const MaxFrameSize = 16 << 20
 
-// ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
-var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+// Typed framing errors. Recv wraps them with context, so match with
+// errors.Is; all of them indicate a corrupt or hostile stream and abort the
+// connection rather than panicking on malformed input.
+var (
+	// ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	// ErrEmptyFrame is returned for a zero-length frame (no type byte).
+	ErrEmptyFrame = errors.New("wire: empty frame")
+	// ErrUnknownType is returned when the type byte names no known message.
+	ErrUnknownType = errors.New("wire: unknown message type")
+	// ErrTruncatedFrame is returned when a body ends before its declared
+	// fields do (e.g. a corrupted length prefix inside the frame).
+	ErrTruncatedFrame = errors.New("wire: truncated frame")
+	// ErrTrailingBytes is returned when a body carries bytes past its last
+	// declared field.
+	ErrTrailingBytes = errors.New("wire: trailing bytes in frame")
+	// ErrFieldTooLarge is returned when a length-prefixed field (string,
+	// reading count, value count) declares more elements than its bound
+	// allows — a corrupted prefix caught before any allocation.
+	ErrFieldTooLarge = errors.New("wire: field exceeds its bound")
+)
 
 // Message is one protocol message.
 type Message interface {
@@ -86,8 +112,15 @@ type Reading struct {
 }
 
 // SampleBatch carries buffered readings from an agent.
+//
+// Seq is the per-agent batch sequence number (protocol v2): agents number
+// batches 1, 2, 3… and only advance after the controller's Ack, so a batch
+// retransmitted after a reconnect reuses its original number and the
+// controller can drop the replay. Seq 0 marks a legacy batch that is never
+// deduplicated.
 type SampleBatch struct {
 	AgentID  string
+	Seq      uint64
 	Readings []Reading
 }
 
@@ -96,6 +129,7 @@ func (*SampleBatch) Type() MsgType { return TypeSampleBatch }
 
 func (m *SampleBatch) encodeBody(w *writer) {
 	w.str(m.AgentID)
+	w.u64(m.Seq)
 	w.u32(uint32(len(m.Readings)))
 	for _, rd := range m.Readings {
 		w.i64(rd.TimestampMillis)
@@ -109,12 +143,13 @@ func (m *SampleBatch) encodeBody(w *writer) {
 
 func (m *SampleBatch) decodeBody(r *reader) error {
 	m.AgentID = r.str()
+	m.Seq = r.u64()
 	n := r.u32()
 	if r.err != nil {
 		return r.err
 	}
 	if n > 1<<20 {
-		return fmt.Errorf("wire: batch of %d readings rejected", n)
+		return fmt.Errorf("%w: batch of %d readings rejected", ErrFieldTooLarge, n)
 	}
 	m.Readings = make([]Reading, n)
 	for i := range m.Readings {
@@ -125,7 +160,7 @@ func (m *SampleBatch) decodeBody(r *reader) error {
 			return r.err
 		}
 		if vn > 1<<22 {
-			return fmt.Errorf("wire: reading with %d values rejected", vn)
+			return fmt.Errorf("%w: reading with %d values rejected", ErrFieldTooLarge, vn)
 		}
 		m.Readings[i].Values = make([]float64, vn)
 		for j := range m.Readings[i].Values {
@@ -171,13 +206,41 @@ func (m *ClockAck) decodeBody(r *reader) error {
 // Ack acknowledges a batch.
 type Ack struct {
 	Count uint32 // readings accepted
+	// Seq echoes the sequence number of the acknowledged batch (protocol v2),
+	// 0 for hello/heartbeat/legacy acks. Under chaos a duplicated frame makes
+	// the controller ack twice; the echoed sequence lets the agent match each
+	// ack to its in-flight batch and skip stale ones instead of advancing on
+	// an ack that belongs to an already-settled batch.
+	Seq uint64
 }
 
 // Type implements Message.
 func (*Ack) Type() MsgType { return TypeAck }
 
-func (m *Ack) encodeBody(w *writer)       { w.u32(m.Count) }
-func (m *Ack) decodeBody(r *reader) error { m.Count = r.u32(); return r.err }
+func (m *Ack) encodeBody(w *writer) {
+	w.u32(m.Count)
+	w.u64(m.Seq)
+}
+
+func (m *Ack) decodeBody(r *reader) error {
+	m.Count = r.u32()
+	m.Seq = r.u64()
+	return r.err
+}
+
+// Heartbeat proves agent liveness when there is nothing to flush (protocol
+// v2). The controller answers with an Ack; together with the controller's
+// read deadline it lets dead connections be reaped instead of leaking their
+// serve goroutines.
+type Heartbeat struct {
+	AgentID string
+}
+
+// Type implements Message.
+func (*Heartbeat) Type() MsgType { return TypeHeartbeat }
+
+func (m *Heartbeat) encodeBody(w *writer)       { w.str(m.AgentID) }
+func (m *Heartbeat) decodeBody(r *reader) error { m.AgentID = r.str(); return r.err }
 
 // --- Framing -----------------------------------------------------------------
 
@@ -188,7 +251,7 @@ type Conn struct {
 	br *bufio.Reader
 	w  io.Writer
 
-	// scratch is the frame-body buffer Send reuses across calls. A Conn is
+	// scratch is the frame buffer Send reuses across calls. A Conn is
 	// owned by a single goroutine (one reader or writer loop per transport
 	// stream), so no locking is needed.
 	scratch writer
@@ -202,31 +265,55 @@ func NewConn(rw io.ReadWriter) *Conn {
 	return &Conn{br: bufio.NewReader(rw), w: rw}
 }
 
+// readDeadliner is the deadline surface of net.Conn (and net.Pipe ends).
+type readDeadliner interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// SetReadDeadline arms a read deadline on the underlying transport when it
+// supports one (net.Conn does; plain in-memory buffers do not, in which case
+// this is a no-op). The controller uses it to reap dead connections.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	if d, ok := c.w.(readDeadliner); ok {
+		return d.SetReadDeadline(t)
+	}
+	return nil
+}
+
+// Close closes the underlying transport when it supports closing (net.Conn
+// and chaos transports do; plain in-memory buffers do not, in which case this
+// is a no-op). Closing unblocks a peer waiting in Recv, which sees io.EOF or
+// the transport's close error.
+func (c *Conn) Close() error {
+	if cl, ok := c.w.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
+
 // Send writes one framed message. It runs once per sample batch on every
-// connection, so the body is encoded into the per-Conn scratch buffer
-// instead of a fresh writer per message.
+// connection, so header and body are encoded into the per-Conn scratch
+// buffer and issued as a single Write: one syscall per frame, and fault
+// injectors wrapping the transport see whole frames, never split ones.
 //
 //lint:hotpath
 func (c *Conn) Send(m Message) error {
 	body := &c.scratch
-	body.buf = body.buf[:0]
+	// Reserve the 4-byte length prefix, encode the frame behind it, then
+	// patch the prefix in place.
+	body.buf = append(body.buf[:0], 0, 0, 0, 0)
 	body.u8(uint8(m.Type()))
 	m.encodeBody(body)
-	if len(body.buf) > MaxFrameSize {
+	if len(body.buf)-4 > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body.buf)))
-	if _, err := c.w.Write(hdr[:]); err != nil {
-		//lint:ignore hotalloc error path tears the connection down; allocation is irrelevant there
-		return fmt.Errorf("wire: write header: %w", err)
-	}
+	binary.BigEndian.PutUint32(body.buf[:4], uint32(len(body.buf)-4))
 	if _, err := c.w.Write(body.buf); err != nil {
 		//lint:ignore hotalloc error path tears the connection down; allocation is irrelevant there
-		return fmt.Errorf("wire: write body: %w", err)
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
-	c.bytesWritten += int64(len(hdr)) + int64(len(body.buf))
-	mBytesSent.Add(int64(len(hdr)) + int64(len(body.buf)))
+	c.bytesWritten += int64(len(body.buf))
+	mBytesSent.Add(int64(len(body.buf)))
 	mMsgsSent.Inc()
 	return nil
 }
@@ -254,7 +341,7 @@ func (c *Conn) Recv() (Message, error) {
 	}
 	if size == 0 {
 		mDecodeErrors.Inc()
-		return nil, errors.New("wire: empty frame")
+		return nil, ErrEmptyFrame
 	}
 	buf := make([]byte, size)
 	if _, err := io.ReadFull(c.br, buf); err != nil {
@@ -274,13 +361,15 @@ func (c *Conn) Recv() (Message, error) {
 		m = &ClockAck{}
 	case TypeAck:
 		m = &Ack{}
+	case TypeHeartbeat:
+		m = &Heartbeat{}
 	case TypeClassifyRequest:
 		m = &ClassifyRequest{}
 	case TypeClassifyResponse:
 		m = &ClassifyResponse{}
 	default:
 		mDecodeErrors.Inc()
-		return nil, fmt.Errorf("wire: unknown message type %d", buf[0])
+		return nil, fmt.Errorf("%w %d", ErrUnknownType, buf[0])
 	}
 	if err := m.decodeBody(r); err != nil {
 		mDecodeErrors.Inc()
@@ -288,7 +377,7 @@ func (c *Conn) Recv() (Message, error) {
 	}
 	if r.off != len(r.buf) {
 		mDecodeErrors.Inc()
-		return nil, fmt.Errorf("wire: %d trailing bytes in frame", len(r.buf)-r.off)
+		return nil, fmt.Errorf("%w: %d bytes past the last field", ErrTrailingBytes, len(r.buf)-r.off)
 	}
 	mBytesRecv.Add(int64(len(hdr)) + int64(size))
 	mMsgsRecv.Inc()
@@ -297,13 +386,14 @@ func (c *Conn) Recv() (Message, error) {
 
 // --- Binary primitives --------------------------------------------------------
 
-var errShortFrame = errors.New("wire: truncated frame")
-
 type writer struct{ buf []byte }
 
 func (w *writer) u8(v uint8) { w.buf = append(w.buf, v) }
 func (w *writer) u32(v uint32) {
 	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+func (w *writer) u64(v uint64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
 }
 func (w *writer) i64(v int64) {
 	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(v))
@@ -327,7 +417,7 @@ func (r *reader) take(n int) []byte {
 		return nil
 	}
 	if r.off+n > len(r.buf) {
-		r.err = errShortFrame
+		r.err = ErrTruncatedFrame
 		return nil
 	}
 	b := r.buf[r.off : r.off+n]
@@ -349,6 +439,14 @@ func (r *reader) u32() uint32 {
 		return 0
 	}
 	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
 }
 
 func (r *reader) i64() int64 {
@@ -373,7 +471,7 @@ func (r *reader) str() string {
 		return ""
 	}
 	if n > 1<<16 {
-		r.err = fmt.Errorf("wire: string of %d bytes rejected", n)
+		r.err = fmt.Errorf("%w: string of %d bytes rejected", ErrFieldTooLarge, n)
 		return ""
 	}
 	b := r.take(int(n))
