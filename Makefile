@@ -11,7 +11,7 @@ RACE_PKGS = ./internal/collect ./internal/tsdb ./internal/core ./internal/teleme
 # refresh the committed benchmark (then bump the scale/epochs back up).
 BENCH_OUT ?= /tmp/darnet-bench-smoke.json
 
-.PHONY: verify fmt vet lint lint-fast build test race bench-smoke chaos
+.PHONY: verify fmt vet lint lint-module lint-fast build test race bench-smoke chaos
 
 verify: fmt vet lint build test race
 	@echo "verify: OK"
@@ -25,15 +25,21 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# lint runs the full analyzer registry, including the interprocedural
-# analyzers (goleak, lockorder, hotalloc, ctxprop), with per-analyzer wall
-# time on stderr. lint-fast runs only the intra-procedural analyzers — the
-# quick inner-loop check; verify always runs the full suite.
+# lint runs the full analyzer registry at module scope (the default): the
+# packages are linked in dependency order, goleak/lockorder/hotalloc/ctxprop
+# follow calls across package boundaries, and the module-only shapeflow
+# analyzer runs. Per-analyzer and per-phase wall time go to stderr.
+# lint-module is the same gate spelled explicitly (CI calls it for the
+# artifact upload); lint-fast drops to per-package scope and skips the
+# interprocedural analyzers — the quick inner-loop check.
 lint:
 	$(GO) run ./cmd/darnet-lint -timings ./...
 
+lint-module:
+	$(GO) run ./cmd/darnet-lint -ipa=module -timings ./...
+
 lint-fast:
-	$(GO) run ./cmd/darnet-lint -skip goleak,lockorder,hotalloc,ctxprop ./...
+	$(GO) run ./cmd/darnet-lint -ipa=pkg -skip goleak,lockorder,hotalloc,ctxprop ./...
 
 build:
 	$(GO) build ./...

@@ -1,7 +1,7 @@
 // Command darnet-lint runs DarNet's project-specific static analyzers over
 // the module and exits non-zero on findings.
 //
-//	darnet-lint [-json|-sarif] [-list] [-only rules] [-skip rules] [-timings] [packages...]
+//	darnet-lint [-json|-sarif] [-list] [-only rules] [-skip rules] [-ipa pkg|module] [-timings] [packages...]
 //
 // Packages default to ./... (the whole module); "dir/..." subtree patterns
 // and plain directory paths are also accepted. Each finding is reported as
@@ -12,10 +12,19 @@
 // objects, or, with -sarif, as a SARIF 2.1.0 log — all three sorted by
 // (file, line, column, rule) so CI can diff lint results across commits.
 //
+// -ipa selects the interprocedural scope. The default, "module", analyzes
+// the matched packages as one linked unit in dependency order: each package
+// folds the serialized function summaries of its already-analyzed
+// dependencies into its own, so goleak/lockorder/hotalloc/ctxprop follow
+// calls across package boundaries and the module-scope shapeflow analyzer
+// runs. "pkg" restores the per-package engine: faster, no cross-package
+// facts, module-only analyzers unavailable.
+//
 // -only and -skip take comma-separated analyzer names (see -list) and
 // select a subset of the registry; naming an unknown analyzer is an error,
 // not a silent no-op. -timings reports per-analyzer wall time (aggregated
-// across packages) on stderr.
+// across packages) on stderr, plus per-phase load/analyze/link times in
+// module mode.
 //
 // Suppress a finding with a justified directive on the offending line or
 // the line above:
@@ -38,12 +47,21 @@ func main() {
 	list := flag.Bool("list", false, "list registered analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzers to run (default: all)")
 	skip := flag.String("skip", "", "comma-separated analyzers to exclude")
+	ipa := flag.String("ipa", "module", "interprocedural scope: module (cross-package linking) or pkg")
 	timings := flag.Bool("timings", false, "report per-analyzer wall time on stderr")
 	flag.Parse()
 
 	if *list {
-		for _, a := range lint.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		moduleOnly := make(map[string]bool)
+		for _, a := range lint.Module() {
+			moduleOnly[a.Name] = true
+		}
+		for _, a := range lint.AllModule() {
+			scope := ""
+			if moduleOnly[a.Name] {
+				scope = " (module scope only)"
+			}
+			fmt.Printf("%-12s %s%s\n", a.Name, a.Doc, scope)
 		}
 		return
 	}
@@ -51,8 +69,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "darnet-lint: -json and -sarif are mutually exclusive")
 		os.Exit(2)
 	}
+	if *ipa != "pkg" && *ipa != "module" {
+		fmt.Fprintf(os.Stderr, "darnet-lint: -ipa must be \"pkg\" or \"module\", got %q\n", *ipa)
+		os.Exit(2)
+	}
 
-	analyzers, err := selectAnalyzers(*only, *skip)
+	analyzers, err := selectAnalyzers(*only, *skip, *ipa)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "darnet-lint: %v\n", err)
 		os.Exit(2)
@@ -62,7 +84,7 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, spent, err := run(patterns, analyzers)
+	diags, spent, phases, err := run(patterns, analyzers, *ipa)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "darnet-lint: %v\n", err)
 		os.Exit(2)
@@ -84,19 +106,33 @@ func main() {
 	fmt.Print(out)
 
 	if *timings {
-		fmt.Fprint(os.Stderr, renderTimings(analyzers, spent))
+		fmt.Fprint(os.Stderr, renderTimings(analyzers, spent, phases))
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
 }
 
-// selectAnalyzers resolves -only/-skip against the registry. Unknown names
-// are errors: a typo must not silently disable a check.
-func selectAnalyzers(only, skip string) ([]*lint.Analyzer, error) {
+// registryFor returns the analyzers available at the given -ipa scope.
+func registryFor(ipa string) []*lint.Analyzer {
+	if ipa == "module" {
+		return lint.AllModule()
+	}
+	return lint.All()
+}
+
+// selectAnalyzers resolves -only/-skip against the registry of the chosen
+// scope. Unknown names are errors — a typo must not silently disable a
+// check — and come with a nearest-name suggestion when one is close.
+func selectAnalyzers(only, skip, ipa string) ([]*lint.Analyzer, error) {
+	registry := registryFor(ipa)
 	byName := make(map[string]*lint.Analyzer)
-	for _, a := range lint.All() {
+	for _, a := range registry {
 		byName[a.Name] = a
+	}
+	moduleOnly := make(map[string]bool)
+	for _, a := range lint.Module() {
+		moduleOnly[a.Name] = true
 	}
 	parse := func(flagName, csv string) (map[string]bool, error) {
 		if csv == "" {
@@ -109,6 +145,12 @@ func selectAnalyzers(only, skip string) ([]*lint.Analyzer, error) {
 				continue
 			}
 			if _, ok := byName[name]; !ok {
+				if ipa != "module" && moduleOnly[name] {
+					return nil, fmt.Errorf("-%s: analyzer %q requires -ipa=module (it links cross-package summaries)", flagName, name)
+				}
+				if s := nearestName(name, registry); s != "" {
+					return nil, fmt.Errorf("-%s: unknown analyzer %q (did you mean %q? see -list)", flagName, name, s)
+				}
 				return nil, fmt.Errorf("-%s: unknown analyzer %q (see -list)", flagName, name)
 			}
 			set[name] = true
@@ -124,7 +166,7 @@ func selectAnalyzers(only, skip string) ([]*lint.Analyzer, error) {
 		return nil, err
 	}
 	var out []*lint.Analyzer
-	for _, a := range lint.All() {
+	for _, a := range registry {
 		if onlySet != nil && !onlySet[a.Name] {
 			continue
 		}
@@ -139,40 +181,92 @@ func selectAnalyzers(only, skip string) ([]*lint.Analyzer, error) {
 	return out, nil
 }
 
-// run loads every package matching the patterns, applies the analyzers, and
-// returns the globally sorted findings plus per-analyzer wall time (in
-// nanoseconds) summed across packages.
-func run(patterns []string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, map[string]int64, error) {
+// nearestName returns the registered analyzer name within edit distance 2 of
+// the typo, or "".
+func nearestName(typo string, registry []*lint.Analyzer) string {
+	best, bestDist := "", 3
+	for _, a := range registry {
+		if d := editDistance(typo, a.Name); d < bestDist {
+			best, bestDist = a.Name, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// run loads every package matching the patterns and applies the analyzers —
+// as one linked module in dependency order when ipa is "module", or each
+// package in isolation when "pkg" — returning the globally sorted findings,
+// per-analyzer wall time (nanoseconds, summed across packages), and the
+// pipeline phase timings (module mode only).
+func run(patterns []string, analyzers []*lint.Analyzer, ipa string) ([]lint.Diagnostic, map[string]int64, []lint.Timing, error) {
 	cwd, err := os.Getwd()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	loader, err := lint.NewLoader(cwd)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
+	var pkgs [][2]string
+	seen := make(map[string]bool)
+	for _, pattern := range patterns {
+		matched, err := loader.ModulePackages(pattern)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if len(matched) == 0 {
+			return nil, nil, nil, fmt.Errorf("no packages match %q", pattern)
+		}
+		for _, p := range matched {
+			if !seen[p[1]] {
+				seen[p[1]] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	if ipa == "module" {
+		res, err := lint.AnalyzeModule(loader, pkgs, analyzers)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return res.Diags, res.Spent, res.Phases, nil
+	}
+
 	spent := make(map[string]int64)
 	var diags []lint.Diagnostic
-	for _, pattern := range patterns {
-		pkgs, err := loader.ModulePackages(pattern)
+	for _, p := range pkgs {
+		pkg, err := loader.LoadDir(p[0], p[1])
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		if len(pkgs) == 0 {
-			return nil, nil, fmt.Errorf("no packages match %q", pattern)
-		}
-		for _, p := range pkgs {
-			pkg, err := loader.LoadDir(p[0], p[1])
-			if err != nil {
-				return nil, nil, err
-			}
-			got, timings := lint.RunTimed(pkg, analyzers)
-			diags = append(diags, got...)
-			for _, tm := range timings {
-				spent[tm.Analyzer] += tm.Elapsed.Nanoseconds()
-			}
+		got, timings := lint.RunTimed(pkg, analyzers)
+		diags = append(diags, got...)
+		for _, tm := range timings {
+			spent[tm.Analyzer] += tm.Elapsed.Nanoseconds()
 		}
 	}
 	lint.SortDiagnostics(diags)
-	return diags, spent, nil
+	return diags, spent, nil, nil
 }

@@ -17,63 +17,80 @@ var fixtureDirs = []string{
 }
 
 // TestDriverOutputDeterministic runs the driver pipeline twice over the same
-// fixture tree and asserts all three output formats are byte-identical: the
-// contract CI relies on to diff lint results across commits.
+// fixture tree in both -ipa scopes and asserts all three output formats are
+// byte-identical: the contract CI relies on to diff lint results across
+// commits.
 func TestDriverOutputDeterministic(t *testing.T) {
-	analyzers := lint.All()
-	var text, jsonOut, sarif [2]string
-	for i := 0; i < 2; i++ {
-		diags, spent, err := run(fixtureDirs, analyzers)
-		if err != nil {
-			t.Fatalf("run %d: %v", i, err)
-		}
-		if len(diags) == 0 {
-			t.Fatalf("run %d: fixture packages produced no findings", i)
-		}
-		for _, a := range analyzers {
-			if _, ok := spent[a.Name]; !ok {
-				t.Fatalf("run %d: no timing recorded for %s", i, a.Name)
+	for _, ipa := range []string{"pkg", "module"} {
+		t.Run(ipa, func(t *testing.T) {
+			analyzers := registryFor(ipa)
+			var text, jsonOut, sarif [2]string
+			for i := 0; i < 2; i++ {
+				diags, spent, phases, err := run(fixtureDirs, analyzers, ipa)
+				if err != nil {
+					t.Fatalf("run %d: %v", i, err)
+				}
+				if len(diags) == 0 {
+					t.Fatalf("run %d: fixture packages produced no findings", i)
+				}
+				for _, a := range analyzers {
+					if _, ok := spent[a.Name]; !ok {
+						t.Fatalf("run %d: no timing recorded for %s", i, a.Name)
+					}
+				}
+				if ipa == "module" && len(phases) != 3 {
+					t.Fatalf("run %d: module mode reported %d phases, want 3", i, len(phases))
+				}
+				if ipa == "pkg" && phases != nil {
+					t.Fatalf("run %d: pkg mode reported phases %v", i, phases)
+				}
+				text[i] = renderText(diags)
+				if jsonOut[i], err = renderJSON(diags); err != nil {
+					t.Fatalf("run %d: render json: %v", i, err)
+				}
+				if sarif[i], err = renderSARIF(diags, analyzers); err != nil {
+					t.Fatalf("run %d: render sarif: %v", i, err)
+				}
 			}
-		}
-		text[i] = renderText(diags)
-		if jsonOut[i], err = renderJSON(diags); err != nil {
-			t.Fatalf("run %d: render json: %v", i, err)
-		}
-		if sarif[i], err = renderSARIF(diags, analyzers); err != nil {
-			t.Fatalf("run %d: render sarif: %v", i, err)
-		}
-	}
-	if text[0] != text[1] {
-		t.Errorf("text output differs between runs:\n--- first\n%s\n--- second\n%s", text[0], text[1])
-	}
-	if jsonOut[0] != jsonOut[1] {
-		t.Errorf("json output differs between runs")
-	}
-	if sarif[0] != sarif[1] {
-		t.Errorf("sarif output differs between runs")
-	}
+			if text[0] != text[1] {
+				t.Errorf("text output differs between runs:\n--- first\n%s\n--- second\n%s", text[0], text[1])
+			}
+			if jsonOut[0] != jsonOut[1] {
+				t.Errorf("json output differs between runs")
+			}
+			if sarif[0] != sarif[1] {
+				t.Errorf("sarif output differs between runs")
+			}
 
-	// Spot-check the sort contract on the text form: lines must be ordered.
-	lines := strings.Split(strings.TrimSuffix(text[0], "\n"), "\n")
-	for i := 1; i < len(lines); i++ {
-		if lines[i-1] > lines[i] {
-			t.Fatalf("text output not sorted: %q precedes %q", lines[i-1], lines[i])
-		}
-	}
-	if !strings.Contains(sarif[0], `"version": "2.1.0"`) {
-		t.Fatalf("sarif output missing version marker:\n%s", sarif[0])
+			// Spot-check the sort contract on the text form: lines must be
+			// ordered.
+			lines := strings.Split(strings.TrimSuffix(text[0], "\n"), "\n")
+			for i := 1; i < len(lines); i++ {
+				if lines[i-1] > lines[i] {
+					t.Fatalf("text output not sorted: %q precedes %q", lines[i-1], lines[i])
+				}
+			}
+			if !strings.Contains(sarif[0], `"version": "2.1.0"`) {
+				t.Fatalf("sarif output missing version marker:\n%s", sarif[0])
+			}
+		})
 	}
 }
 
 func TestSelectAnalyzers(t *testing.T) {
 	all := lint.All()
 
-	got, err := selectAnalyzers("", "")
+	got, err := selectAnalyzers("", "", "pkg")
 	if err != nil || len(got) != len(all) {
 		t.Fatalf("default selection: got %d analyzers, err %v; want all %d", len(got), err, len(all))
 	}
 
-	got, err = selectAnalyzers("goleak,ctxprop", "")
+	got, err = selectAnalyzers("", "", "module")
+	if err != nil || len(got) != len(lint.AllModule()) {
+		t.Fatalf("module selection: got %d analyzers, err %v; want all %d", len(got), err, len(lint.AllModule()))
+	}
+
+	got, err = selectAnalyzers("goleak,ctxprop", "", "pkg")
 	if err != nil {
 		t.Fatalf("-only: %v", err)
 	}
@@ -81,7 +98,7 @@ func TestSelectAnalyzers(t *testing.T) {
 		t.Fatalf("-only goleak,ctxprop: got %v", names(got))
 	}
 
-	got, err = selectAnalyzers("", "goleak,lockorder,hotalloc,ctxprop")
+	got, err = selectAnalyzers("", "goleak,lockorder,hotalloc,ctxprop", "pkg")
 	if err != nil {
 		t.Fatalf("-skip: %v", err)
 	}
@@ -95,14 +112,39 @@ func TestSelectAnalyzers(t *testing.T) {
 		}
 	}
 
-	if _, err := selectAnalyzers("nosuch", ""); err == nil {
+	if _, err := selectAnalyzers("nosuch", "", "pkg"); err == nil {
 		t.Fatal("-only with unknown analyzer must error")
 	}
-	if _, err := selectAnalyzers("", "nosuch"); err == nil {
+	if _, err := selectAnalyzers("", "nosuch", "pkg"); err == nil {
 		t.Fatal("-skip with unknown analyzer must error")
 	}
-	if _, err := selectAnalyzers("goleak", "goleak"); err == nil {
+	if _, err := selectAnalyzers("goleak", "goleak", "pkg"); err == nil {
 		t.Fatal("empty selection must error")
+	}
+}
+
+// TestSelectAnalyzersDiagnostics pins the error texts the driver relies on:
+// a near-miss suggests the intended name, and asking for a module-scope
+// analyzer under -ipa=pkg explains the scope requirement instead of calling
+// the name unknown.
+func TestSelectAnalyzersDiagnostics(t *testing.T) {
+	_, err := selectAnalyzers("shapeflw", "", "module")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "shapeflow"`) {
+		t.Fatalf("typo suggestion missing: %v", err)
+	}
+
+	_, err = selectAnalyzers("shapeflow", "", "pkg")
+	if err == nil || !strings.Contains(err.Error(), "requires -ipa=module") {
+		t.Fatalf("module-only hint missing: %v", err)
+	}
+
+	if got, err := selectAnalyzers("shapeflow", "", "module"); err != nil || len(got) != 1 || got[0].Name != "shapeflow" {
+		t.Fatalf("-only shapeflow under module scope: got %v, err %v", names(got), err)
+	}
+
+	_, err = selectAnalyzers("zzzzzzzz", "", "pkg")
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Fatalf("distant typo must not get a suggestion: %v", err)
 	}
 }
 

@@ -138,9 +138,16 @@ func renderSARIF(diags []lint.Diagnostic, analyzers []*lint.Analyzer) (string, e
 }
 
 // renderTimings reports aggregated per-analyzer wall time in the registry's
-// analyzer order.
-func renderTimings(analyzers []*lint.Analyzer, spent map[string]int64) string {
+// analyzer order, preceded by the pipeline phase times when the module
+// analysis supplied them.
+func renderTimings(analyzers []*lint.Analyzer, spent map[string]int64, phases []lint.Timing) string {
 	var b strings.Builder
+	if len(phases) > 0 {
+		b.WriteString("phase timings:\n")
+		for _, p := range phases {
+			b.WriteString(fmt.Sprintf("  %-12s %v\n", p.Analyzer, p.Elapsed.Round(10*time.Microsecond)))
+		}
+	}
 	b.WriteString("analyzer timings (wall time summed across packages):\n")
 	for _, a := range analyzers {
 		b.WriteString(fmt.Sprintf("  %-12s %v\n", a.Name, time.Duration(spent[a.Name]).Round(10*time.Microsecond)))

@@ -48,10 +48,13 @@ type CallSite struct {
 // GoSite is one `go` statement. Targets lists the local functions the spawned
 // goroutine may enter (the literal's node, or the conservatively resolved
 // callees); it is empty when the spawned callee is unknown (dynamic call or
-// external function).
+// external function). External carries the serialized summaries of in-module
+// callees from other packages, resolved through the module index when the
+// analysis runs at module scope.
 type GoSite struct {
-	Pos     token.Pos
-	Targets []*FuncNode
+	Pos      token.Pos
+	Targets  []*FuncNode
+	External []*FuncSummary
 }
 
 // FuncNode is one function in the call graph: a declared function or method
@@ -220,6 +223,11 @@ func (g *CallGraph) addGoSite(n *FuncNode, s *ast.GoStmt) {
 	} else {
 		targets, _ := g.resolve(s.Call)
 		site.Targets = targets
+		if len(targets) == 0 && g.pkg.deps != nil {
+			if fs := g.pkg.deps.Lookup(calleeFunc(g.pkg.Info, s.Call)); fs != nil {
+				site.External = append(site.External, fs)
+			}
+		}
 	}
 	n.GoSites = append(n.GoSites, site)
 }

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// This file defines the abstract shape domain for the shapeflow analysis
+// (shapeflow.go): symbolic tensor dimensions, shapes of known rank, and the
+// per-function environment the forward dataflow threads through statements.
+//
+// A dimension is known (a concrete value), symbolic (provably equal to an
+// integer parameter of the enclosing function, or to one dimension of a
+// tensor parameter), or unknown. Two symbolic dims compare equal only when
+// they name the same origin, which lets checks prove consistency without
+// concrete values: MatMul(x, w) passes when x's inner dim and w's leading
+// dim trace to the same parameter dimension, whatever its runtime value.
+// Every join moves toward unknown — the analysis reports only facts that
+// hold on every path it models, and stays silent otherwise.
+
+// dimKind discriminates abstract dimensions.
+type dimKind int
+
+const (
+	dimTop   dimKind = iota // unknown
+	dimConst                // concrete value
+	dimSym                  // provably equal to a symbolic origin
+)
+
+// symKind discriminates symbolic dimension origins.
+type symKind int
+
+const (
+	symIntParam  symKind = iota // the value of the Arg-th parameter (an int)
+	symTensorDim                // dimension Dim of the Arg-th parameter (a tensor)
+)
+
+// symID names one symbolic origin within the enclosing function.
+type symID struct {
+	kind symKind
+	arg  int // flat parameter index
+	dim  int // dimension index, for symTensorDim
+}
+
+// adim is one abstract dimension.
+type adim struct {
+	kind dimKind
+	val  int64 // dimConst
+	sym  symID // dimSym
+}
+
+func topDim() adim          { return adim{kind: dimTop} }
+func constDim(v int64) adim { return adim{kind: dimConst, val: v} }
+func symDim(s symID) adim   { return adim{kind: dimSym, sym: s} }
+
+// eq reports provable equality: the same constant or the same symbolic
+// origin. Two unknowns are never provably equal.
+func (a adim) eq(b adim) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case dimConst:
+		return a.val == b.val
+	case dimSym:
+		return a.sym == b.sym
+	}
+	return false
+}
+
+// joinDim keeps what both paths agree on.
+func joinDim(a, b adim) adim {
+	if a.eq(b) {
+		return a
+	}
+	return topDim()
+}
+
+// ashape is an abstract tensor shape: a dimension list when the rank is
+// known, or wholly unknown.
+type ashape struct {
+	known bool
+	dims  []adim
+}
+
+func unknownShape() ashape          { return ashape{} }
+func knownShape(dims []adim) ashape { return ashape{known: true, dims: dims} }
+
+// constDims extracts the concrete dims when every one is known.
+func (s ashape) constDims() ([]int64, bool) {
+	if !s.known {
+		return nil, false
+	}
+	out := make([]int64, len(s.dims))
+	for i, d := range s.dims {
+		if d.kind != dimConst {
+			return nil, false
+		}
+		out[i] = d.val
+	}
+	return out, true
+}
+
+// joinShape keeps the dimension facts shared by both shapes; differing ranks
+// join to unknown.
+func joinShape(a, b ashape) ashape {
+	if !a.known || !b.known || len(a.dims) != len(b.dims) {
+		return unknownShape()
+	}
+	dims := make([]adim, len(a.dims))
+	for i := range dims {
+		dims[i] = joinDim(a.dims[i], b.dims[i])
+	}
+	return knownShape(dims)
+}
+
+// shapeEnv is the dataflow state at one program point: abstract values of
+// integer variables and abstract shapes of tensor variables. A variable
+// absent from its map is unknown.
+type shapeEnv struct {
+	ints   map[*types.Var]adim
+	shapes map[*types.Var]ashape
+}
+
+func newShapeEnv() *shapeEnv {
+	return &shapeEnv{ints: make(map[*types.Var]adim), shapes: make(map[*types.Var]ashape)}
+}
+
+func (e *shapeEnv) clone() *shapeEnv {
+	c := newShapeEnv()
+	for k, v := range e.ints {
+		c.ints[k] = v
+	}
+	for k, v := range e.shapes {
+		c.shapes[k] = v
+	}
+	return c
+}
+
+// joinInto narrows e to the facts it shares with o — the merge point after a
+// branch, where a variable keeps its value only if both paths agree.
+func (e *shapeEnv) joinInto(o *shapeEnv) {
+	for k, v := range e.ints {
+		ov, ok := o.ints[k]
+		if !ok {
+			delete(e.ints, k)
+			continue
+		}
+		if j := joinDim(v, ov); j.kind == dimTop {
+			delete(e.ints, k)
+		} else {
+			e.ints[k] = j
+		}
+	}
+	for k, v := range e.shapes {
+		ov, ok := o.shapes[k]
+		if !ok {
+			delete(e.shapes, k)
+			continue
+		}
+		if j := joinShape(v, ov); !j.known {
+			delete(e.shapes, k)
+		} else {
+			e.shapes[k] = j
+		}
+	}
+}

@@ -44,7 +44,24 @@ func runGoleak(pass *Pass) {
 				}
 				break // one finding per go statement
 			}
+			reportExternalSpawns(pass, gs)
 		}
+	}
+}
+
+// reportExternalSpawns covers `go otherpkg.F(...)` spawns whose target lives
+// in another module package: the callee's serialized summary says whether it
+// can block forever, and its location strings travel in the message.
+func reportExternalSpawns(pass *Pass, gs GoSite) {
+	if len(gs.Targets) > 0 {
+		return // local resolution already decided this site
+	}
+	for _, fs := range gs.External {
+		if !fs.BlocksForever {
+			continue
+		}
+		pass.Reportf(gs.Pos, "goroutine %s can block forever: %s at %s has no cancellation or close path", shortFuncKey(fs.Key), fs.ForeverWhat, fs.ForeverLoc)
+		break
 	}
 }
 

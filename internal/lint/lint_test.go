@@ -39,6 +39,7 @@ func fixtures() []fixtureCase {
 		{analyzer: lint.Globalrand, fixture: "globalrand", importPath: base + "globalrand"},
 		{analyzer: lint.Ctxsleep, fixture: "ctxsleep", importPath: base + "ctxsleep"},
 		{analyzer: lint.Shapecheck, fixture: "shapecheck", importPath: base + "shapecheck"},
+		{analyzer: lint.Shapeflow, fixture: "shapeflow", importPath: base + "shapeflow"},
 		{analyzer: lint.Metricname, fixture: "metricname", importPath: base + "metricname"},
 		{analyzer: lint.Goleak, fixture: "goleak", importPath: base + "goleak"},
 		{analyzer: lint.Lockorder, fixture: "lockorder", importPath: base + "lockorder"},

@@ -27,7 +27,18 @@ type Package struct {
 
 	ipaOnce sync.Once
 	ipaVal  *IPA
+
+	// deps links this package to the function summaries of its
+	// already-analyzed in-module dependencies. Nil in per-package mode;
+	// the module analysis (AnalyzeModule) sets it before the first
+	// Pass.IPA() call so cross-package facts fold into the summaries.
+	deps *ModuleIndex
 }
+
+// SetDeps attaches the module summary index consulted when building this
+// package's interprocedural summaries. It must be called before the first
+// analyzer asks for Pass.IPA().
+func (p *Package) SetDeps(ix *ModuleIndex) { p.deps = ix }
 
 // ipa lazily builds the package's interprocedural engine exactly once, no
 // matter how many whole-program analyzers ask for it.
@@ -48,6 +59,25 @@ type Loader struct {
 
 	exports map[string]string // import path -> export data file
 	imp     types.Importer
+
+	// srcPkgs holds source-loaded packages registered via RegisterSource.
+	// The module analysis registers each package as it is analyzed so that
+	// dependents type-check against the *same* type objects (and the shared
+	// FileSet), which is what lets the cross-package engine resolve callees
+	// by object identity instead of re-deriving them from export data.
+	srcPkgs map[string]*types.Package
+}
+
+// chainedImporter resolves imports source-first: packages already loaded
+// from source in this module analysis win over compiled export data, so one
+// universe of type objects spans the whole analyzed set.
+type chainedImporter struct{ l *Loader }
+
+func (c chainedImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.l.srcPkgs[path]; ok {
+		return p, nil
+	}
+	return c.l.imp.Import(path)
 }
 
 // NewLoader builds a loader rooted at the module containing dir. It runs one
@@ -68,6 +98,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ModuleDir:  root,
 		ModulePath: modPath,
 		exports:    make(map[string]string),
+		srcPkgs:    make(map[string]*types.Package),
 	}
 	if err := l.listExports("-deps", "./..."); err != nil {
 		return nil, err
@@ -177,12 +208,21 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: l.imp}
+	conf := types.Config{Importer: chainedImporter{l}}
 	pkg, err := conf.Check(importPath, l.Fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-check %s: %w", importPath, err)
 	}
 	return &Package{Path: importPath, Dir: dir, Fset: l.Fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// RegisterSource makes a source-loaded package resolvable as an import of
+// later LoadDir calls (source wins over export data). The module analysis
+// registers packages in dependency order; fixture trees with synthetic
+// import paths (which have no export data at all) rely on this to import
+// each other.
+func (l *Loader) RegisterSource(p *Package) {
+	l.srcPkgs[p.Path] = p.Types
 }
 
 // ModulePackages expands `pattern` relative to the module root into the

@@ -48,7 +48,29 @@ func runLockorder(pass *Pass) {
 		}
 	}
 
-	// Self-deadlocks first.
+	// At module scope, fold in the order edges recorded by already-analyzed
+	// packages. A cycle is reported only when it includes a local edge, so
+	// a dependency's wholly-internal cycle stays reported in that package
+	// and does not duplicate into every dependent.
+	ext := make(map[string]map[string]string) // from -> to -> remote loc
+	if deps := pass.pkg.deps; deps != nil {
+		for _, pr := range deps.Pairs() {
+			if _, local := edges[pr.First][pr.Second]; local {
+				continue
+			}
+			m := ext[pr.First]
+			if m == nil {
+				m = make(map[string]string)
+				ext[pr.First] = m
+			}
+			if _, ok := m[pr.Second]; !ok {
+				m[pr.Second] = pr.Loc
+			}
+		}
+	}
+
+	// Self-deadlocks first (local edges only; a dependency's self-edge is
+	// its own finding).
 	ids := make([]string, 0, len(edges))
 	for id := range edges {
 		ids = append(ids, id)
@@ -62,8 +84,31 @@ func runLockorder(pass *Pass) {
 	}
 
 	// Cycles: every strongly connected component with more than one lock
-	// contains at least one acquisition-order cycle.
-	for _, scc := range stronglyConnected(ids, edges) {
+	// contains at least one acquisition-order cycle. SCCs are computed over
+	// the union graph; the report anchors at the earliest local edge.
+	union := make(map[string]map[string]token.Pos, len(edges))
+	for from, tos := range edges {
+		union[from] = tos
+	}
+	for from, tos := range ext {
+		m := union[from]
+		if m == nil {
+			m = make(map[string]token.Pos)
+			union[from] = m
+		}
+		for to := range tos {
+			if _, ok := m[to]; !ok {
+				m[to] = token.NoPos
+			}
+		}
+	}
+	unionIDs := make([]string, 0, len(union))
+	for id := range union {
+		unionIDs = append(unionIDs, id)
+	}
+	sort.Strings(unionIDs)
+
+	for _, scc := range stronglyConnected(unionIDs, union) {
 		if len(scc) < 2 {
 			continue
 		}
@@ -72,9 +117,11 @@ func runLockorder(pass *Pass) {
 		for _, id := range scc {
 			inSCC[id] = true
 		}
-		// Report at the earliest edge position inside the component.
+		// Report at the earliest local edge position inside the component;
+		// a component with no local edge belongs to a dependency.
 		var minPos token.Pos
 		var minFrom, minTo string
+		crossPackage := false
 		for _, from := range scc {
 			for to, pos := range edges[from] {
 				if !inSCC[to] {
@@ -84,9 +131,21 @@ func runLockorder(pass *Pass) {
 					minPos, minFrom, minTo = pos, from, to
 				}
 			}
+			for to := range ext[from] {
+				if inSCC[to] {
+					crossPackage = true
+				}
+			}
 		}
-		pass.Reportf(minPos, "lock acquisition order cycle: %s (here %s is acquired while %s is held; elsewhere the order reverses — a potential ABBA deadlock)",
-			strings.Join(scc, " ↔ "), minTo, minFrom)
+		if minPos == token.NoPos {
+			continue
+		}
+		via := ""
+		if crossPackage {
+			via = "; the reversing order is recorded in a dependency package"
+		}
+		pass.Reportf(minPos, "lock acquisition order cycle: %s (here %s is acquired while %s is held; elsewhere the order reverses — a potential ABBA deadlock%s)",
+			strings.Join(scc, " ↔ "), minTo, minFrom, via)
 	}
 }
 

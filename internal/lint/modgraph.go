@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file lifts the per-package interprocedural engine to module scope.
+// Packages are loaded and analyzed in dependency (topological) order; after
+// each package is analyzed its function summaries are serialized
+// (EncodeSummaries) and decoded into a ModuleIndex that later packages
+// consult while building their own summaries. Because Go imports are
+// acyclic, one bottom-up sweep reaches the module-wide fixpoint: by the
+// time a caller is analyzed, every in-module callee's facts are final.
+//
+// Linking is by object path (FuncKey), not by AST or type-object identity,
+// so the index round-trips through bytes — the same summaries could be
+// cached on disk and reused across runs.
+
+// ModuleIndex maps in-module functions to the serialized summaries of
+// already-analyzed packages.
+type ModuleIndex struct {
+	pkgs map[string]*PkgSummaries
+}
+
+// NewModuleIndex returns an empty index.
+func NewModuleIndex() *ModuleIndex {
+	return &ModuleIndex{pkgs: make(map[string]*PkgSummaries)}
+}
+
+// Add registers one package's decoded summaries.
+func (ix *ModuleIndex) Add(ps *PkgSummaries) { ix.pkgs[ps.Path] = ps }
+
+// Lookup resolves a callee to its serialized summary, or nil when the
+// callee is unknown (nil function, or external to the analyzed set).
+// Local callees also resolve — by the time a package is re-analyzed its
+// own summaries may be indexed — but the call-graph path runs first, so in
+// practice Lookup serves cross-package edges.
+func (ix *ModuleIndex) Lookup(fn *types.Func) *FuncSummary {
+	if ix == nil || fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	ps := ix.pkgs[fn.Pkg().Path()]
+	if ps == nil {
+		return nil
+	}
+	return ps.Funcs[FuncKey(fn)]
+}
+
+// Packages returns the indexed package paths in sorted order.
+func (ix *ModuleIndex) Packages() []string {
+	out := make([]string, 0, len(ix.pkgs))
+	for p := range ix.pkgs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pairs returns every lock-order edge recorded across the indexed
+// packages, deduplicated, in deterministic order.
+func (ix *ModuleIndex) Pairs() []PairRef {
+	seen := make(map[[2]string]PairRef)
+	for _, ps := range ix.pkgs {
+		for _, fs := range ps.Funcs {
+			for _, pr := range fs.Pairs {
+				key := [2]string{pr.First, pr.Second}
+				if _, ok := seen[key]; !ok {
+					seen[key] = pr
+				}
+			}
+		}
+	}
+	keys := make([][2]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]PairRef, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+// ModuleResult is one module-wide analysis run: the merged findings plus
+// per-phase and per-analyzer timings for the driver's -timings output.
+type ModuleResult struct {
+	Diags    []Diagnostic
+	Packages int
+	// Phases records wall time for the pipeline stages: "load" (parse +
+	// type-check), "analyze" (analyzer runs), "link" (summary export,
+	// encode, decode, index).
+	Phases []Timing
+	// Spent is per-analyzer wall time in nanoseconds, summed across
+	// packages.
+	Spent map[string]int64
+}
+
+// AnalyzeModule runs the analyzers over the given (dir, importPath) pairs
+// as one linked unit: packages load and analyze in dependency order, each
+// package sees the serialized summaries of its analyzed dependencies, and
+// findings merge into one deterministically sorted list.
+func AnalyzeModule(loader *Loader, pkgs [][2]string, analyzers []*Analyzer) (*ModuleResult, error) {
+	res := &ModuleResult{Spent: make(map[string]int64)}
+	order, err := topoOrder(loader.Fset, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	ix := NewModuleIndex()
+	var loadT, analyzeT, linkT time.Duration
+	for _, p := range order {
+		start := time.Now()
+		pkg, err := loader.LoadDir(p[0], p[1])
+		if err != nil {
+			return nil, err
+		}
+		loader.RegisterSource(pkg)
+		pkg.SetDeps(ix)
+		loadT += time.Since(start)
+
+		start = time.Now()
+		diags, timings := RunTimed(pkg, analyzers)
+		res.Diags = append(res.Diags, diags...)
+		for _, tm := range timings {
+			res.Spent[tm.Analyzer] += tm.Elapsed.Nanoseconds()
+		}
+		analyzeT += time.Since(start)
+
+		start = time.Now()
+		data, err := EncodeSummaries(ExportSummaries(pkg))
+		if err != nil {
+			return nil, fmt.Errorf("lint: export summaries for %s: %w", p[1], err)
+		}
+		decoded, err := DecodeSummaries(data)
+		if err != nil {
+			return nil, err
+		}
+		ix.Add(decoded)
+		linkT += time.Since(start)
+	}
+	res.Packages = len(order)
+	res.Phases = []Timing{
+		{Analyzer: "load", Elapsed: loadT},
+		{Analyzer: "analyze", Elapsed: analyzeT},
+		{Analyzer: "link", Elapsed: linkT},
+	}
+	SortDiagnostics(res.Diags)
+	return res, nil
+}
+
+// topoOrder sorts the packages so every in-set dependency precedes its
+// dependents. Imports are read with a lightweight imports-only parse, so
+// ordering happens before any type-checking. Import cycles (impossible for
+// buildable Go, possible for malformed fixture sets) are an error.
+func topoOrder(fset *token.FileSet, pkgs [][2]string) ([][2]string, error) {
+	byPath := make(map[string][2]string, len(pkgs))
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		if _, dup := byPath[p[1]]; dup {
+			continue
+		}
+		byPath[p[1]] = p
+		paths = append(paths, p[1])
+	}
+	sort.Strings(paths)
+
+	imports := make(map[string][]string, len(paths))
+	for _, path := range paths {
+		imps, err := dirImports(fset, byPath[path][0])
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range imps {
+			if _, inSet := byPath[imp]; inSet && imp != path {
+				imports[path] = append(imports[path], imp)
+			}
+		}
+		sort.Strings(imports[path])
+	}
+
+	const (
+		white = iota
+		grey
+		black
+	)
+	state := make(map[string]int, len(paths))
+	out := make([][2]string, 0, len(paths))
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = grey
+		for _, dep := range imports[path] {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = black
+		out = append(out, byPath[path])
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// dirImports parses the import clauses of a directory's non-test .go files.
+func dirImports(fset *token.FileSet, dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	return out, nil
+}

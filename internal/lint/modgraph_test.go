@@ -1,0 +1,334 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"darnet/internal/lint"
+)
+
+// modipaBase is the synthetic import-path prefix of the three-level fixture
+// tree under testdata/src/modipa (root -> mid -> leaf, plus rootquiet).
+const modipaBase = "darnet/internal/lintfixture/modipa/"
+
+// modipaPkgs returns the fixture tree's (dir, importPath) pairs deliberately
+// out of dependency order: AnalyzeModule must topo-sort before linking.
+func modipaPkgs(dir string) [][2]string {
+	return [][2]string{
+		{filepath.Join(dir, "root"), modipaBase + "root"},
+		{filepath.Join(dir, "rootquiet"), modipaBase + "rootquiet"},
+		{filepath.Join(dir, "leaf"), modipaBase + "leaf"},
+		{filepath.Join(dir, "mid"), modipaBase + "mid"},
+	}
+}
+
+var modipaDir = filepath.Join("testdata", "src", "modipa")
+
+// TestModuleLinkedFindings is the positive half of the cross-package
+// contract: analyzed as one linked module, the fixture tree yields exactly
+// the four findings seeded in package root — each provable only by folding
+// another package's serialized summaries — and nothing in leaf, mid, or the
+// fully-suppressed rootquiet.
+func TestModuleLinkedFindings(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	res, err := lint.AnalyzeModule(loader, modipaPkgs(modipaDir), lint.AllModule())
+	if err != nil {
+		t.Fatalf("AnalyzeModule: %v", err)
+	}
+	if res.Packages != 4 {
+		t.Fatalf("analyzed %d packages, want 4", res.Packages)
+	}
+	for _, d := range res.Diags {
+		if !strings.Contains(filepath.ToSlash(d.Pos.Filename), "modipa/root/") {
+			t.Errorf("finding outside package root: %s", d)
+		}
+	}
+	wants := []struct{ rule, substr string }{
+		{"goleak", "goroutine mid.Watch can block forever"},
+		{"goleak", "leaf.WaitForever"}, // the ultimate site two packages down
+		{"hotalloc", "call into mid.Refill"},
+		{"hotalloc", "call into leaf.Grow"}, // nested through mid's summary
+		{"lockorder", "potential ABBA deadlock"},
+		{"lockorder", "the reversing order is recorded in a dependency package"},
+		{"shapeflow", "inner dimensions disagree: 64 vs 32"},
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range res.Diags {
+			if d.Rule == w.rule && strings.Contains(d.Message, w.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s finding containing %q in %v", w.rule, w.substr, res.Diags)
+		}
+	}
+	if len(res.Diags) != 4 {
+		t.Errorf("want exactly 4 module-linked findings (goleak, hotalloc, lockorder, shapeflow), got %d: %v", len(res.Diags), res.Diags)
+	}
+	if len(res.Phases) != 3 {
+		t.Errorf("want 3 pipeline phases (load, analyze, link), got %v", res.Phases)
+	}
+}
+
+// TestModuleFindingsVanishPerPackage is the negative half: the same tree
+// analyzed package-by-package (sources registered so imports resolve, but no
+// summary index) yields nothing — every finding above genuinely needs the
+// cross-package link.
+func TestModuleFindingsVanishPerPackage(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	// Topological order by hand: imports must resolve, summaries must not.
+	order := []string{"leaf", "mid", "root", "rootquiet"}
+	var diags []lint.Diagnostic
+	for _, name := range order {
+		pkg, err := loader.LoadDir(filepath.Join(modipaDir, name), modipaBase+name)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		loader.RegisterSource(pkg)
+		diags = append(diags, lint.Run(pkg, lint.All())...)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("per-package analysis must miss the cross-package findings, got %v", diags)
+	}
+}
+
+// TestSummarySerializationRoundTrip pins the linking currency: the encode →
+// decode cycle is lossless, and the summaries carry the exact cross-package
+// facts the module tests above rely on (forever-blocking, allocation sites,
+// lock pairs, shape transfers).
+func TestSummarySerializationRoundTrip(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	leaf, err := loader.LoadDir(filepath.Join(modipaDir, "leaf"), modipaBase+"leaf")
+	if err != nil {
+		t.Fatalf("load leaf: %v", err)
+	}
+	loader.RegisterSource(leaf)
+	mid, err := loader.LoadDir(filepath.Join(modipaDir, "mid"), modipaBase+"mid")
+	if err != nil {
+		t.Fatalf("load mid: %v", err)
+	}
+
+	for _, pkg := range []*lint.Package{leaf, mid} {
+		ps := lint.ExportSummaries(pkg)
+		data, err := lint.EncodeSummaries(ps)
+		if err != nil {
+			t.Fatalf("encode %s: %v", pkg.Path, err)
+		}
+		decoded, err := lint.DecodeSummaries(data)
+		if err != nil {
+			t.Fatalf("decode %s: %v", pkg.Path, err)
+		}
+		if !reflect.DeepEqual(ps, decoded) {
+			t.Errorf("%s: summaries do not round-trip:\n%+v\nvs\n%+v", pkg.Path, ps, decoded)
+		}
+	}
+
+	leafSums := lint.ExportSummaries(leaf)
+	wait := leafSums.Funcs[modipaBase+"leaf.WaitForever"]
+	if wait == nil || !wait.BlocksForever || wait.ForeverWhat != "channel receive" {
+		t.Errorf("leaf.WaitForever summary wrong: %+v", wait)
+	}
+	grow := leafSums.Funcs[modipaBase+"leaf.Grow"]
+	if grow == nil || len(grow.Allocs) != 1 || grow.Allocs[0].What != "make" {
+		t.Errorf("leaf.Grow summary wrong: %+v", grow)
+	}
+	// Scratch's make carries //lint:ignore hotalloc: the export filter must
+	// drop it so the justification holds module-wide.
+	scratch := leafSums.Funcs[modipaBase+"leaf.Scratch"]
+	if scratch == nil || len(scratch.Allocs) != 0 {
+		t.Errorf("leaf.Scratch's justified allocation leaked into the export: %+v", scratch)
+	}
+	lockPair := leafSums.Funcs[modipaBase+"leaf.LockIndexThenTable"]
+	if lockPair == nil || len(lockPair.Pairs) != 1 ||
+		lockPair.Pairs[0].First != "Index.mu" || lockPair.Pairs[0].Second != "Table.mu" {
+		t.Errorf("leaf.LockIndexThenTable pair wrong: %+v", lockPair)
+	}
+
+	midSums := lint.ExportSummaries(mid)
+	embed := midSums.Funcs[modipaBase+"mid.Embed"]
+	wantShape := &lint.ShapeTransfer{Dims: []lint.DimRef{{Kind: "arg", Arg: 0}, {Kind: "const", Value: 64}}}
+	if embed == nil || !reflect.DeepEqual(embed.Shape, wantShape) {
+		t.Errorf("mid.Embed shape transfer wrong: got %+v, want %+v", embed, wantShape)
+	}
+}
+
+// mutLoader is a second loader for the mutation tests: they register mutated
+// copies of real packages under the originals' import paths, which must not
+// leak into the loader the fixture tests share.
+var mutLoader = sync.OnceValues(func() (*lint.Loader, error) {
+	return lint.NewLoader(".")
+})
+
+// copyGoFiles copies a package's non-test .go files into dst, applying
+// mutate to each file's source.
+func copyGoFiles(t *testing.T, src, dst string, mutate func(name, content string) string) {
+	t.Helper()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("read %s: %v", src, err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		content := string(data)
+		if mutate != nil {
+			content = mutate(name, content)
+		}
+		if err := os.WriteFile(filepath.Join(dst, name), []byte(content), 0o644); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+	}
+}
+
+// TestModuleShapeMutationNN is the shape acceptance check: seeding a static
+// inner-dimension mismatch into internal/nn's Dense.Forward is caught by the
+// module-scope analysis (shapeflow runs there) and missed by the per-package
+// engine. The unmutated copy stays clean, guarding against false positives.
+func TestModuleShapeMutationNN(t *testing.T) {
+	loader, err := mutLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	const (
+		orig    = "y, err := tensor.MatMul(x, d.w.Value)"
+		mutated = "y, err := tensor.MatMul(tensor.New(8, 3), tensor.New(4, 8))"
+	)
+	run := func(name, replace string) ([]lint.Diagnostic, *lint.Package) {
+		dir := t.TempDir()
+		hit := false
+		copyGoFiles(t, filepath.Join("..", "nn"), dir, func(file, content string) string {
+			if file == "dense.go" && replace != "" {
+				next := strings.Replace(content, orig, replace, 1)
+				if next == content {
+					t.Fatalf("dense.go drifted: forward line %q not found", orig)
+				}
+				hit = true
+				return next
+			}
+			return content
+		})
+		if replace != "" && !hit {
+			t.Fatalf("dense.go not seen while copying internal/nn")
+		}
+		importPath := "darnet/internal/" + name
+		res, err := lint.AnalyzeModule(loader, [][2]string{{dir, importPath}}, lint.AllModule())
+		if err != nil {
+			t.Fatalf("AnalyzeModule(%s): %v", name, err)
+		}
+		pkg, err := loader.LoadDir(dir, importPath)
+		if err != nil {
+			t.Fatalf("reload %s: %v", name, err)
+		}
+		return res.Diags, pkg
+	}
+
+	cleanDiags, _ := run("nnclean", "")
+	for _, d := range cleanDiags {
+		if d.Rule == "shapeflow" {
+			t.Fatalf("unmutated internal/nn must be shapeflow-clean, got %s", d)
+		}
+	}
+
+	mutDiags, mutPkg := run("nnmut", mutated)
+	found := false
+	for _, d := range mutDiags {
+		if d.Rule == "shapeflow" && strings.Contains(d.Message, "inner dimensions disagree: 3 vs 4") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("module analysis must catch the seeded shape mismatch, got %v", mutDiags)
+	}
+	// The per-package engine has no shapeflow registry entry: same package,
+	// same mutation, no finding.
+	for _, d := range lint.Run(mutPkg, lint.All()) {
+		if d.Rule == "shapeflow" {
+			t.Fatalf("per-package analysis must miss the seeded shape mismatch, got %s", d)
+		}
+	}
+}
+
+// TestModuleAllocMutationTwoLevels is the hotalloc acceptance check: seeding
+// an allocation into leaf.Buffer — two packages below root's //lint:hotpath
+// Pack — is caught by the module-linked analysis and missed per-package
+// (leaf itself has no hotpath root, and root cannot see leaf's body).
+func TestModuleAllocMutationTwoLevels(t *testing.T) {
+	loader, err := mutLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	const (
+		reuse  = "return warm[:]"
+		seeded = "return make([]byte, 256)"
+	)
+	tmp := t.TempDir()
+	for _, name := range []string{"leaf", "mid", "root", "rootquiet"} {
+		sub := filepath.Join(tmp, name)
+		if err := os.Mkdir(sub, 0o755); err != nil {
+			t.Fatalf("mkdir %s: %v", name, err)
+		}
+		copyGoFiles(t, filepath.Join(modipaDir, name), sub, func(file, content string) string {
+			if name == "leaf" {
+				next := strings.Replace(content, reuse, seeded, 1)
+				if next == content {
+					t.Fatalf("leaf fixture drifted: buffer reuse line %q not found", reuse)
+				}
+				return next
+			}
+			return content
+		})
+	}
+
+	res, err := lint.AnalyzeModule(loader, modipaPkgs(tmp), lint.AllModule())
+	if err != nil {
+		t.Fatalf("AnalyzeModule: %v", err)
+	}
+	found := false
+	for _, d := range res.Diags {
+		if d.Rule == "hotalloc" && strings.Contains(d.Message, "call into mid.Fetch") &&
+			strings.Contains(d.Message, "root Pack") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("module analysis must catch the seeded allocation two packages below the hotpath root, got %v", res.Diags)
+	}
+
+	// Per-package: reload the mutated tree without a summary index; the
+	// seeded make is invisible from root and not hot inside leaf.
+	var diags []lint.Diagnostic
+	for _, name := range []string{"leaf", "mid", "root", "rootquiet"} {
+		pkg, err := loader.LoadDir(filepath.Join(tmp, name), modipaBase+name)
+		if err != nil {
+			t.Fatalf("reload %s: %v", name, err)
+		}
+		loader.RegisterSource(pkg)
+		diags = append(diags, lint.Run(pkg, lint.All())...)
+	}
+	for _, d := range diags {
+		if d.Rule == "hotalloc" {
+			t.Fatalf("per-package analysis must miss the seeded allocation, got %s", d)
+		}
+	}
+}

@@ -81,6 +81,15 @@ func (w *pairWalker) call(call *ast.CallExpr, held map[string]token.Pos) {
 		}
 	} else {
 		targets, _ = w.g.resolve(call)
+		if len(targets) == 0 && w.pkg.deps != nil {
+			// Cross-package callee: its transitive acquires come from the
+			// module index, ordered against the locally held locks.
+			if fs := w.pkg.deps.Lookup(calleeFunc(w.pkg.Info, call)); fs != nil {
+				for _, a := range fs.Acquires {
+					w.pair(held, a.ID, call.Pos())
+				}
+			}
+		}
 	}
 	for _, t := range targets {
 		for id := range t.summary.Acquires {

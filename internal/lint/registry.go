@@ -31,3 +31,18 @@ func Interprocedural() []*Analyzer {
 		Ctxprop,
 	}
 }
+
+// Module returns the analyzers that are only meaningful at module scope,
+// where cross-package shape-transfer summaries are available through the
+// module index.
+func Module() []*Analyzer {
+	return []*Analyzer{
+		Shapeflow,
+	}
+}
+
+// AllModule is the registry the driver runs in -ipa=module mode: every
+// per-package rule plus the module-scope analyzers.
+func AllModule() []*Analyzer {
+	return append(All(), Module()...)
+}

@@ -49,7 +49,11 @@ func runShapecheck(pass *Pass) {
 			}
 			switch {
 			case strings.HasSuffix(fn.Pkg().Path(), "internal/tensor"):
-				checkTensorCtor(pass, call, fn.Name())
+				if name := fn.Name(); name == "Reshape" || name == "MustReshape" {
+					checkReshape(pass, call, name)
+				} else {
+					checkTensorCtor(pass, call, name)
+				}
 			case strings.HasSuffix(fn.Pkg().Path(), "internal/nn") && fn.Name() == "NewBatchNorm":
 				checkBatchNorm(pass, call)
 			}
@@ -87,6 +91,45 @@ func checkTensorCtor(pass *Pass, call *ast.CallExpr, name string) {
 	}
 	if product != length {
 		pass.Reportf(call.Pos(), "tensor.%s: dims multiply to %d but the data literal has %d elements", name, product, length)
+	}
+}
+
+// checkReshape validates literal Reshape/MustReshape dims: negative
+// constants always fail, and when the receiver is itself a constructor call
+// with constant dims the element count is known, so a constant product
+// mismatch is a guaranteed runtime failure. Receivers whose shape needs
+// dataflow to determine are shapeflow's job.
+func checkReshape(pass *Pass, call *ast.CallExpr, name string) {
+	if call.Ellipsis.IsValid() || len(call.Args) == 0 {
+		return
+	}
+	product := int64(1)
+	allConst := true
+	for _, d := range call.Args {
+		v, known := constIntValue(pass.TypesInfo, d)
+		if !known {
+			allConst = false
+			continue
+		}
+		if v < 0 {
+			pass.Reportf(d.Pos(), "tensor.%s dimension %d is negative (always fails)", name, v)
+			return
+		}
+		product *= v
+	}
+	if !allConst {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	size, ok := syntacticCtorSize(pass.TypesInfo, sel.X)
+	if !ok {
+		return
+	}
+	if product != size {
+		pass.Reportf(call.Pos(), "tensor.%s: new dims multiply to %d but the tensor has %d elements", name, product, size)
 	}
 }
 

@@ -1,9 +1,12 @@
 package lint
 
 import (
+	"encoding/json"
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -20,6 +23,10 @@ import (
 type IPA struct {
 	Pkg   *Package
 	Graph *CallGraph
+
+	// shape is the lazily-built shapeflow engine (shapeflow.go), shared so
+	// the analyzer and summary export analyze each function once.
+	shape *shapeEngine
 }
 
 func buildIPA(pkg *Package) *IPA {
@@ -315,7 +322,40 @@ func gatherCallFacts(pkg *Package, s *Summary, call *ast.CallExpr) {
 			s.AllocSites = append(s.AllocSites, Site{call.Pos(), "fmt." + name + " call"})
 		}
 	}
+	if pkg.deps != nil {
+		if fs := pkg.deps.Lookup(fn); fs != nil {
+			foldExternalCall(s, call.Pos(), fs)
+		}
+	}
 	gatherBoxingFacts(pkg, s, call, fn)
+}
+
+// foldExternalCall imports an in-module external callee's serialized facts
+// into the calling function's own site lists, anchored at the local call
+// position (the remote location travels in the message text, since the
+// callee's token positions belong to another package's files).
+func foldExternalCall(s *Summary, pos token.Pos, fs *FuncSummary) {
+	name := shortFuncKey(fs.Key)
+	if fs.BlocksForever {
+		what := "call to " + name + ": " + fs.ForeverWhat + " at " + fs.ForeverLoc
+		s.ForeverSites = append(s.ForeverSites, Site{pos, what})
+		s.BlockSites = append(s.BlockSites, Site{pos, what})
+	} else if fs.Blocks {
+		s.BlockSites = append(s.BlockSites, Site{pos, "call to " + name + " (may block)"})
+	}
+	if len(fs.Allocs) > 0 {
+		what := "call into " + name + " (" + fs.Allocs[0].What + " at " + fs.Allocs[0].Loc
+		if extra := len(fs.Allocs) - 1 + fs.AllocsTruncated; extra > 0 {
+			what += fmt.Sprintf(", +%d more allocation sites", extra)
+		}
+		what += ")"
+		s.AllocSites = append(s.AllocSites, Site{pos, what})
+	}
+	for _, a := range fs.Acquires {
+		if _, ok := s.Acquires[a.ID]; !ok {
+			s.Acquires[a.ID] = pos
+		}
+	}
 }
 
 // gatherBoxingFacts flags interface boxing and variadic slices at a call
@@ -537,6 +577,205 @@ func namedTypeName(t types.Type) string {
 		return named.Obj().Name()
 	}
 	return ""
+}
+
+// --- Serialized summaries (the cross-package linking currency) --------------
+//
+// A package's analysis exports one FuncSummary per declared function, keyed
+// by object path ("darnet/internal/wire.(*Conn).Send"). The summaries are
+// position-independent — source locations are carried as short "file.go:42"
+// strings — so they serialize, and the module analysis links packages by
+// decoding the summaries of already-analyzed dependencies rather than by
+// sharing AST pointers. That keeps the linking contract narrow and testable:
+// EncodeSummaries∘DecodeSummaries is the only channel between packages.
+
+// FuncSummary is the serializable projection of one function's fixpoint
+// summary: what callers in other packages need to know, and nothing tied to
+// this package's FileSet.
+type FuncSummary struct {
+	Key string `json:"key"`
+
+	Blocks        bool   `json:"blocks,omitempty"`
+	BlocksForever bool   `json:"blocksForever,omitempty"`
+	ForeverWhat   string `json:"foreverWhat,omitempty"`
+	ForeverLoc    string `json:"foreverLoc,omitempty"`
+
+	// Allocs are the function's transitive allocation sites (its own plus
+	// everything reachable through calls, already folded cross-package),
+	// filtered of sites justified by //lint:ignore hotalloc directives and
+	// capped; AllocsTruncated counts the overflow.
+	Allocs          []SiteRef `json:"allocs,omitempty"`
+	AllocsTruncated int       `json:"allocsTruncated,omitempty"`
+
+	// Acquires are the lock identities transitively acquired; Pairs the
+	// held→acquired order edges (minus //lint:ignore lockorder sites).
+	Acquires []LockRef `json:"acquires,omitempty"`
+	Pairs    []PairRef `json:"pairs,omitempty"`
+
+	// Shape is the function's shape-transfer summary when its tensor
+	// result is derivable from its inputs (see shapeflow.go).
+	Shape *ShapeTransfer `json:"shape,omitempty"`
+}
+
+// SiteRef is a fact site with its location rendered for cross-package use.
+type SiteRef struct {
+	What string `json:"what"`
+	Loc  string `json:"loc"`
+}
+
+// LockRef names one acquired lock identity.
+type LockRef struct {
+	ID  string `json:"id"`
+	Loc string `json:"loc"`
+}
+
+// PairRef is one lock-order edge: First was held while Second was acquired.
+type PairRef struct {
+	First  string `json:"first"`
+	Second string `json:"second"`
+	Loc    string `json:"loc"`
+}
+
+// PkgSummaries is every exported summary of one analyzed package.
+type PkgSummaries struct {
+	Path  string                  `json:"path"`
+	Funcs map[string]*FuncSummary `json:"funcs"`
+}
+
+// EncodeSummaries serializes a package's summaries (deterministically:
+// maps marshal with sorted keys).
+func EncodeSummaries(ps *PkgSummaries) ([]byte, error) {
+	return json.Marshal(ps)
+}
+
+// DecodeSummaries is the inverse of EncodeSummaries.
+func DecodeSummaries(data []byte) (*PkgSummaries, error) {
+	ps := &PkgSummaries{}
+	if err := json.Unmarshal(data, ps); err != nil {
+		return nil, fmt.Errorf("lint: decode summaries: %w", err)
+	}
+	return ps, nil
+}
+
+// FuncKey renders a function object's path-qualified identity, the key
+// serialized summaries are linked by: "pkg/path.Name" for functions,
+// "pkg/path.(*T).Name" for methods.
+func FuncKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + funcDisplayName(fn)
+}
+
+// shortFuncKey trims the key's package path to its last segment for
+// readable messages: "wire.(*Conn).Send".
+func shortFuncKey(key string) string {
+	slash := strings.LastIndexByte(key, '/')
+	return key[slash+1:]
+}
+
+// exportAllocCap bounds the transitive allocation list carried per function;
+// the overflow is summarized as a count.
+const exportAllocCap = 8
+
+// ExportSummaries projects a package's fixpoint summaries into the
+// serializable form. Allocation sites justified by //lint:ignore hotalloc
+// and lock pairs justified by //lint:ignore lockorder are dropped here, so
+// a dependency's documented exceptions do not resurface as findings in its
+// callers.
+func ExportSummaries(pkg *Package) *PkgSummaries {
+	ipa := pkg.ipa()
+	ig := buildIgnores(pkg)
+	ps := &PkgSummaries{Path: pkg.Path, Funcs: make(map[string]*FuncSummary)}
+	for _, n := range ipa.Graph.Nodes {
+		if n.Fn == nil {
+			continue // literals are reachable only through their encloser
+		}
+		s := n.Summary()
+		fs := &FuncSummary{
+			Key:           FuncKey(n.Fn),
+			Blocks:        s.Blocks,
+			BlocksForever: s.BlocksForever,
+		}
+		if s.BlocksForever {
+			fs.ForeverWhat = s.ForeverWhat
+			fs.ForeverLoc = shortLoc(pkg.Fset, s.ForeverPos)
+		}
+		fs.Allocs, fs.AllocsTruncated = transitiveAllocs(pkg, ig, n)
+		for _, id := range sortedKeys(s.Acquires) {
+			fs.Acquires = append(fs.Acquires, LockRef{ID: id, Loc: shortLoc(pkg.Fset, s.Acquires[id])})
+		}
+		for _, key := range sortedPairKeys(s.Pairs) {
+			pos := s.Pairs[key]
+			if ig.suppressed(Diagnostic{Pos: pkg.Fset.Position(pos), Rule: "lockorder"}) {
+				continue
+			}
+			fs.Pairs = append(fs.Pairs, PairRef{First: key[0], Second: key[1], Loc: shortLoc(pkg.Fset, pos)})
+		}
+		fs.Shape = ipa.shapeEngine().transferFor(n)
+		ps.Funcs[fs.Key] = fs
+	}
+	return ps
+}
+
+// transitiveAllocs walks the call graph from n (call, defer, and reference
+// edges — the same reachability hotalloc polices) collecting allocation
+// sites, minus hotalloc-suppressed ones, capped at exportAllocCap.
+func transitiveAllocs(pkg *Package, ig *ignoreSet, n *FuncNode) ([]SiteRef, int) {
+	seen := map[*FuncNode]bool{n: true}
+	queue := []*FuncNode{n}
+	var out []SiteRef
+	truncated := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, site := range cur.Summary().AllocSites {
+			if ig.suppressed(Diagnostic{Pos: pkg.Fset.Position(site.Pos), Rule: "hotalloc"}) {
+				continue
+			}
+			if len(out) < exportAllocCap {
+				out = append(out, SiteRef{What: site.What, Loc: shortLoc(pkg.Fset, site.Pos)})
+			} else {
+				truncated++
+			}
+		}
+		for _, c := range cur.Calls {
+			if !seen[c.Callee] {
+				seen[c.Callee] = true
+				queue = append(queue, c.Callee)
+			}
+		}
+	}
+	return out, truncated
+}
+
+// shortLoc renders a position as "file.go:42".
+func shortLoc(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", shortPath(p.Filename), p.Line)
+}
+
+func sortedKeys(m map[string]token.Pos) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedPairKeys(m map[[2]string]token.Pos) [][2]string {
+	out := make([][2]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
 }
 
 // propagate folds callee facts into callers until the lattice stabilizes.

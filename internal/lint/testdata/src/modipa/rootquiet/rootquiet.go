@@ -1,0 +1,37 @@
+// Package rootquiet mirrors root with every cross-package finding justified
+// by a //lint:ignore directive at the reporting site: module-linked analysis
+// must honor the suppressions and stay silent over this package.
+package rootquiet
+
+import (
+	"sync"
+
+	"darnet/internal/lintfixture/modipa/leaf"
+	"darnet/internal/lintfixture/modipa/mid"
+)
+
+// Table shares its lock identity with leaf.Table, as in package root.
+type Table struct{ mu sync.Mutex }
+
+// Refresh nests the locks against leaf's recorded order, with the cycle
+// report suppressed at its anchor (the earliest local edge).
+func Refresh(t *Table, ix *leaf.Index) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//lint:ignore lockorder leaf.LockIndex never takes Table.mu; nesting documented
+	leaf.LockIndex(ix)
+}
+
+// Monitor documents why its watcher may park forever.
+func Monitor() {
+	//lint:ignore goleak watcher parks until process exit by design
+	go mid.Watch()
+}
+
+// Encode justifies the allocation folded through mid.
+//
+//lint:hotpath
+func Encode() {
+	//lint:ignore hotalloc startup-only refill, measured cold
+	_ = mid.Refill()
+}

@@ -1,0 +1,136 @@
+// Package shapeflow exercises the dataflow-driven shape analyzer. Every
+// finding here needs a fact that travels through an assignment, a branch
+// join, or a callee's shape-transfer summary — the cases the syntactic
+// shapecheck analyzer cannot see. The Clean* functions pin the soundness
+// direction: when the abstract state cannot prove a violation, shapeflow
+// stays silent.
+package shapeflow
+
+import "darnet/internal/tensor"
+
+// BadInner multiplies two locals whose inner dimensions provably disagree.
+func BadInner() *tensor.Tensor {
+	a := tensor.New(4, 8)
+	b := tensor.New(16, 2)
+	return tensor.MustMatMul(a, b) // want "inner dimensions disagree: 8 vs 16"
+}
+
+// embed returns an (n, 64) lookup table; its transfer summary carries the
+// constant width to callers.
+func embed(n int) *tensor.Tensor {
+	return tensor.New(n, 64)
+}
+
+// BadThroughCall proves the mismatch only via embed's transfer summary.
+func BadThroughCall() *tensor.Tensor {
+	w := tensor.New(32, 10)
+	return tensor.MustMatMul(embed(8), w) // want "inner dimensions disagree: 64 vs 32"
+}
+
+// BadReshape reshapes a tensor whose element count arrives by dataflow: the
+// receiver is a variable, so shapecheck's constructor-receiver rule cannot
+// apply.
+func BadReshape() *tensor.Tensor {
+	x := tensor.New(4, 4)
+	return x.MustReshape(3, 5) // want "new dims multiply to 15 but the tensor has 16 elements"
+}
+
+// BadNegativeDim computes a negative dimension through arithmetic; the
+// literal at the call site looks innocent.
+func BadNegativeDim(t *tensor.Tensor) *tensor.Tensor {
+	n := 1
+	n = n - 3
+	return t.MustReshape(n, 4) // want "dimension -2 is negative"
+}
+
+// BadAdd combines elementwise operands of different concrete shapes.
+func BadAdd() *tensor.Tensor {
+	a := tensor.New(3, 4)
+	b := tensor.New(3, 5)
+	return tensor.Add(a, b) // want `operands have different shapes: \[3 4\] vs \[3 5\]`
+}
+
+// BadAccumulate folds a transposed gradient into a straight accumulator.
+func BadAccumulate() {
+	acc := tensor.New(2, 3)
+	g := tensor.New(3, 2)
+	acc.AddInPlace(g) // want `operands have different shapes: \[2 3\] vs \[3 2\]`
+}
+
+// BadBias adds a bias whose width disagrees with the matmul result columns.
+func BadBias() error {
+	y := tensor.MustMatMul(tensor.New(4, 8), tensor.New(8, 10))
+	bias := tensor.New(12)
+	return y.AddRowVector(bias) // want "vector has 12 elements but the tensor has 10 columns"
+}
+
+// BadTranspose passes a vector where a matrix is required.
+func BadTranspose() (*tensor.Tensor, error) {
+	v := tensor.New(6)
+	return tensor.Transpose(v) // want "requires 2-D operands but this one is 1-D"
+}
+
+// BadAfterJoin still proves the mismatch after a branch: both paths assign
+// the same shape, so the join keeps it.
+func BadAfterJoin(flip bool) *tensor.Tensor {
+	x := tensor.New(2, 6)
+	if flip {
+		x = tensor.New(2, 6)
+	}
+	return x.MustReshape(5) // want "new dims multiply to 5 but the tensor has 12 elements"
+}
+
+// BadChain threads the tensor result of a multi-value MatMul into the next
+// check.
+func BadChain() error {
+	x, err := tensor.MatMul(tensor.New(3, 5), tensor.New(5, 7))
+	if err != nil {
+		return err
+	}
+	_, err = x.Reshape(6, 6) // want "new dims multiply to 36 but the tensor has 21 elements"
+	return err
+}
+
+// Suppressed carries a justified ignore: the mismatch is provable but must
+// not be reported.
+func Suppressed() *tensor.Tensor {
+	a := tensor.New(2, 2)
+	b := tensor.New(3, 3)
+	//lint:ignore shapeflow deliberate mismatch pinning directive suppression
+	return tensor.MustMatMul(a, b)
+}
+
+// CleanSymbolic stays silent: the inner dimensions are the same symbol, so
+// they agree for every actual argument even though nothing is concrete.
+func CleanSymbolic(batch, hidden int) *tensor.Tensor {
+	x := tensor.New(batch, hidden)
+	w := tensor.New(hidden, 10)
+	return tensor.MustMatMul(x, w)
+}
+
+// CleanDim stays silent: the projection width is read off the input tensor,
+// so the operands stay consistent symbolically.
+func CleanDim(x *tensor.Tensor) *tensor.Tensor {
+	w := tensor.New(x.Dim(1), 32)
+	return tensor.MustMatMul(x, w)
+}
+
+// CleanBranches stays silent: the branches disagree about x's width, the
+// join widens it to unknown, and no check may fire on an unknown dim.
+func CleanBranches(wide bool) *tensor.Tensor {
+	x := tensor.New(4, 8)
+	if wide {
+		x = tensor.New(4, 16)
+	}
+	return tensor.MustMatMul(x, tensor.New(8, 2))
+}
+
+// CleanLoop stays silent: x is rewritten inside the loop, so its shape is
+// widened before the body is checked.
+func CleanLoop(steps int) *tensor.Tensor {
+	x := tensor.New(4, 4)
+	for i := 0; i < steps; i++ {
+		x = tensor.MustMatMul(x, tensor.New(4, 4))
+	}
+	return x
+}
