@@ -5,15 +5,19 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/collect ./internal/tsdb ./internal/core ./internal/telemetry ./internal/fault
+RACE_PKGS = ./internal/collect ./internal/tsdb ./internal/core ./internal/telemetry ./internal/fault ./internal/stream
 
 # bench-smoke artifact location; override with BENCH_OUT=BENCH_PR3.json to
 # refresh the committed benchmark (then bump the scale/epochs back up).
 BENCH_OUT ?= /tmp/darnet-bench-smoke.json
 
-.PHONY: verify fmt vet lint lint-module lint-fast build test race bench-smoke chaos
+# stream-smoke artifact location; override with STREAM_OUT=BENCH_PR7.json to
+# refresh the committed streaming benchmark.
+STREAM_OUT ?= /tmp/darnet-stream-smoke.json
 
-verify: fmt vet lint build test race
+.PHONY: verify fmt vet lint lint-module lint-fast build test race bench-smoke stream-smoke chaos
+
+verify: fmt vet lint build test race stream-smoke
 	@echo "verify: OK"
 
 fmt:
@@ -56,6 +60,14 @@ race:
 bench-smoke:
 	$(GO) run ./cmd/darnet-eval -exp bench -scale 0.012 -cnn-epochs 2 -rnn-epochs 2 -q -bench-out $(BENCH_OUT)
 	$(GO) run ./cmd/darnet-eval -check-bench $(BENCH_OUT)
+
+# stream-smoke drives the streaming classification pipeline to saturation
+# (offered input >= 2x classify capacity), writes the machine-readable
+# report, and validates it: bounded queue depth, counted sheds/skips, a live
+# alert-latency distribution. The committed BENCH_PR7.json uses these flags.
+stream-smoke:
+	$(GO) run ./cmd/darnet-eval -exp stream -scale 0.01 -cnn-epochs 2 -rnn-epochs 2 -q -bench-out $(STREAM_OUT)
+	$(GO) run ./cmd/darnet-eval -check-bench $(STREAM_OUT)
 
 # chaos runs the fault-injection suite under the race detector: the
 # deterministic chaos-transport unit tests, the collect resilience tests, and

@@ -134,6 +134,9 @@ func checkBenchFile(path string) error {
 	if probe.Experiment == "chaos" {
 		return checkChaosBench(path, buf)
 	}
+	if probe.Experiment == "stream" {
+		return checkStreamBench(path, buf)
+	}
 	var report benchReport
 	if err := json.Unmarshal(buf, &report); err != nil {
 		return fmt.Errorf("%s: %w", path, err)

@@ -1,0 +1,297 @@
+package main
+
+// The stream experiment measures the streaming classification pipeline under
+// deliberate saturation: a hot-loop agent (no wall-clock pacing) floods a
+// loopback controller with IMU samples and camera frames far faster than the
+// classify stage can drain them, and the report records what the robustness
+// machinery did about it — sustained decision throughput, alert-latency
+// percentiles, frames skipped, readings shed at the bounded queue, flushes
+// deferred under zero credits — plus the bounded-memory evidence (max queue
+// depth never above the cap). It is the overload counterpart of -exp chaos.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"darnet"
+	"darnet/internal/collect"
+	"darnet/internal/imu"
+	"darnet/internal/stream"
+	"darnet/internal/synth"
+	"darnet/internal/telemetry"
+	"darnet/internal/tsdb"
+	"darnet/internal/wire"
+)
+
+// Saturation parameters: a small queue saturates fast, a hot loop with
+// several polls per flush keeps the offered rate far above classify
+// capacity on any host.
+const (
+	streamRunFor        = 3 * time.Second
+	streamQueueCap      = 64
+	streamFrameSkipMax  = 4
+	streamPollsPerFlush = 128
+	streamPollStepMS    = 25 // simulated sensor clock step per poll
+	streamAlertDwellMS  = 100
+)
+
+// streamReport is the BENCH_PR7.json schema: provenance, the offered /
+// processed / shed accounting that proves saturation with bounded memory,
+// decision throughput, alert-latency percentiles, and the degradation
+// counters (frames skipped, flushes deferred, watchdog restarts).
+type streamReport struct {
+	PR         int     `json:"pr"`
+	Experiment string  `json:"experiment"`
+	Seed       int64   `json:"seed"`
+	DurationMS float64 `json:"duration_ms"`
+
+	QueueCap          int     `json:"queue_cap"`
+	GeneratedReadings int64   `json:"generated_readings"` // polled by the agent (incl. spill-dropped)
+	OfferedReadings   int64   `json:"offered_readings"`   // delivered to the controller and stored
+	ShedReadings      int64   `json:"shed_readings"`      // dropped at the full classify queue
+	SpillDropped      int64   `json:"spill_dropped"`      // dropped oldest-first at the agent spill valve
+	ProcessedReadings int64   `json:"processed_readings"`
+	SaturationRatio   float64 `json:"saturation_ratio"` // generated / processed, ≥ 2 proves overload
+	MaxDepth          int64   `json:"max_depth"`        // must stay ≤ queue_cap
+
+	Decisions       int64   `json:"decisions"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	Frames          int64   `json:"frames"`
+	FramesSkipped   int64   `json:"frames_skipped"`
+	Restarts        int64   `json:"restarts"`
+	AlertsRaised    int64   `json:"alerts_raised"`
+	AlertsCleared   int64   `json:"alerts_cleared"`
+
+	AlertLatencyP50MS float64 `json:"alert_latency_p50_ms"`
+	AlertLatencyP99MS float64 `json:"alert_latency_p99_ms"`
+
+	DeferredFlushes int64 `json:"deferred_flushes"`
+}
+
+// streamBench trains a small engine, saturates a streaming controller over
+// loopback TCP, and writes the machine-readable overload benchmark.
+func streamBench(scale float64, seed int64, cnnEpochs, rnnEpochs int, quiet bool, outPath string) error {
+	cfg := darnet.DefaultDatasetConfig()
+	cfg.Scale = scale
+	ds, err := darnet.GenerateDataset(cfg)
+	if err != nil {
+		return err
+	}
+	tc := darnet.DefaultEngineTrainConfig()
+	tc.Seed = seed
+	tc.CNNEpochs = cnnEpochs
+	tc.RNNEpochs = rnnEpochs
+	start := time.Now()
+	if !quiet {
+		tc.Progress = func(stage string, epoch int, loss float64) {
+			fmt.Printf("  [%s] epoch %d loss %.4f (%v)\n", stage, epoch, loss, time.Since(start).Round(time.Second))
+		}
+	}
+	eng, err := darnet.TrainEngine(ds, tc)
+	if err != nil {
+		return err
+	}
+
+	mux, err := stream.NewMux(stream.Config{
+		QueueCap:     streamQueueCap,
+		FrameSkipMax: streamFrameSkipMax,
+		Alert: stream.AlertConfig{
+			NormalClass: int(darnet.NormalDriving),
+			Dwell:       streamAlertDwellMS * time.Millisecond,
+		},
+	}, stream.EngineTickerFactory(eng))
+	if err != nil {
+		return err
+	}
+	defer mux.Shutdown()
+
+	ctrl := collect.NewController(tsdb.New(), func() int64 { return time.Now().UnixMilli() })
+	ctrl.SetStreamSink(mux)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				//lint:ignore errdrop the benchmark closes the link mid-protocol at shutdown
+				ctrl.ServeConn(wire.NewConn(conn))
+			}()
+		}
+	}()
+
+	// The agent streams a distracted-driving IMU signature plus camera frames
+	// drawn from the dataset, with a manual clock advanced per poll so the
+	// four IMU channels group into samples regardless of how fast the hot
+	// loop spins.
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer raw.Close()
+	manual := collect.NewManualTime(0)
+	rng := rand.New(rand.NewSource(seed))
+	window := synth.GenerateWindow(rng, synth.Talking, synth.DefaultIMUGen())
+	step := 0
+	current := window.Samples[0]
+	next := func() {
+		step++
+		if step%len(window.Samples) == 0 {
+			window = synth.GenerateWindow(rng, synth.Talking, synth.DefaultIMUGen())
+		}
+		current = window.Samples[step%len(window.Samples)]
+	}
+	frameIdx := 0
+	sensors := append(collect.IMUSensors(func() imu.Sample { return current }),
+		collect.SensorFunc{SensorName: collect.FrameSensorName, ReadFunc: func() []float64 {
+			frameIdx++
+			return ds.Samples[frameIdx%ds.Len()].Frame.Pix
+		}})
+	agent, err := collect.NewAgent(collect.AgentConfig{
+		ID: "stream", Modality: "imu+cam", PollPeriodMS: streamPollStepMS, AckTimeout: 5 * time.Second,
+	}, collect.NewDriftClock(manual.Now, 0), sensors, wire.NewConn(raw))
+	if err != nil {
+		return err
+	}
+	if err := agent.Hello(); err != nil {
+		return err
+	}
+
+	// Hot loop: poll as fast as the link allows — the offered rate is bounded
+	// only by loopback TCP, guaranteeing the classify queue saturates. Zero
+	// credits turn flush ticks into heartbeats exactly as the runner would.
+	var deferred int64
+	runStart := time.Now()
+	for time.Since(runStart) < streamRunFor {
+		for i := 0; i < streamPollsPerFlush; i++ {
+			manual.Advance(streamPollStepMS)
+			next()
+			agent.Poll()
+		}
+		if agent.ShouldDefer() {
+			deferred++
+			if err := agent.Heartbeat(); err != nil {
+				return fmt.Errorf("stream heartbeat: %w", err)
+			}
+			continue
+		}
+		if err := agent.Flush(); err != nil {
+			return fmt.Errorf("stream flush: %w", err)
+		}
+	}
+	elapsed := time.Since(runStart)
+	mux.Shutdown()
+
+	st, ok := ctrl.AgentStats("stream")
+	if !ok {
+		return fmt.Errorf("stream agent never registered")
+	}
+	s := mux.Stats()
+	offered := int64(st.Readings)
+	generated := offered + agent.SpillDropped()
+	processed := offered - s.ShedReadings
+	if processed <= 0 {
+		return fmt.Errorf("stream run processed nothing (offered=%d shed=%d)", offered, s.ShedReadings)
+	}
+	if s.Decisions == 0 {
+		return fmt.Errorf("stream run produced no classifications")
+	}
+
+	report := streamReport{
+		PR:                7,
+		Experiment:        "stream",
+		Seed:              seed,
+		DurationMS:        float64(elapsed.Milliseconds()),
+		QueueCap:          streamQueueCap,
+		GeneratedReadings: generated,
+		OfferedReadings:   offered,
+		ShedReadings:      s.ShedReadings,
+		SpillDropped:      agent.SpillDropped(),
+		ProcessedReadings: processed,
+		SaturationRatio:   float64(generated) / float64(processed),
+		MaxDepth:          s.MaxDepth,
+		Decisions:         s.Decisions,
+		DecisionsPerSec:   float64(s.Decisions) / elapsed.Seconds(),
+		Frames:            s.Frames,
+		FramesSkipped:     s.FramesSkipped,
+		Restarts:          s.Restarts,
+		AlertsRaised:      s.AlertsRaised,
+		AlertsCleared:     s.AlertsCleared,
+		DeferredFlushes:   deferred,
+	}
+	for _, h := range telemetry.Default.Snapshot().Histograms {
+		if h.Name == "darnet_stream_alert_latency_seconds" {
+			report.AlertLatencyP50MS = h.P50 * 1000
+			report.AlertLatencyP99MS = h.P99 * 1000
+		}
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return fmt.Errorf("write stream benchmark: %w", err)
+	}
+	if !quiet {
+		fmt.Printf("== stream: %v saturating overload run ==\n", streamRunFor)
+		fmt.Printf("generated %d readings, processed %d, shed %d at the queue + %d at the spill valve (saturation %.1fx), max depth %d/%d\n",
+			generated, processed, s.ShedReadings, agent.SpillDropped(), report.SaturationRatio, s.MaxDepth, streamQueueCap)
+		fmt.Printf("decisions %d (%.0f/s), frames %d (skipped %d), alerts %d raised / %d cleared\n",
+			s.Decisions, report.DecisionsPerSec, s.Frames, s.FramesSkipped, s.AlertsRaised, s.AlertsCleared)
+		fmt.Printf("alert latency p50 %.1f ms, p99 %.1f ms; deferred %d flushes, spill-dropped %d\n",
+			report.AlertLatencyP50MS, report.AlertLatencyP99MS, deferred, agent.SpillDropped())
+	}
+	fmt.Printf("wrote %s\n\n", outPath)
+	return nil
+}
+
+// checkStreamBench validates a stream benchmark file (the -check-bench branch
+// for experiment "stream"): saturation demonstrated, memory bounded, alert
+// latency measured.
+func checkStreamBench(path string, buf []byte) error {
+	var report streamReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if report.PR <= 0 || report.Experiment != "stream" {
+		return fmt.Errorf("%s: missing provenance (pr=%d experiment=%q)", path, report.PR, report.Experiment)
+	}
+	if report.QueueCap <= 0 || report.MaxDepth <= 0 || report.MaxDepth > int64(report.QueueCap) {
+		return fmt.Errorf("%s: queue bound violated (max_depth=%d cap=%d)", path, report.MaxDepth, report.QueueCap)
+	}
+	if report.ShedReadings+report.SpillDropped <= 0 {
+		return fmt.Errorf("%s: nothing shed at either valve — the run never saturated", path)
+	}
+	if report.SaturationRatio < 2 {
+		return fmt.Errorf("%s: saturation ratio %.2f below the promised 2x overload", path, report.SaturationRatio)
+	}
+	if report.Decisions <= 0 || report.DecisionsPerSec <= 0 {
+		return fmt.Errorf("%s: no sustained classification throughput (decisions=%d)", path, report.Decisions)
+	}
+	if report.AlertLatencyP99MS <= 0 || report.AlertLatencyP50MS > report.AlertLatencyP99MS {
+		return fmt.Errorf("%s: alert latency percentiles inconsistent (p50=%v p99=%v)",
+			path, report.AlertLatencyP50MS, report.AlertLatencyP99MS)
+	}
+	if report.AlertsRaised <= 0 {
+		return fmt.Errorf("%s: distracted-driving input never raised an alert", path)
+	}
+	if report.FramesSkipped <= 0 {
+		return fmt.Errorf("%s: overload never engaged frame skipping", path)
+	}
+	fmt.Printf("%s ok: %.0f decisions/s under %.1fx overload, alert p99 %.1f ms, depth %d/%d, shed %d, skipped %d\n",
+		path, report.DecisionsPerSec, report.SaturationRatio, report.AlertLatencyP99MS,
+		report.MaxDepth, report.QueueCap, report.ShedReadings, report.FramesSkipped)
+	return nil
+}

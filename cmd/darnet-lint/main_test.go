@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -63,10 +64,11 @@ func TestDriverOutputDeterministic(t *testing.T) {
 			}
 
 			// Spot-check the sort contract on the text form: lines must be
-			// ordered.
+			// ordered by (file, numeric line, numeric column) — plain string
+			// comparison would mis-order line 139 before line 36.
 			lines := strings.Split(strings.TrimSuffix(text[0], "\n"), "\n")
 			for i := 1; i < len(lines); i++ {
-				if lines[i-1] > lines[i] {
+				if positionLess(lines[i], lines[i-1]) {
 					t.Fatalf("text output not sorted: %q precedes %q", lines[i-1], lines[i])
 				}
 			}
@@ -154,4 +156,36 @@ func names(as []*lint.Analyzer) []string {
 		out[i] = a.Name
 	}
 	return out
+}
+
+// positionLess orders rendered "file:line:col: message" lines the way the
+// driver sorts diagnostics: by file, then numeric line and column, then the
+// remaining text.
+func positionLess(a, b string) bool {
+	af, al, ac, am := splitPos(a)
+	bf, bl, bc, bm := splitPos(b)
+	if af != bf {
+		return af < bf
+	}
+	if al != bl {
+		return al < bl
+	}
+	if ac != bc {
+		return ac < bc
+	}
+	return am < bm
+}
+
+// splitPos parses "file:line:col: rest"; unparsable lines sort by raw text.
+func splitPos(s string) (file string, line, col int, rest string) {
+	parts := strings.SplitN(s, ":", 4)
+	if len(parts) < 4 {
+		return s, 0, 0, ""
+	}
+	l, err1 := strconv.Atoi(parts[1])
+	c, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return s, 0, 0, ""
+	}
+	return parts[0], l, c, parts[3]
 }

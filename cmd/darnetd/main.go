@@ -34,6 +34,7 @@ import (
 	"darnet/internal/collect"
 	"darnet/internal/core"
 	"darnet/internal/imu"
+	"darnet/internal/stream"
 	"darnet/internal/synth"
 	"darnet/internal/telemetry"
 	"darnet/internal/tsdb"
@@ -56,8 +57,23 @@ func main() {
 		idleT      = flag.Duration("idle-timeout", 0, "reap agent connections silent for this long (controller mode; 0 disables)")
 		reconnect  = flag.Bool("reconnect", true, "redial the controller with exponential backoff after transport failures (agent mode)")
 		ackTimeout = flag.Duration("ack-timeout", 5*time.Second, "bound each wait for a controller ack (agent mode; 0 waits forever)")
+
+		streamEngine = flag.String("stream-engine", "", "classify stored readings online through this engine snapshot (controller mode)")
+		streamQueue  = flag.Int("stream-queue", 64, "per-agent bounded classify queue capacity (streaming)")
+		frameSkipMax = flag.Int("frame-skip-max", 4, "max consecutive frames reusing the last CNN result under overload (streaming)")
+		alertDwell   = flag.Duration("alert-dwell", 2*time.Second, "evidence must persist this long before an alert raises or clears (streaming)")
 	)
 	flag.Parse()
+
+	sOpts := streamOptions{
+		enginePath: *streamEngine,
+		queueCap:   *streamQueue,
+		skipMax:    *frameSkipMax,
+		dwell:      *alertDwell,
+	}
+	if err := sOpts.validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	var err error
 	switch {
@@ -66,11 +82,72 @@ func main() {
 	case *enginePath != "":
 		err = runEngineServer(*listen, *ops, *enginePath)
 	default:
-		err = runController(*listen, *ops, *idleT)
+		err = runController(*listen, *ops, *idleT, sOpts)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// streamOptions bundle the streaming-classification flags; validation runs
+// at startup in every mode so a typo'd unit (say -stream-queue=0) fails fast
+// instead of surfacing when the pipeline is first needed.
+type streamOptions struct {
+	enginePath string
+	queueCap   int
+	skipMax    int
+	dwell      time.Duration
+}
+
+func (o streamOptions) validate() error {
+	if o.queueCap <= 0 {
+		return fmt.Errorf("-stream-queue must be positive, got %d", o.queueCap)
+	}
+	if o.skipMax <= 0 {
+		return fmt.Errorf("-frame-skip-max must be positive, got %d", o.skipMax)
+	}
+	if o.dwell <= 0 {
+		return fmt.Errorf("-alert-dwell must be positive, got %v", o.dwell)
+	}
+	return nil
+}
+
+// setupStreaming loads the engine snapshot and attaches a streaming mux to
+// the controller: stored readings flow into per-agent classify pipelines,
+// admission credits flow back through the acks, and the mux takes over the
+// /healthz verdict (ok / degraded / overloaded). Returns nil when streaming
+// is not requested.
+func setupStreaming(ctrl *collect.Controller, o streamOptions, out io.Writer) (*stream.Mux, error) {
+	if o.enginePath == "" {
+		return nil, nil
+	}
+	f, err := os.Open(o.enginePath)
+	if err != nil {
+		return nil, fmt.Errorf("open stream engine snapshot: %w", err)
+	}
+	eng, err := core.LoadEngine(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("load stream engine: %w", err)
+	}
+	mux, err := stream.NewMux(stream.Config{
+		QueueCap:     o.queueCap,
+		FrameSkipMax: o.skipMax,
+		Alert:        stream.AlertConfig{Dwell: o.dwell},
+		OnAlert: func(agentID string, ev core.AlertEvent, cls *core.Classification) {
+			log.Printf("alert %v agent=%s class=%d confidence=%.2f mode=%v", ev, agentID, cls.Class, cls.Confidence, cls.Mode)
+		},
+	}, stream.EngineTickerFactory(eng))
+	if err != nil {
+		return nil, fmt.Errorf("stream mux: %w", err)
+	}
+	ctrl.SetStreamSink(mux)
+	telemetry.SetHealthSource(mux.Health)
+	statusf(out, "streaming classification on (%d classes, queue %d, frame-skip %d, alert dwell %v)\n",
+		eng.Classes, o.queueCap, o.skipMax, o.dwell)
+	return mux, nil
 }
 
 // notifyInterrupt returns a channel that closes on the first SIGINT and a
@@ -217,7 +294,7 @@ func acceptLoop(ln, opsLn net.Listener, stop <-chan struct{}, out io.Writer, han
 
 func wallMillis() int64 { return time.Now().UnixMilli() }
 
-func runController(listen, opsAddr string, idleTimeout time.Duration) error {
+func runController(listen, opsAddr string, idleTimeout time.Duration, sOpts streamOptions) error {
 	ln, opsLn, err := listenPair(listen, opsAddr)
 	if err != nil {
 		return err
@@ -228,6 +305,25 @@ func runController(listen, opsAddr string, idleTimeout time.Duration) error {
 	if idleTimeout > 0 {
 		ctrl.SetIdleTimeout(idleTimeout)
 		fmt.Printf("reaping connections silent for %v\n", idleTimeout)
+	}
+	mux, err := setupStreaming(ctrl, sOpts, os.Stdout)
+	if err != nil {
+		//lint:ignore errdrop already failing; the close error adds nothing
+		ln.Close()
+		if opsLn != nil {
+			//lint:ignore errdrop already failing; the close error adds nothing
+			opsLn.Close()
+		}
+		return err
+	}
+	if mux != nil {
+		defer func() {
+			telemetry.SetHealthSource(nil)
+			mux.Shutdown()
+			s := mux.Stats()
+			fmt.Printf("stream: decisions=%d shed=%d skipped=%d restarts=%d alerts=%d/%d max-depth=%d\n",
+				s.Decisions, s.ShedReadings, s.FramesSkipped, s.Restarts, s.AlertsRaised, s.AlertsCleared, s.MaxDepth)
+		}()
 	}
 	stop, release := notifyInterrupt()
 	defer release()

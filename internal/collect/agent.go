@@ -81,6 +81,12 @@ type Agent struct {
 	seq        uint64 // last acked batch sequence
 	dropped    int64  // readings sacrificed to the spill bound
 	sent       bool   // pending was transmitted at least once since frozen
+
+	// credits is the controller's most recent admission grant (protocol v3
+	// backpressure); hasCredits distinguishes a zero grant from a legacy
+	// controller that sends no signal at all.
+	credits    uint32
+	hasCredits bool
 }
 
 // AgentConfig configures a collection agent.
@@ -241,6 +247,12 @@ func (a *Agent) awaitAck(minSeq uint64) error {
 		}
 		switch m := msg.(type) {
 		case *wire.Ack:
+			// Every ack — including a stale one — may carry a fresher
+			// admission grant; record it before deciding staleness.
+			if n, ok := wire.DecodeCredits(m.Credits); ok {
+				a.credits = n
+				a.hasCredits = true
+			}
 			if m.Seq < minSeq {
 				continue // stale ack for an already-settled batch
 			}
@@ -254,6 +266,20 @@ func (a *Agent) awaitAck(minSeq uint64) error {
 			return fmt.Errorf("collect: %s unexpected %T while awaiting ack", a.ID, msg)
 		}
 	}
+}
+
+// Credits returns the controller's most recent admission grant; ok is false
+// when no grant has ever arrived (legacy controller or no streaming sink),
+// which means unlimited.
+func (a *Agent) Credits() (n uint32, ok bool) { return a.credits, a.hasCredits }
+
+// ShouldDefer reports whether the next flush should be deferred for
+// backpressure: the controller granted zero admission slots and no batch is
+// already in flight. An in-flight batch is always retransmitted — the
+// controller dedupes it — so deferral only stops new batches from freezing
+// while readings pool in the bounded spill buffer, the single shedding valve.
+func (a *Agent) ShouldDefer() bool {
+	return a.pending == nil && len(a.buf) > 0 && a.hasCredits && a.credits == 0
 }
 
 // ClockSkewMillis exposes the agent clock's current error, for tests and

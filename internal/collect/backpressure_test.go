@@ -1,0 +1,211 @@
+package collect
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"darnet/internal/tsdb"
+	"darnet/internal/wire"
+)
+
+// fakeSink is a scriptable StreamSink: it records offered readings and
+// grants whatever credits the test sets.
+type fakeSink struct {
+	mu      sync.Mutex
+	grant   uint32
+	offered []wire.Reading
+	agents  map[string]int
+}
+
+func newFakeSink(grant uint32) *fakeSink {
+	return &fakeSink{grant: grant, agents: make(map[string]int)}
+}
+
+func (s *fakeSink) Offer(agentID string, readings []wire.Reading) (int, uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.offered = append(s.offered, readings...)
+	s.agents[agentID] += len(readings)
+	return len(readings), s.grant
+}
+
+func (s *fakeSink) Credits(string) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.grant
+}
+
+func (s *fakeSink) setGrant(n uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grant = n
+}
+
+func (s *fakeSink) offeredCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.offered)
+}
+
+func bpSensors() []Sensor {
+	return []Sensor{SensorFunc{SensorName: "accel", ReadFunc: func() []float64 { return []float64{1, 2, 3} }}}
+}
+
+// startBPController serves one connection of a sink-equipped controller and
+// returns the agent-side conn.
+func startBPController(t *testing.T, sink StreamSink) (*Controller, *wire.Conn) {
+	t.Helper()
+	ctrl := NewController(tsdb.New(), wallMillis)
+	if sink != nil {
+		ctrl.SetStreamSink(sink)
+	}
+	aRaw, cRaw := net.Pipe()
+	go func() { ctrl.ServeConn(wire.NewConn(cRaw)) }()
+	t.Cleanup(func() { aRaw.Close() })
+	return ctrl, wire.NewConn(aRaw)
+}
+
+// TestCreditPropagation runs the full loop: the sink's grant rides the hello
+// ack, every stored batch is offered to the sink, and the batch ack's
+// refreshed grant lands in the agent.
+func TestCreditPropagation(t *testing.T) {
+	sink := newFakeSink(7)
+	_, conn := startBPController(t, sink)
+	agent, err := NewAgent(AgentConfig{ID: "bp1", Modality: "imu"}, NewDriftClock(wallMillis, 0), bpSensors(), conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := agent.Credits(); !ok || n != 7 {
+		t.Fatalf("credits after hello = %d ok=%v, want 7 true", n, ok)
+	}
+
+	agent.Poll()
+	sink.setGrant(3)
+	if err := agent.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.offeredCount(); got != 1 {
+		t.Fatalf("sink received %d readings, want 1", got)
+	}
+	if n, ok := agent.Credits(); !ok || n != 3 {
+		t.Fatalf("credits after flush = %d ok=%v, want 3 true", n, ok)
+	}
+
+	// Heartbeats refresh the grant without carrying data.
+	sink.setGrant(9)
+	if err := agent.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := agent.Credits(); n != 9 {
+		t.Fatalf("credits after heartbeat = %d, want 9", n)
+	}
+	if agent.ShouldDefer() {
+		t.Fatal("agent with a positive grant must not defer")
+	}
+}
+
+// TestZeroCreditDeferral drives the grant to zero and asserts the agent
+// defers new batches but still retransmits an in-flight one, then resumes
+// when a heartbeat brings a fresh grant.
+func TestZeroCreditDeferral(t *testing.T) {
+	sink := newFakeSink(0)
+	_, conn := startBPController(t, sink)
+	agent, err := NewAgent(AgentConfig{ID: "bp2", Modality: "imu"}, NewDriftClock(wallMillis, 0), bpSensors(), conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := agent.Credits(); !ok || n != 0 {
+		t.Fatalf("credits after hello = %d ok=%v, want 0 true", n, ok)
+	}
+	if agent.ShouldDefer() {
+		t.Fatal("nothing pending and nothing to freeze yet — defer is about freezing new batches")
+	}
+	agent.Poll()
+	if !agent.ShouldDefer() {
+		t.Fatal("zero grant with buffered readings must defer")
+	}
+
+	// Deferral is advisory: an explicit Flush still works (shutdown path),
+	// and an in-flight batch would be retransmitted regardless.
+	sink.setGrant(5)
+	if err := agent.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if agent.ShouldDefer() {
+		t.Fatal("refreshed grant must lift the deferral")
+	}
+	if err := agent.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.offeredCount(); got != 1 {
+		t.Fatalf("sink received %d readings, want 1", got)
+	}
+}
+
+// TestLegacyControllerNoCredits: without a sink the acks carry no signal and
+// the agent never defers — protocol v2 behavior is unchanged.
+func TestLegacyControllerNoCredits(t *testing.T) {
+	_, conn := startBPController(t, nil)
+	agent, err := NewAgent(AgentConfig{ID: "bp3", Modality: "imu"}, NewDriftClock(wallMillis, 0), bpSensors(), conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := agent.Credits(); ok {
+		t.Fatal("legacy controller must not deliver a grant")
+	}
+	agent.Poll()
+	if agent.ShouldDefer() {
+		t.Fatal("agent must never defer without an explicit grant")
+	}
+	if err := agent.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunnerDefersUnderZeroCredits runs the managed loop against a
+// zero-grant controller and asserts flush ticks turn into heartbeats while
+// readings pool in the spill buffer, then drain once the grant returns.
+func TestRunnerDefersUnderZeroCredits(t *testing.T) {
+	sink := newFakeSink(0)
+	_, conn := startBPController(t, sink)
+	agent, err := NewAgent(AgentConfig{ID: "bp4", Modality: "imu", PollPeriodMS: 2}, NewDriftClock(wallMillis, 0), bpSensors(), conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := StartRunnerConfig(agent, RunnerConfig{FlushEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Deferred() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if r.Deferred() < 2 {
+		t.Fatalf("runner deferred %d flush ticks, want ≥ 2", r.Deferred())
+	}
+	if got := sink.offeredCount(); got != 0 {
+		t.Fatalf("sink received %d readings while grant was zero", got)
+	}
+
+	sink.setGrant(100)
+	for sink.offeredCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := r.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.offeredCount() == 0 {
+		t.Fatal("backlog never drained after the grant returned")
+	}
+}

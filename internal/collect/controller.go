@@ -34,11 +34,31 @@ var (
 	mResumed      = telemetry.NewCounter("darnet_collect_sessions_resumed_total", "sessions resumed by a re-hello from a known agent ID")
 	mHeartbeatsRx = telemetry.NewCounter("darnet_collect_heartbeats_total", "liveness heartbeats served")
 	mIdleReaps    = telemetry.NewCounter("darnet_collect_idle_reaps_total", "connections reaped after missing the read deadline")
+
+	// mStreamForwarded counts stored readings handed to the streaming classify
+	// sink; the sink's own shed counters account for any it could not admit.
+	mStreamForwarded = telemetry.NewCounter("darnet_collect_stream_forwarded_total", "stored readings offered to the streaming classification sink")
 )
 
 // ErrIdleReaped marks a connection the controller abandoned because the
 // agent went silent past the idle timeout; match with errors.Is.
 var ErrIdleReaped = errors.New("collect: connection reaped after idle timeout")
+
+// StreamSink receives stored readings for online classification and grants
+// admission credits back. Offer is called once per stored batch and returns
+// the refreshed credit grant alongside how many readings it admitted; Credits
+// alone refreshes the grant on batchless exchanges (hello, heartbeat,
+// replay). internal/stream.Mux satisfies this structurally, so collect never
+// imports the classification layer.
+//
+// Credits are the end-to-end backpressure signal: the controller encodes the
+// grant into every Ack (wire.EncodeCredits), the agent counts sends against
+// it, and an exhausted agent defers flushes — its readings pool in the spill
+// buffer, the protocol's single bounded shedding valve.
+type StreamSink interface {
+	Offer(agentID string, readings []wire.Reading) (accepted int, credits uint32)
+	Credits(agentID string) uint32
+}
 
 // SyncPeriodMillis is how often the controller re-distributes its clock to
 // each agent (paper §4.1: "this synchronization process is repeated every 5
@@ -57,6 +77,7 @@ type Controller struct {
 	agents      map[string]*agentState
 	syncEach    int64
 	idleTimeout time.Duration
+	sink        StreamSink
 }
 
 type agentState struct {
@@ -106,6 +127,33 @@ func (c *Controller) SetIdleTimeout(d time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.idleTimeout = d
+}
+
+// SetStreamSink routes every stored batch's readings into the online
+// classification pipeline and starts attaching that pipeline's admission
+// credits to every ack. Nil (the default) disables streaming: acks carry no
+// credit signal and v2 agents behave exactly as before.
+func (c *Controller) SetStreamSink(s StreamSink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sink = s
+}
+
+// streamSink snapshots the sink under the lock.
+func (c *Controller) streamSink() StreamSink {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sink
+}
+
+// creditsFor returns the wire-encoded admission grant for an ack: the absent
+// marker when no sink is configured, the sink's current grant otherwise.
+func (c *Controller) creditsFor(agentID string) uint32 {
+	sink := c.streamSink()
+	if sink == nil {
+		return 0 // no signal: legacy unlimited
+	}
+	return wire.EncodeCredits(sink.Credits(agentID))
 }
 
 // armDeadline pushes the idle deadline out before a blocking read.
@@ -219,7 +267,7 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 	if resumed {
 		mResumed.Inc()
 	}
-	if err := conn.Send(&wire.Ack{}); err != nil {
+	if err := conn.Send(&wire.Ack{Credits: c.creditsFor(hello.AgentID)}); err != nil {
 		return fmt.Errorf("collect: hello ack: %w", err)
 	}
 	gAgents.Add(1)
@@ -246,7 +294,7 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 			if hb.AgentID != hello.AgentID {
 				return fmt.Errorf("collect: heartbeat from %q on connection of %q", hb.AgentID, hello.AgentID)
 			}
-			if err := conn.Send(&wire.Ack{}); err != nil {
+			if err := conn.Send(&wire.Ack{Credits: c.creditsFor(hello.AgentID)}); err != nil {
 				return fmt.Errorf("collect: heartbeat ack: %w", err)
 			}
 			mHeartbeatsRx.Inc()
@@ -270,7 +318,7 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 		}
 		c.mu.Unlock()
 		if dup {
-			if err := conn.Send(&wire.Ack{Seq: batch.Seq}); err != nil {
+			if err := conn.Send(&wire.Ack{Seq: batch.Seq, Credits: c.creditsFor(hello.AgentID)}); err != nil {
 				return fmt.Errorf("collect: replay ack: %w", err)
 			}
 			mDeduped.Inc()
@@ -299,6 +347,19 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 			}
 		}
 		storeSp.End()
+
+		// Hand the stored readings to the streaming classify sink and fold its
+		// refreshed admission grant into the batch ack. The sink sheds (and
+		// counts) whatever its bounded queue cannot admit — storage above is
+		// unconditional, so backpressure never loses archived data.
+		ackCredits := uint32(0)
+		if sink := c.streamSink(); sink != nil {
+			offerSp := root.StartChild("darnet_stage_stream_offer")
+			_, grant := sink.Offer(batch.AgentID, batch.Readings)
+			offerSp.End()
+			mStreamForwarded.Add(int64(len(batch.Readings)))
+			ackCredits = wire.EncodeCredits(grant)
+		}
 
 		now := c.source()
 		c.mu.Lock()
@@ -342,7 +403,7 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 			gSkew.Set(float64(skew))
 		}
 		ackSp := root.StartChild("darnet_stage_ack")
-		if err := conn.Send(&wire.Ack{Count: uint32(len(batch.Readings)), Seq: batch.Seq}); err != nil {
+		if err := conn.Send(&wire.Ack{Count: uint32(len(batch.Readings)), Seq: batch.Seq, Credits: ackCredits}); err != nil {
 			return fmt.Errorf("collect: batch ack: %w", err)
 		}
 		ackSp.End()

@@ -14,6 +14,11 @@ import (
 // failure — each one is a survived outage.
 var mReconnects = telemetry.NewCounter("darnet_collect_reconnects_total", "agent reconnections completed after a transport failure")
 
+// mDeferredFlushes counts flush ticks skipped because the controller's
+// admission grant was exhausted — the agent heartbeats instead, both to stay
+// inside the read deadline and to pick up a refreshed grant.
+var mDeferredFlushes = telemetry.NewCounter("darnet_collect_flushes_deferred_total", "flush ticks deferred under zero backpressure credits")
+
 // Dialer opens a fresh transport connection to the controller. Runners use
 // it to reconnect after an outage; each call must return a new connection.
 type Dialer func() (*wire.Conn, error)
@@ -83,6 +88,7 @@ type Runner struct {
 	mu         sync.Mutex
 	err        error
 	reconnects int
+	deferred   int
 }
 
 // StartRunner sends the agent's hello and starts the polling/flushing loop
@@ -126,8 +132,19 @@ func (r *Runner) pollOnce() {
 
 // flushOrHeartbeat transmits the backlog, or a liveness heartbeat when there
 // is none, so an idle agent stays inside the controller's read deadline.
+// When the controller's admission grant is exhausted the flush is deferred:
+// the heartbeat's ack refreshes the grant, and meanwhile readings pool in
+// the agent's bounded spill buffer (oldest shed first, counted) — the
+// protocol's single backpressure valve.
 func (r *Runner) flushOrHeartbeat() error {
 	if r.agent.Buffered() == 0 {
+		return r.agent.Heartbeat()
+	}
+	if r.agent.ShouldDefer() {
+		mDeferredFlushes.Inc()
+		r.mu.Lock()
+		r.deferred++
+		r.mu.Unlock()
 		return r.agent.Heartbeat()
 	}
 	return r.agent.Flush()
@@ -270,4 +287,12 @@ func (r *Runner) Reconnects() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.reconnects
+}
+
+// Deferred returns how many flush ticks were skipped under zero backpressure
+// credits.
+func (r *Runner) Deferred() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.deferred
 }

@@ -339,52 +339,84 @@ func (e *Engine) ClassifyCtx(ctx context.Context, frame []float64, window imu.Wi
 		return nil, fmt.Errorf("core: frame has %d pixels, want %d", len(frame), e.ImgW*e.ImgH)
 	}
 
-	out := &Classification{Mode: ModeFused}
-	pA := uniform(e.Classes) // CNN parent stand-in until the CNN runs
+	var cnnProbs []float64
 	if haveFrame {
-		x, err := tensor.FromSlice(frame, 1, len(frame))
+		cnnSp := span.StartChild("darnet_stage_cnn_forward")
+		probs, err := e.cnnForward(frame)
+		cnnSp.End()
 		if err != nil {
 			mClassifyErrors.Inc()
 			return nil, err
 		}
-		cnnSp := span.StartChild("darnet_stage_cnn_forward")
-		cnnStart := time.Now()
-		cnnProbs, err := nn.PredictProbs(e.CNN, x, 1)
-		cnnSp.End()
-		if err != nil {
-			mClassifyErrors.Inc()
-			return nil, fmt.Errorf("core: cnn inference: %w", err)
-		}
-		hCNNForward.ObserveSince(cnnStart)
-		out.CNNProbs = append([]float64(nil), cnnProbs.Row(0)...)
-		pA = out.CNNProbs
-	} else {
-		out.Mode = ModeRNNOnly
+		cnnProbs = probs
 	}
 
-	pB := uniform(e.IMUClasses) // RNN parent stand-in when the window is absent
+	var rnnProbs []float64
 	if haveWindow {
 		rnnSp := span.StartChild("darnet_stage_rnn_forward")
 		rnnStart := time.Now()
-		rnnProbs, err := e.RNN.PredictProbs(e.IMUStats.Normalize(window))
+		probs, err := e.RNN.PredictProbs(e.IMUStats.Normalize(window))
 		rnnSp.End()
 		if err != nil {
 			mClassifyErrors.Inc()
 			return nil, fmt.Errorf("core: rnn inference: %w", err)
 		}
 		hRNNForward.ObserveSince(rnnStart)
-		out.RNNProbs = rnnProbs
-		pB = rnnProbs
-	} else {
-		out.Mode = ModeCNNOnly
+		rnnProbs = probs
 	}
 
 	bnSp := span.StartChild("darnet_stage_bn_combine")
-	bnStart := time.Now()
-	post, err := e.BNWithRNN.Combine(pA, pB)
+	out, err := e.fuse(cnnProbs, rnnProbs)
 	bnSp.End()
 	if err != nil {
 		mClassifyErrors.Inc()
+		return nil, err
+	}
+	hClassify.ObserveSince(start)
+	return out, nil
+}
+
+// cnnForward runs the frame CNN over one flattened frame and returns the
+// class distribution, feeding the darnet_core_cnn_forward_seconds histogram.
+func (e *Engine) cnnForward(frame []float64) ([]float64, error) {
+	if len(frame) != e.ImgW*e.ImgH {
+		return nil, fmt.Errorf("core: frame has %d pixels, want %d", len(frame), e.ImgW*e.ImgH)
+	}
+	x, err := tensor.FromSlice(frame, 1, len(frame))
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	probs, err := nn.PredictProbs(e.CNN, x, 1)
+	if err != nil {
+		return nil, fmt.Errorf("core: cnn inference: %w", err)
+	}
+	hCNNForward.ObserveSince(start)
+	return append([]float64(nil), probs.Row(0)...), nil
+}
+
+// fuse combines the per-modality distributions through the Bayesian Network.
+// A nil slice marks an absent modality: its parent node is replaced by a
+// uniform distribution and the result carries the corresponding degraded mode
+// and discounted confidence. Both absent is an error.
+func (e *Engine) fuse(cnnProbs, rnnProbs []float64) (*Classification, error) {
+	if cnnProbs == nil && rnnProbs == nil {
+		return nil, fmt.Errorf("core: both modalities absent, nothing to classify")
+	}
+	out := &Classification{Mode: ModeFused, CNNProbs: cnnProbs, RNNProbs: rnnProbs}
+	pA := cnnProbs
+	if pA == nil {
+		pA = uniform(e.Classes)
+		out.Mode = ModeRNNOnly
+	}
+	pB := rnnProbs
+	if pB == nil {
+		pB = uniform(e.IMUClasses)
+		out.Mode = ModeCNNOnly
+	}
+	bnStart := time.Now()
+	post, err := e.BNWithRNN.Combine(pA, pB)
+	if err != nil {
 		return nil, fmt.Errorf("core: bn combine: %w", err)
 	}
 	hBNCombine.ObserveSince(bnStart)
@@ -396,6 +428,5 @@ func (e *Engine) ClassifyCtx(ctx context.Context, frame []float64, window imu.Wi
 		mDegraded.Inc()
 	}
 	mClassifications.Inc()
-	hClassify.ObserveSince(start)
 	return out, nil
 }

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"darnet/internal/imu"
+	"darnet/internal/rnn"
+)
+
+// FrameProbs runs only the CNN modality over one flattened frame, for
+// streaming callers that manage their own modality cadence (frame-skipping
+// reuses the previous result instead of calling this).
+func (e *Engine) FrameProbs(frame []float64) ([]float64, error) {
+	probs, err := e.cnnForward(frame)
+	if err != nil {
+		mClassifyErrors.Inc()
+		return nil, err
+	}
+	return probs, nil
+}
+
+// Fuse combines already-computed per-modality distributions into a
+// Classification via the Bayesian Network. Nil marks an absent modality and
+// selects the matching degraded mode (uniform stand-in parent, discounted
+// confidence); both nil is an error. This is the tail of ClassifyCtx exposed
+// for the streaming pipeline, which computes the modalities incrementally.
+func (e *Engine) Fuse(cnnProbs, rnnProbs []float64) (*Classification, error) {
+	out, err := e.fuse(cnnProbs, rnnProbs)
+	if err != nil {
+		mClassifyErrors.Inc()
+		return nil, err
+	}
+	return out, nil
+}
+
+// IMUStream feeds live IMU samples through the trained RNN incrementally:
+// each sample is standardized with the engine's fitted stats and advances the
+// rnn.Stream one step, so a completed window costs only the pooling and
+// softmax head instead of a full recompute. Windows are tumbling, matching
+// collect's assembler geometry, and the per-window output is bit-for-bit
+// identical to the ClassifyCtx batch path.
+type IMUStream struct {
+	stats *imu.Stats
+	rs    *rnn.Stream
+	feat  []float64 // normalized-feature scratch
+}
+
+// NewIMUStream returns a stream over the paper's window geometry
+// (imu.WindowSize samples per classification).
+func (e *Engine) NewIMUStream() (*IMUStream, error) {
+	rs, err := e.RNN.NewStream(imu.WindowSize)
+	if err != nil {
+		return nil, err
+	}
+	return &IMUStream{stats: e.IMUStats, rs: rs, feat: make([]float64, imu.FeatureDim)}, nil
+}
+
+// Push standardizes one sample and advances the stream, reporting whether a
+// window just completed and Classify may be called.
+func (s *IMUStream) Push(smp imu.Sample) (ready bool, err error) {
+	for j, v := range smp.Features() {
+		s.feat[j] = (v - s.stats.Mean[j]) / s.stats.Std[j]
+	}
+	return s.rs.Push(s.feat)
+}
+
+// Classify returns the RNN class distribution for the completed window and
+// resets the stream for the next one.
+func (s *IMUStream) Classify() ([]float64, error) { return s.rs.Classify() }
+
+// Len returns the number of samples in the current partial window.
+func (s *IMUStream) Len() int { return s.rs.Len() }
+
+// Reset discards the partial window and recurrent state.
+func (s *IMUStream) Reset() { s.rs.Reset() }

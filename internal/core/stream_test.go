@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIMUStreamMatchesBatchPath proves the streaming inference surface equals
+// the batch one: pushing a window's samples one at a time through IMUStream
+// and fusing via Fuse must reproduce ClassifyCtx's result bit-for-bit (the
+// engine's BiLSTM stack takes the stream's buffered fallback; the
+// unidirectional incremental path is property-tested in internal/rnn).
+func TestIMUStreamMatchesBatchPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine training skipped in -short mode")
+	}
+	eng, train := trainTinyEngine(t)
+	st, err := eng.NewIMUStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := train.Frames.Row(0)
+	for win := 0; win < 2; win++ {
+		window := train.Windows[win]
+		var rnnProbs []float64
+		for i, smp := range window.Samples {
+			ready, err := st.Push(smp)
+			if err != nil {
+				t.Fatalf("window %d push %d: %v", win, i, err)
+			}
+			if ready != (i == len(window.Samples)-1) {
+				t.Fatalf("window %d push %d: ready = %v", win, i, ready)
+			}
+			if ready {
+				rnnProbs, err = st.Classify()
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		got, err := eng.Fuse(nil, rnnProbs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eng.Classify(nil, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Mode != ModeRNNOnly || got.Class != want.Class {
+			t.Fatalf("window %d: stream fuse class %d mode %v, batch class %d", win, got.Class, got.Mode, want.Class)
+		}
+		for j := range got.Probs {
+			if math.Float64bits(got.Probs[j]) != math.Float64bits(want.Probs[j]) {
+				t.Fatalf("window %d class %d: stream %v != batch %v", win, j, got.Probs[j], want.Probs[j])
+			}
+		}
+	}
+
+	t.Run("fuse both modalities", func(t *testing.T) {
+		cnnProbs, err := eng.FrameProbs(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		window := train.Windows[0]
+		st.Reset()
+		var rnnProbs []float64
+		for _, smp := range window.Samples {
+			if ready, err := st.Push(smp); err != nil {
+				t.Fatal(err)
+			} else if ready {
+				if rnnProbs, err = st.Classify(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		got, err := eng.Fuse(cnnProbs, rnnProbs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eng.Classify(frame, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Mode != ModeFused || got.Class != want.Class {
+			t.Fatalf("fused stream class %d mode %v, batch class %d", got.Class, got.Mode, want.Class)
+		}
+		for j := range got.Probs {
+			if math.Float64bits(got.Probs[j]) != math.Float64bits(want.Probs[j]) {
+				t.Fatalf("class %d: stream %v != batch %v", j, got.Probs[j], want.Probs[j])
+			}
+		}
+	})
+
+	t.Run("fuse rejects no modalities", func(t *testing.T) {
+		if _, err := eng.Fuse(nil, nil); err == nil {
+			t.Fatal("Fuse(nil, nil) must fail")
+		}
+	})
+}

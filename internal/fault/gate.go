@@ -1,0 +1,44 @@
+package fault
+
+import "sync"
+
+// Gate is a deterministic stall injector for pipeline stages: Wait blocks
+// until the gate is opened, so a test can wedge a classify worker at an exact
+// point, let the watchdog observe the stall, and then release it. Unlike a
+// sleep, the stall has no timing dependence — the test decides exactly when
+// the stage resumes.
+//
+// A gate starts closed and opens exactly once; after Open every current and
+// future Wait returns immediately. The comma-ok receive observes the close,
+// so a goroutine parked in Wait always has a release path.
+type Gate struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+// NewGate returns a closed gate.
+func NewGate() *Gate {
+	return &Gate{ch: make(chan struct{})}
+}
+
+// Wait blocks until the gate is opened.
+func (g *Gate) Wait() {
+	_, ok := <-g.ch
+	_ = ok
+}
+
+// Open releases all current and future Wait calls. Idempotent.
+func (g *Gate) Open() {
+	g.once.Do(func() { close(g.ch) })
+}
+
+// Opened reports whether the gate has been opened.
+func (g *Gate) Opened() bool {
+	select {
+	case _, ok := <-g.ch:
+		_ = ok
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,43 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateBlocksUntilOpened(t *testing.T) {
+	g := NewGate()
+	if g.Opened() {
+		t.Fatal("new gate reports opened")
+	}
+	released := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Wait()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("Wait returned before Open")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Open()
+	g.Open() // idempotent
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not return after Open")
+	}
+	if !g.Opened() {
+		t.Fatal("opened gate reports closed")
+	}
+	g.Wait() // future waits return immediately
+}

@@ -96,3 +96,54 @@ func spawnReconnectLoop(poll <-chan int, backoff <-chan int, stop chan struct{},
 		_ = ok
 	}()
 }
+
+// spawnWatchdogRestart mirrors the streaming pipeline's watchdog-restart
+// loop: a poll loop that replaces a wedged worker generation by spawning a
+// fresh one against the same bounded queue. The watchdog blocks only on a
+// multi-case select with a stop path, and every generation it spawns drains
+// the queue with a close-observing receive plus the same stop path — the
+// whole restart loop is the escape shape and must stay quiet.
+func spawnWatchdogRestart(queue chan int, tick <-chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-tick:
+				// A restarted generation: same cancellable drain shape.
+				go func() {
+					for {
+						select {
+						case _, ok := <-queue:
+							if !ok {
+								return
+							}
+						case <-stop:
+							return
+						}
+					}
+				}()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// spawnLeakyWatchdog is the broken variant: the watchdog itself is
+// cancellable, but the generations it restarts block on a bare queue receive
+// with no stop or close path — every restart strands one more goroutine.
+func spawnLeakyWatchdog(queue chan int, tick <-chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-tick:
+				go func() { // want "can block forever: channel receive"
+					for {
+						<-queue
+					}
+				}()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}

@@ -87,34 +87,13 @@ func (c *LSTMCell) Forward(x *tensor.Tensor) (*tensor.Tensor, *cellCache, error)
 		hPrev: make([][]float64, T), tanhC: make([][]float64, T),
 	}
 
-	wxd := c.wx.Value.Data()
-	whd := c.wh.Value.Data()
-	bd := c.b.Value.Data()
 	h := make([]float64, H)
 	cs := make([]float64, H)
 	z := make([]float64, 4*H)
 
 	for t := 0; t < T; t++ {
 		xt := x.Row(t)
-		copy(z, bd)
-		for k, xv := range xt {
-			if xv == 0 {
-				continue
-			}
-			wrow := wxd[k*4*H : (k+1)*4*H]
-			for j, wv := range wrow {
-				z[j] += xv * wv
-			}
-		}
-		for k, hv := range h {
-			if hv == 0 {
-				continue
-			}
-			wrow := whd[k*4*H : (k+1)*4*H]
-			for j, wv := range wrow {
-				z[j] += hv * wv
-			}
-		}
+		c.preact(xt, h, z)
 
 		it := make([]float64, H)
 		ft := make([]float64, H)
@@ -141,6 +120,54 @@ func (c *LSTMCell) Forward(x *tensor.Tensor) (*tensor.Tensor, *cellCache, error)
 		cache.hPrev[t], cache.tanhC[t] = hPrev, tc
 	}
 	return out, cache, nil
+}
+
+// preact computes the packed gate pre-activations z = b + x·Wx + h·Wh for one
+// step. Both the batch Forward pass and the streaming stepInfer go through
+// this single implementation so that an incrementally advanced stream is
+// bit-for-bit identical to a full-window recompute: floating-point addition is
+// not associative, so sharing the accumulation order is what makes the
+// equality exact rather than approximate.
+func (c *LSTMCell) preact(xt, h, z []float64) {
+	H := c.hidden
+	copy(z, c.b.Value.Data())
+	wxd := c.wx.Value.Data()
+	for k, xv := range xt {
+		if xv == 0 {
+			continue
+		}
+		wrow := wxd[k*4*H : (k+1)*4*H]
+		for j, wv := range wrow {
+			z[j] += xv * wv
+		}
+	}
+	whd := c.wh.Value.Data()
+	for k, hv := range h {
+		if hv == 0 {
+			continue
+		}
+		wrow := whd[k*4*H : (k+1)*4*H]
+		for j, wv := range wrow {
+			z[j] += hv * wv
+		}
+	}
+}
+
+// stepInfer advances one inference step in place: h and cs (each length
+// hidden) are the carried state, z is a 4*hidden scratch. The gate expressions
+// mirror Forward's exactly — see preact for why that matters.
+func (c *LSTMCell) stepInfer(xt, h, cs, z []float64) {
+	c.preact(xt, h, z)
+	H := c.hidden
+	for j := 0; j < H; j++ {
+		it := sigmoid(z[j])
+		ft := sigmoid(z[H+j])
+		gt := math.Tanh(z[2*H+j])
+		ot := sigmoid(z[3*H+j])
+		ct := ft*cs[j] + it*gt
+		cs[j] = ct
+		h[j] = ot * math.Tanh(ct)
+	}
 }
 
 // Backward backpropagates dL/dH (shape (T, hidden)) through the cached

@@ -1,0 +1,125 @@
+package rnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"darnet/internal/tensor"
+)
+
+// randWindow fills a (T, in) tensor with N(0,1) samples, zeroing a few
+// entries so the sparse-skip branch in preact is exercised too.
+func randWindow(rng *rand.Rand, T, in int) *tensor.Tensor {
+	w := tensor.New(T, in)
+	d := w.Data()
+	for i := range d {
+		if rng.Intn(8) == 0 {
+			continue // leave exact zero
+		}
+		d[i] = rng.NormFloat64()
+	}
+	return w
+}
+
+// TestStreamMatchesBatchBitForBit is the incremental-state property test: over
+// randomized seeded scripts of consecutive tumbling windows, pushing samples
+// one at a time through a Stream must reproduce the full-window PredictProbs
+// recompute bit-for-bit (math.Float64bits equality, not a tolerance) — for
+// unidirectional stacks via the incremental path and for bidirectional stacks
+// via the buffered fallback.
+func TestStreamMatchesBatchBitForBit(t *testing.T) {
+	for _, uni := range []bool{true, false} {
+		uni := uni
+		t.Run(fmt.Sprintf("unidirectional=%v", uni), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 12; trial++ {
+				window := 3 + rng.Intn(6)
+				in := 2 + rng.Intn(4)
+				hidden := 3 + rng.Intn(5)
+				layers := 1 + rng.Intn(2)
+				classes := 2 + rng.Intn(3)
+				c, err := NewClassifier("s", rng, Config{
+					Input: in, Hidden: hidden, Layers: layers,
+					Classes: classes, Unidirectional: uni,
+				})
+				if err != nil {
+					t.Fatalf("trial %d: NewClassifier: %v", trial, err)
+				}
+				st, err := c.NewStream(window)
+				if err != nil {
+					t.Fatalf("trial %d: NewStream: %v", trial, err)
+				}
+				if st.Incremental() != uni {
+					t.Fatalf("trial %d: Incremental() = %v for unidirectional=%v", trial, st.Incremental(), uni)
+				}
+				// Several consecutive windows through the SAME stream: window
+				// k+1 must not be polluted by window k's state.
+				for win := 0; win < 3; win++ {
+					seq := randWindow(rng, window, in)
+					for s := 0; s < window; s++ {
+						ready, err := st.Push(seq.Row(s))
+						if err != nil {
+							t.Fatalf("trial %d window %d push %d: %v", trial, win, s, err)
+						}
+						if ready != (s == window-1) {
+							t.Fatalf("trial %d window %d push %d: ready = %v", trial, win, s, ready)
+						}
+					}
+					got, err := st.Classify()
+					if err != nil {
+						t.Fatalf("trial %d window %d: Classify: %v", trial, win, err)
+					}
+					want, err := c.PredictProbs(seq)
+					if err != nil {
+						t.Fatalf("trial %d window %d: PredictProbs: %v", trial, win, err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("trial %d window %d: %d probs, want %d", trial, win, len(got), len(want))
+					}
+					for j := range got {
+						if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+							t.Fatalf("trial %d window %d class %d: stream %v != batch %v (bits %x vs %x)",
+								trial, win, j, got[j], want[j], math.Float64bits(got[j]), math.Float64bits(want[j]))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := NewClassifier("s", rng, Config{Input: 3, Hidden: 4, Layers: 1, Classes: 2, Unidirectional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewStream(0); err == nil {
+		t.Fatal("NewStream(0) should fail")
+	}
+	st, err := c.NewStream(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Classify(); err == nil {
+		t.Fatal("Classify on a partial window should fail")
+	}
+	if _, err := st.Push([]float64{1}); err == nil {
+		t.Fatal("Push with wrong width should fail")
+	}
+	if _, err := st.Push([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if ready, err := st.Push([]float64{4, 5, 6}); err != nil || !ready {
+		t.Fatalf("second push: ready=%v err=%v", ready, err)
+	}
+	if _, err := st.Push([]float64{7, 8, 9}); err == nil {
+		t.Fatal("Push past a full window should fail")
+	}
+	st.Reset()
+	if st.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", st.Len())
+	}
+}

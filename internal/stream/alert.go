@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"darnet/internal/core"
+)
+
+// AlertConfig parameterizes the streaming alert state machine. It debounces
+// on *evidence*, not class labels: the distracted score of a classification
+// is 1 − P(normal), discounted when the classification was degraded, so a
+// flickering argmax between two distracted classes cannot flap the alert and
+// a low-confidence single-modality window counts for less.
+//
+// Hysteresis is double: a score band (enter above Enter, exit below Exit,
+// Enter > Exit) and a dwell time (the score must stay on the far side of the
+// threshold for Dwell before the state flips). Both must be crossed, so
+// alerts are flap-free by construction.
+type AlertConfig struct {
+	// NormalClass is the class index considered non-distracted.
+	NormalClass int
+	// Enter raises the alert once the distracted score has been ≥ Enter for
+	// Dwell. Default 0.6.
+	Enter float64
+	// Exit clears the alert once the score has been ≤ Exit for Dwell.
+	// Default 0.4.
+	Exit float64
+	// Dwell is the minimum sustained time on the far side of a threshold
+	// before the state flips. Zero flips on the first qualifying window.
+	Dwell time.Duration
+}
+
+func (c *AlertConfig) fillDefaults() {
+	if c.Enter == 0 {
+		c.Enter = 0.6
+	}
+	if c.Exit == 0 {
+		c.Exit = 0.4
+	}
+}
+
+func (c *AlertConfig) validate() error {
+	if c.NormalClass < 0 {
+		return fmt.Errorf("stream: negative normal class %d", c.NormalClass)
+	}
+	if c.Enter <= c.Exit {
+		return fmt.Errorf("stream: alert enter threshold %v must exceed exit threshold %v (hysteresis band)", c.Enter, c.Exit)
+	}
+	if c.Dwell < 0 {
+		return fmt.Errorf("stream: negative alert dwell %v", c.Dwell)
+	}
+	return nil
+}
+
+// alertFSM is the per-pipeline alert state machine. Not safe for concurrent
+// use; the pipeline serializes Observe under its alert mutex so the state
+// survives watchdog worker restarts without double-raising.
+type alertFSM struct {
+	cfg        AlertConfig
+	active     bool
+	enterSince time.Time // first observation of a qualifying enter score
+	exitSince  time.Time // first observation of a qualifying exit score
+}
+
+// score maps a classification onto distracted evidence in [0, 1].
+func (a *alertFSM) score(c *core.Classification) float64 {
+	if a.cfg.NormalClass >= len(c.Probs) {
+		return 0 // engine with fewer classes than configured: never alert
+	}
+	s := 1 - c.Probs[a.cfg.NormalClass]
+	if c.Degraded() {
+		s *= core.DegradedConfidenceDiscount
+	}
+	return s
+}
+
+// observe feeds one completed-window classification and returns the alert
+// transition it caused, if any.
+func (a *alertFSM) observe(now time.Time, c *core.Classification) core.AlertEvent {
+	s := a.score(c)
+	if !a.active {
+		if s >= a.cfg.Enter {
+			if a.enterSince.IsZero() {
+				a.enterSince = now
+			}
+			if now.Sub(a.enterSince) >= a.cfg.Dwell {
+				a.active = true
+				a.enterSince = time.Time{}
+				a.exitSince = time.Time{}
+				return core.AlertRaised
+			}
+		} else {
+			a.enterSince = time.Time{}
+		}
+		return core.AlertNone
+	}
+	if s <= a.cfg.Exit {
+		if a.exitSince.IsZero() {
+			a.exitSince = now
+		}
+		if now.Sub(a.exitSince) >= a.cfg.Dwell {
+			a.active = false
+			a.enterSince = time.Time{}
+			a.exitSince = time.Time{}
+			return core.AlertCleared
+		}
+	} else {
+		a.exitSince = time.Time{}
+	}
+	return core.AlertNone
+}

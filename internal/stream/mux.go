@@ -1,0 +1,173 @@
+package stream
+
+import (
+	"sync"
+	"time"
+
+	"darnet/internal/telemetry"
+	"darnet/internal/wire"
+)
+
+// recentRestartWindow is how long after a watchdog restart the mux keeps
+// reporting degraded health, so a probe between restarts sees the instability
+// rather than a lucky "ok".
+const recentRestartWindow = 30 * time.Second
+
+// Mux routes each agent's readings to that agent's pipeline, creating
+// pipelines on first contact. It satisfies collect's StreamSink contract
+// structurally (Offer + Credits), so collect never imports this package, and
+// doubles as the process health source: ok / degraded (frame skipping or a
+// recent watchdog restart) / overloaded (a classify queue at capacity).
+type Mux struct {
+	cfg     Config
+	factory TickerFactory
+
+	mu      sync.Mutex
+	pipes   map[string]*Pipeline
+	stopped bool
+}
+
+// NewMux validates the shared pipeline config and returns an empty mux.
+func NewMux(cfg Config, f TickerFactory) (*Mux, error) {
+	probe := cfg
+	probe.fillDefaults()
+	if err := probe.validate(); err != nil {
+		return nil, err
+	}
+	return &Mux{cfg: cfg, factory: f, pipes: make(map[string]*Pipeline)}, nil
+}
+
+// pipeline returns the agent's pipeline, creating it on first contact.
+func (m *Mux) pipeline(agentID string) (*Pipeline, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return nil, nil
+	}
+	if p, ok := m.pipes[agentID]; ok {
+		return p, nil
+	}
+	p, err := NewPipeline(agentID, m.cfg, m.factory)
+	if err != nil {
+		return nil, err
+	}
+	m.pipes[agentID] = p
+	return p, nil
+}
+
+// Offer admits a stored batch's readings into the agent's pipeline and
+// returns the number accepted plus the refreshed admission grant. The
+// controller calls this once per stored batch.
+func (m *Mux) Offer(agentID string, readings []wire.Reading) (accepted int, credits uint32) {
+	p, err := m.pipeline(agentID)
+	if err != nil || p == nil {
+		if err != nil {
+			mTickErrors.Inc()
+		}
+		return 0, 0
+	}
+	return p.OfferReadings(readings), p.Credits()
+}
+
+// Credits returns the agent's current admission grant without offering work
+// — the controller attaches this to hello, heartbeat, and duplicate acks so
+// a deferring agent learns when slots free up.
+func (m *Mux) Credits(agentID string) uint32 {
+	m.mu.Lock()
+	p, ok := m.pipes[agentID]
+	stopped := m.stopped
+	m.mu.Unlock()
+	if stopped {
+		return 0
+	}
+	if !ok {
+		// First contact: the pipeline does not exist yet, so the whole queue
+		// is free.
+		return uint32(maxInt(1, m.cfg.QueueCap))
+	}
+	return p.Credits()
+}
+
+// Pipeline returns the agent's pipeline for inspection, or nil.
+func (m *Mux) Pipeline(agentID string) *Pipeline {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pipes[agentID]
+}
+
+// Stats aggregates all pipelines' snapshots.
+func (m *Mux) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var agg Stats
+	for _, p := range m.pipes {
+		s := p.Stats()
+		agg.Enqueued += s.Enqueued
+		agg.ShedReadings += s.ShedReadings
+		agg.Depth += s.Depth
+		if s.MaxDepth > agg.MaxDepth {
+			agg.MaxDepth = s.MaxDepth
+		}
+		agg.Frames += s.Frames
+		agg.FramesSkipped += s.FramesSkipped
+		agg.Decisions += s.Decisions
+		agg.TickErrors += s.TickErrors
+		agg.Restarts += s.Restarts
+		agg.AlertsRaised += s.AlertsRaised
+		agg.AlertsCleared += s.AlertsCleared
+	}
+	return agg
+}
+
+// Health implements the /healthz source: overloaded (not OK → 503) when any
+// classify queue is at capacity right now, degraded (OK, state in the body)
+// when frame skipping is engaged or a watchdog restart happened recently,
+// ok otherwise.
+func (m *Mux) Health() telemetry.Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return telemetry.Health{Status: "shutting down", OK: false}
+	}
+	now := m.cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	degraded := ""
+	for _, p := range m.pipes {
+		if p.depth.Load() >= int64(p.cfg.QueueCap) {
+			return telemetry.Health{Status: "overloaded: classify queue at capacity", OK: false}
+		}
+		if p.Skipping() {
+			degraded = "degraded: frame-skipping engaged"
+		} else if lr := p.lastRestart.Load(); lr != 0 && now().UnixNano()-lr < int64(recentRestartWindow) && degraded == "" {
+			degraded = "degraded: watchdog restarted a stage"
+		}
+	}
+	if degraded != "" {
+		return telemetry.Health{Status: degraded, OK: true}
+	}
+	return telemetry.Health{Status: "ok", OK: true}
+}
+
+// Shutdown stops every pipeline and rejects further offers. Blocks until all
+// pipeline goroutines have exited; idempotent.
+func (m *Mux) Shutdown() {
+	m.mu.Lock()
+	m.stopped = true
+	pipes := make([]*Pipeline, 0, len(m.pipes))
+	for _, p := range m.pipes {
+		pipes = append(pipes, p)
+	}
+	m.mu.Unlock()
+	for _, p := range pipes {
+		p.Shutdown()
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

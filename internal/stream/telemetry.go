@@ -1,0 +1,31 @@
+package stream
+
+import "darnet/internal/telemetry"
+
+// Streaming-pipeline metrics. The robustness contract of this package is
+// "overload is bounded and counted, never silent": every shed reading,
+// skipped frame, dropped partial sample, watchdog restart, and recovered
+// panic lands in one of these series.
+var (
+	mReadingsShed    = telemetry.NewCounter("darnet_stream_readings_shed_total", "readings dropped because the classify queue was at capacity")
+	mReadingsIgnored = telemetry.NewCounter("darnet_stream_readings_ignored_total", "readings on sensor channels the streaming assembler does not classify")
+	mPartialDropped  = telemetry.NewCounter("darnet_stream_partial_samples_dropped_total", "incomplete IMU samples evicted from the assembler's bounded pending set")
+
+	mFrames        = telemetry.NewCounter("darnet_stream_frames_total", "camera frames entering the classify stage")
+	mFramesSkipped = telemetry.NewCounter("darnet_stream_frames_skipped_total", "frames that reused the previous CNN distribution under frame-skip degradation")
+	mDecisions     = telemetry.NewCounter("darnet_stream_decisions_total", "completed-window classifications produced by the pipeline")
+	mTickErrors    = telemetry.NewCounter("darnet_stream_tick_errors_total", "classify ticks aborted by a model or validation error")
+	mTickPanics    = telemetry.NewCounter("darnet_stream_tick_panics_total", "classify ticks that panicked and were recovered by the worker")
+
+	mWatchdogRestarts = telemetry.NewCounter("darnet_stream_watchdog_restarts_total", "stage workers restarted by the watchdog after a progress stall")
+	mStaleReoffers    = telemetry.NewCounter("darnet_stream_stale_reoffers_total", "inputs re-queued by a superseded worker generation on exit")
+
+	mAlertsRaised  = telemetry.NewCounter("darnet_stream_alerts_raised_total", "streaming alerts raised after sustained distracted evidence")
+	mAlertsCleared = telemetry.NewCounter("darnet_stream_alerts_cleared_total", "streaming alerts cleared after sustained normal evidence")
+
+	gQueueDepth  = telemetry.NewGauge("darnet_stream_queue_depth", "classify work items queued across all agent pipelines")
+	gSkipping    = telemetry.NewGauge("darnet_stream_frame_skip_engaged", "number of agent pipelines currently in frame-skip degradation")
+	gAlertActive = telemetry.NewGauge("darnet_stream_alert_active", "number of agent pipelines with a raised alert")
+
+	hAlertLatency = telemetry.NewHistogram("darnet_stream_alert_latency_seconds", "admission-to-decision latency of completed windows: how stale the alert state runs under load", nil)
+)

@@ -8,7 +8,44 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
+
+// Health is what /healthz reports. Status is a short human-readable state
+// ("ok", "degraded: frame-skipping", "overloaded: classify queue full"); OK
+// false turns the probe into a 503 so load balancers and orchestrators stop
+// routing to an overloaded process, while a degraded-but-serving process
+// stays 200 with the state visible in the body.
+type Health struct {
+	Status string
+	OK     bool
+}
+
+var (
+	healthMu     sync.RWMutex
+	healthSource func() Health
+)
+
+// SetHealthSource installs the function /healthz consults; nil restores the
+// static liveness default ("ok"). The streaming pipeline registers its
+// ok/degraded/overloaded view here.
+func SetHealthSource(fn func() Health) {
+	healthMu.Lock()
+	healthSource = fn
+	healthMu.Unlock()
+}
+
+// CurrentHealth evaluates the installed health source (or the static "ok"
+// default when none is set).
+func CurrentHealth() Health {
+	healthMu.RLock()
+	fn := healthSource
+	healthMu.RUnlock()
+	if fn == nil {
+		return Health{Status: "ok", OK: true}
+	}
+	return fn()
+}
 
 // WriteText renders a registry snapshot in a Prometheus-style text
 // exposition: HELP/TYPE comment lines, counter and gauge samples, and for
@@ -70,8 +107,12 @@ func NewOpsHandler(reg *Registry, tracer *Tracer) http.Handler {
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := CurrentHealth()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if _, err := io.WriteString(w, "ok\n"); err != nil {
+		if !h.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if _, err := io.WriteString(w, h.Status+"\n"); err != nil {
 			return
 		}
 	})

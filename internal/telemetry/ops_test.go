@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -98,5 +99,48 @@ func TestOpsEndpoints(t *testing.T) {
 	code, body = get(t, srv, "/debug/pprof/")
 	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+// TestHealthzStates drives /healthz through the three streaming-pipeline
+// states: default liveness, degraded (still 200 so traffic keeps flowing,
+// state in the body), and overloaded (503 so orchestrators back off).
+func TestHealthzStates(t *testing.T) {
+	reg, tr := opsFixture()
+	srv := httptest.NewServer(NewOpsHandler(reg, tr))
+	defer srv.Close()
+	defer SetHealthSource(nil)
+
+	var h Health
+	var mu sync.Mutex
+	SetHealthSource(func() Health {
+		mu.Lock()
+		defer mu.Unlock()
+		return h
+	})
+	set := func(status string, ok bool) {
+		mu.Lock()
+		h = Health{Status: status, OK: ok}
+		mu.Unlock()
+	}
+
+	set("ok", true)
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz ok = %d %q", code, body)
+	}
+	set("degraded: frame-skipping engaged", true)
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "degraded") {
+		t.Fatalf("/healthz degraded = %d %q", code, body)
+	}
+	set("overloaded: classify queue full", false)
+	code, body = get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "overloaded") {
+		t.Fatalf("/healthz overloaded = %d %q", code, body)
+	}
+
+	SetHealthSource(nil)
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz after reset = %d %q", code, body)
 	}
 }

@@ -44,8 +44,10 @@ const (
 
 // ProtocolVersion is the wire protocol revision (see PROTOCOL.md). Version 2
 // added per-agent batch sequence numbers and the heartbeat message, the basis
-// of at-least-once delivery with controller-side deduplication.
-const ProtocolVersion = 2
+// of at-least-once delivery with controller-side deduplication. Version 3
+// added the credit field on Ack, the backpressure signal of the streaming
+// classification pipeline.
+const ProtocolVersion = 3
 
 // MaxFrameSize bounds a single frame; oversized frames indicate corruption
 // or abuse and abort the connection.
@@ -212,6 +214,33 @@ type Ack struct {
 	// ack to its in-flight batch and skip stale ones instead of advancing on
 	// an ack that belongs to an already-settled batch.
 	Seq uint64
+	// Credits is the controller's admission grant (protocol v3), encoded with
+	// EncodeCredits: 0 means "no credit signal" (a pre-v3 peer or a controller
+	// without a streaming sink — flow is unlimited), and any non-zero value V
+	// grants V-1 classification slots. The off-by-one keeps the zero value
+	// backward compatible while still letting a saturated controller say
+	// "zero slots": on that grant the agent defers flushes (heartbeating to
+	// refresh the grant) so pressure lands on its bounded spill buffer, the
+	// pipeline's single shedding valve.
+	Credits uint32
+}
+
+// EncodeCredits maps an admission grant of n slots onto Ack.Credits,
+// reserving 0 for "no credit signal". Saturates instead of wrapping.
+func EncodeCredits(n uint32) uint32 {
+	if n == ^uint32(0) {
+		return n
+	}
+	return n + 1
+}
+
+// DecodeCredits inverts EncodeCredits: ok is false when the ack carried no
+// credit signal and flow should be treated as unlimited.
+func DecodeCredits(v uint32) (n uint32, ok bool) {
+	if v == 0 {
+		return 0, false
+	}
+	return v - 1, true
 }
 
 // Type implements Message.
@@ -220,11 +249,13 @@ func (*Ack) Type() MsgType { return TypeAck }
 func (m *Ack) encodeBody(w *writer) {
 	w.u32(m.Count)
 	w.u64(m.Seq)
+	w.u32(m.Credits)
 }
 
 func (m *Ack) decodeBody(r *reader) error {
 	m.Count = r.u32()
 	m.Seq = r.u64()
+	m.Credits = r.u32()
 	return r.err
 }
 

@@ -83,6 +83,27 @@ func TestClockMessagesRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAckCreditsRoundTrip(t *testing.T) {
+	m := &Ack{Count: 3, Seq: 12, Credits: EncodeCredits(0)}
+	got := roundTrip(t, m).(*Ack)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip: %+v != %+v", got, m)
+	}
+	if n, ok := DecodeCredits(got.Credits); !ok || n != 0 {
+		t.Fatalf("DecodeCredits = (%d, %v), want explicit zero grant", n, ok)
+	}
+	if n, ok := DecodeCredits(0); ok || n != 0 {
+		t.Fatalf("DecodeCredits(0) = (%d, %v), want no-signal", n, ok)
+	}
+	if n, ok := DecodeCredits(EncodeCredits(41)); !ok || n != 41 {
+		t.Fatalf("EncodeCredits round trip = (%d, %v)", n, ok)
+	}
+	// Saturation: the maximum representable grant must not wrap to "absent".
+	if v := EncodeCredits(^uint32(0)); v == 0 {
+		t.Fatal("EncodeCredits(max) wrapped to the no-signal value")
+	}
+}
+
 func TestMultipleMessagesInSequence(t *testing.T) {
 	a, b := pipePair()
 	msgs := []Message{
