@@ -5,7 +5,7 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/collect ./internal/tsdb ./internal/core ./internal/telemetry ./internal/fault ./internal/stream
+RACE_PKGS = ./internal/collect ./internal/tsdb ./internal/core ./internal/telemetry ./internal/fault ./internal/stream ./internal/obs
 
 # bench-smoke artifact location; override with BENCH_OUT=BENCH_PR3.json to
 # refresh the committed benchmark (then bump the scale/epochs back up).
@@ -15,9 +15,13 @@ BENCH_OUT ?= /tmp/darnet-bench-smoke.json
 # refresh the committed streaming benchmark.
 STREAM_OUT ?= /tmp/darnet-stream-smoke.json
 
-.PHONY: verify fmt vet lint lint-module lint-fast build test race bench-smoke stream-smoke chaos
+# obs-smoke artifact location; override with OBS_OUT=BENCH_PR8.json to
+# refresh the committed observability-overhead benchmark.
+OBS_OUT ?= /tmp/darnet-obs-smoke.json
 
-verify: fmt vet lint build test race stream-smoke
+.PHONY: verify fmt vet lint lint-module lint-fast build test race bench-smoke stream-smoke obs-smoke chaos
+
+verify: fmt vet lint build test race stream-smoke obs-smoke
 	@echo "verify: OK"
 
 fmt:
@@ -68,6 +72,14 @@ bench-smoke:
 stream-smoke:
 	$(GO) run ./cmd/darnet-eval -exp stream -scale 0.01 -cnn-epochs 2 -rnn-epochs 2 -q -bench-out $(STREAM_OUT)
 	$(GO) run ./cmd/darnet-eval -check-bench $(STREAM_OUT)
+
+# obs-smoke measures the observability tax: the saturating stream workload
+# with tracing+scraping off (baseline) vs. on (instrumented), validated to
+# stay within the 5% overhead budget. The committed BENCH_PR8.json is
+# produced at a larger scale with the same flags.
+obs-smoke:
+	$(GO) run ./cmd/darnet-eval -exp obs -scale 0.01 -cnn-epochs 2 -rnn-epochs 2 -q -bench-out $(OBS_OUT)
+	$(GO) run ./cmd/darnet-eval -check-bench $(OBS_OUT)
 
 # chaos runs the fault-injection suite under the race detector: the
 # deterministic chaos-transport unit tests, the collect resilience tests, and

@@ -137,6 +137,9 @@ func checkBenchFile(path string) error {
 	if probe.Experiment == "stream" {
 		return checkStreamBench(path, buf)
 	}
+	if probe.Experiment == "obs" {
+		return checkObsBench(path, buf)
+	}
 	var report benchReport
 	if err := json.Unmarshal(buf, &report); err != nil {
 		return fmt.Errorf("%s: %w", path, err)

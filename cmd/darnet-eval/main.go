@@ -40,7 +40,7 @@ func main() {
 	log.SetPrefix("darnet-eval: ")
 
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|table2|figure5|figure4|table3|ablations|driver-split|kfold|bench|chaos|stream|all")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|figure5|figure4|table3|ablations|driver-split|kfold|bench|chaos|stream|obs|all")
 		scale      = flag.Float64("scale", 0.04, "fraction of the paper's Table 1 frame counts to generate")
 		seed       = flag.Int64("seed", 42, "train/eval random seed")
 		outDir     = flag.String("out", "figures", "output directory for figure artifacts")
@@ -123,6 +123,11 @@ func run(exp string, scale float64, seed int64, outDir string, cnnEpochs, rnnEpo
 			benchOut = "BENCH_PR7.json"
 		}
 		return streamBench(scale, seed, cnnEpochs, rnnEpochs, quiet, benchOut)
+	case "obs":
+		if benchOut == "BENCH_PR3.json" { // the -bench-out default belongs to -exp bench
+			benchOut = "BENCH_PR8.json"
+		}
+		return obsBench(scale, seed, cnnEpochs, rnnEpochs, quiet, benchOut)
 	case "all":
 		if err := table1(scale); err != nil {
 			return err

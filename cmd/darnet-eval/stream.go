@@ -72,14 +72,25 @@ type streamReport struct {
 	DeferredFlushes int64 `json:"deferred_flushes"`
 }
 
-// streamBench trains a small engine, saturates a streaming controller over
-// loopback TCP, and writes the machine-readable overload benchmark.
-func streamBench(scale float64, seed int64, cnnEpochs, rnnEpochs int, quiet bool, outPath string) error {
+// satResult aggregates one saturating loopback run (see saturatingRun).
+type satResult struct {
+	elapsed      time.Duration
+	generated    int64
+	offered      int64
+	processed    int64
+	spillDropped int64
+	deferred     int64
+	stats        stream.Stats
+}
+
+// trainStreamEngine is the shared preamble of the stream and obs experiments:
+// generate the dataset and train a small engine on it.
+func trainStreamEngine(scale float64, seed int64, cnnEpochs, rnnEpochs int, quiet bool) (*darnet.Engine, *darnet.Dataset, error) {
 	cfg := darnet.DefaultDatasetConfig()
 	cfg.Scale = scale
 	ds, err := darnet.GenerateDataset(cfg)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	tc := darnet.DefaultEngineTrainConfig()
 	tc.Seed = seed
@@ -93,9 +104,79 @@ func streamBench(scale float64, seed int64, cnnEpochs, rnnEpochs int, quiet bool
 	}
 	eng, err := darnet.TrainEngine(ds, tc)
 	if err != nil {
+		return nil, nil, err
+	}
+	return eng, ds, nil
+}
+
+// streamBench trains a small engine, saturates a streaming controller over
+// loopback TCP, and writes the machine-readable overload benchmark.
+func streamBench(scale float64, seed int64, cnnEpochs, rnnEpochs int, quiet bool, outPath string) error {
+	eng, ds, err := trainStreamEngine(scale, seed, cnnEpochs, rnnEpochs, quiet)
+	if err != nil {
 		return err
 	}
+	res, err := saturatingRun(eng, ds, seed, streamRunFor, false)
+	if err != nil {
+		return err
+	}
+	s := res.stats
 
+	report := streamReport{
+		PR:                7,
+		Experiment:        "stream",
+		Seed:              seed,
+		DurationMS:        float64(res.elapsed.Milliseconds()),
+		QueueCap:          streamQueueCap,
+		GeneratedReadings: res.generated,
+		OfferedReadings:   res.offered,
+		ShedReadings:      s.ShedReadings,
+		SpillDropped:      res.spillDropped,
+		ProcessedReadings: res.processed,
+		SaturationRatio:   float64(res.generated) / float64(res.processed),
+		MaxDepth:          s.MaxDepth,
+		Decisions:         s.Decisions,
+		DecisionsPerSec:   float64(s.Decisions) / res.elapsed.Seconds(),
+		Frames:            s.Frames,
+		FramesSkipped:     s.FramesSkipped,
+		Restarts:          s.Restarts,
+		AlertsRaised:      s.AlertsRaised,
+		AlertsCleared:     s.AlertsCleared,
+		DeferredFlushes:   res.deferred,
+	}
+	for _, h := range telemetry.Default.Snapshot().Histograms {
+		if h.Name == "darnet_stream_alert_latency_seconds" {
+			report.AlertLatencyP50MS = h.P50 * 1000
+			report.AlertLatencyP99MS = h.P99 * 1000
+		}
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return fmt.Errorf("write stream benchmark: %w", err)
+	}
+	if !quiet {
+		fmt.Printf("== stream: %v saturating overload run ==\n", streamRunFor)
+		fmt.Printf("generated %d readings, processed %d, shed %d at the queue + %d at the spill valve (saturation %.1fx), max depth %d/%d\n",
+			res.generated, res.processed, s.ShedReadings, res.spillDropped, report.SaturationRatio, s.MaxDepth, streamQueueCap)
+		fmt.Printf("decisions %d (%.0f/s), frames %d (skipped %d), alerts %d raised / %d cleared\n",
+			s.Decisions, report.DecisionsPerSec, s.Frames, s.FramesSkipped, s.AlertsRaised, s.AlertsCleared)
+		fmt.Printf("alert latency p50 %.1f ms, p99 %.1f ms; deferred %d flushes, spill-dropped %d\n",
+			report.AlertLatencyP50MS, report.AlertLatencyP99MS, res.deferred, res.spillDropped)
+	}
+	fmt.Printf("wrote %s\n\n", outPath)
+	return nil
+}
+
+// saturatingRun floods a loopback streaming controller with the hot-loop
+// agent for runFor and returns the overload accounting. disableTracing turns
+// off agent-side trace-context propagation — the -exp obs baseline arm; the
+// stream experiment always runs with tracing on.
+func saturatingRun(eng *darnet.Engine, ds *darnet.Dataset, seed int64, runFor time.Duration, disableTracing bool) (*satResult, error) {
 	mux, err := stream.NewMux(stream.Config{
 		QueueCap:     streamQueueCap,
 		FrameSkipMax: streamFrameSkipMax,
@@ -105,7 +186,7 @@ func streamBench(scale float64, seed int64, cnnEpochs, rnnEpochs int, quiet bool
 		},
 	}, stream.EngineTickerFactory(eng))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer mux.Shutdown()
 
@@ -113,7 +194,7 @@ func streamBench(scale float64, seed int64, cnnEpochs, rnnEpochs int, quiet bool
 	ctrl.SetStreamSink(mux)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer ln.Close()
 	go func() {
@@ -136,7 +217,7 @@ func streamBench(scale float64, seed int64, cnnEpochs, rnnEpochs int, quiet bool
 	// loop spins.
 	raw, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer raw.Close()
 	manual := collect.NewManualTime(0)
@@ -159,12 +240,13 @@ func streamBench(scale float64, seed int64, cnnEpochs, rnnEpochs int, quiet bool
 		}})
 	agent, err := collect.NewAgent(collect.AgentConfig{
 		ID: "stream", Modality: "imu+cam", PollPeriodMS: streamPollStepMS, AckTimeout: 5 * time.Second,
+		DisableTracing: disableTracing,
 	}, collect.NewDriftClock(manual.Now, 0), sensors, wire.NewConn(raw))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := agent.Hello(); err != nil {
-		return err
+		return nil, err
 	}
 
 	// Hot loop: poll as fast as the link allows — the offered rate is bounded
@@ -172,7 +254,7 @@ func streamBench(scale float64, seed int64, cnnEpochs, rnnEpochs int, quiet bool
 	// credits turn flush ticks into heartbeats exactly as the runner would.
 	var deferred int64
 	runStart := time.Now()
-	for time.Since(runStart) < streamRunFor {
+	for time.Since(runStart) < runFor {
 		for i := 0; i < streamPollsPerFlush; i++ {
 			manual.Advance(streamPollStepMS)
 			next()
@@ -181,12 +263,12 @@ func streamBench(scale float64, seed int64, cnnEpochs, rnnEpochs int, quiet bool
 		if agent.ShouldDefer() {
 			deferred++
 			if err := agent.Heartbeat(); err != nil {
-				return fmt.Errorf("stream heartbeat: %w", err)
+				return nil, fmt.Errorf("stream heartbeat: %w", err)
 			}
 			continue
 		}
 		if err := agent.Flush(); err != nil {
-			return fmt.Errorf("stream flush: %w", err)
+			return nil, fmt.Errorf("stream flush: %w", err)
 		}
 	}
 	elapsed := time.Since(runStart)
@@ -194,67 +276,27 @@ func streamBench(scale float64, seed int64, cnnEpochs, rnnEpochs int, quiet bool
 
 	st, ok := ctrl.AgentStats("stream")
 	if !ok {
-		return fmt.Errorf("stream agent never registered")
+		return nil, fmt.Errorf("stream agent never registered")
 	}
 	s := mux.Stats()
 	offered := int64(st.Readings)
 	generated := offered + agent.SpillDropped()
 	processed := offered - s.ShedReadings
 	if processed <= 0 {
-		return fmt.Errorf("stream run processed nothing (offered=%d shed=%d)", offered, s.ShedReadings)
+		return nil, fmt.Errorf("stream run processed nothing (offered=%d shed=%d)", offered, s.ShedReadings)
 	}
 	if s.Decisions == 0 {
-		return fmt.Errorf("stream run produced no classifications")
+		return nil, fmt.Errorf("stream run produced no classifications")
 	}
-
-	report := streamReport{
-		PR:                7,
-		Experiment:        "stream",
-		Seed:              seed,
-		DurationMS:        float64(elapsed.Milliseconds()),
-		QueueCap:          streamQueueCap,
-		GeneratedReadings: generated,
-		OfferedReadings:   offered,
-		ShedReadings:      s.ShedReadings,
-		SpillDropped:      agent.SpillDropped(),
-		ProcessedReadings: processed,
-		SaturationRatio:   float64(generated) / float64(processed),
-		MaxDepth:          s.MaxDepth,
-		Decisions:         s.Decisions,
-		DecisionsPerSec:   float64(s.Decisions) / elapsed.Seconds(),
-		Frames:            s.Frames,
-		FramesSkipped:     s.FramesSkipped,
-		Restarts:          s.Restarts,
-		AlertsRaised:      s.AlertsRaised,
-		AlertsCleared:     s.AlertsCleared,
-		DeferredFlushes:   deferred,
-	}
-	for _, h := range telemetry.Default.Snapshot().Histograms {
-		if h.Name == "darnet_stream_alert_latency_seconds" {
-			report.AlertLatencyP50MS = h.P50 * 1000
-			report.AlertLatencyP99MS = h.P99 * 1000
-		}
-	}
-
-	buf, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
-		return fmt.Errorf("write stream benchmark: %w", err)
-	}
-	if !quiet {
-		fmt.Printf("== stream: %v saturating overload run ==\n", streamRunFor)
-		fmt.Printf("generated %d readings, processed %d, shed %d at the queue + %d at the spill valve (saturation %.1fx), max depth %d/%d\n",
-			generated, processed, s.ShedReadings, agent.SpillDropped(), report.SaturationRatio, s.MaxDepth, streamQueueCap)
-		fmt.Printf("decisions %d (%.0f/s), frames %d (skipped %d), alerts %d raised / %d cleared\n",
-			s.Decisions, report.DecisionsPerSec, s.Frames, s.FramesSkipped, s.AlertsRaised, s.AlertsCleared)
-		fmt.Printf("alert latency p50 %.1f ms, p99 %.1f ms; deferred %d flushes, spill-dropped %d\n",
-			report.AlertLatencyP50MS, report.AlertLatencyP99MS, deferred, agent.SpillDropped())
-	}
-	fmt.Printf("wrote %s\n\n", outPath)
-	return nil
+	return &satResult{
+		elapsed:      elapsed,
+		generated:    generated,
+		offered:      offered,
+		processed:    processed,
+		spillDropped: agent.SpillDropped(),
+		deferred:     deferred,
+		stats:        s,
+	}, nil
 }
 
 // checkStreamBench validates a stream benchmark file (the -check-bench branch

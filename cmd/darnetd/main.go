@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,12 +29,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"darnet/internal/collect"
 	"darnet/internal/core"
 	"darnet/internal/imu"
+	"darnet/internal/obs"
 	"darnet/internal/stream"
 	"darnet/internal/synth"
 	"darnet/internal/telemetry"
@@ -62,6 +65,10 @@ func main() {
 		streamQueue  = flag.Int("stream-queue", 64, "per-agent bounded classify queue capacity (streaming)")
 		frameSkipMax = flag.Int("frame-skip-max", 4, "max consecutive frames reusing the last CNN result under overload (streaming)")
 		alertDwell   = flag.Duration("alert-dwell", 2*time.Second, "evidence must persist this long before an alert raises or clears (streaming)")
+
+		scrapeI   = flag.Duration("scrape-interval", obs.DefaultScrapeInterval, "telemetry→history scrape cadence (controller mode; 0 disables the bridge)")
+		retention = flag.Duration("history-retention", obs.DefaultRetention, "how much scraped metric history /metrics/history keeps")
+		sloP99    = flag.Float64("slo-alert-p99", 0.5, "alert-latency p99 SLO threshold in seconds; burn rates over it drive /healthz")
 	)
 	flag.Parse()
 
@@ -74,6 +81,14 @@ func main() {
 	if err := sOpts.validate(); err != nil {
 		log.Fatal(err)
 	}
+	oOpts := obsOptions{
+		scrapeInterval: *scrapeI,
+		retention:      *retention,
+		alertP99:       *sloP99,
+	}
+	if err := oOpts.validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	var err error
 	switch {
@@ -82,7 +97,7 @@ func main() {
 	case *enginePath != "":
 		err = runEngineServer(*listen, *ops, *enginePath)
 	default:
-		err = runController(*listen, *ops, *idleT, sOpts)
+		err = runController(*listen, *ops, *idleT, sOpts, oOpts)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -110,6 +125,100 @@ func (o streamOptions) validate() error {
 		return fmt.Errorf("-alert-dwell must be positive, got %v", o.dwell)
 	}
 	return nil
+}
+
+// obsOptions bundle the observability-bridge flags (controller mode).
+type obsOptions struct {
+	scrapeInterval time.Duration // 0 disables the bridge entirely
+	retention      time.Duration
+	alertP99       float64
+}
+
+func (o obsOptions) validate() error {
+	if o.scrapeInterval < 0 {
+		return fmt.Errorf("-scrape-interval must be non-negative, got %v", o.scrapeInterval)
+	}
+	if o.scrapeInterval > 0 && o.retention <= 0 {
+		return fmt.Errorf("-history-retention must be positive, got %v", o.retention)
+	}
+	if o.alertP99 <= 0 {
+		return fmt.Errorf("-slo-alert-p99 must be positive, got %g", o.alertP99)
+	}
+	return nil
+}
+
+// obsBridge owns the controller's observability background work: the
+// telemetry→tsdb scraper feeding /metrics/history and the SLO evaluator
+// driving /healthz from burn rates. A nil bridge (the -scrape-interval=0
+// case) degrades every method to the pre-bridge behavior.
+type obsBridge struct {
+	scraper *obs.Scraper
+	ev      *obs.Evaluator
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// setupObservability starts the scraper and SLO evaluator and installs the
+// combined health source (stream mux verdict worst-cased with SLO burn
+// rates). streamHealth is nil when streaming is off.
+func setupObservability(o obsOptions, streamHealth func() telemetry.Health, out io.Writer) (*obsBridge, error) {
+	if o.scrapeInterval == 0 {
+		return nil, nil
+	}
+	scraper, err := obs.NewScraper(obs.ScrapeConfig{
+		Interval:  o.scrapeInterval,
+		Retention: o.retention,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := scraper.DB()
+	ev, err := obs.NewEvaluator(obs.EvaluatorConfig{},
+		obs.LatencyObjective("darnet_slo_alert_latency", 0.1,
+			"darnet_stream_alert_latency_seconds.p99", o.alertP99, db),
+		obs.RatioObjective("darnet_slo_shed_ratio", 0.05,
+			"darnet_stream_readings_shed_total", "darnet_collect_stream_forwarded_total", db),
+		obs.RateObjective("darnet_slo_reconnect_rate", 1,
+			"darnet_collect_reconnects_total", 0.2, db),
+	)
+	if err != nil {
+		return nil, err
+	}
+	b := &obsBridge{scraper: scraper, ev: ev, stop: make(chan struct{})}
+	scraper.Start()
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		ev.Run(o.scrapeInterval, b.stop)
+	}()
+	telemetry.SetHealthSource(obs.CombineHealth(streamHealth, ev.Health))
+	statusf(out, "observability bridge on (scrape every %v, retention %v, alert p99 SLO %.2fs)\n",
+		o.scrapeInterval, o.retention, o.alertP99)
+	return b, nil
+}
+
+// handler composes the ops endpoint: the base telemetry handler plus the
+// /metrics/history query route over the scraped partition.
+func (b *obsBridge) handler() http.Handler {
+	base := telemetry.NewOpsHandler(telemetry.Default, telemetry.DefaultTracer)
+	if b == nil {
+		return base
+	}
+	m := http.NewServeMux()
+	m.Handle("/", base)
+	m.Handle("/metrics/history", obs.NewHistoryHandler(b.scraper.DB()))
+	return m
+}
+
+// shutdown stops the evaluator loop and the scraper; Scraper.Stop takes the
+// final flush so the last pre-exit metric values are part of the history.
+func (b *obsBridge) shutdown() {
+	if b == nil {
+		return
+	}
+	close(b.stop)
+	b.wg.Wait()
+	b.scraper.Stop()
 }
 
 // setupStreaming loads the engine snapshot and attaches a streaming mux to
@@ -230,13 +339,18 @@ func (t *connTracker) closeAll() {
 	}
 }
 
-// startOps serves the telemetry ops endpoint on ln (nil disables it). The
-// returned server must be Closed to release its listener and goroutine.
-func startOps(ln net.Listener, out io.Writer) *http.Server {
+// startOps serves the ops endpoint on ln (nil disables it). A nil handler
+// falls back to the plain telemetry handler; the controller passes the
+// obsBridge composition so /metrics/history is mounted too. The returned
+// server must be Closed to release its listener and goroutine.
+func startOps(ln net.Listener, h http.Handler, out io.Writer) *http.Server {
 	if ln == nil {
 		return nil
 	}
-	srv := &http.Server{Handler: telemetry.NewOpsHandler(telemetry.Default, telemetry.DefaultTracer)}
+	if h == nil {
+		h = telemetry.NewOpsHandler(telemetry.Default, telemetry.DefaultTracer)
+	}
+	srv := &http.Server{Handler: h}
 	go func() {
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("ops: %v", err)
@@ -251,8 +365,8 @@ func startOps(ln net.Listener, out io.Writer) *http.Server {
 // the ops endpoint serves on it for the duration. On return both listeners
 // and every tracked connection are closed and all spawned goroutines have
 // exited.
-func acceptLoop(ln, opsLn net.Listener, stop <-chan struct{}, out io.Writer, handle func(net.Conn)) {
-	opsSrv := startOps(opsLn, out)
+func acceptLoop(ln, opsLn net.Listener, opsH http.Handler, stop <-chan struct{}, out io.Writer, handle func(net.Conn)) {
+	opsSrv := startOps(opsLn, opsH, out)
 	tracker := newConnTracker()
 	done := make(chan struct{})
 	var watch sync.WaitGroup
@@ -294,59 +408,131 @@ func acceptLoop(ln, opsLn net.Listener, stop <-chan struct{}, out io.Writer, han
 
 func wallMillis() int64 { return time.Now().UnixMilli() }
 
-func runController(listen, opsAddr string, idleTimeout time.Duration, sOpts streamOptions) error {
+func runController(listen, opsAddr string, idleTimeout time.Duration, sOpts streamOptions, oOpts obsOptions) error {
 	ln, opsLn, err := listenPair(listen, opsAddr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("controller listening on %s (clock re-sync every %d ms)\n", ln.Addr(), collect.SyncPeriodMillis)
-	db := tsdb.New()
-	ctrl := collect.NewController(db, wallMillis)
-	if idleTimeout > 0 {
-		ctrl.SetIdleTimeout(idleTimeout)
-		fmt.Printf("reaping connections silent for %v\n", idleTimeout)
-	}
-	mux, err := setupStreaming(ctrl, sOpts, os.Stdout)
-	if err != nil {
+	stop, release := notifyInterrupt()
+	defer release()
+	return runControllerWith(ln, opsLn, idleTimeout, sOpts, oOpts, stop, os.Stdout)
+}
+
+// runControllerWith is the controller lifecycle behind runController: wire up
+// streaming and the observability bridge, serve until stop closes, then tear
+// down in summary order — stream drain, final telemetry scrape, and the
+// parseable shutdown-summary line last. Split out so tests can drive it with
+// ephemeral listeners and a controllable stop channel.
+func runControllerWith(ln, opsLn net.Listener, idleTimeout time.Duration, sOpts streamOptions, oOpts obsOptions, stop <-chan struct{}, out io.Writer) error {
+	closeAll := func() {
 		//lint:ignore errdrop already failing; the close error adds nothing
 		ln.Close()
 		if opsLn != nil {
 			//lint:ignore errdrop already failing; the close error adds nothing
 			opsLn.Close()
 		}
+	}
+	db := tsdb.New()
+	ctrl := collect.NewController(db, wallMillis)
+	if idleTimeout > 0 {
+		ctrl.SetIdleTimeout(idleTimeout)
+		statusf(out, "reaping connections silent for %v\n", idleTimeout)
+	}
+	mux, err := setupStreaming(ctrl, sOpts, out)
+	if err != nil {
+		closeAll()
 		return err
 	}
+	var streamHealth func() telemetry.Health
 	if mux != nil {
-		defer func() {
+		streamHealth = mux.Health
+	}
+	bridge, err := setupObservability(oOpts, streamHealth, out)
+	if err != nil {
+		closeAll()
+		if mux != nil {
 			telemetry.SetHealthSource(nil)
 			mux.Shutdown()
-			s := mux.Stats()
-			fmt.Printf("stream: decisions=%d shed=%d skipped=%d restarts=%d alerts=%d/%d max-depth=%d\n",
-				s.Decisions, s.ShedReadings, s.FramesSkipped, s.Restarts, s.AlertsRaised, s.AlertsCleared, s.MaxDepth)
-		}()
+		}
+		return err
 	}
-	stop, release := notifyInterrupt()
-	defer release()
-	serveController(ctrl, db, ln, opsLn, stop, os.Stdout)
+
+	serveController(ctrl, db, ln, opsLn, bridge.handler(), stop, out)
+
+	// Shutdown: detach the health source, drain the stream pipelines, flush
+	// the final telemetry scrape, then emit the machine-parseable summary as
+	// the last line so operators and scripts read the same post-flush state.
+	telemetry.SetHealthSource(nil)
+	var streamStats *stream.Stats
+	if mux != nil {
+		mux.Shutdown()
+		s := mux.Stats()
+		streamStats = &s
+		statusf(out, "stream: decisions=%d shed=%d skipped=%d restarts=%d alerts=%d/%d max-depth=%d\n",
+			s.Decisions, s.ShedReadings, s.FramesSkipped, s.Restarts, s.AlertsRaised, s.AlertsCleared, s.MaxDepth)
+	}
+	bridge.shutdown()
+	printShutdownSummary(out, ctrl, bridge, streamStats)
 	return nil
 }
 
+// shutdownSummary is the parseable final line of a controller run, emitted
+// after the observability bridge's final scrape so the counts include it.
+type shutdownSummary struct {
+	Agents          int    `json:"agents"`
+	StoredSeries    int    `json:"stored_series"`
+	Scrapes         int64  `json:"scrapes"`
+	HistorySeries   int    `json:"history_series"`
+	SLOStatus       string `json:"slo_status"`
+	StreamDecisions int64  `json:"stream_decisions"`
+	StreamShed      int64  `json:"stream_shed"`
+	AlertsRaised    int64  `json:"alerts_raised"`
+}
+
+func printShutdownSummary(out io.Writer, ctrl *collect.Controller, bridge *obsBridge, streamStats *stream.Stats) {
+	sum := shutdownSummary{
+		Agents:    len(ctrl.AgentIDs()),
+		SLOStatus: "disabled",
+	}
+	if bridge != nil {
+		sum.Scrapes = bridge.scraper.Scrapes()
+		sum.HistorySeries = len(bridge.scraper.DB().Series())
+		sum.SLOStatus = bridge.ev.Health().Status
+	}
+	if streamStats != nil {
+		sum.StreamDecisions = streamStats.Decisions
+		sum.StreamShed = streamStats.ShedReadings
+		sum.AlertsRaised = streamStats.AlertsRaised
+	}
+	data, err := json.Marshal(sum)
+	if err != nil {
+		log.Printf("shutdown summary: %v", err)
+		return
+	}
+	statusf(out, "shutdown-summary %s\n", data)
+}
+
 // serveController runs the controller accept loop until stop closes, then
-// prints the session summary. Split from runController so tests can drive it
-// with ephemeral listeners and a controllable stop channel.
-func serveController(ctrl *collect.Controller, db *tsdb.DB, ln, opsLn net.Listener, stop <-chan struct{}, out io.Writer) {
-	acceptLoop(ln, opsLn, stop, out, func(conn net.Conn) {
+// prints the per-agent session summary. Each connection's serve goroutine
+// carries pprof labels (stage, peer) so goroutine profiles taken from the ops
+// endpoint attribute blocked reads to the agent connection holding them.
+func serveController(ctrl *collect.Controller, db *tsdb.DB, ln, opsLn net.Listener, opsH http.Handler, stop <-chan struct{}, out io.Writer) {
+	acceptLoop(ln, opsLn, opsH, stop, out, func(conn net.Conn) {
 		remote := conn.RemoteAddr()
-		err := ctrl.ServeConn(wire.NewConn(conn))
-		switch {
-		case err == nil:
-			statusf(out, "agent %v disconnected\n", remote)
-		case errors.Is(err, net.ErrClosed):
-			// Shutdown closed the connection under a blocked read; not an
-			// agent fault, nothing to report.
-		default:
-			log.Printf("agent %v: %v", remote, err)
-		}
+		labels := pprof.Labels("darnet_stage", "controller_conn", "darnet_peer", remote.String())
+		pprof.Do(context.Background(), labels, func(context.Context) {
+			err := ctrl.ServeConn(wire.NewConn(conn))
+			switch {
+			case err == nil:
+				statusf(out, "agent %v disconnected\n", remote)
+			case errors.Is(err, net.ErrClosed):
+				// Shutdown closed the connection under a blocked read; not an
+				// agent fault, nothing to report.
+			default:
+				log.Printf("agent %v: %v", remote, err)
+			}
+		})
 	})
 
 	// Session summary.
@@ -403,7 +589,7 @@ func serveEngine(eng *core.Engine, ln, opsLn net.Listener, stop <-chan struct{},
 		}
 		cancel()
 	}()
-	acceptLoop(ln, opsLn, stop, out, func(conn net.Conn) {
+	acceptLoop(ln, opsLn, nil, stop, out, func(conn net.Conn) {
 		err := eng.ServeClassifyCtx(ctx, wire.NewConn(conn))
 		if err != nil && !errors.Is(err, net.ErrClosed) && !errors.Is(err, context.Canceled) {
 			log.Printf("client %v: %v", conn.RemoteAddr(), err)

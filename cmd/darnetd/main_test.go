@@ -84,7 +84,7 @@ func TestControllerOpsIntegration(t *testing.T) {
 	served := make(chan struct{})
 	go func() {
 		defer close(served)
-		serveController(ctrl, db, ln, opsLn, stop, io.Discard)
+		serveController(ctrl, db, ln, opsLn, nil, stop, io.Discard)
 	}()
 
 	before := telemetry.Default.Snapshot()
@@ -227,7 +227,7 @@ func TestControllerShutdownNoLeak(t *testing.T) {
 	served := make(chan struct{})
 	go func() {
 		defer close(served)
-		serveController(ctrl, db, ln, opsLn, stop, io.Discard)
+		serveController(ctrl, db, ln, opsLn, nil, stop, io.Discard)
 	}()
 
 	// Register an agent and leave it idle: the server sits blocked in Recv

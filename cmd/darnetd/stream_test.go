@@ -141,7 +141,7 @@ func TestStreamingControllerIntegration(t *testing.T) {
 	served := make(chan struct{})
 	go func() {
 		defer close(served)
-		serveController(ctrl, db, ln, opsLn, stop, io.Discard)
+		serveController(ctrl, db, ln, opsLn, nil, stop, io.Discard)
 	}()
 
 	conn, err := net.Dial("tcp", ln.Addr().String())

@@ -87,6 +87,12 @@ type Agent struct {
 	// controller that sends no signal at all.
 	credits    uint32
 	hasCredits bool
+
+	// tracingOff suppresses the v4 trace-context field on outgoing batches,
+	// producing byte-identical v3 frames — required when the controller is
+	// pre-v4 (it rejects trailing bytes), and the baseline leg of the
+	// tracing-overhead benchmark.
+	tracingOff bool
 }
 
 // AgentConfig configures a collection agent.
@@ -102,6 +108,10 @@ type AgentConfig struct {
 	// MaxSpill bounds retained readings across outages; 0 means
 	// DefaultMaxSpill, negative means unbounded.
 	MaxSpill int
+	// DisableTracing keeps the v4 trace-context field off outgoing batches
+	// (byte-identical v3 frames), for pre-v4 controllers and for measuring
+	// tracing overhead against a clean baseline.
+	DisableTracing bool
 }
 
 // NewAgent returns an agent over the given transport connection.
@@ -128,6 +138,7 @@ func NewAgent(cfg AgentConfig, clock *DriftClock, sensors []Sensor, conn *wire.C
 		latencyComp:  cfg.LatencyComp,
 		ackTimeout:   cfg.AckTimeout,
 		maxSpill:     cfg.MaxSpill,
+		tracingOff:   cfg.DisableTracing,
 	}, nil
 }
 
@@ -187,6 +198,11 @@ func (a *Agent) NextSeq() uint64 { return a.seq + 1 }
 // applying any clock synchronization that arrives before the ack. On error
 // the batch stays pending and a later Flush (typically after Reconnect)
 // retransmits it with the same sequence number.
+//
+// Each flush is traced as a root span whose context rides the batch's v4
+// trace field (unless DisableTracing), so the controller's ingest span joins
+// the same distributed trace. The span covers send through ack: its duration
+// is the agent's view of batch round-trip time.
 func (a *Agent) Flush() error {
 	if a.pending == nil {
 		if len(a.buf) == 0 {
@@ -197,7 +213,13 @@ func (a *Agent) Flush() error {
 		a.buf = nil
 		a.sent = false
 	}
+	span := telemetry.DefaultTracer.StartRoot("darnet_agent_flush_batch")
+	defer span.End()
 	batch := &wire.SampleBatch{AgentID: a.ID, Seq: a.pendingSeq, Readings: a.pending}
+	if !a.tracingOff {
+		batch.Trace = span.Context()
+		batch.Trace.SentUnixNano = time.Now().UnixNano()
+	}
 	if a.sent {
 		mRetransmits.Inc()
 	}

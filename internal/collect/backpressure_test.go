@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"darnet/internal/telemetry"
 	"darnet/internal/tsdb"
 	"darnet/internal/wire"
 )
@@ -23,7 +24,7 @@ func newFakeSink(grant uint32) *fakeSink {
 	return &fakeSink{grant: grant, agents: make(map[string]int)}
 }
 
-func (s *fakeSink) Offer(agentID string, readings []wire.Reading) (int, uint32) {
+func (s *fakeSink) Offer(agentID string, readings []wire.Reading, _ telemetry.SpanContext) (int, uint32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.offered = append(s.offered, readings...)

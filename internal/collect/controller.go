@@ -55,8 +55,12 @@ var ErrIdleReaped = errors.New("collect: connection reaped after idle timeout")
 // grant into every Ack (wire.EncodeCredits), the agent counts sends against
 // it, and an exhausted agent defers flushes — its readings pool in the spill
 // buffer, the protocol's single bounded shedding valve.
+// Offer's trace argument is the controller-side stream_offer span's context
+// (zero when the batch carried no trace context): the sink threads it to its
+// asynchronous classify tick so the tick's span joins the same distributed
+// trace, queue dwell included.
 type StreamSink interface {
-	Offer(agentID string, readings []wire.Reading) (accepted int, credits uint32)
+	Offer(agentID string, readings []wire.Reading, trace telemetry.SpanContext) (accepted int, credits uint32)
 	Credits(agentID string) uint32
 }
 
@@ -229,10 +233,11 @@ func (c *Controller) AgentStats(id string) (Stats, bool) {
 // dropped without storing duplicate rows. Heartbeats keep idle connections
 // alive under the read deadline.
 //
-// Every batch iteration is traced as a darnet_ingest_batch span with
-// agent_read (blocking wait + wire decode), store (frame store and tsdb
-// inserts), clock_sync, and ack children; traces abandoned by a disconnect
-// mid-iteration are dropped rather than published incomplete.
+// Every batch is traced as a darnet_ingest_batch span — joined to the
+// agent's flush trace when the batch carries a v4 trace context — with
+// agent_read and wire_transit segments, a dedupe segment, and store,
+// stream_offer, clock_sync, and ack children; traces abandoned by a
+// disconnect mid-iteration are dropped rather than published incomplete.
 func (c *Controller) ServeConn(conn *wire.Conn) error {
 	c.armDeadline(conn)
 	msg, err := conn.Recv()
@@ -274,11 +279,9 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 	defer gAgents.Add(-1)
 
 	for {
-		root := telemetry.DefaultTracer.StartRoot("darnet_ingest_batch")
-		readSp := root.StartChild("darnet_stage_agent_read")
+		readStart := time.Now()
 		c.armDeadline(conn)
 		msg, err := conn.Recv()
-		readSp.End()
 		if err != nil {
 			if err == io.EOF {
 				return nil
@@ -298,7 +301,6 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 				return fmt.Errorf("collect: heartbeat ack: %w", err)
 			}
 			mHeartbeatsRx.Inc()
-			root.End()
 			continue
 		}
 		batch, ok := msg.(*wire.SampleBatch)
@@ -308,15 +310,27 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 		if batch.AgentID != hello.AgentID {
 			return fmt.Errorf("collect: batch from %q on connection of %q", batch.AgentID, hello.AgentID)
 		}
+		// The ingest root joins the agent's flush trace when the batch carried
+		// a v4 trace context (legacy batches degrade to a locally sampled
+		// root). The blocking wait for the frame and — when the sender stamped
+		// its hand-off — the wire-transit interval become explicit segments.
+		root := telemetry.DefaultTracer.JoinRemote("darnet_ingest_batch", batch.Trace)
+		root.Segment("darnet_stage_agent_read", readStart, ingestStart.Sub(readStart))
+		if batch.Trace.SentUnixNano != 0 {
+			sentAt := time.Unix(0, batch.Trace.SentUnixNano)
+			root.Segment("darnet_stage_wire_transit", sentAt, ingestStart.Sub(sentAt))
+		}
 		// At-least-once delivery: a sequence number at or below the last
 		// stored one is a replay of a batch whose ack was lost. Ack it again
 		// (so the agent advances) but store nothing.
+		dedupeStart := time.Now()
 		c.mu.Lock()
 		dup := batch.Seq != 0 && batch.Seq <= st.lastSeq
 		if dup {
 			st.deduped++
 		}
 		c.mu.Unlock()
+		root.Segment("darnet_stage_dedupe", dedupeStart, time.Since(dedupeStart))
 		if dup {
 			if err := conn.Send(&wire.Ack{Seq: batch.Seq, Credits: c.creditsFor(hello.AgentID)}); err != nil {
 				return fmt.Errorf("collect: replay ack: %w", err)
@@ -355,7 +369,9 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 		ackCredits := uint32(0)
 		if sink := c.streamSink(); sink != nil {
 			offerSp := root.StartChild("darnet_stage_stream_offer")
-			_, grant := sink.Offer(batch.AgentID, batch.Readings)
+			// The offer span's context rides into the sink's queue so the
+			// asynchronous classify tick joins this trace (queue dwell and all).
+			_, grant := sink.Offer(batch.AgentID, batch.Readings, offerSp.Context())
 			offerSp.End()
 			mStreamForwarded.Add(int64(len(batch.Readings)))
 			ackCredits = wire.EncodeCredits(grant)

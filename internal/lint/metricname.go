@@ -3,43 +3,65 @@ package lint
 import (
 	"go/ast"
 	"go/constant"
+	"go/types"
 	"strings"
 
 	"darnet/internal/telemetry"
 )
 
-// Metricname verifies the names handed to telemetry registration and span
-// creation: they must be compile-time string constants (so the ops
-// endpoint's metric inventory is greppable) and valid per
-// telemetry.ValidName — snake_case with a darnet_ prefix. Registration
+// Metricname verifies the names handed to telemetry registration, span
+// creation, and SLO objective construction: they must be compile-time string
+// constants (so the ops endpoint's metric inventory is greppable) and valid
+// per telemetry.ValidName — snake_case with a darnet_ prefix. Registration
 // panics on a bad name at startup; this rule fails it at review time, and
 // catches span names, which are never validated at run time because span
-// start is a hot path.
+// start is a hot path. SLO objectives additionally reference scraped history
+// series, which may carry a histogram sub-series suffix (.p99 etc.) and are
+// checked with telemetry.ValidHistorySeries — a typo there silently yields
+// an objective that never sees data.
 //
-// The telemetry package itself is exempt: its implementation and tests
-// construct arbitrary names to exercise the validator.
+// The telemetry and obs packages themselves are exempt: their
+// implementations and tests construct arbitrary names to exercise the
+// validators.
 var Metricname = &Analyzer{
 	Name: "metricname",
-	Doc:  "telemetry metric and span names must be literal darnet_-prefixed snake_case strings",
+	Doc:  "telemetry metric, span, and SLO series names must be literal darnet_-prefixed snake_case strings",
 	Run:  runMetricname,
 }
 
-// metricNameArg maps telemetry name-taking functions to the index of the
-// name argument.
-var metricNameArg = map[string]int{
-	"NewCounter":   0,
-	"NewGauge":     0,
-	"NewHistogram": 0,
-	"Counter":      0, // Registry.Counter
-	"Gauge":        0, // Registry.Gauge
-	"Histogram":    0, // Registry.Histogram
-	"StartRoot":    0, // Tracer.StartRoot
-	"StartChild":   0, // Span.StartChild
-	"StartSpan":    1, // Tracer.StartSpan(ctx, name)
+// nameArgs records which arguments of a name-taking function hold plain
+// metric/span names and which hold metric-history series references (plain
+// name plus an optional scrape suffix).
+type nameArgs struct {
+	names   []int
+	history []int
+}
+
+// nameTakers maps the defining package (by path suffix) to its functions
+// that accept telemetry names.
+var nameTakers = map[string]map[string]nameArgs{
+	"internal/telemetry": {
+		"NewCounter":   {names: []int{0}},
+		"NewGauge":     {names: []int{0}},
+		"NewHistogram": {names: []int{0}},
+		"Counter":      {names: []int{0}}, // Registry.Counter
+		"Gauge":        {names: []int{0}}, // Registry.Gauge
+		"Histogram":    {names: []int{0}}, // Registry.Histogram
+		"StartRoot":    {names: []int{0}}, // Tracer.StartRoot
+		"StartChild":   {names: []int{0}}, // Span.StartChild
+		"StartSpan":    {names: []int{1}}, // Tracer.StartSpan(ctx, name)
+		"JoinRemote":   {names: []int{0}}, // Tracer.JoinRemote(name, remoteCtx)
+		"Segment":      {names: []int{0}}, // Span.Segment
+	},
+	"internal/obs": {
+		"LatencyObjective": {names: []int{0}, history: []int{2}},
+		"RatioObjective":   {names: []int{0}, history: []int{2, 3}},
+		"RateObjective":    {names: []int{0}, history: []int{2}},
+	},
 }
 
 func runMetricname(pass *Pass) {
-	if strings.HasSuffix(pass.PkgPath, "internal/telemetry") {
+	if strings.HasSuffix(pass.PkgPath, "internal/telemetry") || strings.HasSuffix(pass.PkgPath, "internal/obs") {
 		return
 	}
 	for _, f := range pass.Files {
@@ -49,23 +71,55 @@ func runMetricname(pass *Pass) {
 				return true
 			}
 			fn := calleeFunc(pass.TypesInfo, call)
-			if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/telemetry") {
+			if fn == nil || fn.Pkg() == nil {
 				return true
 			}
-			idx, ok := metricNameArg[fn.Name()]
-			if !ok || len(call.Args) <= idx {
+			var args nameArgs
+			found := false
+			for pkgSuffix, fns := range nameTakers {
+				if strings.HasSuffix(fn.Pkg().Path(), pkgSuffix) {
+					args, found = fns[fn.Name()]
+					break
+				}
+			}
+			if !found {
 				return true
 			}
-			arg := call.Args[idx]
-			tv, ok := pass.TypesInfo.Types[arg]
-			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
-				pass.Reportf(arg.Pos(), "telemetry.%s name must be a string literal, not a computed value", fn.Name())
-				return true
+			for _, idx := range args.names {
+				checkNameArg(pass, call, fn, idx, telemetry.ValidName,
+					"is not darnet_-prefixed snake_case")
 			}
-			if name := constant.StringVal(tv.Value); !telemetry.ValidName(name) {
-				pass.Reportf(arg.Pos(), "telemetry name %q is not darnet_-prefixed snake_case", name)
+			for _, idx := range args.history {
+				checkNameArg(pass, call, fn, idx, telemetry.ValidHistorySeries,
+					"is not a darnet_-prefixed history series (optional .p50/.p90/.p99/.count/.sum suffix)")
 			}
 			return true
 		})
 	}
+}
+
+// checkNameArg reports when the idx-th argument of call is not a string
+// constant, or is one that fails valid.
+func checkNameArg(pass *Pass, call *ast.CallExpr, fn *types.Func, idx int, valid func(string) bool, msg string) {
+	if len(call.Args) <= idx {
+		return
+	}
+	arg := call.Args[idx]
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "%s.%s name must be a string literal, not a computed value", pkgShort(fn), fn.Name())
+		return
+	}
+	if name := constant.StringVal(tv.Value); !valid(name) {
+		pass.Reportf(arg.Pos(), "telemetry name %q %s", name, msg)
+	}
+}
+
+// pkgShort is the defining package's base name, for diagnostics.
+func pkgShort(fn *types.Func) string {
+	path := fn.Pkg().Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
 }

@@ -3,8 +3,11 @@ package metricname
 
 import (
 	"context"
+	"time"
 
+	"darnet/internal/obs"
 	"darnet/internal/telemetry"
+	"darnet/internal/tsdb"
 )
 
 var reg = telemetry.NewRegistry()
@@ -44,6 +47,31 @@ func spans(ctx context.Context, tr *telemetry.Tracer) {
 	staged.End()
 	child.End()
 	root.End()
+}
+
+func remoteSpans(tr *telemetry.Tracer, rc telemetry.SpanContext) {
+	joined := tr.JoinRemote("darnet_fixture_ingest", rc)
+	joined.Segment("darnet_stage_wire_transit", time.Now(), time.Millisecond)
+	joined.Segment("wire transit", time.Now(), time.Millisecond) // want "not darnet_-prefixed snake_case"
+	joined.End()
+	bad := tr.JoinRemote("Fixture-Ingest", rc) // want "not darnet_-prefixed snake_case"
+	bad.End()
+}
+
+func objectives(db *tsdb.DB) []obs.Objective {
+	return []obs.Objective{
+		obs.LatencyObjective("darnet_fixture_latency", 0.1, "darnet_fixture_seconds.p99", 0.5, db),
+		obs.RatioObjective("darnet_fixture_ratio", 0.05, "darnet_fixture_bad_total", "darnet_fixture_total", db),
+		obs.RateObjective("darnet_fixture_rate", 1, "darnet_fixture_events_total", 2, db),
+		obs.LatencyObjective("fixture_latency", 0.1, "darnet_fixture_seconds.p99", 0.5, db),   // want "not darnet_-prefixed snake_case"
+		obs.LatencyObjective("darnet_fixture_latency", 0.1, "darnet_fixture.p42", 0.5, db),    // want "not a darnet_-prefixed history series"
+		obs.RatioObjective("darnet_fixture_ratio", 0.05, "bad_total", "darnet_fix_total", db), // want "not a darnet_-prefixed history series"
+		obs.RateObjective("darnet_fixture_rate", 1, "darnet_fixture_total.sum ", 2, db),       // want "not a darnet_-prefixed history series"
+	}
+}
+
+func dynamicSeries(db *tsdb.DB, series string) obs.Objective {
+	return obs.RateObjective("darnet_fixture_rate", 1, series, 2, db) // want "must be a string literal"
 }
 
 func suppressed() *telemetry.Counter {

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"darnet/internal/tsdb"
+)
+
+// HistoryPoint is one sample of one series in a /metrics/history response.
+type HistoryPoint struct {
+	TimestampMillis int64   `json:"ts"`
+	Value           float64 `json:"v"`
+}
+
+// HistoryResponse is the /metrics/history JSON shape: without a series
+// parameter the available series names; with one, its points in [from, to).
+type HistoryResponse struct {
+	Series []string       `json:"series,omitempty"`
+	Name   string         `json:"name,omitempty"`
+	Points []HistoryPoint `json:"points,omitempty"`
+}
+
+// NewHistoryHandler serves the scraped metric history:
+//
+//	GET /metrics/history                 → list of series names
+//	GET /metrics/history?series=NAME     → all points of NAME
+//	    &from=MILLIS&to=MILLIS           → restrict to [from, to)
+//
+// Unknown series return 404; malformed from/to return 400. The handler only
+// reads the partition, so it is safe to serve while scrapes are written.
+func NewHistoryHandler(db *tsdb.DB) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		name := q.Get("series")
+		if name == "" {
+			writeHistoryJSON(w, http.StatusOK, HistoryResponse{Series: db.Series()})
+			return
+		}
+		from, to := int64(0), int64(1<<62)
+		if s := q.Get("from"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				http.Error(w, "obs: malformed from", http.StatusBadRequest)
+				return
+			}
+			from = v
+		}
+		if s := q.Get("to"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				http.Error(w, "obs: malformed to", http.StatusBadRequest)
+				return
+			}
+			to = v
+		}
+		if db.Len(name) == 0 {
+			http.Error(w, "obs: unknown series", http.StatusNotFound)
+			return
+		}
+		pts := db.Range(name, from, to)
+		resp := HistoryResponse{Name: name, Points: make([]HistoryPoint, 0, len(pts))}
+		for _, p := range pts {
+			resp.Points = append(resp.Points, HistoryPoint{TimestampMillis: p.TimestampMillis, Value: p.Value})
+		}
+		writeHistoryJSON(w, http.StatusOK, resp)
+	})
+}
+
+func writeHistoryJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The response is already committed; a hung-up scraper is not
+		// actionable here.
+		return
+	}
+}

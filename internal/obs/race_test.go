@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"darnet/internal/telemetry"
+)
+
+// TestOpsEndpointsUnderConcurrentWrites hammers /tracez, /metrics, and
+// /metrics/history while traces complete and scrapes are written — the
+// race-detector gate over the whole observability read path (run with
+// `go test -race ./internal/obs/`, which `make race` does).
+func TestOpsEndpointsUnderConcurrentWrites(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(16, 2)
+	counter := reg.Counter("darnet_test_hammer_total", "")
+	hist := reg.Histogram("darnet_test_hammer_seconds", "", nil)
+
+	scraper, err := NewScraper(ScrapeConfig{Registry: reg, Interval: time.Hour, MaxSeries: 64})
+	if err != nil {
+		t.Fatalf("NewScraper: %v", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", telemetry.NewOpsHandler(reg, tracer))
+	mux.Handle("/metrics/history", NewHistoryHandler(scraper.DB()))
+
+	const (
+		writers  = 4
+		readers  = 4
+		rounds   = 200
+		urlCount = 3
+	)
+	urls := []string{
+		"/tracez",
+		"/metrics?format=json",
+		"/metrics/history?series=darnet_test_hammer_total",
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < rounds; i++ {
+				counter.Inc()
+				hist.Observe(float64(i%10) / 100)
+				// Complete a cross-process fragment pair: flush root plus a
+				// joined ingest child, exercising MergedTraces stitching under
+				// concurrent /tracez reads.
+				root := tracer.StartRoot("darnet_hammer_flush")
+				joined := tracer.JoinRemote("darnet_hammer_ingest", root.Context())
+				joined.Segment("darnet_stage_wire_transit", time.Now(), time.Microsecond)
+				joined.End()
+				root.End()
+				if i%10 == 0 {
+					scraper.ScrapeOnce()
+				}
+			}
+		}(w)
+	}
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < rounds; i++ {
+				rec := httptest.NewRecorder()
+				url := urls[(r+i)%urlCount]
+				mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+				// 404 is legal for /metrics/history before the first scrape
+				// lands; anything else non-200 is a real failure.
+				if rec.Code != http.StatusOK && rec.Code != http.StatusNotFound {
+					errs <- fmt.Errorf("%s -> %d: %s", url, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(r)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The hammered counter's history must have landed.
+	if scraper.DB().Len("darnet_test_hammer_total") == 0 {
+		t.Fatal("no scrapes recorded during the hammer")
+	}
+}

@@ -1,0 +1,199 @@
+// Package obs is the telemetry→tsdb observability bridge: a background
+// scraper that samples every registered metric into a dedicated time-series
+// partition (self-hosted metric history, dogfooding internal/tsdb), an HTTP
+// query endpoint over that history (/metrics/history), and an SLO evaluator
+// that turns the history into fast/slow burn rates driving /healthz with
+// hysteresis.
+//
+// It lives outside internal/telemetry because tsdb itself registers metrics
+// into telemetry: the bridge must sit above both to avoid an import cycle.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"darnet/internal/telemetry"
+	"darnet/internal/tsdb"
+)
+
+// Bridge self-metrics: the scraper observes itself through the same registry
+// it scrapes, so scrape lag and cardinality pressure show up in the history.
+var (
+	mScrapes       = telemetry.NewCounter("darnet_obs_scrapes_total", "telemetry snapshots sampled into the history partition")
+	mSamples       = telemetry.NewCounter("darnet_obs_samples_total", "history points written across all series")
+	mSeriesDropped = telemetry.NewCounter("darnet_obs_series_dropped_total", "samples refused because the history partition was at its series bound")
+	hScrape        = telemetry.NewHistogram("darnet_obs_scrape_seconds", "wall time of one full registry scrape", nil)
+)
+
+// DefaultScrapeInterval is how often the scraper samples the registry when
+// the config leaves the interval zero.
+const DefaultScrapeInterval = 5 * time.Second
+
+// DefaultMaxSeries bounds the history partition's cardinality when the
+// config leaves it zero: every registered metric (histograms fan out into 5
+// sub-series) plus headroom for metrics registered after startup.
+const DefaultMaxSeries = 512
+
+// DefaultRetention is how much history the partition keeps when the config
+// leaves it zero. At the default interval that is ~720 points per series.
+const DefaultRetention = time.Hour
+
+// ScrapeConfig parameterizes a Scraper.
+type ScrapeConfig struct {
+	// Registry to sample; nil means telemetry.Default.
+	Registry *telemetry.Registry
+	// Interval between scrapes; 0 means DefaultScrapeInterval.
+	Interval time.Duration
+	// MaxSeries bounds the history partition's cardinality: once this many
+	// distinct series exist, samples for new series are dropped and counted
+	// (darnet_obs_series_dropped_total) instead of growing without limit.
+	// 0 means DefaultMaxSeries; negative means unbounded.
+	MaxSeries int
+	// Retention bounds history age: each scrape prunes points older than
+	// now-Retention. 0 means DefaultRetention; negative disables pruning.
+	Retention time.Duration
+	// Now injects a clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Scraper periodically snapshots a telemetry registry into its own dedicated
+// tsdb partition: counters and gauges as one series each under the metric
+// name, histograms fanned out into name.p50/.p90/.p99/.count/.sum. Start
+// launches the background loop; Stop takes one final scrape — so the last
+// moments before shutdown are queryable — and blocks until the loop exits.
+type Scraper struct {
+	cfg ScrapeConfig
+	db  *tsdb.DB
+
+	mu     sync.Mutex // serializes scrapes (background loop vs. final flush)
+	series map[string]struct{}
+
+	scrapes atomic.Int64
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	started atomic.Bool
+}
+
+// NewScraper validates cfg and returns a scraper with an empty partition.
+// The background loop starts with Start.
+func NewScraper(cfg ScrapeConfig) (*Scraper, error) {
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.Default
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = DefaultScrapeInterval
+	}
+	if cfg.Interval < 0 {
+		return nil, fmt.Errorf("obs: negative scrape interval %v", cfg.Interval)
+	}
+	if cfg.MaxSeries == 0 {
+		cfg.MaxSeries = DefaultMaxSeries
+	}
+	if cfg.Retention == 0 {
+		cfg.Retention = DefaultRetention
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Scraper{
+		cfg:    cfg,
+		db:     tsdb.New(),
+		series: make(map[string]struct{}),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// DB exposes the history partition for queries (the /metrics/history handler
+// and the SLO evaluator read it). The partition is owned by the scraper;
+// callers must not insert into it.
+func (s *Scraper) DB() *tsdb.DB { return s.db }
+
+// Scrapes returns how many full snapshots have been sampled.
+func (s *Scraper) Scrapes() int64 { return s.scrapes.Load() }
+
+// Start launches the background scrape loop. Calling Start twice panics —
+// the loop owns the done channel.
+func (s *Scraper) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		panic("obs: scraper started twice")
+	}
+	go s.loop()
+}
+
+func (s *Scraper) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.ScrapeOnce()
+		}
+	}
+}
+
+// Stop halts the background loop, takes one final scrape (the shutdown
+// flush: the last pre-exit values are queryable), and blocks until the loop
+// has exited. Idempotent; safe without Start.
+func (s *Scraper) Stop() {
+	s.once.Do(func() {
+		close(s.stop)
+		if s.started.Load() {
+			<-s.done
+		}
+		s.ScrapeOnce()
+	})
+}
+
+// ScrapeOnce samples the registry into the history partition immediately:
+// one point per counter and gauge, five per histogram. Exposed for tests and
+// for the shutdown flush; the background loop calls it on every tick.
+func (s *Scraper) ScrapeOnce() {
+	start := s.cfg.Now()
+	defer hScrape.ObserveSince(start)
+	now := start.UnixMilli()
+	snap := s.cfg.Registry.Snapshot()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range snap.Counters {
+		s.insert(c.Name, now, float64(c.Value))
+	}
+	for _, g := range snap.Gauges {
+		s.insert(g.Name, now, g.Value)
+	}
+	for _, h := range snap.Histograms {
+		s.insert(h.Name+".p50", now, h.P50)
+		s.insert(h.Name+".p90", now, h.P90)
+		s.insert(h.Name+".p99", now, h.P99)
+		s.insert(h.Name+".count", now, float64(h.Count))
+		s.insert(h.Name+".sum", now, h.Sum)
+	}
+	if s.cfg.Retention > 0 {
+		s.db.Prune(now - s.cfg.Retention.Milliseconds())
+	}
+	s.scrapes.Add(1)
+	mScrapes.Inc()
+}
+
+// insert writes one history point, enforcing the series-cardinality bound:
+// a sample for a series beyond the bound is dropped and counted, never
+// stored.
+func (s *Scraper) insert(series string, tsMillis int64, v float64) {
+	if _, ok := s.series[series]; !ok {
+		if s.cfg.MaxSeries > 0 && len(s.series) >= s.cfg.MaxSeries {
+			mSeriesDropped.Inc()
+			return
+		}
+		s.series[series] = struct{}{}
+	}
+	s.db.Insert(series, tsdb.Point{TimestampMillis: tsMillis, Value: v})
+	mSamples.Inc()
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"darnet/internal/telemetry"
+)
+
+// fakeClock is a manually-advanced time source.
+type fakeClock struct{ at time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.at }
+func (c *fakeClock) advance(d time.Duration) { c.at = c.at.Add(d) }
+
+func newTestScraper(t *testing.T, reg *telemetry.Registry, clk *fakeClock, maxSeries int, retention time.Duration) *Scraper {
+	t.Helper()
+	s, err := NewScraper(ScrapeConfig{
+		Registry:  reg,
+		Interval:  time.Hour, // background cadence irrelevant: tests drive ScrapeOnce
+		MaxSeries: maxSeries,
+		Retention: retention,
+		Now:       clk.now,
+	})
+	if err != nil {
+		t.Fatalf("NewScraper: %v", err)
+	}
+	return s
+}
+
+func TestScraperSamplesEveryMetricKind(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("darnet_test_events_total", "")
+	g := reg.Gauge("darnet_test_depth", "")
+	h := reg.Histogram("darnet_test_latency_seconds", "", nil)
+	c.Add(7)
+	g.Set(3.5)
+	h.Observe(0.2)
+	h.Observe(0.4)
+
+	clk := &fakeClock{at: time.UnixMilli(1_000_000)}
+	s := newTestScraper(t, reg, clk, -1, -1)
+	s.ScrapeOnce()
+
+	db := s.DB()
+	if got := db.Range("darnet_test_events_total", 0, 1<<62); len(got) != 1 || got[0].Value != 7 {
+		t.Fatalf("counter history = %+v", got)
+	}
+	if got := db.Range("darnet_test_depth", 0, 1<<62); len(got) != 1 || got[0].Value != 3.5 {
+		t.Fatalf("gauge history = %+v", got)
+	}
+	for _, suffix := range []string{".p50", ".p90", ".p99", ".count", ".sum"} {
+		series := "darnet_test_latency_seconds" + suffix
+		if db.Len(series) != 1 {
+			t.Fatalf("histogram sub-series %s missing (have %v)", series, db.Series())
+		}
+		if !telemetry.ValidHistorySeries(series) {
+			t.Fatalf("scraper emitted an invalid history series name %q", series)
+		}
+	}
+	if got := db.Range("darnet_test_latency_seconds.count", 0, 1<<62); got[0].Value != 2 {
+		t.Fatalf("histogram count history = %+v", got)
+	}
+
+	// A second scrape at a later instant appends, not overwrites.
+	c.Inc()
+	clk.advance(5 * time.Second)
+	s.ScrapeOnce()
+	if got := db.Range("darnet_test_events_total", 0, 1<<62); len(got) != 2 || got[1].Value != 8 {
+		t.Fatalf("counter history after 2nd scrape = %+v", got)
+	}
+	if s.Scrapes() != 2 {
+		t.Fatalf("Scrapes() = %d", s.Scrapes())
+	}
+}
+
+func TestScraperBoundsSeriesCardinality(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	for i := 0; i < 6; i++ {
+		reg.Counter(fmt.Sprintf("darnet_test_cardinality_%d_total", i), "")
+	}
+	clk := &fakeClock{at: time.UnixMilli(1_000_000)}
+	s := newTestScraper(t, reg, clk, 4, -1)
+	before := mSeriesDropped.Value()
+	s.ScrapeOnce()
+	if n := len(s.DB().Series()); n != 4 {
+		t.Fatalf("partition has %d series, want the bound 4", n)
+	}
+	if d := mSeriesDropped.Value() - before; d != 2 {
+		t.Fatalf("dropped-series counter advanced by %d, want 2", d)
+	}
+	// The bound drops consistently: the same 4 series keep updating.
+	clk.advance(time.Second)
+	s.ScrapeOnce()
+	for _, series := range s.DB().Series() {
+		if got := s.DB().Len(series); got != 2 {
+			t.Fatalf("retained series %s has %d points, want 2", series, got)
+		}
+	}
+}
+
+func TestScraperRetentionPrunes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("darnet_test_retention_total", "")
+	clk := &fakeClock{at: time.UnixMilli(1_000_000)}
+	s := newTestScraper(t, reg, clk, -1, 10*time.Second)
+	for i := 0; i < 5; i++ {
+		if i > 0 {
+			clk.advance(4 * time.Second)
+		}
+		s.ScrapeOnce()
+	}
+	pts := s.DB().Range("darnet_test_retention_total", 0, 1<<62)
+	if len(pts) == 0 || len(pts) > 3 {
+		t.Fatalf("retention kept %d points, want 1..3 inside the 10s window", len(pts))
+	}
+	newest := clk.now().UnixMilli() // the final scrape's instant, the prune reference
+	for _, p := range pts {
+		if newest-p.TimestampMillis > (10 * time.Second).Milliseconds() {
+			t.Fatalf("point %+v is older than retention", p)
+		}
+	}
+}
+
+func TestScraperStopTakesFinalFlush(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("darnet_test_final_total", "")
+	clk := &fakeClock{at: time.UnixMilli(1_000_000)}
+	s := newTestScraper(t, reg, clk, -1, -1)
+	s.Start()
+	c.Add(41)
+	s.Stop()
+	s.Stop() // idempotent
+	pts := s.DB().Range("darnet_test_final_total", 0, 1<<62)
+	if len(pts) == 0 || pts[len(pts)-1].Value != 41 {
+		t.Fatalf("final flush missing: %+v", pts)
+	}
+}
+
+func TestHistoryHandler(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("darnet_test_http_total", "")
+	clk := &fakeClock{at: time.UnixMilli(50_000)}
+	s := newTestScraper(t, reg, clk, -1, -1)
+	c.Add(3)
+	s.ScrapeOnce()
+	clk.advance(10 * time.Second)
+	c.Add(2)
+	s.ScrapeOnce()
+
+	h := NewHistoryHandler(s.DB())
+	get := func(url string) (*httptest.ResponseRecorder, HistoryResponse) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		var resp HistoryResponse
+		if rec.Code == http.StatusOK {
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("unmarshal %s: %v", url, err)
+			}
+		}
+		return rec, resp
+	}
+
+	_, list := get("/metrics/history")
+	found := false
+	for _, name := range list.Series {
+		if name == "darnet_test_http_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("series listing missing the scraped counter: %+v", list.Series)
+	}
+
+	_, resp := get("/metrics/history?series=darnet_test_http_total")
+	if len(resp.Points) != 2 || resp.Points[0].Value != 3 || resp.Points[1].Value != 5 {
+		t.Fatalf("full range = %+v", resp.Points)
+	}
+
+	_, resp = get(fmt.Sprintf("/metrics/history?series=darnet_test_http_total&from=%d&to=%d", 55_000, 1<<61))
+	if len(resp.Points) != 1 || resp.Points[0].Value != 5 {
+		t.Fatalf("windowed range = %+v", resp.Points)
+	}
+
+	if rec, _ := get("/metrics/history?series=darnet_test_missing_total"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown series code = %d", rec.Code)
+	}
+	if rec, _ := get("/metrics/history?series=darnet_test_http_total&from=xyz"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed from code = %d", rec.Code)
+	}
+	if rec, _ := get("/metrics/history"); !strings.Contains(rec.Header().Get("Content-Type"), "application/json") {
+		t.Fatalf("content type = %q", rec.Header().Get("Content-Type"))
+	}
+}

@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"darnet/internal/telemetry"
+	"darnet/internal/tsdb"
+)
+
+// SLO health metrics: the current burn rates and level transitions, so the
+// evaluator's own behavior lands in the scraped history too.
+var (
+	gBurnFast     = telemetry.NewGauge("darnet_obs_slo_burn_fast", "worst fast-window SLO burn rate across objectives")
+	gBurnSlow     = telemetry.NewGauge("darnet_obs_slo_burn_slow", "worst slow-window SLO burn rate across objectives")
+	mTransitions  = telemetry.NewCounter("darnet_obs_slo_transitions_total", "SLO health level changes (in either direction)")
+	gHealthLevel  = telemetry.NewGauge("darnet_obs_slo_level", "current SLO health level: 0 ok, 1 degraded, 2 breaching")
+	mObjectiveErr = telemetry.NewCounter("darnet_obs_slo_objective_errors_total", "objective evaluations that failed (missing series, bad window)")
+)
+
+// Objective is one SLO: a budgeted bad-event fraction. Bad reports the bad
+// and total event counts inside a history window [fromMillis, toMillis); the
+// burn rate of a window is (bad/total)/Budget — 1.0 means the error budget
+// is being consumed exactly at the sustainable rate, higher burns it faster.
+// A window with zero total contributes burn 0 (no data is not bad data).
+type Objective struct {
+	Name   string
+	Budget float64
+	Bad    func(fromMillis, toMillis int64) (bad, total float64, err error)
+}
+
+// LatencyObjective builds an SLO over a scraped latency percentile: the bad
+// fraction is the share of history samples of series (e.g. a .p99 series)
+// above threshold seconds. budget is the tolerated bad fraction.
+func LatencyObjective(name string, budget float64, series string, threshold float64, db *tsdb.DB) Objective {
+	return Objective{Name: name, Budget: budget, Bad: func(from, to int64) (float64, float64, error) {
+		pts := db.Range(series, from, to)
+		bad := 0
+		for _, p := range pts {
+			if p.Value > threshold {
+				bad++
+			}
+		}
+		return float64(bad), float64(len(pts)), nil
+	}}
+}
+
+// RatioObjective builds an SLO over two scraped cumulative counters: the bad
+// fraction is the in-window increase of badSeries over the in-window
+// increase of totalSeries (e.g. shed readings over forwarded readings).
+func RatioObjective(name string, budget float64, badSeries, totalSeries string, db *tsdb.DB) Objective {
+	return Objective{Name: name, Budget: budget, Bad: func(from, to int64) (float64, float64, error) {
+		bad, err := counterDelta(db, badSeries, from, to)
+		if err != nil {
+			return 0, 0, err
+		}
+		total, err := counterDelta(db, totalSeries, from, to)
+		if err != nil {
+			return 0, 0, err
+		}
+		return bad, total, nil
+	}}
+}
+
+// RateObjective builds an SLO over one scraped cumulative counter against a
+// tolerated event rate: bad is the in-window increase of series, total the
+// events maxPerSec would allow over the window, and budget is normally 1 (a
+// burn of 1 means events arrive exactly at the tolerated rate).
+func RateObjective(name string, budget float64, series string, maxPerSec float64, db *tsdb.DB) Objective {
+	return Objective{Name: name, Budget: budget, Bad: func(from, to int64) (float64, float64, error) {
+		if maxPerSec <= 0 {
+			return 0, 0, fmt.Errorf("obs: rate objective %s: non-positive max rate", name)
+		}
+		bad, err := counterDelta(db, series, from, to)
+		if err != nil {
+			return 0, 0, err
+		}
+		allowed := maxPerSec * float64(to-from) / 1000
+		return bad, allowed, nil
+	}}
+}
+
+// counterDelta returns the increase of a scraped cumulative counter inside
+// the window: last sample minus first. A series with under two points in the
+// window reports 0 — one scrape tells nothing about a rate.
+func counterDelta(db *tsdb.DB, series string, from, to int64) (float64, error) {
+	pts := db.Range(series, from, to)
+	if len(pts) < 2 {
+		return 0, nil
+	}
+	d := pts[len(pts)-1].Value - pts[0].Value
+	if d < 0 {
+		// A counter reset (process restart folded into one partition); the
+		// post-reset value is the closest available answer.
+		d = pts[len(pts)-1].Value
+	}
+	return d, nil
+}
+
+// Health levels, escalating.
+const (
+	levelOK = iota
+	levelDegraded
+	levelBreaching
+)
+
+// EvaluatorConfig parameterizes the burn-rate health evaluation.
+type EvaluatorConfig struct {
+	// FastWindow and SlowWindow are the two burn-rate lookbacks (multiwindow
+	// alerting: the fast window catches a sudden cliff, the slow window
+	// filters blips). Defaults 1m / 15m.
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// FastBurn and SlowBurn are the breach thresholds: breaching requires
+	// BOTH the fast burn ≥ FastBurn (it is still happening) and the slow
+	// burn ≥ SlowBurn (it has lasted). Defaults 6 / 1.
+	FastBurn float64
+	SlowBurn float64
+	// CleanEvals is the hysteresis depth: this many consecutive evaluations
+	// below every threshold de-escalate the level by ONE step, so health
+	// does not flap with a burn rate hovering at its threshold. Default 3.
+	CleanEvals int
+	// Now injects a clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+func (c *EvaluatorConfig) fillDefaults() {
+	if c.FastWindow == 0 {
+		c.FastWindow = time.Minute
+	}
+	if c.SlowWindow == 0 {
+		c.SlowWindow = 15 * time.Minute
+	}
+	if c.FastBurn == 0 {
+		c.FastBurn = 6
+	}
+	if c.SlowBurn == 0 {
+		c.SlowBurn = 1
+	}
+	if c.CleanEvals == 0 {
+		c.CleanEvals = 3
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Evaluator turns SLO burn rates into a hysteretic health level. Each
+// Evaluate computes every objective's fast- and slow-window burns and moves
+// the level:
+//
+//   - breaching (not OK → /healthz 503) when any objective burns ≥ FastBurn
+//     in the fast window AND ≥ SlowBurn in the slow window;
+//   - degraded (OK, state visible in the body) when any objective's slow
+//     burn ≥ SlowBurn without the fast condition;
+//   - escalation is immediate, de-escalation takes CleanEvals consecutive
+//     clean evaluations per step — the hysteresis that keeps a hovering burn
+//     rate from flapping the probe.
+type Evaluator struct {
+	cfg        EvaluatorConfig
+	objectives []Objective
+
+	mu     sync.Mutex
+	level  int
+	clean  int
+	status string // human-readable detail of the last evaluation
+}
+
+// NewEvaluator validates the objectives and returns an evaluator at level ok.
+func NewEvaluator(cfg EvaluatorConfig, objectives ...Objective) (*Evaluator, error) {
+	cfg.fillDefaults()
+	if len(objectives) == 0 {
+		return nil, fmt.Errorf("obs: evaluator needs at least one objective")
+	}
+	for _, o := range objectives {
+		if o.Budget <= 0 {
+			return nil, fmt.Errorf("obs: objective %s: non-positive budget %g", o.Name, o.Budget)
+		}
+		if o.Bad == nil {
+			return nil, fmt.Errorf("obs: objective %s: nil Bad func", o.Name)
+		}
+	}
+	return &Evaluator{cfg: cfg, objectives: objectives, status: "ok"}, nil
+}
+
+// burn computes one objective's burn rate over [now-window, now).
+func (e *Evaluator) burn(o Objective, now time.Time, window time.Duration) float64 {
+	to := now.UnixMilli()
+	bad, total, err := o.Bad(to-window.Milliseconds(), to)
+	if err != nil {
+		mObjectiveErr.Inc()
+		return 0
+	}
+	if total <= 0 {
+		return 0
+	}
+	return (bad / total) / o.Budget
+}
+
+// Evaluate runs one burn-rate pass and returns the resulting health.
+func (e *Evaluator) Evaluate() telemetry.Health {
+	now := e.cfg.Now()
+	worstFast, worstSlow := 0.0, 0.0
+	target, detail := levelOK, ""
+	for _, o := range e.objectives {
+		fast := e.burn(o, now, e.cfg.FastWindow)
+		slow := e.burn(o, now, e.cfg.SlowWindow)
+		if fast > worstFast {
+			worstFast = fast
+		}
+		if slow > worstSlow {
+			worstSlow = slow
+		}
+		switch {
+		case fast >= e.cfg.FastBurn && slow >= e.cfg.SlowBurn:
+			if target < levelBreaching {
+				target = levelBreaching
+				detail = fmt.Sprintf("%s burning %.1fx fast / %.1fx slow", o.Name, fast, slow)
+			}
+		case slow >= e.cfg.SlowBurn:
+			if target < levelDegraded {
+				target = levelDegraded
+				detail = fmt.Sprintf("%s burning %.1fx slow", o.Name, slow)
+			}
+		}
+	}
+	gBurnFast.Set(worstFast)
+	gBurnSlow.Set(worstSlow)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	prev := e.level
+	if target > e.level {
+		// Escalate immediately; any escalation restarts the clean streak.
+		e.level = target
+		e.clean = 0
+		e.status = detail
+	} else if target < e.level {
+		e.clean++
+		if e.clean >= e.cfg.CleanEvals {
+			e.level--
+			e.clean = 0
+			if e.level == levelOK {
+				e.status = "ok"
+			} else if detail != "" {
+				e.status = detail
+			}
+		}
+	} else {
+		e.clean = 0
+		if detail != "" {
+			e.status = detail
+		}
+	}
+	if e.level != prev {
+		mTransitions.Inc()
+	}
+	gHealthLevel.Set(float64(e.level))
+	return e.healthLocked()
+}
+
+func (e *Evaluator) healthLocked() telemetry.Health {
+	switch e.level {
+	case levelBreaching:
+		return telemetry.Health{Status: "breaching: " + e.status, OK: false}
+	case levelDegraded:
+		return telemetry.Health{Status: "degraded: " + e.status, OK: true}
+	default:
+		return telemetry.Health{Status: "ok", OK: true}
+	}
+}
+
+// Health returns the level from the most recent Evaluate without running a
+// new pass — the cheap read /healthz makes between evaluation ticks.
+func (e *Evaluator) Health() telemetry.Health {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.healthLocked()
+}
+
+// Run evaluates every interval until stop is closed — the darnetd background
+// loop. The first evaluation happens after one interval, not immediately:
+// the history needs at least two scrapes before burn rates mean anything.
+func (e *Evaluator) Run(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			e.Evaluate()
+		}
+	}
+}
+
+// CombineHealth merges health sources, worst first: any not-OK source wins,
+// then any non-"ok" status, then ok. darnetd composes the stream mux's
+// instantaneous view with the SLO evaluator's burn-rate view.
+func CombineHealth(sources ...func() telemetry.Health) func() telemetry.Health {
+	return func() telemetry.Health {
+		out := telemetry.Health{Status: "ok", OK: true}
+		for _, src := range sources {
+			if src == nil {
+				continue
+			}
+			h := src()
+			if !h.OK {
+				return h
+			}
+			if h.Status != "ok" && out.Status == "ok" {
+				out = h
+			}
+		}
+		return out
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"darnet/internal/telemetry"
+	"darnet/internal/tsdb"
+)
+
+// sloFixture holds a hand-built history partition and an evaluator clock.
+type sloFixture struct {
+	db  *tsdb.DB
+	clk *fakeClock
+}
+
+func newSLOFixture() *sloFixture {
+	return &sloFixture{db: tsdb.New(), clk: &fakeClock{at: time.UnixMilli(10_000_000)}}
+}
+
+// fill writes one point per second for the past d, valued by at(i) where i
+// counts seconds back from now (0 = most recent).
+func (f *sloFixture) fill(series string, d time.Duration, at func(secsBack int) float64) {
+	now := f.clk.at.UnixMilli()
+	secs := int(d / time.Second)
+	for i := secs; i >= 0; i-- {
+		f.db.Insert(series, tsdb.Point{TimestampMillis: now - int64(i)*1000, Value: at(i)})
+	}
+}
+
+func TestLatencyObjectiveBurn(t *testing.T) {
+	f := newSLOFixture()
+	// 20 samples in-window, 10 above the 0.5s threshold → bad fraction 0.5;
+	// with a 10% budget the burn is 5.
+	f.fill("darnet_stream_alert_latency_seconds.p99", 19*time.Second, func(i int) float64 {
+		if i%2 == 0 {
+			return 1.0
+		}
+		return 0.1
+	})
+	o := LatencyObjective("darnet_slo_alert_latency", 0.1, "darnet_stream_alert_latency_seconds.p99", 0.5, f.db)
+	now := f.clk.at.UnixMilli()
+	bad, total, err := o.Bad(now-20_000, now+1)
+	if err != nil || total != 20 || bad != 10 {
+		t.Fatalf("bad/total = %v/%v (err %v), want 10/20", bad, total, err)
+	}
+}
+
+func TestRatioAndRateObjectives(t *testing.T) {
+	f := newSLOFixture()
+	// Cumulative counters: shed grows 0..30, forwarded grows 0..300.
+	f.fill("darnet_stream_readings_shed_total", 30*time.Second, func(i int) float64 { return float64(30 - i) })
+	f.fill("darnet_collect_stream_forwarded_total", 30*time.Second, func(i int) float64 { return float64((30 - i) * 10) })
+	now := f.clk.at.UnixMilli()
+
+	ratio := RatioObjective("darnet_slo_shed_ratio", 0.05,
+		"darnet_stream_readings_shed_total", "darnet_collect_stream_forwarded_total", f.db)
+	bad, total, err := ratio.Bad(now-10_000, now+1)
+	if err != nil || bad != 10 || total != 100 {
+		t.Fatalf("ratio bad/total = %v/%v (err %v), want 10/100", bad, total, err)
+	}
+
+	rate := RateObjective("darnet_slo_reconnect_rate", 1, "darnet_stream_readings_shed_total", 2.0, f.db)
+	bad, total, err = rate.Bad(now-10_000, now+1)
+	if err != nil || bad != 10 {
+		t.Fatalf("rate bad = %v (err %v), want 10", bad, err)
+	}
+	if total < 19 || total > 21 { // 2/sec over ~10s
+		t.Fatalf("rate allowed = %v, want ~20", total)
+	}
+
+	// A counter reset mid-window falls back to the post-reset value.
+	f.db.Insert("darnet_test_reset_total", tsdb.Point{TimestampMillis: now - 2000, Value: 90})
+	f.db.Insert("darnet_test_reset_total", tsdb.Point{TimestampMillis: now - 1000, Value: 5})
+	d, err := counterDelta(f.db, "darnet_test_reset_total", now-10_000, now+1)
+	if err != nil || d != 5 {
+		t.Fatalf("reset delta = %v (err %v), want 5", d, err)
+	}
+}
+
+// scriptedObjective lets the evaluator tests drive burn rates directly: the
+// bad fraction equals the scripted value (budget 1 → burn == value).
+func scriptedObjective(name string, v *float64) Objective {
+	return Objective{Name: name, Budget: 1, Bad: func(from, to int64) (float64, float64, error) {
+		return *v, 1, nil
+	}}
+}
+
+func TestEvaluatorBurnRateTransitions(t *testing.T) {
+	frac := 0.0
+	clk := &fakeClock{at: time.UnixMilli(10_000_000)}
+	ev, err := NewEvaluator(EvaluatorConfig{CleanEvals: 2, Now: clk.now},
+		scriptedObjective("darnet_slo_scripted", &frac))
+	if err != nil {
+		t.Fatalf("NewEvaluator: %v", err)
+	}
+	if h := ev.Health(); !h.OK || h.Status != "ok" {
+		t.Fatalf("initial health = %+v", h)
+	}
+
+	// Burn at the slow threshold but below the fast one: degraded, still OK.
+	// (The scripted objective reports the same fraction for both windows, so
+	// burn 1 ≥ SlowBurn(1) but < FastBurn(6).)
+	frac = 1
+	if h := ev.Evaluate(); !h.OK || !strings.HasPrefix(h.Status, "degraded:") {
+		t.Fatalf("slow-burn health = %+v", h)
+	}
+
+	// Burn past both thresholds: breaching, probe goes 503.
+	frac = 6
+	if h := ev.Evaluate(); h.OK || !strings.HasPrefix(h.Status, "breaching:") {
+		t.Fatalf("breach health = %+v", h)
+	}
+
+	// Hysteresis: one clean evaluation must NOT de-escalate...
+	frac = 0
+	if h := ev.Evaluate(); h.OK {
+		t.Fatalf("de-escalated after one clean eval: %+v", h)
+	}
+	// ...the second does, but only one level (breaching → degraded).
+	if h := ev.Evaluate(); !h.OK || !strings.HasPrefix(h.Status, "degraded:") {
+		t.Fatalf("after 2 clean evals = %+v", h)
+	}
+	// Two more clean evaluations reach ok.
+	ev.Evaluate()
+	if h := ev.Evaluate(); !h.OK || h.Status != "ok" {
+		t.Fatalf("after 4 clean evals = %+v", h)
+	}
+
+	// A dirty evaluation mid-streak resets the hysteresis counter.
+	frac = 6
+	ev.Evaluate()
+	frac = 0
+	ev.Evaluate()
+	frac = 6
+	if h := ev.Evaluate(); h.OK {
+		t.Fatalf("re-breach ignored: %+v", h)
+	}
+	frac = 0
+	if h := ev.Evaluate(); h.OK {
+		t.Fatalf("clean streak must restart after re-breach: %+v", h)
+	}
+}
+
+func TestEvaluatorValidation(t *testing.T) {
+	if _, err := NewEvaluator(EvaluatorConfig{}); err == nil {
+		t.Fatal("evaluator without objectives must be rejected")
+	}
+	if _, err := NewEvaluator(EvaluatorConfig{}, Objective{Name: "darnet_slo_x", Budget: 0, Bad: func(int64, int64) (float64, float64, error) { return 0, 0, nil }}); err == nil {
+		t.Fatal("zero budget must be rejected")
+	}
+	if _, err := NewEvaluator(EvaluatorConfig{}, Objective{Name: "darnet_slo_x", Budget: 1}); err == nil {
+		t.Fatal("nil Bad func must be rejected")
+	}
+}
+
+func TestCombineHealth(t *testing.T) {
+	ok := func() telemetry.Health { return telemetry.Health{Status: "ok", OK: true} }
+	degraded := func() telemetry.Health { return telemetry.Health{Status: "degraded: skipping", OK: true} }
+	down := func() telemetry.Health { return telemetry.Health{Status: "overloaded", OK: false} }
+
+	if h := CombineHealth(ok, ok)(); h.Status != "ok" || !h.OK {
+		t.Fatalf("all-ok = %+v", h)
+	}
+	if h := CombineHealth(ok, degraded)(); h.Status != "degraded: skipping" || !h.OK {
+		t.Fatalf("degraded wins over ok: %+v", h)
+	}
+	if h := CombineHealth(degraded, down)(); h.OK {
+		t.Fatalf("not-OK wins over degraded: %+v", h)
+	}
+	if h := CombineHealth(nil, ok)(); !h.OK {
+		t.Fatalf("nil source skipped: %+v", h)
+	}
+}

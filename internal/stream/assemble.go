@@ -5,6 +5,7 @@ import (
 
 	"darnet/internal/collect"
 	"darnet/internal/imu"
+	"darnet/internal/telemetry"
 	"darnet/internal/wire"
 )
 
@@ -18,6 +19,10 @@ type Input struct {
 	// Weight is the number of wire readings this input represents, so that
 	// shedding one queued item accounts for every reading it carried.
 	Weight int
+	// Trace is the admitting stream_offer span's context (zero when the batch
+	// carried none): the classify tick joins it, so the queue dwell between
+	// admission (At) and processing shows up in the distributed trace.
+	Trace telemetry.SpanContext
 }
 
 // Sample-channel bits for partial assembly.

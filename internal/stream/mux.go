@@ -57,8 +57,9 @@ func (m *Mux) pipeline(agentID string) (*Pipeline, error) {
 
 // Offer admits a stored batch's readings into the agent's pipeline and
 // returns the number accepted plus the refreshed admission grant. The
-// controller calls this once per stored batch.
-func (m *Mux) Offer(agentID string, readings []wire.Reading) (accepted int, credits uint32) {
+// controller calls this once per stored batch; trace (zero when the batch
+// carried none) joins the classify tick into the batch's distributed trace.
+func (m *Mux) Offer(agentID string, readings []wire.Reading, trace telemetry.SpanContext) (accepted int, credits uint32) {
 	p, err := m.pipeline(agentID)
 	if err != nil || p == nil {
 		if err != nil {
@@ -66,7 +67,7 @@ func (m *Mux) Offer(agentID string, readings []wire.Reading) (accepted int, cred
 		}
 		return 0, 0
 	}
-	return p.OfferReadings(readings), p.Credits()
+	return p.OfferReadings(readings, trace), p.Credits()
 }
 
 // Credits returns the agent's current admission grant without offering work

@@ -12,13 +12,16 @@
 package stream
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"darnet/internal/core"
 	"darnet/internal/imu"
+	"darnet/internal/telemetry"
 	"darnet/internal/wire"
 )
 
@@ -204,8 +207,10 @@ func NewPipeline(agentID string, cfg Config, f TickerFactory) (*Pipeline, error)
 // OfferReadings assembles a batch of wire readings into classify inputs and
 // admits them, returning how many readings were accepted (enqueued, absorbed
 // into a partial sample, or ignored as unclassifiable). The difference from
-// len(readings) was shed at the full queue.
-func (p *Pipeline) OfferReadings(readings []wire.Reading) (accepted int) {
+// len(readings) was shed at the full queue. The trace context (zero when
+// absent) rides each admitted input so the classify tick joins the batch's
+// distributed trace.
+func (p *Pipeline) OfferReadings(readings []wire.Reading, trace telemetry.SpanContext) (accepted int) {
 	at := p.cfg.Now()
 	p.amu.Lock()
 	defer p.amu.Unlock()
@@ -215,6 +220,7 @@ func (p *Pipeline) OfferReadings(readings []wire.Reading) (accepted int) {
 			accepted++ // partial or ignored: nothing queued, nothing shed
 			continue
 		}
+		in.Trace = trace
 		if p.Offer(in) {
 			accepted += in.Weight
 		}
@@ -281,9 +287,17 @@ func (p *Pipeline) Credits() uint32 {
 
 // worker drains the queue for one generation. The recurrent state (the
 // Ticker) is generation-owned: a superseded worker never ticks again, it
-// re-offers the input it dequeued and exits.
+// re-offers the input it dequeued and exits. The goroutine runs under pprof
+// labels (agent ID, pipeline stage) so /debug/pprof/goroutine profiles are
+// attributable per agent.
 func (p *Pipeline) worker(gen int64, tk Ticker) {
 	defer p.wg.Done()
+	pprof.Do(context.Background(), pprof.Labels("darnet_agent", p.agentID, "darnet_stage", "stream_worker"), func(context.Context) {
+		p.drain(gen, tk)
+	})
+}
+
+func (p *Pipeline) drain(gen int64, tk Ticker) {
 	skipStreak := 0
 	for {
 		select {
@@ -317,6 +331,17 @@ func (p *Pipeline) runTick(tk Ticker, in Input, skipStreak *int) {
 		}
 	}()
 
+	// Join the batch's distributed trace when the input carries a context —
+	// the dwell between admission and this dequeue becomes an explicit
+	// segment. Legacy inputs (zero context) get no tick span at all, so they
+	// neither consume the local sampling budget nor clutter /tracez.
+	var root *telemetry.Span
+	if in.Trace.Valid() {
+		root = telemetry.DefaultTracer.JoinRemote("darnet_stream_tick", in.Trace)
+		root.Segment("darnet_stage_queue_dwell", in.At, p.cfg.Now().Sub(in.At))
+	}
+	defer root.End()
+
 	// Frame-skip hysteresis on the queue depth observed at processing time.
 	d := p.depth.Load()
 	if p.skipping.Load() {
@@ -337,7 +362,9 @@ func (p *Pipeline) runTick(tk Ticker, in Input, skipStreak *int) {
 		}
 	}
 
+	clsSp := root.StartChild("darnet_stage_classify_tick")
 	cls, skipped, err := tk.Tick(in.Sample, in.Frame, skip)
+	clsSp.End()
 	if in.Frame != nil {
 		if skipped {
 			*skipStreak++
@@ -361,6 +388,7 @@ func (p *Pipeline) runTick(tk Ticker, in Input, skipStreak *int) {
 	mDecisions.Inc()
 	hAlertLatency.Observe(now.Sub(in.At).Seconds())
 
+	alertSp := root.StartChild("darnet_stage_alert")
 	p.alertMu.Lock()
 	ev := p.alert.observe(now, cls)
 	p.alertMu.Unlock()
@@ -380,6 +408,7 @@ func (p *Pipeline) runTick(tk Ticker, in Input, skipStreak *int) {
 	if p.cfg.OnDecision != nil {
 		p.cfg.OnDecision(p.agentID, cls)
 	}
+	alertSp.End()
 }
 
 // watchdog restarts the worker when the stage stops making progress: either
@@ -387,16 +416,18 @@ func (p *Pipeline) runTick(tk Ticker, in Input, skipStreak *int) {
 // queued and nothing has completed within the deadline (lost worker).
 func (p *Pipeline) watchdog() {
 	defer p.wg.Done()
-	t := time.NewTicker(p.cfg.WatchdogPoll)
-	defer t.Stop()
-	for {
-		select {
-		case <-p.stop:
-			return
-		case <-t.C:
-			p.checkStall()
+	pprof.Do(context.Background(), pprof.Labels("darnet_agent", p.agentID, "darnet_stage", "stream_watchdog"), func(context.Context) {
+		t := time.NewTicker(p.cfg.WatchdogPoll)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.checkStall()
+			}
 		}
-	}
+	})
 }
 
 func (p *Pipeline) checkStall() {

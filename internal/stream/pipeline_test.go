@@ -10,6 +10,7 @@ import (
 	"darnet/internal/core"
 	"darnet/internal/fault"
 	"darnet/internal/imu"
+	"darnet/internal/telemetry"
 	"darnet/internal/wire"
 )
 
@@ -277,7 +278,7 @@ func TestMuxRoutingCreditsAndHealth(t *testing.T) {
 		return wire.Reading{TimestampMillis: ts, Sensor: "imu", Values: make([]float64, imu.FeatureDim)}
 	}
 	// Park agent a's worker, then fill its queue exactly.
-	accepted, credits := m.Offer("a", []wire.Reading{imuReading(0)})
+	accepted, credits := m.Offer("a", []wire.Reading{imuReading(0)}, telemetry.SpanContext{})
 	if accepted != 1 {
 		t.Fatalf("accepted = %d", accepted)
 	}
@@ -286,7 +287,7 @@ func TestMuxRoutingCreditsAndHealth(t *testing.T) {
 	for i := range batch {
 		batch[i] = imuReading(int64(i + 1))
 	}
-	accepted, credits = m.Offer("a", batch)
+	accepted, credits = m.Offer("a", batch, telemetry.SpanContext{})
 	if accepted != cap {
 		t.Fatalf("saturated offer accepted %d, want %d", accepted, cap)
 	}
@@ -304,7 +305,7 @@ func TestMuxRoutingCreditsAndHealth(t *testing.T) {
 	if c := m.Credits("b"); c != cap {
 		t.Fatalf("agent b credits = %d, want %d", c, cap)
 	}
-	if _, credits = m.Offer("b", []wire.Reading{imuReading(0)}); credits > cap {
+	if _, credits = m.Offer("b", []wire.Reading{imuReading(0)}, telemetry.SpanContext{}); credits > cap {
 		t.Fatalf("agent b credits after offer = %d", credits)
 	}
 	if m.Pipeline("a") == m.Pipeline("b") {
@@ -317,7 +318,7 @@ func TestMuxRoutingCreditsAndHealth(t *testing.T) {
 	if c := m.Credits("a"); c != 0 {
 		t.Fatalf("credits after shutdown = %d, want 0", c)
 	}
-	if a, _ := m.Offer("a", []wire.Reading{imuReading(9)}); a != 0 {
+	if a, _ := m.Offer("a", []wire.Reading{imuReading(9)}, telemetry.SpanContext{}); a != 0 {
 		t.Fatalf("offer after shutdown accepted %d", a)
 	}
 	if h := m.Health(); h.OK {

@@ -117,7 +117,9 @@ func NewOpsHandler(reg *Registry, tracer *Tracer) http.Handler {
 		}
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
-		traces := tracer.RecentTraces()
+		// Merged view: cross-process fragments of one trace (agent flush,
+		// controller ingest, stream tick) stitched into a single tree.
+		traces := tracer.MergedTraces()
 		if r.URL.Query().Get("format") == "text" {
 			var b bytes.Buffer
 			for _, tr := range traces {

@@ -54,6 +54,13 @@ type Span struct {
 	sampled  bool
 	ended    atomic.Bool
 
+	// Trace identity (see tracectx.go): traceID is shared by every span of
+	// the trace, spanID is unique per span, and remoteParent carries the
+	// span ID a remotely-joined root hangs under when traces are merged.
+	traceID      uint64
+	spanID       uint64
+	remoteParent uint64
+
 	mu       sync.Mutex
 	children []*Span // tracked only when sampled
 }
@@ -82,6 +89,13 @@ func (t *Tracer) newSpan(name string, parent *Span, sampled bool) *Span {
 	s.name = name
 	s.sampled = sampled
 	s.durNanos = 0
+	s.spanID = newID()
+	if parent != nil {
+		s.traceID = parent.traceID
+	} else {
+		s.traceID = newID()
+	}
+	s.remoteParent = 0
 	s.ended.Store(false)
 	s.start = time.Now()
 	return s
@@ -144,12 +158,25 @@ func (t *Tracer) record(root *Span) {
 	}
 }
 
-// TraceNode is the exportable form of a completed span tree.
+// TraceNode is the exportable form of a completed span tree. TraceID is set
+// on root fragments; ParentSpanID and Remote mark a fragment that joined a
+// remote context (MergedTraces re-attaches it under that parent when both
+// fragments are local).
 type TraceNode struct {
 	Name          string       `json:"name"`
 	StartUnixNano int64        `json:"start_unix_nano"`
 	DurationNanos int64        `json:"duration_ns"`
+	TraceID       string       `json:"trace_id,omitempty"`
+	SpanID        string       `json:"span_id,omitempty"`
+	ParentSpanID  string       `json:"parent_span_id,omitempty"`
+	Remote        bool         `json:"remote,omitempty"`
 	Children      []*TraceNode `json:"children,omitempty"`
+
+	// Numeric identities for merge-time stitching (the exported hex forms
+	// are for human and JSON consumers).
+	traceID      uint64
+	spanID       uint64
+	parentSpanID uint64
 }
 
 // Tree converts a completed sampled span into an exportable trace tree
@@ -162,6 +189,17 @@ func (s *Span) Tree() *TraceNode {
 		Name:          s.name,
 		StartUnixNano: s.start.UnixNano(),
 		DurationNanos: s.durNanos,
+		SpanID:        fmt.Sprintf("%016x", s.spanID),
+		traceID:       s.traceID,
+		spanID:        s.spanID,
+	}
+	if s.parent == nil {
+		n.TraceID = fmt.Sprintf("%016x", s.traceID)
+	}
+	if s.remoteParent != 0 {
+		n.ParentSpanID = fmt.Sprintf("%016x", s.remoteParent)
+		n.Remote = true
+		n.parentSpanID = s.remoteParent
 	}
 	s.mu.Lock()
 	children := append([]*Span(nil), s.children...)

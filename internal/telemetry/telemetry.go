@@ -53,6 +53,24 @@ func ValidName(name string) bool {
 	return prev != '_'
 }
 
+// historySuffixes are the sub-series the telemetry→tsdb scraper derives from
+// one histogram: its tracked percentiles plus the running count and sum.
+var historySuffixes = []string{".p50", ".p90", ".p99", ".count", ".sum"}
+
+// ValidHistorySeries reports whether name is a legal metric-history series:
+// a valid metric name, optionally carrying one of the scrape suffixes the
+// telemetry→tsdb bridge appends to histogram names (.p50/.p90/.p99/.count/
+// .sum). SLO objectives reference scraped series by these names, and the
+// metricname analyzer enforces the format on their literal arguments.
+func ValidHistorySeries(name string) bool {
+	for _, suf := range historySuffixes {
+		if len(name) > len(suf) && name[len(name)-len(suf):] == suf {
+			return ValidName(name[:len(name)-len(suf)])
+		}
+	}
+	return ValidName(name)
+}
+
 func mustValidName(name string) {
 	if !ValidName(name) {
 		panic(fmt.Sprintf("telemetry: invalid metric name %q: must be snake_case with a darnet_ prefix", name))

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Cross-process tracing: a span's identity can be serialized into a
+// SpanContext, carried across the wire inside a protocol frame, and joined on
+// the receiving process with JoinRemote. Fragments of the same trace — the
+// agent's flush span, the controller's ingest span, the stream pipeline's
+// tick span — complete independently in the tracer ring and are stitched
+// back into one tree at export time by MergedTraces, which is what /tracez
+// serves. Synthetic segments (Segment) make the intervals no local span
+// covers — wire transit, queue dwell — explicit children of the merged tree.
+
+// SpanContext is the serializable identity of a span: enough for a remote
+// process to continue the trace. The zero value means "no trace" — a legacy
+// peer, or tracing disabled — and every consumer treats it as absent.
+type SpanContext struct {
+	// TraceID identifies the whole trace; every span of the trace shares it.
+	TraceID uint64
+	// SpanID identifies the span this context was captured from; a span
+	// joined remotely records it as its parent.
+	SpanID uint64
+	// Sampled propagates the sampling decision: a remote join of a sampled
+	// context is retained regardless of the local sampling counter, so a
+	// trace sampled at its root is captured end to end.
+	Sampled bool
+	// SentUnixNano timestamps the hand-off (set by the sender just before
+	// the context crosses a process boundary), letting the receiver render
+	// the wire-transit interval as an explicit segment.
+	SentUnixNano int64
+}
+
+// Valid reports whether the context identifies a trace (the zero value does
+// not).
+func (c SpanContext) Valid() bool { return c.TraceID != 0 && c.SpanID != 0 }
+
+// Span and trace IDs are drawn from one process-wide sequence mixed through
+// a splitmix64 finalizer: unique within the process by construction, and the
+// time-of-start seed decorrelates IDs across the fleet's processes without
+// touching math/rand's global state. Two atomic ops per ID keeps span
+// creation on the allocation-free hot path.
+var (
+	idSeq  atomic.Uint64
+	idSeed = uint64(time.Now().UnixNano())
+)
+
+//lint:hotpath
+func newID() uint64 {
+	x := mix64(idSeq.Add(1) + idSeed)
+	if x == 0 {
+		return 1 // 0 is the "absent" sentinel; never issue it
+	}
+	return x
+}
+
+// mix64 is the splitmix64 output permutation: a bijection on uint64, so
+// sequential inputs still yield unique, well-scattered IDs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Context captures the span's serializable identity for propagation. On a
+// nil span it returns the zero (absent) context, so instrumented senders
+// need no nil checks. SentUnixNano is left zero; the sender stamps it at the
+// hand-off.
+//
+//lint:hotpath
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.traceID, SpanID: s.spanID, Sampled: s.sampled}
+}
+
+// JoinRemote begins a local root span that continues the remote trace
+// described by rc: same trace ID, parented (across the process boundary) to
+// rc's span, and sampled exactly when the remote side sampled — the root's
+// decision governs the whole trace, so joined spans bypass the local
+// sampling counter. An invalid rc degrades to StartRoot, which is what a
+// batch from a legacy peer produces.
+//
+//lint:hotpath
+func (t *Tracer) JoinRemote(name string, rc SpanContext) *Span {
+	if !rc.Valid() {
+		return t.StartRoot(name)
+	}
+	s := t.newSpan(name, nil, rc.Sampled)
+	s.traceID = rc.TraceID
+	s.remoteParent = rc.SpanID
+	return s
+}
+
+// Segment records an already-measured interval as an ended child of s: the
+// stages no local span can time live — wire transit (send stamp to receive),
+// queue dwell (admission to dequeue) — rendered explicitly in the trace
+// tree. Negative durations (cross-process clock skew) clamp to zero. On a
+// nil or unsampled span Segment is a no-op, keeping the unsampled hot path
+// allocation-free.
+func (s *Span) Segment(name string, start time.Time, d time.Duration) {
+	if s == nil || !s.sampled {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	c := &Span{
+		tracer:   s.tracer,
+		parent:   s,
+		name:     name,
+		start:    start,
+		durNanos: int64(d),
+		sampled:  true,
+		traceID:  s.traceID,
+		spanID:   newID(),
+	}
+	c.ended.Store(true)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// MergedTraces returns the completed sampled traces with cross-process
+// fragments stitched together: roots that joined a remote context attach
+// under the span they name as parent when that span's fragment is also in
+// the ring (matched by trace and span ID), and remain top-level fragments —
+// wire-transit and dwell segments intact — when it is not (evicted, or
+// owned by another process). This is the /tracez view.
+func (t *Tracer) MergedTraces() []*TraceNode {
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.recent...)
+	t.mu.Unlock()
+
+	nodes := make([]*TraceNode, 0, len(roots))
+	index := make(map[uint64]*TraceNode) // span ID -> exported node, all fragments
+	for _, r := range roots {
+		n := r.Tree()
+		if n == nil {
+			continue
+		}
+		nodes = append(nodes, n)
+		indexNodes(index, n)
+	}
+	out := make([]*TraceNode, 0, len(nodes))
+	for _, n := range nodes {
+		if n.parentSpanID != 0 {
+			if p, ok := index[n.parentSpanID]; ok && p.traceID == n.traceID {
+				p.Children = append(p.Children, n)
+				continue
+			}
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func indexNodes(index map[uint64]*TraceNode, n *TraceNode) {
+	if n.spanID != 0 {
+		index[n.spanID] = n
+	}
+	for _, c := range n.Children {
+		indexNodes(index, c)
+	}
+}

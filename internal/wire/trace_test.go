@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"darnet/internal/telemetry"
+)
+
+func TestSampleBatchTraceRoundTrip(t *testing.T) {
+	m := &SampleBatch{
+		AgentID: "imu-3",
+		Seq:     42,
+		Readings: []Reading{
+			{TimestampMillis: 100, Sensor: "accel", Values: []float64{1, 2, 3}},
+		},
+		Trace: telemetry.SpanContext{
+			TraceID:      0xdeadbeefcafef00d,
+			SpanID:       0x0123456789abcdef,
+			Sampled:      true,
+			SentUnixNano: 1700000000123456789,
+		},
+	}
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("trace round trip: %+v != %+v", got, m)
+	}
+
+	// Unsampled-but-present context keeps the flag clear across the wire.
+	m.Trace.Sampled = false
+	got = roundTrip(t, m)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("unsampled trace round trip: %+v != %+v", got, m)
+	}
+}
+
+// TestSampleBatchNoTraceIsV3Identical pins the compatibility contract: a v4
+// batch without a trace context encodes to exactly the bytes a v3 sender
+// produces, and decoding a v3 frame yields the zero ("no trace") context.
+func TestSampleBatchNoTraceIsV3Identical(t *testing.T) {
+	batch := func() *SampleBatch {
+		return &SampleBatch{
+			AgentID:  "legacy-1",
+			Seq:      7,
+			Readings: []Reading{{TimestampMillis: 5, Sensor: "gyro", Values: []float64{0.5}}},
+		}
+	}
+
+	// v3 encoding, hand-built field by field per PROTOCOL.md.
+	var v3 writer
+	v3.str("legacy-1")
+	v3.u64(7)
+	v3.u32(1)
+	v3.i64(5)
+	v3.str("gyro")
+	v3.u32(1)
+	v3.f64(0.5)
+
+	var v4 writer
+	batch().encodeBody(&v4)
+	if !reflect.DeepEqual(v3.buf, v4.buf) {
+		t.Fatalf("traceless v4 encoding diverges from v3:\nv3 %x\nv4 %x", v3.buf, v4.buf)
+	}
+
+	var decoded SampleBatch
+	if err := decoded.decodeBody(&reader{buf: v3.buf}); err != nil {
+		t.Fatalf("decode v3 frame: %v", err)
+	}
+	if decoded.Trace != (telemetry.SpanContext{}) {
+		t.Fatalf("v3 frame must decode to the absent trace context, got %+v", decoded.Trace)
+	}
+	if !reflect.DeepEqual(&decoded, batch()) {
+		t.Fatalf("v3 decode mismatch: %+v", &decoded)
+	}
+}
+
+func TestSampleBatchMangledTraceFieldRejected(t *testing.T) {
+	m := &SampleBatch{
+		AgentID: "x",
+		Trace:   telemetry.SpanContext{TraceID: 1, SpanID: 2, Sampled: true},
+	}
+	// A trace field of any length other than exactly traceFieldSize is
+	// indistinguishable from trailing garbage and must be rejected by Recv's
+	// trailing-bytes check — never parsed partially, never panicking.
+	var w writer
+	m.encodeBody(&w)
+	for cut := 1; cut < traceFieldSize; cut++ {
+		body := w.buf[:len(w.buf)-cut]
+		frame := make([]byte, 0, 5+len(body))
+		frame = append(frame, 0, 0, 0, 0, uint8(TypeSampleBatch))
+		frame = append(frame, body...)
+		frame[0] = byte((len(frame) - 4) >> 24)
+		frame[1] = byte((len(frame) - 4) >> 16)
+		frame[2] = byte((len(frame) - 4) >> 8)
+		frame[3] = byte(len(frame) - 4)
+		if _, err := NewConn(rwBuf(frame)).Recv(); err == nil {
+			t.Fatalf("mangled trace field (cut %d bytes) decoded without error", cut)
+		}
+	}
+}

@@ -46,8 +46,10 @@ const (
 // added per-agent batch sequence numbers and the heartbeat message, the basis
 // of at-least-once delivery with controller-side deduplication. Version 3
 // added the credit field on Ack, the backpressure signal of the streaming
-// classification pipeline.
-const ProtocolVersion = 3
+// classification pipeline. Version 4 added the optional trailing
+// trace-context field on SampleBatch, joining agent-side and controller-side
+// spans into one distributed trace.
+const ProtocolVersion = 4
 
 // MaxFrameSize bounds a single frame; oversized frames indicate corruption
 // or abuse and abort the connection.
@@ -124,7 +126,18 @@ type SampleBatch struct {
 	AgentID  string
 	Seq      uint64
 	Readings []Reading
+
+	// Trace is the agent-side flush span's context (protocol v4), encoded as
+	// an optional trailing field: present only when the context is non-zero,
+	// so a v3 peer — or a v4 agent with tracing disabled — emits and accepts
+	// byte-identical v3 frames. The zero value means "no trace".
+	Trace telemetry.SpanContext
 }
+
+// traceFieldSize is the encoded size of the optional v4 trace-context field:
+// trace ID (u64) + span ID (u64) + flags (u8, bit 0 = sampled) + send
+// timestamp (i64 nanoseconds).
+const traceFieldSize = 8 + 8 + 1 + 8
 
 // Type implements Message.
 func (*SampleBatch) Type() MsgType { return TypeSampleBatch }
@@ -140,6 +153,18 @@ func (m *SampleBatch) encodeBody(w *writer) {
 		for _, v := range rd.Values {
 			w.f64(v)
 		}
+	}
+	// Optional v4 trace context, written only when present: absence keeps the
+	// frame byte-identical to v3, which is the whole compatibility story.
+	if m.Trace.TraceID != 0 || m.Trace.SpanID != 0 {
+		w.u64(m.Trace.TraceID)
+		w.u64(m.Trace.SpanID)
+		var flags uint8
+		if m.Trace.Sampled {
+			flags |= 1
+		}
+		w.u8(flags)
+		w.i64(m.Trace.SentUnixNano)
 	}
 }
 
@@ -168,6 +193,21 @@ func (m *SampleBatch) decodeBody(r *reader) error {
 		for j := range m.Readings[i].Values {
 			m.Readings[i].Values[j] = r.f64()
 		}
+	}
+	if r.err != nil {
+		return r.err
+	}
+	// Optional v4 trace context: a v3 frame simply ends here, leaving Trace
+	// zero ("no trace"). The field is consumed only when exactly its size
+	// remains — a partial or padded remainder is left in place, so Recv's
+	// trailing-bytes check rejects it like any other corruption.
+	if len(r.buf)-r.off == traceFieldSize {
+		m.Trace.TraceID = r.u64()
+		m.Trace.SpanID = r.u64()
+		m.Trace.Sampled = r.u8()&1 != 0
+		m.Trace.SentUnixNano = r.i64()
+	} else {
+		m.Trace = telemetry.SpanContext{}
 	}
 	return r.err
 }
