@@ -19,7 +19,13 @@ STREAM_OUT ?= /tmp/darnet-stream-smoke.json
 # refresh the committed observability-overhead benchmark.
 OBS_OUT ?= /tmp/darnet-obs-smoke.json
 
-.PHONY: verify fmt vet lint lint-module lint-fast build test race bench-smoke stream-smoke obs-smoke chaos
+.PHONY: verify fmt vet lint lint-module lint-fast lint-concurrency build test race bench-smoke stream-smoke obs-smoke chaos
+
+# The module-scope lint sweep in verify must finish inside this many
+# milliseconds: the analyzers are part of the inner loop, and a regression
+# in IR construction or summary linking should fail the gate, not silently
+# tax every future build.
+LINT_BUDGET_MS ?= 2000
 
 verify: fmt vet lint build test race stream-smoke obs-smoke
 	@echo "verify: OK"
@@ -35,19 +41,32 @@ vet:
 
 # lint runs the full analyzer registry at module scope (the default): the
 # packages are linked in dependency order, goleak/lockorder/hotalloc/ctxprop
-# follow calls across package boundaries, and the module-only shapeflow
-# analyzer runs. Per-analyzer and per-phase wall time go to stderr.
+# follow calls across package boundaries, and the module-only analyzers
+# (shapeflow, chanlife, atomicmix, qbound) run. Per-analyzer and per-phase
+# wall time go to stderr, and the sweep itself — binary prebuilt so compile
+# time doesn't count — must finish inside LINT_BUDGET_MS.
 # lint-module is the same gate spelled explicitly (CI calls it for the
 # artifact upload); lint-fast drops to per-package scope and skips the
-# interprocedural analyzers — the quick inner-loop check.
+# interprocedural analyzers — the quick inner-loop check; lint-concurrency
+# runs only the three concurrency analyzers.
 lint:
-	$(GO) run ./cmd/darnet-lint -timings ./...
+	@$(GO) build -o /tmp/darnet-lint-verify ./cmd/darnet-lint
+	@start=$$(date +%s%N); /tmp/darnet-lint-verify -timings ./...; rc=$$?; \
+	ms=$$(( ($$(date +%s%N) - start) / 1000000 )); \
+	if [ $$rc -ne 0 ]; then exit $$rc; fi; \
+	echo "lint: module sweep took $${ms}ms (budget $(LINT_BUDGET_MS)ms)"; \
+	if [ $$ms -gt $(LINT_BUDGET_MS) ]; then \
+		echo "lint: exceeded the $(LINT_BUDGET_MS)ms wall-time budget"; exit 1; \
+	fi
 
 lint-module:
 	$(GO) run ./cmd/darnet-lint -ipa=module -timings ./...
 
 lint-fast:
 	$(GO) run ./cmd/darnet-lint -ipa=pkg -skip goleak,lockorder,hotalloc,ctxprop ./...
+
+lint-concurrency:
+	$(GO) run ./cmd/darnet-lint -ipa=module -only chanlife,atomicmix,qbound ./...
 
 build:
 	$(GO) build ./...

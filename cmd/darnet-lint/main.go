@@ -1,7 +1,7 @@
 // Command darnet-lint runs DarNet's project-specific static analyzers over
 // the module and exits non-zero on findings.
 //
-//	darnet-lint [-json|-sarif] [-list] [-only rules] [-skip rules] [-ipa pkg|module] [-timings] [packages...]
+//	darnet-lint [-json|-sarif] [-list] [-only rules] [-skip rules] [-ipa pkg|module] [-timings] [-unused-ignores] [packages...]
 //
 // Packages default to ./... (the whole module); "dir/..." subtree patterns
 // and plain directory paths are also accepted. Each finding is reported as
@@ -23,13 +23,20 @@
 // -only and -skip take comma-separated analyzer names (see -list) and
 // select a subset of the registry; naming an unknown analyzer is an error,
 // not a silent no-op. -timings reports per-analyzer wall time (aggregated
-// across packages) on stderr, plus per-phase load/analyze/link times in
+// across packages) on stderr, plus per-phase load/ir/analyze/link times in
 // module mode.
 //
 // Suppress a finding with a justified directive on the offending line or
 // the line above:
 //
 //	//lint:ignore <rule> <reason>
+//
+// -unused-ignores additionally reports (as [unused-ignore] findings)
+// every such directive that suppressed nothing — neither an analyzer
+// finding nor a summary-export site. It requires -ipa=module: whether a
+// suppression is consumed by a dependent package is a whole-module
+// question. Unused reporting is relative to the analyzers that ran, so a
+// directive for a -skip'd analyzer is dormant, not stale.
 package main
 
 import (
@@ -49,6 +56,7 @@ func main() {
 	skip := flag.String("skip", "", "comma-separated analyzers to exclude")
 	ipa := flag.String("ipa", "module", "interprocedural scope: module (cross-package linking) or pkg")
 	timings := flag.Bool("timings", false, "report per-analyzer wall time on stderr")
+	unusedIgnores := flag.Bool("unused-ignores", false, "also report //lint:ignore directives that suppressed nothing (requires -ipa=module)")
 	flag.Parse()
 
 	if *list {
@@ -73,6 +81,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "darnet-lint: -ipa must be \"pkg\" or \"module\", got %q\n", *ipa)
 		os.Exit(2)
 	}
+	if *unusedIgnores && *ipa != "module" {
+		fmt.Fprintln(os.Stderr, "darnet-lint: -unused-ignores requires -ipa=module (usage is resolved against the whole linked module)")
+		os.Exit(2)
+	}
 
 	analyzers, err := selectAnalyzers(*only, *skip, *ipa)
 	if err != nil {
@@ -84,10 +96,14 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, spent, phases, err := run(patterns, analyzers, *ipa)
+	diags, unused, spent, phases, err := run(patterns, analyzers, *ipa)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "darnet-lint: %v\n", err)
 		os.Exit(2)
+	}
+	if *unusedIgnores {
+		diags = append(diags, unused...)
+		lint.SortDiagnostics(diags)
 	}
 
 	var out string
@@ -217,26 +233,27 @@ func editDistance(a, b string) int {
 // run loads every package matching the patterns and applies the analyzers —
 // as one linked module in dependency order when ipa is "module", or each
 // package in isolation when "pkg" — returning the globally sorted findings,
-// per-analyzer wall time (nanoseconds, summed across packages), and the
-// pipeline phase timings (module mode only).
-func run(patterns []string, analyzers []*lint.Analyzer, ipa string) ([]lint.Diagnostic, map[string]int64, []lint.Timing, error) {
+// the unused //lint:ignore directives (module mode only), per-analyzer wall
+// time (nanoseconds, summed across packages), and the pipeline phase
+// timings (module mode only).
+func run(patterns []string, analyzers []*lint.Analyzer, ipa string) ([]lint.Diagnostic, []lint.Diagnostic, map[string]int64, []lint.Timing, error) {
 	cwd, err := os.Getwd()
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	loader, err := lint.NewLoader(cwd)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	var pkgs [][2]string
 	seen := make(map[string]bool)
 	for _, pattern := range patterns {
 		matched, err := loader.ModulePackages(pattern)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		if len(matched) == 0 {
-			return nil, nil, nil, fmt.Errorf("no packages match %q", pattern)
+			return nil, nil, nil, nil, fmt.Errorf("no packages match %q", pattern)
 		}
 		for _, p := range matched {
 			if !seen[p[1]] {
@@ -249,9 +266,9 @@ func run(patterns []string, analyzers []*lint.Analyzer, ipa string) ([]lint.Diag
 	if ipa == "module" {
 		res, err := lint.AnalyzeModule(loader, pkgs, analyzers)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
-		return res.Diags, res.Spent, res.Phases, nil
+		return res.Diags, res.Unused, res.Spent, res.Phases, nil
 	}
 
 	spent := make(map[string]int64)
@@ -259,7 +276,7 @@ func run(patterns []string, analyzers []*lint.Analyzer, ipa string) ([]lint.Diag
 	for _, p := range pkgs {
 		pkg, err := loader.LoadDir(p[0], p[1])
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		got, timings := lint.RunTimed(pkg, analyzers)
 		diags = append(diags, got...)
@@ -268,5 +285,5 @@ func run(patterns []string, analyzers []*lint.Analyzer, ipa string) ([]lint.Diag
 		}
 	}
 	lint.SortDiagnostics(diags)
-	return diags, spent, nil, nil
+	return diags, nil, spent, nil, nil
 }

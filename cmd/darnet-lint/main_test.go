@@ -27,7 +27,7 @@ func TestDriverOutputDeterministic(t *testing.T) {
 			analyzers := registryFor(ipa)
 			var text, jsonOut, sarif [2]string
 			for i := 0; i < 2; i++ {
-				diags, spent, phases, err := run(fixtureDirs, analyzers, ipa)
+				diags, _, spent, phases, err := run(fixtureDirs, analyzers, ipa)
 				if err != nil {
 					t.Fatalf("run %d: %v", i, err)
 				}
@@ -39,8 +39,8 @@ func TestDriverOutputDeterministic(t *testing.T) {
 						t.Fatalf("run %d: no timing recorded for %s", i, a.Name)
 					}
 				}
-				if ipa == "module" && len(phases) != 3 {
-					t.Fatalf("run %d: module mode reported %d phases, want 3", i, len(phases))
+				if ipa == "module" && len(phases) != 4 {
+					t.Fatalf("run %d: module mode reported %d phases, want 4 (load/ir/analyze/link)", i, len(phases))
 				}
 				if ipa == "pkg" && phases != nil {
 					t.Fatalf("run %d: pkg mode reported phases %v", i, phases)

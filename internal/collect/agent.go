@@ -57,6 +57,12 @@ func (s SensorFunc) Read() []float64 { return s.ReadFunc() }
 // accumulate in a spill buffer bounded by MaxSpill; when an outage outlasts
 // the bound, the oldest spilled readings are dropped first (the freshest
 // data is the most valuable for real-time classification).
+//
+// The spill buffer is the occupancy ledger of that bound: darnet-lint's
+// qbound analyzer verifies every append is either preceded by a capacity
+// check or trimmed back under one on every path to return.
+//
+//lint:bounded buf
 type Agent struct {
 	ID           string
 	Modality     string
@@ -171,15 +177,13 @@ func (a *Agent) Poll() {
 			Values:          s.Read(),
 		})
 	}
-	if a.maxSpill > 0 {
-		if over := len(a.pending) + len(a.buf) - a.maxSpill; over > 0 && len(a.buf) > 0 {
-			if over > len(a.buf) {
-				over = len(a.buf)
-			}
-			a.buf = append(a.buf[:0], a.buf[over:]...)
-			a.dropped += int64(over)
-			mSpillDropped.Add(int64(over))
+	if over := len(a.pending) + len(a.buf) - a.maxSpill; a.maxSpill > 0 && over > 0 && len(a.buf) > 0 {
+		if over > len(a.buf) {
+			over = len(a.buf)
 		}
+		a.buf = append(a.buf[:0], a.buf[over:]...)
+		a.dropped += int64(over)
+		mSpillDropped.Add(int64(over))
 	}
 }
 

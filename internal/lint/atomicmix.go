@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Atomicmix reports a struct field or package-level variable reached by
+// both sync/atomic operations and plain reads/writes anywhere in the
+// module. Mixing the two is a data race the runtime race detector only
+// catches on interleavings the test suite happens to execute; statically
+// the mix is visible in every build. The atomic.Int64-style wrapper types
+// are inert here — the type system already forbids plain access to them.
+//
+// Identities are position-independent (`pkgpath.Type.field`, `pkgpath.var`)
+// and travel through the module summary channel, so a package that plainly
+// reads a counter another package manages with atomic.AddInt64 is a finding
+// even though neither package alone shows the mix. Suppress a deliberate
+// mix (e.g. a read under a lock that orders it) with
+// `//lint:ignore atomicmix <reason>`.
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields and package vars must not mix sync/atomic access with plain reads/writes anywhere in the module",
+	Run:  runAtomicmix,
+}
+
+// accessKind distinguishes the two sides of the mix.
+type accessKind int8
+
+const (
+	accessAtomic accessKind = iota
+	accessPlain
+)
+
+// atomicAccess is one recorded access to a trackable identity.
+type atomicAccess struct {
+	id       string
+	pos      token.Pos
+	kind     accessKind
+	write    bool
+	exported bool // identity reachable from other packages
+	node     *FuncNode
+}
+
+// atomicCensus is the package-wide access census, built once per IPA and
+// shared by the analyzer and ExportSummaries.
+type atomicCensus struct {
+	accesses []atomicAccess
+}
+
+func (ipa *IPA) atomicCensus() *atomicCensus {
+	if ipa.atoms == nil {
+		ipa.atoms = buildAtomicCensus(ipa)
+	}
+	return ipa.atoms
+}
+
+func buildAtomicCensus(ipa *IPA) *atomicCensus {
+	c := &atomicCensus{}
+	for _, n := range ipa.Graph.Nodes {
+		if n.Body == nil {
+			continue
+		}
+		w := &censusWalker{info: ipa.Pkg.Info, node: n, out: c}
+		w.collectWrites(n.Body)
+		w.walk(n.Body, false)
+	}
+	sort.Slice(c.accesses, func(i, j int) bool { return c.accesses[i].pos < c.accesses[j].pos })
+	return c
+}
+
+type censusWalker struct {
+	info   *types.Info
+	node   *FuncNode
+	out    *atomicCensus
+	writes map[ast.Expr]bool // exprs in write position (assign LHS, ++/--)
+	exempt map[ast.Expr]bool // &-targets of sync/atomic calls
+}
+
+func (w *censusWalker) collectWrites(body ast.Node) {
+	w.writes = make(map[ast.Expr]bool)
+	w.exempt = make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				w.writes[ast.Unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			w.writes[ast.Unparen(x.X)] = true
+		case *ast.CallExpr:
+			if fn := calleeFunc(w.info, x); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && len(x.Args) > 0 {
+				if u, ok := ast.Unparen(x.Args[0]).(*ast.UnaryExpr); ok && u.Op == token.AND {
+					target := ast.Unparen(u.X)
+					w.exempt[target] = true
+					if id, exported := w.identityOf(target); id != "" {
+						w.out.accesses = append(w.out.accesses, atomicAccess{
+							id:       id,
+							pos:      target.Pos(),
+							kind:     accessAtomic,
+							write:    atomicFuncWrites(fn.Name()),
+							exported: exported,
+							node:     w.node,
+						})
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func atomicFuncWrites(name string) bool {
+	for _, p := range []string{"Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// walk records plain accesses. Composite-literal bodies are skipped: the
+// `T{n: 0}` construction idiom precedes any sharing, and flagging it would
+// make every constructor a finding.
+func (w *censusWalker) walk(n ast.Node, inComposite bool) {
+	if n == nil {
+		return
+	}
+	switch x := n.(type) {
+	case *ast.CompositeLit:
+		inComposite = true
+	case *ast.SelectorExpr, *ast.Ident:
+		e := x.(ast.Expr)
+		if !inComposite && !w.exempt[e] {
+			if id, exported := w.identityOf(e); id != "" {
+				w.out.accesses = append(w.out.accesses, atomicAccess{
+					id:       id,
+					pos:      e.Pos(),
+					kind:     accessPlain,
+					write:    w.writes[e],
+					exported: exported,
+					node:     w.node,
+				})
+			}
+		}
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			w.walk(sel.X, inComposite)
+			return
+		}
+		return
+	}
+	comp := inComposite
+	ast.Inspect(n, func(sub ast.Node) bool {
+		if sub == n {
+			return true
+		}
+		w.walk(sub, comp)
+		return false
+	})
+}
+
+// identityOf maps an expression to a trackable identity: a named struct
+// field or package-level variable whose type sync/atomic can operate on
+// (sized integers, uintptr, unsafe.Pointer). Everything else — locals,
+// wrapper-typed fields, plain ints — returns "".
+func (w *censusWalker) identityOf(e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		sel, ok := w.info.Selections[x]
+		if ok && sel.Kind() == types.FieldVal {
+			field, _ := sel.Obj().(*types.Var)
+			if field == nil || !atomicCapable(field.Type()) {
+				return "", false
+			}
+			named := namedOf(sel.Recv())
+			if named == nil || named.Obj().Pkg() == nil {
+				return "", false
+			}
+			id := named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + field.Name()
+			return id, named.Obj().Exported() && field.Exported()
+		}
+		// Package-qualified var: pkg.V.
+		if v, ok := w.info.Uses[x.Sel].(*types.Var); ok {
+			return packageVarIdentity(v)
+		}
+	case *ast.Ident:
+		if v, ok := w.info.Uses[x].(*types.Var); ok {
+			return packageVarIdentity(v)
+		}
+	}
+	return "", false
+}
+
+func packageVarIdentity(v *types.Var) (string, bool) {
+	if v.IsField() || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() || !atomicCapable(v.Type()) {
+		return "", false
+	}
+	return v.Pkg().Path() + "." + v.Name(), v.Exported()
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// atomicCapable reports whether sync/atomic has operations for the type:
+// the sized integers, uintptr, and unsafe.Pointer. `int`, bools, and the
+// atomic wrapper types are excluded — the former have no atomic ops, the
+// latter cannot be accessed plainly at all.
+func atomicCapable(t types.Type) bool {
+	switch b, ok := t.Underlying().(*types.Basic); {
+	case ok:
+		switch b.Kind() {
+		case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr, types.UnsafePointer:
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicmix(pass *Pass) {
+	ipa := pass.IPA()
+	census := ipa.atomicCensus()
+
+	// Module-wide view of each identity's two sides: local accesses plus
+	// the linked summaries' exported refs.
+	atomicAt := map[string]string{} // identity -> first atomic-access loc
+	plainAt := map[string]string{}  // identity -> first remote plain-access loc
+	for _, a := range census.accesses {
+		if a.kind == accessAtomic {
+			if _, ok := atomicAt[a.id]; !ok {
+				atomicAt[a.id] = shortLoc(ipa.Pkg.Fset, a.pos)
+			}
+		}
+	}
+	for _, fs := range ipa.Pkg.deps.All() {
+		for _, ref := range fs.AtomicRefs {
+			if _, ok := atomicAt[ref.ID]; !ok {
+				atomicAt[ref.ID] = ref.Loc
+			}
+		}
+		for _, ref := range fs.PlainRefs {
+			if _, ok := plainAt[ref.ID]; !ok {
+				plainAt[ref.ID] = ref.Loc
+			}
+		}
+	}
+
+	seen := map[token.Pos]bool{}
+	for _, a := range census.accesses {
+		if seen[a.pos] {
+			continue
+		}
+		switch a.kind {
+		case accessPlain:
+			if loc, ok := atomicAt[a.id]; ok {
+				seen[a.pos] = true
+				pass.Reportf(a.pos, "plain %s of %s, which is accessed with sync/atomic at %s: mixing atomic and plain access is a data race", rw(a.write), a.id, loc)
+			}
+		case accessAtomic:
+			// The local-plain case is reported at the plain site above;
+			// this arm only fires when the plain side lives in another
+			// package.
+			if loc, ok := plainAt[a.id]; ok {
+				seen[a.pos] = true
+				pass.Reportf(a.pos, "atomic %s of %s, which is read/written plainly at %s: mixing atomic and plain access is a data race", rw(a.write), a.id, loc)
+			}
+		}
+	}
+}
+
+func rw(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}

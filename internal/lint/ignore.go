@@ -1,20 +1,34 @@
 package lint
 
 import (
+	"go/token"
 	"strings"
 )
+
+// ignoreEntry is one parsed //lint:ignore directive. used flips when the
+// directive suppresses a finding — in the analyzer run or in summary
+// export, where dependency suppressions are consumed — so the driver's
+// -unused-ignores mode can report directives that no longer earn their
+// keep.
+type ignoreEntry struct {
+	rule string
+	pos  token.Position
+	used bool
+}
 
 // ignoreSet indexes //lint:ignore directives by file and line. A directive
 // suppresses matching findings on its own line and the line directly below
 // it (the conventional "comment above the statement" placement).
 type ignoreSet struct {
-	// byLine maps file -> line -> rules ignored there ("all" matches any).
-	byLine    map[string]map[int][]string
+	// byLine maps file -> line -> directives anchored there ("all" matches
+	// any rule).
+	byLine    map[string]map[int][]*ignoreEntry
+	entries   []*ignoreEntry
 	malformed []Diagnostic
 }
 
 func buildIgnores(pkg *Package) *ignoreSet {
-	ig := &ignoreSet{byLine: make(map[string]map[int][]string)}
+	ig := &ignoreSet{byLine: make(map[string]map[int][]*ignoreEntry)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -33,12 +47,14 @@ func buildIgnores(pkg *Package) *ignoreSet {
 					})
 					continue
 				}
+				e := &ignoreEntry{rule: fields[0], pos: pos}
+				ig.entries = append(ig.entries, e)
 				lines := ig.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]*ignoreEntry)
 					ig.byLine[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], fields[0])
+				lines[pos.Line] = append(lines[pos.Line], e)
 			}
 		}
 	}
@@ -50,12 +66,42 @@ func (ig *ignoreSet) suppressed(d Diagnostic) bool {
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, rule := range lines[line] {
-			if rule == d.Rule || rule == "all" {
-				return true
+		for _, e := range lines[line] {
+			if e.rule == d.Rule || e.rule == "all" {
+				e.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// unused returns one diagnostic per directive that suppressed nothing,
+// restricted to rules the run actually exercised: an ignore for an
+// analyzer that was skipped this invocation is not stale, it is dormant.
+// Directives naming a rule no registry knows are always reported.
+func (ig *ignoreSet) unused(ran map[string]bool, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range ig.entries {
+		if e.used {
+			continue
+		}
+		switch {
+		case !known[e.rule] && e.rule != "all":
+			out = append(out, Diagnostic{
+				Pos:     e.pos,
+				Rule:    "unused-ignore",
+				Message: "//lint:ignore " + e.rule + " names no known analyzer",
+			})
+		case ran[e.rule] || e.rule == "all":
+			out = append(out, Diagnostic{
+				Pos:     e.pos,
+				Rule:    "unused-ignore",
+				Message: "//lint:ignore " + e.rule + " suppressed nothing in this run; delete it",
+			})
+		}
+	}
+	return out
 }

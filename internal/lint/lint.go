@@ -138,7 +138,7 @@ func RunTimed(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 		a.Run(pass)
 		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: time.Since(start)})
 	}
-	ig := buildIgnores(pkg)
+	ig := pkg.ignores()
 	kept := diags[:0]
 	for _, d := range diags {
 		if !ig.suppressed(d) {
@@ -148,6 +148,22 @@ func RunTimed(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 	kept = append(kept, ig.malformed...)
 	SortDiagnostics(kept)
 	return kept, timings
+}
+
+// UnusedIgnores reports the package's //lint:ignore directives that
+// suppressed nothing, relative to the analyzers that actually ran (a
+// directive for a skipped analyzer is dormant, not stale). Call it after
+// RunTimed and ExportSummaries: both mark usage on the shared entry set.
+func (pkg *Package) UnusedIgnores(analyzers []*Analyzer) []Diagnostic {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	known := make(map[string]bool)
+	for _, a := range AllModule() {
+		known[a.Name] = true
+	}
+	return pkg.ignores().unused(ran, known)
 }
 
 // SortDiagnostics orders findings by (file, line, column, rule), the stable

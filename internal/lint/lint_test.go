@@ -46,6 +46,9 @@ func fixtures() []fixtureCase {
 		{analyzer: lint.Hotalloc, fixture: "hotalloc", importPath: base + "hotalloc"},
 		{analyzer: lint.Hotalloc, fixture: "hotallocpool", importPath: base + "hotallocpool", allowNoWants: true},
 		{analyzer: lint.Ctxprop, fixture: "ctxprop", importPath: base + "ctxprop"},
+		{analyzer: lint.Chanlife, fixture: "chanlife", importPath: base + "chanlife"},
+		{analyzer: lint.Atomicmix, fixture: "atomicmix", importPath: base + "atomicmix"},
+		{analyzer: lint.Qbound, fixture: "qbound", importPath: base + "qbound"},
 	}
 }
 

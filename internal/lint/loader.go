@@ -28,6 +28,9 @@ type Package struct {
 	ipaOnce sync.Once
 	ipaVal  *IPA
 
+	igOnce sync.Once
+	igVal  *ignoreSet
+
 	// deps links this package to the function summaries of its
 	// already-analyzed in-module dependencies. Nil in per-package mode;
 	// the module analysis (AnalyzeModule) sets it before the first
@@ -45,6 +48,14 @@ func (p *Package) SetDeps(ix *ModuleIndex) { p.deps = ix }
 func (p *Package) ipa() *IPA {
 	p.ipaOnce.Do(func() { p.ipaVal = buildIPA(p) })
 	return p.ipaVal
+}
+
+// ignores lazily parses the package's //lint:ignore directives exactly
+// once, so the analyzer run and the summary export mark usage on the same
+// entries — the bookkeeping behind the driver's -unused-ignores mode.
+func (p *Package) ignores() *ignoreSet {
+	p.igOnce.Do(func() { p.igVal = buildIgnores(p) })
+	return p.igVal
 }
 
 // Loader parses module packages from source and type-checks them against

@@ -1,0 +1,330 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"darnet/internal/lint"
+)
+
+// modflowBase is the synthetic import-path prefix of the concurrency
+// fixture tree under testdata/src/modflow (root -> mid -> leaf, plus the
+// clean rootquiet the mutation tests seed defects into).
+const modflowBase = "darnet/internal/lintfixture/modflow/"
+
+func modflowPkgs(dir string) [][2]string {
+	return [][2]string{
+		{filepath.Join(dir, "root"), modflowBase + "root"},
+		{filepath.Join(dir, "rootquiet"), modflowBase + "rootquiet"},
+		{filepath.Join(dir, "leaf"), modflowBase + "leaf"},
+		{filepath.Join(dir, "mid"), modflowBase + "mid"},
+	}
+}
+
+var modflowDir = filepath.Join("testdata", "src", "modflow")
+
+// TestModflowLinkedFindings is the positive half of the concurrency
+// contract: linked as one module, the tree yields exactly the two findings
+// seeded in package root — a plain read of the counter mid manages
+// atomically (atomicmix, via mid's serialized access refs) and a close of a
+// channel leaf.Halt already closed two packages down (chanlife, via the
+// mustclose op folded through mid.Stop's summary).
+func TestModflowLinkedFindings(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	res, err := lint.AnalyzeModule(loader, modflowPkgs(modflowDir), lint.AllModule())
+	if err != nil {
+		t.Fatalf("AnalyzeModule: %v", err)
+	}
+	for _, d := range res.Diags {
+		if !strings.Contains(filepath.ToSlash(d.Pos.Filename), "modflow/root/") {
+			t.Errorf("finding outside package root: %s", d)
+		}
+	}
+	wants := []struct{ rule, substr string }{
+		{"atomicmix", "plain read of " + modflowBase + "leaf.Live"},
+		{"chanlife", "close of already-closed channel ch"},
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range res.Diags {
+			if d.Rule == w.rule && strings.Contains(d.Message, w.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s finding containing %q in %v", w.rule, w.substr, res.Diags)
+		}
+	}
+	if len(res.Diags) != 2 {
+		t.Errorf("want exactly 2 module-linked findings (atomicmix, chanlife), got %d: %v", len(res.Diags), res.Diags)
+	}
+}
+
+// TestModflowFindingsVanishPerPackage is the negative half, and stronger
+// than registry membership: even with the module-scope analyzers running,
+// the per-package engine (no summary index) misses both seeded findings —
+// root alone has no atomic side for the mix, and mid.Stop degrades to the
+// effect-free external-callee assumption without its linked summary.
+func TestModflowFindingsVanishPerPackage(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	order := []string{"leaf", "mid", "root", "rootquiet"}
+	var diags []lint.Diagnostic
+	for _, name := range order {
+		pkg, err := loader.LoadDir(filepath.Join(modflowDir, name), modflowBase+name)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		loader.RegisterSource(pkg)
+		diags = append(diags, lint.Run(pkg, lint.All())...)
+		diags = append(diags, lint.Run(pkg, lint.AllModule())...)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("per-package analysis must miss the cross-package concurrency findings, got %v", diags)
+	}
+}
+
+// TestModflowSummaryRoundTripBytes pins the new summary currency at the
+// byte level: encoding, decoding, and re-encoding a package's summaries is
+// the identity on the wire format, and the channel-op and atomic-access
+// refs the modflow findings depend on survive the cycle.
+func TestModflowSummaryRoundTripBytes(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	leaf, err := loader.LoadDir(filepath.Join(modflowDir, "leaf"), modflowBase+"leaf")
+	if err != nil {
+		t.Fatalf("load leaf: %v", err)
+	}
+	loader.RegisterSource(leaf)
+
+	ix := lint.NewModuleIndex()
+	leafData, err := lint.EncodeSummaries(lint.ExportSummaries(leaf))
+	if err != nil {
+		t.Fatalf("encode leaf: %v", err)
+	}
+	leafSums, err := lint.DecodeSummaries(leafData)
+	if err != nil {
+		t.Fatalf("decode leaf: %v", err)
+	}
+	ix.Add(leafSums)
+
+	mid, err := loader.LoadDir(filepath.Join(modflowDir, "mid"), modflowBase+"mid")
+	if err != nil {
+		t.Fatalf("load mid: %v", err)
+	}
+	mid.SetDeps(ix)
+
+	for _, pkg := range []*lint.Package{leaf, mid} {
+		data, err := lint.EncodeSummaries(lint.ExportSummaries(pkg))
+		if err != nil {
+			t.Fatalf("encode %s: %v", pkg.Path, err)
+		}
+		decoded, err := lint.DecodeSummaries(data)
+		if err != nil {
+			t.Fatalf("decode %s: %v", pkg.Path, err)
+		}
+		again, err := lint.EncodeSummaries(decoded)
+		if err != nil {
+			t.Fatalf("re-encode %s: %v", pkg.Path, err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Errorf("%s: encode∘decode is not byte-identity:\n%s\nvs\n%s", pkg.Path, data, again)
+		}
+	}
+
+	halt := leafSums.Funcs[modflowBase+"leaf.Halt"]
+	if halt == nil || len(halt.ChanOps) != 1 || halt.ChanOps[0].Op != "mustclose" || halt.ChanOps[0].Param != 0 {
+		t.Errorf("leaf.Halt channel ops wrong: %+v", halt)
+	}
+
+	midData, err := lint.EncodeSummaries(lint.ExportSummaries(mid))
+	if err != nil {
+		t.Fatalf("encode mid: %v", err)
+	}
+	midSums, err := lint.DecodeSummaries(midData)
+	if err != nil {
+		t.Fatalf("decode mid: %v", err)
+	}
+	stop := midSums.Funcs[modflowBase+"mid.Stop"]
+	if stop == nil || len(stop.ChanOps) != 1 || stop.ChanOps[0].Op != "mustclose" || stop.ChanOps[0].Param != 0 {
+		t.Errorf("mid.Stop must inherit leaf.Halt's mustclose through the linked summary: %+v", stop)
+	}
+	bump := midSums.Funcs[modflowBase+"mid.Bump"]
+	if bump == nil || len(bump.AtomicRefs) != 2 ||
+		bump.AtomicRefs[0].ID != modflowBase+"leaf.Live" || !bump.AtomicRefs[0].Write ||
+		bump.AtomicRefs[1].ID != modflowBase+"leaf.Seen" || !bump.AtomicRefs[1].Write {
+		t.Errorf("mid.Bump atomic refs wrong: %+v", bump)
+	}
+}
+
+// TestModuleQboundMutationStream is the qbound acceptance check against
+// real code: deleting the capacity check from stream.Pipeline.Offer's
+// admission loop (the //lint:bounded depth contract) is caught at module
+// scope and structurally missed by -ipa=pkg, where qbound is not
+// registered. The unmutated copy stays clean.
+func TestModuleQboundMutationStream(t *testing.T) {
+	loader, err := mutLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	const admission = "if d >= cap64 {\n\t\t\tp.shed(in)\n\t\t\treturn false\n\t\t}\n\t\t"
+	run := func(name string, mutate bool) (*lint.ModuleResult, *lint.Package) {
+		dir := t.TempDir()
+		copyGoFiles(t, filepath.Join("..", "stream"), dir, func(file, content string) string {
+			if file == "pipeline.go" && mutate {
+				next := strings.Replace(content, admission, "_ = cap64\n\t\t", 1)
+				if next == content {
+					t.Fatalf("pipeline.go drifted: admission check %q not found", admission)
+				}
+				return next
+			}
+			return content
+		})
+		importPath := "darnet/internal/" + name
+		res, err := lint.AnalyzeModule(loader, [][2]string{{dir, importPath}}, lint.AllModule())
+		if err != nil {
+			t.Fatalf("AnalyzeModule(%s): %v", name, err)
+		}
+		pkg, err := loader.LoadDir(dir, importPath)
+		if err != nil {
+			t.Fatalf("reload %s: %v", name, err)
+		}
+		return res, pkg
+	}
+
+	clean, _ := run("streamclean", false)
+	for _, d := range clean.Diags {
+		if d.Rule == "qbound" {
+			t.Fatalf("unmutated internal/stream must be qbound-clean, got %s", d)
+		}
+	}
+
+	mut, mutPkg := run("streammut", true)
+	found := false
+	for _, d := range mut.Diags {
+		if d.Rule == "qbound" && strings.Contains(d.Message, "not dominated by a capacity check") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("module analysis must catch the deleted admission check, got %v", mut.Diags)
+	}
+	for _, d := range lint.Run(mutPkg, lint.All()) {
+		if d.Rule == "qbound" {
+			t.Fatalf("per-package analysis must miss the deleted admission check, got %s", d)
+		}
+	}
+}
+
+// mutateModflow copies the modflow tree into a temp dir, applying mutate to
+// rootquiet's source, runs the module analysis over the copy, and returns
+// the result plus the per-package diagnostics of the same tree.
+func mutateModflow(t *testing.T, mutate func(content string) string) (*lint.ModuleResult, []lint.Diagnostic) {
+	t.Helper()
+	loader, err := mutLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	tmp := t.TempDir()
+	for _, name := range []string{"leaf", "mid", "root", "rootquiet"} {
+		sub := filepath.Join(tmp, name)
+		if err := os.Mkdir(sub, 0o755); err != nil {
+			t.Fatalf("mkdir %s: %v", name, err)
+		}
+		copyGoFiles(t, filepath.Join(modflowDir, name), sub, func(file, content string) string {
+			if name == "rootquiet" {
+				return mutate(content)
+			}
+			return content
+		})
+	}
+	res, err := lint.AnalyzeModule(loader, modflowPkgs(tmp), lint.AllModule())
+	if err != nil {
+		t.Fatalf("AnalyzeModule: %v", err)
+	}
+	var perPkg []lint.Diagnostic
+	for _, name := range []string{"leaf", "mid", "root", "rootquiet"} {
+		pkg, err := loader.LoadDir(filepath.Join(tmp, name), modflowBase+name)
+		if err != nil {
+			t.Fatalf("reload %s: %v", name, err)
+		}
+		loader.RegisterSource(pkg)
+		perPkg = append(perPkg, lint.Run(pkg, lint.AllModule())...)
+	}
+	return res, perPkg
+}
+
+// TestModuleAtomicMutation seeds the "plain read of an atomic counter"
+// defect: rewriting rootquiet's atomic.LoadInt64 into a bare read is caught
+// by the module-linked atomicmix (the atomic side lives in package mid) and
+// missed per-package, where neither side alone shows the mix. This is
+// exactly the defect class the race detector only catches on lucky
+// interleavings.
+func TestModuleAtomicMutation(t *testing.T) {
+	res, perPkg := mutateModflow(t, func(content string) string {
+		next := strings.Replace(content, "return atomic.LoadInt64(&leaf.Seen)", "return leaf.Seen", 1)
+		if next == content {
+			t.Fatalf("rootquiet fixture drifted: atomic read not found")
+		}
+		next = strings.Replace(next, "\t\"sync/atomic\"\n\n", "", 1)
+		if next == content {
+			t.Fatalf("rootquiet fixture drifted: sync/atomic import not found")
+		}
+		return next
+	})
+	found := false
+	for _, d := range res.Diags {
+		if d.Rule == "atomicmix" && strings.Contains(d.Message, "plain read of "+modflowBase+"leaf.Seen") &&
+			strings.Contains(filepath.ToSlash(d.Pos.Filename), "rootquiet") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("module analysis must catch the seeded plain read, got %v", res.Diags)
+	}
+	for _, d := range perPkg {
+		if d.Rule == "atomicmix" {
+			t.Fatalf("per-package analysis must miss the seeded plain read, got %s", d)
+		}
+	}
+}
+
+// TestModuleChanMutation seeds the "double close in a shutdown path"
+// defect: adding a close(ch) after mid.Stop(ch) — whose mustclose effect
+// arrives through two linked summaries — is caught at module scope and
+// missed per-package, where the callee defaults to effect-free.
+func TestModuleChanMutation(t *testing.T) {
+	res, perPkg := mutateModflow(t, func(content string) string {
+		next := strings.Replace(content, "mid.Stop(ch)\n}", "mid.Stop(ch)\n\tclose(ch)\n}", 1)
+		if next == content {
+			t.Fatalf("rootquiet fixture drifted: mid.Stop call not found")
+		}
+		return next
+	})
+	found := false
+	for _, d := range res.Diags {
+		if d.Rule == "chanlife" && strings.Contains(d.Message, "close of already-closed channel ch") &&
+			strings.Contains(filepath.ToSlash(d.Pos.Filename), "rootquiet") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("module analysis must catch the seeded double close, got %v", res.Diags)
+	}
+	for _, d := range perPkg {
+		if d.Rule == "chanlife" {
+			t.Fatalf("per-package analysis must miss the seeded double close, got %s", d)
+		}
+	}
+}

@@ -54,6 +54,28 @@ func (ix *ModuleIndex) Lookup(fn *types.Func) *FuncSummary {
 	return ps.Funcs[FuncKey(fn)]
 }
 
+// All returns every indexed function summary in deterministic (package
+// path, function key) order — the census view used by analyzers that need
+// module-wide facts not keyed by a call edge (atomicmix's access sets).
+func (ix *ModuleIndex) All() []*FuncSummary {
+	if ix == nil {
+		return nil
+	}
+	var out []*FuncSummary
+	for _, path := range ix.Packages() {
+		ps := ix.pkgs[path]
+		keys := make([]string, 0, len(ps.Funcs))
+		for k := range ps.Funcs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out = append(out, ps.Funcs[k])
+		}
+	}
+	return out
+}
+
 // Packages returns the indexed package paths in sorted order.
 func (ix *ModuleIndex) Packages() []string {
 	out := make([]string, 0, len(ix.pkgs))
@@ -100,9 +122,12 @@ func (ix *ModuleIndex) Pairs() []PairRef {
 type ModuleResult struct {
 	Diags    []Diagnostic
 	Packages int
+	// Unused holds the `//lint:ignore` directives that suppressed nothing
+	// in this run (reported by the driver's -unused-ignores mode).
+	Unused []Diagnostic
 	// Phases records wall time for the pipeline stages: "load" (parse +
-	// type-check), "analyze" (analyzer runs), "link" (summary export,
-	// encode, decode, index).
+	// type-check), "ir" (call graph + flow graph construction), "analyze"
+	// (analyzer runs), "link" (summary export, encode, decode, index).
 	Phases []Timing
 	// Spent is per-analyzer wall time in nanoseconds, summed across
 	// packages.
@@ -120,7 +145,7 @@ func AnalyzeModule(loader *Loader, pkgs [][2]string, analyzers []*Analyzer) (*Mo
 		return nil, err
 	}
 	ix := NewModuleIndex()
-	var loadT, analyzeT, linkT time.Duration
+	var loadT, irT, analyzeT, linkT time.Duration
 	for _, p := range order {
 		start := time.Now()
 		pkg, err := loader.LoadDir(p[0], p[1])
@@ -130,6 +155,13 @@ func AnalyzeModule(loader *Loader, pkgs [][2]string, analyzers []*Analyzer) (*Mo
 		loader.RegisterSource(pkg)
 		pkg.SetDeps(ix)
 		loadT += time.Since(start)
+
+		// IR construction — call graph, summaries, and per-function flow
+		// graphs — is forced here so its cost is visible as its own phase
+		// rather than billed to whichever analyzer touches it first.
+		start = time.Now()
+		pkg.BuildIR()
+		irT += time.Since(start)
 
 		start = time.Now()
 		diags, timings := RunTimed(pkg, analyzers)
@@ -150,14 +182,22 @@ func AnalyzeModule(loader *Loader, pkgs [][2]string, analyzers []*Analyzer) (*Mo
 		}
 		ix.Add(decoded)
 		linkT += time.Since(start)
+
+		// Unused-ignore accounting runs last: the export step above marks
+		// ignores consumed by summary filtering as used, so a directive
+		// only lands here when neither the analyzer run nor the module
+		// link needed it.
+		res.Unused = append(res.Unused, pkg.UnusedIgnores(analyzers)...)
 	}
 	res.Packages = len(order)
 	res.Phases = []Timing{
 		{Analyzer: "load", Elapsed: loadT},
+		{Analyzer: "ir", Elapsed: irT},
 		{Analyzer: "analyze", Elapsed: analyzeT},
 		{Analyzer: "link", Elapsed: linkT},
 	}
 	SortDiagnostics(res.Diags)
+	SortDiagnostics(res.Unused)
 	return res, nil
 }
 

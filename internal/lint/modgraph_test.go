@@ -74,8 +74,8 @@ func TestModuleLinkedFindings(t *testing.T) {
 	if len(res.Diags) != 4 {
 		t.Errorf("want exactly 4 module-linked findings (goleak, hotalloc, lockorder, shapeflow), got %d: %v", len(res.Diags), res.Diags)
 	}
-	if len(res.Phases) != 3 {
-		t.Errorf("want 3 pipeline phases (load, analyze, link), got %v", res.Phases)
+	if len(res.Phases) != 4 {
+		t.Errorf("want 4 pipeline phases (load, ir, analyze, link), got %v", res.Phases)
 	}
 }
 

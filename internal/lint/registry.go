@@ -33,11 +33,24 @@ func Interprocedural() []*Analyzer {
 }
 
 // Module returns the analyzers that are only meaningful at module scope,
-// where cross-package shape-transfer summaries are available through the
-// module index.
+// where cross-package summaries (shape transfers, channel effects,
+// atomic/plain access sets) are available through the module index.
 func Module() []*Analyzer {
 	return []*Analyzer{
 		Shapeflow,
+		Chanlife,
+		Atomicmix,
+		Qbound,
+	}
+}
+
+// Concurrency returns the flow-sensitive concurrency analyzers — the
+// `make lint-concurrency` fast-iteration subset.
+func Concurrency() []*Analyzer {
+	return []*Analyzer{
+		Chanlife,
+		Atomicmix,
+		Qbound,
 	}
 }
 

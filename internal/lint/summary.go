@@ -27,6 +27,15 @@ type IPA struct {
 	// shape is the lazily-built shapeflow engine (shapeflow.go), shared so
 	// the analyzer and summary export analyze each function once.
 	shape *shapeEngine
+
+	// flows memoizes per-function flow graphs (cfg.go), the IR every
+	// flow-sensitive analyzer and summary export shares.
+	flows map[*FuncNode]*FlowGraph
+
+	// chans is the lazily-built chanlife engine (chanlife.go); atoms the
+	// package's atomic/plain access census (atomicmix.go).
+	chans *chanEngine
+	atoms *atomicCensus
 }
 
 func buildIPA(pkg *Package) *IPA {
@@ -615,6 +624,34 @@ type FuncSummary struct {
 	// Shape is the function's shape-transfer summary when its tensor
 	// result is derivable from its inputs (see shapeflow.go).
 	Shape *ShapeTransfer `json:"shape,omitempty"`
+
+	// ChanOps are the function's proven effects on its channel parameters
+	// ("mustclose"/"mayclose"/"maysend" by parameter index), the linking
+	// currency of the chanlife analyzer (chanlife.go).
+	ChanOps []ChanOpRef `json:"chanOps,omitempty"`
+
+	// AtomicRefs/PlainRefs are the function's sync/atomic and plain
+	// accesses to exported atomic-capable identities (atomicmix.go),
+	// deduplicated per identity and capped at exportAccessCap.
+	AtomicRefs []AccessRef `json:"atomicRefs,omitempty"`
+	PlainRefs  []AccessRef `json:"plainRefs,omitempty"`
+}
+
+// ChanOpRef is one channel-parameter effect: Op is "mustclose" (closed on
+// every modeled path, including by defer), "mayclose" (closed on some
+// path), or "maysend" (a send on the parameter exists).
+type ChanOpRef struct {
+	Op    string `json:"op"`
+	Param int    `json:"param"`
+	Loc   string `json:"loc"`
+}
+
+// AccessRef is one atomic or plain access to a shared identity
+// ("pkg/path.Type.field" or "pkg/path.var").
+type AccessRef struct {
+	ID    string `json:"id"`
+	Loc   string `json:"loc"`
+	Write bool   `json:"write,omitempty"`
 }
 
 // SiteRef is a fact site with its location rendered for cross-package use.
@@ -685,7 +722,7 @@ const exportAllocCap = 8
 // callers.
 func ExportSummaries(pkg *Package) *PkgSummaries {
 	ipa := pkg.ipa()
-	ig := buildIgnores(pkg)
+	ig := pkg.ignores()
 	ps := &PkgSummaries{Path: pkg.Path, Funcs: make(map[string]*FuncSummary)}
 	for _, n := range ipa.Graph.Nodes {
 		if n.Fn == nil {
@@ -713,9 +750,75 @@ func ExportSummaries(pkg *Package) *PkgSummaries {
 			fs.Pairs = append(fs.Pairs, PairRef{First: key[0], Second: key[1], Loc: shortLoc(pkg.Fset, pos)})
 		}
 		fs.Shape = ipa.shapeEngine().transferFor(n)
+		fs.ChanOps = exportChanOps(ipa, n)
+		fs.AtomicRefs, fs.PlainRefs = exportAccessRefs(pkg, ig, ipa, n)
 		ps.Funcs[fs.Key] = fs
 	}
 	return ps
+}
+
+// exportChanOps projects a function's channel-parameter effects into the
+// serialized form, strongest close fact first per parameter.
+func exportChanOps(ipa *IPA, n *FuncNode) []ChanOpRef {
+	eff := ipa.chanEngine().effectsFor(n)
+	if eff == nil || len(eff.params) == 0 {
+		return nil
+	}
+	idxs := make([]int, 0, len(eff.params))
+	for i := range eff.params {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var out []ChanOpRef
+	for _, i := range idxs {
+		pe := eff.params[i]
+		loc := shortLoc(ipa.Pkg.Fset, pe.pos)
+		switch {
+		case pe.mustClose:
+			out = append(out, ChanOpRef{Op: "mustclose", Param: i, Loc: loc})
+		case pe.mayClose:
+			out = append(out, ChanOpRef{Op: "mayclose", Param: i, Loc: loc})
+		}
+		if pe.maySend {
+			out = append(out, ChanOpRef{Op: "maysend", Param: i, Loc: loc})
+		}
+	}
+	return out
+}
+
+// exportAccessCap bounds the atomic/plain access refs carried per function.
+const exportAccessCap = 8
+
+// exportAccessRefs projects a function's accesses to exported
+// atomic-capable identities, one ref per identity per side, minus accesses
+// justified by //lint:ignore atomicmix (so a dependency's documented mix
+// does not resurface in its importers).
+func exportAccessRefs(pkg *Package, ig *ignoreSet, ipa *IPA, n *FuncNode) (atomics, plains []AccessRef) {
+	census := ipa.atomicCensus()
+	seenA := map[string]bool{}
+	seenP := map[string]bool{}
+	for _, a := range census.accesses {
+		if a.node != n || !a.exported {
+			continue
+		}
+		if ig.suppressed(Diagnostic{Pos: pkg.Fset.Position(a.pos), Rule: "atomicmix"}) {
+			continue
+		}
+		ref := AccessRef{ID: a.id, Loc: shortLoc(pkg.Fset, a.pos), Write: a.write}
+		switch a.kind {
+		case accessAtomic:
+			if !seenA[a.id] && len(atomics) < exportAccessCap {
+				seenA[a.id] = true
+				atomics = append(atomics, ref)
+			}
+		case accessPlain:
+			if !seenP[a.id] && len(plains) < exportAccessCap {
+				seenP[a.id] = true
+				plains = append(plains, ref)
+			}
+		}
+	}
+	return atomics, plains
 }
 
 // transitiveAllocs walks the call graph from n (call, defer, and reference

@@ -1,0 +1,190 @@
+// Package chanlife is the fixture for the flow-sensitive channel-lifecycle
+// analyzer: close-of-closed, send-after-close, nil-channel operations along
+// some path, orphaned unbuffered sends — and the clean idioms (branch
+// refinement, select comms, rendezvous receives, escapes) it must not flag.
+package chanlife
+
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "close of already-closed channel ch"
+}
+
+func sendAfterClose() {
+	ch := make(chan int)
+	close(ch)
+	ch <- 1 // want "send on channel ch after close"
+}
+
+func maybeClosed(b bool) {
+	ch := make(chan int)
+	if b {
+		close(ch)
+	}
+	close(ch) // want "possible close of closed channel ch"
+}
+
+func sendMaybeClosed(b bool) {
+	ch := make(chan int, 1)
+	if b {
+		close(ch)
+	}
+	ch <- 1 // want "closed at .* on a path reaching this send"
+}
+
+func deferredDoubleClose() {
+	ch := make(chan int)
+	defer close(ch)
+	close(ch) // want "deferred close at .* will close it a second time"
+}
+
+func deferredTwice() {
+	ch := make(chan int)
+	defer close(ch)
+	defer close(ch) // want "duplicate deferred close of channel ch"
+}
+
+func nilSend() {
+	var ch chan int
+	ch <- 1 // want "send on nil channel ch blocks forever"
+}
+
+func nilRecv() {
+	var ch chan int
+	<-ch // want "receive from nil channel ch blocks forever"
+}
+
+func nilClose() {
+	var ch chan int
+	close(ch) // want "close of nil channel ch"
+}
+
+func nilOnSomePath(b bool) {
+	var ch chan int
+	if b {
+		ch = make(chan int, 1)
+	}
+	ch <- 1 // want "nil on a path reaching this send"
+}
+
+// close effects cross function boundaries inside the package: shutdown
+// provably closes its parameter, so closing again after calling it is the
+// double-close seeded into real shutdown paths.
+func shutdown(ch chan int) {
+	close(ch)
+}
+
+func shutdownTwice() {
+	ch := make(chan int)
+	shutdown(ch)
+	close(ch) // want "close of already-closed channel ch"
+}
+
+func sendAfterShutdown() {
+	ch := make(chan int, 1)
+	shutdown(ch)
+	ch <- 1 // want "send on channel ch after close"
+}
+
+func orphanedSend() {
+	ch := make(chan int)
+	go func() { // want "goroutine sends on unbuffered channel ch with no receive"
+		ch <- 1
+	}()
+}
+
+func orphanOnSomePath(b bool) {
+	ch := make(chan int)
+	go func() { // want "goroutine sends on unbuffered channel ch with no receive"
+		ch <- 1
+	}()
+	if b {
+		return
+	}
+	<-ch
+}
+
+// --- Clean cases: the analyzer must stay silent below this line. ------------
+
+// nilGuarded narrows the nil bit away on the checked branch.
+func nilGuarded(b bool) {
+	var ch chan int
+	if b {
+		ch = make(chan int, 1)
+	}
+	if ch != nil {
+		ch <- 1
+	}
+}
+
+// selectNil is the standard disabled-case idiom: a nil channel inside a
+// select comm never fires, it does not block the select.
+func selectNil(other chan int) {
+	var ch chan int
+	select {
+	case ch <- 1:
+	case <-other:
+	}
+}
+
+// reassigned is open again after the second make: no stale closed state.
+func reassigned() {
+	ch := make(chan int)
+	close(ch)
+	ch = make(chan int)
+	close(ch)
+}
+
+// escaped leaves the lattice when passed to an unknown callee; later closes
+// must not be judged on stale facts.
+func escaped(sink func(chan int)) {
+	ch := make(chan int)
+	sink(ch)
+	close(ch)
+}
+
+// rendezvous receives on every path after the spawn: the send pairs up.
+func rendezvous() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 42
+	}()
+	return <-ch
+}
+
+// buffered sends never block on an empty buffer: no orphan hazard.
+func buffered() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+}
+
+// handoff gives the channel to another consumer: receives may happen there.
+func handoff(consume func(<-chan int)) {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	consume(ch)
+}
+
+// selectSend in the goroutine can always take the default arm: exempt.
+func selectSend() {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// closer returns its channel: the caller owns the lifecycle.
+func closer() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	return ch
+}

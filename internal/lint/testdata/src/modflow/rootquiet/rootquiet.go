@@ -1,0 +1,24 @@
+// Package rootquiet is root's disciplined twin: it reads the shared
+// counter atomically and never touches the channel after handing it to
+// mid.Stop. Clean as written — the mutation tests seed a plain read and a
+// double close into copies of this package and require the module-linked
+// analysis to catch both where the per-package engine cannot.
+package rootquiet
+
+import (
+	"sync/atomic"
+
+	"darnet/internal/lintfixture/modflow/leaf"
+	"darnet/internal/lintfixture/modflow/mid"
+)
+
+// Quiet observes the admission counter the way mid writes it.
+func Quiet() int64 {
+	return atomic.LoadInt64(&leaf.Seen)
+}
+
+// Recycle hands the channel's lifecycle to mid.Stop and walks away.
+func Recycle() {
+	ch := make(chan int, 1)
+	mid.Stop(ch)
+}

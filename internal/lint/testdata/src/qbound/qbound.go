@@ -1,0 +1,173 @@
+// Package qbound is the fixture for the bounded-queue invariant analyzer:
+// //lint:bounded names a type's occupancy field, and every grow of that
+// field must be guarded by a capacity check (before, or — for slices and
+// maps — a trim after on every path), with CAS admissions settling their
+// slot on every path to return.
+package qbound
+
+import "sync/atomic"
+
+// Pipe is the CAS-admission queue shape: depth counts occupancy, the CAS
+// admits, the channel send commits.
+//
+//lint:bounded depth
+type Pipe struct {
+	depth atomic.Int64
+	queue chan int
+	max   int64
+}
+
+// Offer is the correct admission loop: check dominates the CAS, and the
+// admitted slot is either committed (send) or released (Add(-1)).
+func (p *Pipe) Offer(v int) bool {
+	for {
+		d := p.depth.Load()
+		if d >= p.max {
+			return false
+		}
+		if p.depth.CompareAndSwap(d, d+1) {
+			break
+		}
+	}
+	select {
+	case p.queue <- v:
+		return true
+	default:
+		p.depth.Add(-1)
+		return false
+	}
+}
+
+// BadOffer deleted the capacity check: the CAS admits unconditionally.
+func (p *Pipe) BadOffer(v int) bool {
+	for {
+		d := p.depth.Load()
+		if p.depth.CompareAndSwap(d, d+1) { // want "not dominated by a capacity check"
+			break
+		}
+	}
+	select {
+	case p.queue <- v:
+		return true
+	default:
+		p.depth.Add(-1)
+		return false
+	}
+}
+
+// LeakyOffer admits correctly but can return without the send or the
+// release: the slot leaks and the queue's effective capacity shrinks
+// forever.
+func (p *Pipe) LeakyOffer(v int, degraded bool) bool {
+	for {
+		d := p.depth.Load()
+		if d >= p.max {
+			return false
+		}
+		if p.depth.CompareAndSwap(d, d+1) { // want "can reach return without committing the slot or releasing it"
+			break
+		}
+	}
+	if degraded {
+		return false
+	}
+	p.queue <- v
+	return true
+}
+
+// Drain is the release side: decrements need no guard.
+func (p *Pipe) Drain() (int, bool) {
+	select {
+	case v := <-p.queue:
+		p.depth.Add(-1)
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Spill is the slice shape: append then clamp.
+//
+//lint:bounded buf
+type Spill struct {
+	buf []int
+	max int
+}
+
+// Keep trims after the append on every path: the bound holds at return.
+func (s *Spill) Keep(v int) {
+	s.buf = append(s.buf, v)
+	if len(s.buf) > s.max {
+		s.buf = s.buf[1:]
+	}
+}
+
+// KeepChecked checks before instead: also fine.
+func (s *Spill) KeepChecked(v int) bool {
+	if len(s.buf) >= s.max {
+		return false
+	}
+	s.buf = append(s.buf, v)
+	return true
+}
+
+// BadKeep grows with neither a check before nor a trim after.
+func (s *Spill) BadKeep(v int) {
+	s.buf = append(s.buf, v) // want "no capacity check before it and no trim"
+}
+
+// LeakyKeep trims on one path but returns early on another.
+func (s *Spill) LeakyKeep(v int, urgent bool) {
+	s.buf = append(s.buf, v) // want "no capacity check before it and no trim"
+	if urgent {
+		return
+	}
+	if len(s.buf) > s.max {
+		s.buf = s.buf[1:]
+	}
+}
+
+// Series is the map shape: size check dominates the insert.
+//
+//lint:bounded set
+type Series struct {
+	set map[string]struct{}
+	max int
+}
+
+func (t *Series) Insert(k string) bool {
+	if t.max > 0 && len(t.set) >= t.max {
+		return false
+	}
+	if _, ok := t.set[k]; !ok {
+		t.set[k] = struct{}{}
+	}
+	return true
+}
+
+func (t *Series) BadInsert(k string) {
+	t.set[k] = struct{}{} // want "no capacity check before"
+}
+
+// Ring stays clean: the trim is spelled as a re-slice through append's
+// first argument, which is a shrink, not a grow.
+//
+//lint:bounded ring
+type Ring struct {
+	ring []int
+	max  int
+}
+
+func (r *Ring) Push(v int) {
+	r.ring = append(r.ring, v)
+	if over := len(r.ring) - r.max; over > 0 {
+		r.ring = append(r.ring[:0], r.ring[over:]...)
+	}
+}
+
+// Busted directives are findings, not silent no-ops.
+//
+//lint:bounded nosuch
+type Mislabeled struct { // want "names field \"nosuch\", which Mislabeled does not have"
+	n int
+}

@@ -64,6 +64,11 @@ type ScrapeConfig struct {
 // name, histograms fanned out into name.p50/.p90/.p99/.count/.sum. Start
 // launches the background loop; Stop takes one final scrape — so the last
 // moments before shutdown are queryable — and blocks until the loop exits.
+//
+// The series set is bounded by MaxSeries: darnet-lint's qbound analyzer
+// verifies every insert is dominated by the cardinality check.
+//
+//lint:bounded series
 type Scraper struct {
 	cfg ScrapeConfig
 	db  *tsdb.DB

@@ -133,6 +133,12 @@ type Stats struct {
 // worker goroutine (the recurrent state is inherently sequential), and a
 // watchdog. Offer may be called from multiple producers; everything else the
 // pipeline owns.
+//
+// The depth counter is the queue's occupancy ledger: darnet-lint's qbound
+// analyzer verifies every increment is dominated by a capacity check and
+// every CAS admission is committed or released on all paths.
+//
+//lint:bounded depth
 type Pipeline struct {
 	agentID   string
 	cfg       Config
