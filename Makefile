@@ -5,7 +5,7 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/collect ./internal/tsdb ./internal/core ./internal/telemetry ./internal/fault ./internal/stream ./internal/obs
+RACE_PKGS = ./internal/collect ./internal/tsdb ./internal/core ./internal/telemetry ./internal/fault ./internal/stream ./internal/obs ./internal/durable
 
 # bench-smoke artifact location; override with BENCH_OUT=BENCH_PR3.json to
 # refresh the committed benchmark (then bump the scale/epochs back up).
@@ -19,7 +19,12 @@ STREAM_OUT ?= /tmp/darnet-stream-smoke.json
 # refresh the committed observability-overhead benchmark.
 OBS_OUT ?= /tmp/darnet-obs-smoke.json
 
-.PHONY: verify fmt vet lint lint-module lint-fast lint-concurrency build test race bench-smoke stream-smoke obs-smoke chaos
+# crash-smoke artifact location; override with CRASH_OUT=BENCH_PR10.json
+# CRASH_SCALE=1 to refresh the committed crash-recovery benchmark.
+CRASH_OUT ?= /tmp/darnet-crash-smoke.json
+CRASH_SCALE ?= 0.01
+
+.PHONY: verify fmt vet lint lint-module lint-fast lint-concurrency build test race bench-smoke stream-smoke obs-smoke crash-smoke chaos
 
 # The module-scope lint sweep in verify must finish inside this many
 # milliseconds: the analyzers are part of the inner loop, and a regression
@@ -27,7 +32,7 @@ OBS_OUT ?= /tmp/darnet-obs-smoke.json
 # tax every future build.
 LINT_BUDGET_MS ?= 2000
 
-verify: fmt vet lint build test race stream-smoke obs-smoke
+verify: fmt vet lint build test race stream-smoke obs-smoke crash-smoke
 	@echo "verify: OK"
 
 fmt:
@@ -100,13 +105,24 @@ obs-smoke:
 	$(GO) run ./cmd/darnet-eval -exp obs -scale 0.01 -cnn-epochs 2 -rnn-epochs 2 -q -bench-out $(OBS_OUT)
 	$(GO) run ./cmd/darnet-eval -check-bench $(OBS_OUT)
 
+# crash-smoke runs the crash-recovery benchmark at reduced scale: per-policy
+# WAL insert overhead, measured power-cut loss checked against each fsync
+# policy's bound, timed recovery, and the torn-tail/bit-flip/sync-failure
+# injection matrix, validated by -check-bench. The committed BENCH_PR10.json
+# is the same experiment at -scale 1 (10^6 readings).
+crash-smoke:
+	$(GO) run ./cmd/darnet-eval -exp crash -scale $(CRASH_SCALE) -q -bench-out $(CRASH_OUT)
+	$(GO) run ./cmd/darnet-eval -check-bench $(CRASH_OUT)
+
 # chaos runs the fault-injection suite under the race detector: the
-# deterministic chaos-transport unit tests, the collect resilience tests, and
-# the end-to-end chaos pipeline (reconnect/backoff, at-least-once dedupe,
-# degraded classification). It then replays the chaos benchmark schedule and
+# deterministic chaos-transport and disk-fault unit tests, the collect
+# resilience tests, and the end-to-end chaos pipelines — reconnect/backoff,
+# at-least-once dedupe, degraded classification, and the crash-restart test
+# (controller hard-killed mid-stream, recovered from its data directory,
+# zero duplicate rows). It then replays the chaos benchmark schedule and
 # validates the report schema.
 chaos:
 	$(GO) test -race ./internal/fault ./internal/collect
-	$(GO) test -race -run TestChaosPipeline .
+	$(GO) test -race -run 'TestChaosPipeline|TestCrashRestartPreservesDedupe' .
 	$(GO) run ./cmd/darnet-eval -exp chaos -bench-out /tmp/darnet-chaos-bench.json
 	$(GO) run ./cmd/darnet-eval -check-bench /tmp/darnet-chaos-bench.json

@@ -131,6 +131,9 @@ func checkBenchFile(path string) error {
 	if err := json.Unmarshal(buf, &probe); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
+	if probe.Experiment == "crash" {
+		return checkCrashBench(path, buf)
+	}
 	if probe.Experiment == "chaos" {
 		return checkChaosBench(path, buf)
 	}

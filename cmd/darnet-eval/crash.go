@@ -1,0 +1,393 @@
+package main
+
+// The crash experiment measures what durability costs and what it buys: WAL
+// insert overhead against the no-WAL baseline per fsync policy, recovery wall
+// time and replayed records for a large un-checkpointed log, the measured
+// data-loss bound of each policy after a simulated power cut, and a
+// crash-injection matrix (torn tail, bit flip, fsync failure) proving the
+// recovery decision table end to end. It is the durability counterpart of the
+// -exp chaos transport-fault probe.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"darnet/internal/durable"
+	"darnet/internal/fault"
+	"darnet/internal/tsdb"
+)
+
+// crashCommitEvery is how many readings form one committed batch: the WAL
+// sees one commit mark (and, under fsync=always, one fsync) per batch.
+const crashCommitEvery = 1000
+
+// crashPolicyResult is one fsync policy's measured cost and loss bound.
+type crashPolicyResult struct {
+	Policy        string  `json:"policy"`
+	InsertNsPerOp float64 `json:"insert_ns_per_op"`
+	OverheadPct   float64 `json:"overhead_pct"`
+
+	// Power-cut accounting (in-memory crash FS, deterministic sync points):
+	// readings acked as committed before the cut, committed readings the
+	// recovered store was missing, the policy's documented worst-case loss,
+	// and whether the measurement respects it.
+	CommittedReadings int  `json:"committed_readings"`
+	LostReadings      int  `json:"lost_readings"`
+	LossBound         int  `json:"loss_bound"`
+	LossBoundOK       bool `json:"loss_bound_ok"`
+}
+
+// crashBenchReport is the BENCH_PR10.json schema.
+type crashBenchReport struct {
+	PR         int     `json:"pr"`
+	Experiment string  `json:"experiment"`
+	Seed       int64   `json:"seed"`
+	Readings   int     `json:"readings"`
+	DurationMS float64 `json:"duration_ms"`
+
+	// BaselineNsPerOp is tsdb.Insert with no WAL attached — the denominator
+	// of every policy's overhead_pct (the BENCH_PR3 insert path).
+	BaselineNsPerOp float64             `json:"baseline_ns_per_op"`
+	Policies        []crashPolicyResult `json:"policies"`
+
+	// Recovery of a real on-disk WAL holding every reading above, without the
+	// benefit of a shutdown checkpoint.
+	RecoveryMS       float64 `json:"recovery_ms"`
+	RecoveredInserts int     `json:"recovered_inserts"`
+	RecoveredPoints  int     `json:"recovered_points"`
+
+	// FaultMatrix records the crash-injection outcomes: every key must be
+	// true for the recovery contract to hold.
+	FaultMatrix map[string]bool `json:"fault_matrix"`
+}
+
+// crashBench runs the durability benchmark: readings scales with the shared
+// -scale flag so the committed artifact measures recovery at 10^6 readings
+// (scale 1) while smoke runs stay fast.
+func crashBench(scale float64, seed int64, quiet bool, outPath string) error {
+	start := time.Now()
+	readings := int(1_000_000 * scale)
+	if readings < 10_000 {
+		readings = 10_000
+	}
+	report := crashBenchReport{
+		PR:         10,
+		Experiment: "crash",
+		Seed:       seed,
+		Readings:   readings,
+		Policies:   make([]crashPolicyResult, 0, 3),
+	}
+
+	// Baseline: the bare insert path, no logger attached.
+	base := tsdb.New()
+	baseStart := time.Now()
+	crashInsert(base, nil, readings)
+	report.BaselineNsPerOp = float64(time.Since(baseStart).Nanoseconds()) / float64(readings)
+
+	dir, err := os.MkdirTemp("", "darnet-crash-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	for _, policy := range []durable.Policy{durable.PolicyAlways, durable.PolicyInterval, durable.PolicyNever} {
+		res, err := crashMeasurePolicy(dir, policy, readings, report.BaselineNsPerOp)
+		if err != nil {
+			return fmt.Errorf("crash: policy %v: %w", policy, err)
+		}
+		report.Policies = append(report.Policies, res)
+		if !quiet {
+			fmt.Printf("fsync=%-8s %7.0f ns/insert (%+.1f%%), power-cut lost %d/%d committed readings (bound %d)\n",
+				res.Policy, res.InsertNsPerOp, res.OverheadPct, res.LostReadings, res.CommittedReadings, res.LossBound)
+		}
+	}
+
+	recMS, recInserts, recPoints, err := crashMeasureRecovery(readings)
+	if err != nil {
+		return fmt.Errorf("crash: recovery: %w", err)
+	}
+	report.RecoveryMS, report.RecoveredInserts, report.RecoveredPoints = recMS, recInserts, recPoints
+	if !quiet {
+		fmt.Printf("recovery: replayed %d inserts (%d points restored) in %.1f ms\n", recInserts, recPoints, recMS)
+	}
+
+	report.FaultMatrix = crashFaultMatrix(seed)
+	report.DurationMS = float64(time.Since(start).Milliseconds())
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return fmt.Errorf("write crash benchmark: %w", err)
+	}
+	if !quiet {
+		for name, ok := range report.FaultMatrix {
+			fmt.Printf("fault %-12s recovery contract held: %v\n", name, ok)
+		}
+	}
+	fmt.Printf("wrote %s\n\n", outPath)
+	return nil
+}
+
+// crashInsert streams readings into db as committed batches; a nil manager
+// stores without marks (the baseline).
+func crashInsert(db *tsdb.DB, man *durable.Manager, readings int) {
+	for i := 0; i < readings; i++ {
+		db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: int64(i), Value: float64(i)})
+		if man != nil && (i+1)%crashCommitEvery == 0 {
+			//lint:ignore errdrop benchmark load loop; degradation shows up in the numbers
+			man.AppendCommit("car-1", uint64((i+1)/crashCommitEvery))
+		}
+	}
+}
+
+// crashMeasurePolicy times the WAL-attached insert path on a real directory
+// FS for one policy, then replays a deterministic power cut on the in-memory
+// crash FS to measure that policy's committed-data loss against its
+// documented bound.
+func crashMeasurePolicy(dir string, policy durable.Policy, readings int, baselineNs float64) (crashPolicyResult, error) {
+	res := crashPolicyResult{Policy: policy.String()}
+
+	sub, err := os.MkdirTemp(dir, policy.String()+"-*")
+	if err != nil {
+		return res, err
+	}
+	fs, err := durable.NewDirFS(sub)
+	if err != nil {
+		return res, err
+	}
+	db := tsdb.New()
+	man, _, err := durable.Open(db, durable.Options{FS: fs, Policy: policy, CheckpointEvery: -1, Logf: func(string, ...any) {}})
+	if err != nil {
+		return res, err
+	}
+	if policy == durable.PolicyInterval {
+		man.Start() // the 200ms group-commit ticker is part of this policy's cost
+	}
+	insStart := time.Now()
+	crashInsert(db, man, readings)
+	res.InsertNsPerOp = float64(time.Since(insStart).Nanoseconds()) / float64(readings)
+	res.OverheadPct = (res.InsertNsPerOp - baselineNs) / baselineNs * 100
+	if err := man.Close(); err != nil {
+		return res, err
+	}
+
+	// Power cut: 25 committed batches of 100 readings on the crash FS. Sync
+	// points are explicit so the measured loss is exact: always syncs every
+	// commit (bound 0), interval group-commits every 10th batch (bound = one
+	// window), never relies on checkpoints alone (bound = everything).
+	const batches, per, window = 25, 100, 10
+	mem := durable.NewMemFS()
+	cdb := tsdb.New()
+	cman, _, err := durable.Open(cdb, durable.Options{FS: mem, Policy: policy, CheckpointEvery: -1, Logf: func(string, ...any) {}})
+	if err != nil {
+		return res, err
+	}
+	for b := 1; b <= batches; b++ {
+		for i := 0; i < per; i++ {
+			cdb.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: int64((b-1)*per + i), Value: 1})
+		}
+		if err := cman.AppendCommit("car-1", uint64(b)); err != nil {
+			return res, err
+		}
+		if policy == durable.PolicyInterval && b%window == 0 {
+			if err := cman.Sync(); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.CommittedReadings = batches * per
+	mem.Crash()
+
+	rdb := tsdb.New()
+	rman, _, err := durable.Open(rdb, durable.Options{FS: mem, Policy: policy, CheckpointEvery: -1, Logf: func(string, ...any) {}})
+	if err != nil {
+		return res, err
+	}
+	//lint:ignore errdrop measurement FS is discarded after the loss count
+	rman.Close()
+	res.LostReadings = res.CommittedReadings - rdb.Len("car-1/acc[0]")
+	switch policy {
+	case durable.PolicyAlways:
+		res.LossBound = 0
+	case durable.PolicyInterval:
+		res.LossBound = (batches % window) * per // the unsynced tail window
+	default:
+		res.LossBound = res.CommittedReadings
+	}
+	res.LossBoundOK = res.LostReadings >= 0 && res.LostReadings <= res.LossBound
+	return res, nil
+}
+
+// crashMeasureRecovery writes an on-disk WAL holding every reading with no
+// shutdown checkpoint (the process "crashed"), then times a full recovery.
+func crashMeasureRecovery(readings int) (ms float64, inserts, points int, err error) {
+	dir, err := os.MkdirTemp("", "darnet-crash-recover-*")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	fs, err := durable.NewDirFS(dir)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	db := tsdb.New()
+	man, _, err := durable.Open(db, durable.Options{FS: fs, Policy: durable.PolicyNever, CheckpointEvery: -1, Logf: func(string, ...any) {}})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	crashInsert(db, man, readings)
+	if err := man.Sync(); err != nil { // the data reached disk; the checkpoint did not
+		return 0, 0, 0, err
+	}
+	// No Close: the WAL is abandoned mid-generation, exactly like a crash.
+
+	rdb := tsdb.New()
+	recStart := time.Now()
+	_, rec, err := durable.Open(rdb, durable.Options{FS: fs, Policy: durable.PolicyNever, CheckpointEvery: -1, Logf: func(string, ...any) {}})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ms = float64(time.Since(recStart).Microseconds()) / 1000
+	return ms, rec.ReplayedInserts, rdb.Len("car-1/acc[0]"), nil
+}
+
+// crashFaultMatrix drives recovery through the injected-fault schedules and
+// reports whether each upheld its contract: a torn tail truncates and
+// recovers clean, a bit flip degrades with a loss bound instead of storing
+// corrupt data, and an fsync failure latches degradation while serving.
+func crashFaultMatrix(seed int64) map[string]bool {
+	out := map[string]bool{"torn_tail": false, "bit_flip": false, "sync_error": false}
+	quiet := func(string, ...any) {}
+	walGen1 := fmt.Sprintf("wal-%016x.wal", 1)
+
+	// Torn tail: tear the active WAL mid-record, crash, recover clean.
+	{
+		mem := durable.NewMemFS()
+		fs := fault.NewFS(mem, func(name string) *fault.FileConfig {
+			if name == walGen1 {
+				return &fault.FileConfig{Seed: seed, TornAtByte: 300}
+			}
+			return nil
+		})
+		db := tsdb.New()
+		man, _, err := durable.Open(db, durable.Options{FS: fs, Policy: durable.PolicyAlways, CheckpointEvery: -1, Logf: quiet})
+		if err == nil {
+			committed := 0
+			for b := 1; b <= 40; b++ {
+				db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: int64(b), Value: float64(b)})
+				if man.AppendCommit("car-1", uint64(b)) != nil {
+					break
+				}
+				committed = b
+			}
+			// No Crash() truncation here: the torn tail models bytes the disk
+			// retained from a half-finished append, so recovery must see them.
+			rdb := tsdb.New()
+			_, rec, err := durable.Open(rdb, durable.Options{FS: mem, Policy: durable.PolicyAlways, CheckpointEvery: -1, Logf: quiet})
+			out["torn_tail"] = err == nil && !rec.Degraded && rec.TornBytes > 0 &&
+				committed > 0 && rdb.Len("car-1/acc[0]") >= committed
+		}
+	}
+
+	// Bit flip: corrupt one byte inside an early record; recovery must stop
+	// there, report a loss bound, and keep only value-consistent rows.
+	{
+		mem := durable.NewMemFS()
+		fs := fault.NewFS(mem, func(name string) *fault.FileConfig {
+			if name == walGen1 {
+				return &fault.FileConfig{Seed: seed, FlipAtByte: 60}
+			}
+			return nil
+		})
+		db := tsdb.New()
+		man, _, err := durable.Open(db, durable.Options{FS: fs, Policy: durable.PolicyAlways, CheckpointEvery: -1, Logf: quiet})
+		if err == nil {
+			for b := 1; b <= 10; b++ {
+				db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: int64(b), Value: float64(b)})
+				if man.AppendCommit("car-1", uint64(b)) != nil {
+					break
+				}
+			}
+			mem.Crash()
+			rdb := tsdb.New()
+			_, rec, err := durable.Open(rdb, durable.Options{FS: mem, Policy: durable.PolicyAlways, CheckpointEvery: -1, Logf: quiet})
+			clean := true
+			for _, p := range rdb.Range("car-1/acc[0]", 0, 1<<40) {
+				//lint:ignore floatcmp values are exact small-integer float64s; any inequality is surviving corruption, not rounding
+				if p.Value != float64(p.TimestampMillis) {
+					clean = false
+				}
+			}
+			out["bit_flip"] = err == nil && rec.Degraded && rec.LostBytes > 0 && clean
+		}
+	}
+
+	// Fsync failure: the first sync fails; the manager must latch degradation
+	// (commit errors) while the store keeps accepting inserts.
+	{
+		mem := durable.NewMemFS()
+		fs := fault.NewFS(mem, func(name string) *fault.FileConfig {
+			if name == walGen1 {
+				return &fault.FileConfig{Seed: seed, FailSyncFrom: 1}
+			}
+			return nil
+		})
+		db := tsdb.New()
+		man, _, err := durable.Open(db, durable.Options{FS: fs, Policy: durable.PolicyAlways, CheckpointEvery: -1, Logf: quiet})
+		if err == nil {
+			db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: 1, Value: 1})
+			commitErr := man.AppendCommit("car-1", 1)
+			db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: 2, Value: 2})
+			h := man.Health()
+			out["sync_error"] = commitErr != nil && h.OK && db.Len("car-1/acc[0]") == 2
+		}
+	}
+	return out
+}
+
+// checkCrashBench validates a crash benchmark file (the -check-bench branch
+// for experiment "crash").
+func checkCrashBench(path string, buf []byte) error {
+	var report crashBenchReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if report.PR <= 0 || report.Experiment != "crash" {
+		return fmt.Errorf("%s: missing provenance (pr=%d experiment=%q)", path, report.PR, report.Experiment)
+	}
+	if report.Readings <= 0 || report.BaselineNsPerOp <= 0 {
+		return fmt.Errorf("%s: no insert workload recorded (readings=%d baseline=%v)", path, report.Readings, report.BaselineNsPerOp)
+	}
+	if len(report.Policies) != 3 {
+		return fmt.Errorf("%s: %d fsync policies measured, want 3", path, len(report.Policies))
+	}
+	for _, p := range report.Policies {
+		if p.InsertNsPerOp <= 0 {
+			return fmt.Errorf("%s: policy %q has no insert cost", path, p.Policy)
+		}
+		if !p.LossBoundOK {
+			return fmt.Errorf("%s: policy %q lost %d committed readings, over its bound %d",
+				path, p.Policy, p.LostReadings, p.LossBound)
+		}
+	}
+	if report.RecoveryMS <= 0 || report.RecoveredInserts <= 0 || report.RecoveredPoints < report.RecoveredInserts {
+		return fmt.Errorf("%s: recovery not measured (ms=%v inserts=%d points=%d)",
+			path, report.RecoveryMS, report.RecoveredInserts, report.RecoveredPoints)
+	}
+	for name, ok := range report.FaultMatrix {
+		if !ok {
+			return fmt.Errorf("%s: fault %q broke the recovery contract", path, name)
+		}
+	}
+	if len(report.FaultMatrix) < 3 {
+		return fmt.Errorf("%s: fault matrix covers %d faults, want >= 3", path, len(report.FaultMatrix))
+	}
+	fmt.Printf("%s ok: recovery of %d inserts in %.1f ms, %d fsync policies within loss bounds, %d faults held\n",
+		path, report.RecoveredInserts, report.RecoveryMS, len(report.Policies), len(report.FaultMatrix))
+	return nil
+}

@@ -113,6 +113,11 @@ func run(exp string, scale float64, seed int64, outDir string, cnnEpochs, rnnEpo
 		return table3(seed, cnnEpochs, quiet)
 	case "bench":
 		return bench(dataPath, scale, seed, cnnEpochs, rnnEpochs, quiet, benchOut)
+	case "crash":
+		if benchOut == "BENCH_PR3.json" { // the -bench-out default belongs to -exp bench
+			benchOut = "BENCH_PR10.json"
+		}
+		return crashBench(scale, seed, quiet, benchOut)
 	case "chaos":
 		if benchOut == "BENCH_PR3.json" { // the -bench-out default belongs to -exp bench
 			benchOut = "BENCH_PR5.json"

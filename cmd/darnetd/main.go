@@ -35,6 +35,7 @@ import (
 
 	"darnet/internal/collect"
 	"darnet/internal/core"
+	"darnet/internal/durable"
 	"darnet/internal/imu"
 	"darnet/internal/obs"
 	"darnet/internal/stream"
@@ -66,6 +67,10 @@ func main() {
 		frameSkipMax = flag.Int("frame-skip-max", 4, "max consecutive frames reusing the last CNN result under overload (streaming)")
 		alertDwell   = flag.Duration("alert-dwell", 2*time.Second, "evidence must persist this long before an alert raises or clears (streaming)")
 
+		dataDir = flag.String("data-dir", "", "persist the controller's store in this directory (WAL + checkpoints; empty disables durability)")
+		fsyncP  = flag.String("fsync", "interval", "WAL fsync policy: always (sync every commit), interval (group commit on a timer), never")
+		ckptI   = flag.Duration("checkpoint-interval", durable.DefaultCheckpointEvery, "how often to checkpoint the store and rotate the WAL (0 checkpoints only at startup/shutdown)")
+
 		scrapeI   = flag.Duration("scrape-interval", obs.DefaultScrapeInterval, "telemetry→history scrape cadence (controller mode; 0 disables the bridge)")
 		retention = flag.Duration("history-retention", obs.DefaultRetention, "how much scraped metric history /metrics/history keeps")
 		sloP99    = flag.Float64("slo-alert-p99", 0.5, "alert-latency p99 SLO threshold in seconds; burn rates over it drive /healthz")
@@ -89,6 +94,14 @@ func main() {
 	if err := oOpts.validate(); err != nil {
 		log.Fatal(err)
 	}
+	dOpts := durOptions{
+		dataDir:   *dataDir,
+		fsync:     *fsyncP,
+		ckptEvery: *ckptI,
+	}
+	if err := dOpts.validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	var err error
 	switch {
@@ -97,7 +110,7 @@ func main() {
 	case *enginePath != "":
 		err = runEngineServer(*listen, *ops, *enginePath)
 	default:
-		err = runController(*listen, *ops, *idleT, sOpts, oOpts)
+		err = runController(*listen, *ops, *idleT, sOpts, oOpts, dOpts)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -147,6 +160,63 @@ func (o obsOptions) validate() error {
 	return nil
 }
 
+// durOptions bundle the durability flags (controller mode). An empty data
+// directory turns the whole subsystem off; the fsync policy still parses so a
+// typo fails at startup, not when -data-dir is finally added.
+type durOptions struct {
+	dataDir   string
+	fsync     string
+	ckptEvery time.Duration
+}
+
+func (o durOptions) validate() error {
+	if _, err := durable.ParsePolicy(o.fsync); err != nil {
+		return fmt.Errorf("-fsync: %w", err)
+	}
+	if o.ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-interval must be non-negative, got %v", o.ckptEvery)
+	}
+	return nil
+}
+
+// setupDurability opens (or creates) the write-ahead log and checkpoint state
+// under the data directory, recovering whatever a previous process left
+// behind, and reports the recovery outcome to the operator. Returns nils when
+// durability is off.
+func setupDurability(db *tsdb.DB, o durOptions, out io.Writer) (*durable.Manager, *durable.Recovery, error) {
+	if o.dataDir == "" {
+		return nil, nil, nil
+	}
+	policy, err := durable.ParsePolicy(o.fsync)
+	if err != nil {
+		return nil, nil, err
+	}
+	fs, err := durable.NewDirFS(o.dataDir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open data dir: %w", err)
+	}
+	ckptEvery := o.ckptEvery
+	if ckptEvery == 0 {
+		ckptEvery = -1 // manager convention: non-positive disables the ticker
+	}
+	man, rec, err := durable.Open(db, durable.Options{
+		FS:              fs,
+		Policy:          policy,
+		CheckpointEvery: ckptEvery,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("durability: %w", err)
+	}
+	statusf(out, "durability on (data-dir %s, fsync %s, checkpoint every %v)\n", o.dataDir, policy, o.ckptEvery)
+	statusf(out, "recovery: sessions=%d series=%d replayed=%d discarded=%d torn=%dB lost=%dB degraded=%v\n",
+		len(rec.Sessions), rec.SeriesLoaded, rec.ReplayedInserts, rec.DiscardedInserts, rec.TornBytes, rec.LostBytes, rec.Degraded)
+	if rec.Note != "" {
+		statusf(out, "recovery: %s\n", rec.Note)
+	}
+	return man, rec, nil
+}
+
 // obsBridge owns the controller's observability background work: the
 // telemetry→tsdb scraper feeding /metrics/history and the SLO evaluator
 // driving /healthz from burn rates. A nil bridge (the -scrape-interval=0
@@ -159,9 +229,10 @@ type obsBridge struct {
 }
 
 // setupObservability starts the scraper and SLO evaluator and installs the
-// combined health source (stream mux verdict worst-cased with SLO burn
-// rates). streamHealth is nil when streaming is off.
-func setupObservability(o obsOptions, streamHealth func() telemetry.Health, out io.Writer) (*obsBridge, error) {
+// combined health source (stream mux verdict worst-cased with SLO burn rates
+// and the durability manager's degradation latch). streamHealth and durHealth
+// are nil when their subsystems are off.
+func setupObservability(o obsOptions, streamHealth, durHealth func() telemetry.Health, out io.Writer) (*obsBridge, error) {
 	if o.scrapeInterval == 0 {
 		return nil, nil
 	}
@@ -191,7 +262,7 @@ func setupObservability(o obsOptions, streamHealth func() telemetry.Health, out 
 		defer b.wg.Done()
 		ev.Run(o.scrapeInterval, b.stop)
 	}()
-	telemetry.SetHealthSource(obs.CombineHealth(streamHealth, ev.Health))
+	telemetry.SetHealthSource(obs.CombineHealth(streamHealth, durHealth, ev.Health))
 	statusf(out, "observability bridge on (scrape every %v, retention %v, alert p99 SLO %.2fs)\n",
 		o.scrapeInterval, o.retention, o.alertP99)
 	return b, nil
@@ -408,7 +479,7 @@ func acceptLoop(ln, opsLn net.Listener, opsH http.Handler, stop <-chan struct{},
 
 func wallMillis() int64 { return time.Now().UnixMilli() }
 
-func runController(listen, opsAddr string, idleTimeout time.Duration, sOpts streamOptions, oOpts obsOptions) error {
+func runController(listen, opsAddr string, idleTimeout time.Duration, sOpts streamOptions, oOpts obsOptions, dOpts durOptions) error {
 	ln, opsLn, err := listenPair(listen, opsAddr)
 	if err != nil {
 		return err
@@ -416,15 +487,16 @@ func runController(listen, opsAddr string, idleTimeout time.Duration, sOpts stre
 	fmt.Printf("controller listening on %s (clock re-sync every %d ms)\n", ln.Addr(), collect.SyncPeriodMillis)
 	stop, release := notifyInterrupt()
 	defer release()
-	return runControllerWith(ln, opsLn, idleTimeout, sOpts, oOpts, stop, os.Stdout)
+	return runControllerWith(ln, opsLn, idleTimeout, sOpts, oOpts, dOpts, stop, os.Stdout)
 }
 
-// runControllerWith is the controller lifecycle behind runController: wire up
-// streaming and the observability bridge, serve until stop closes, then tear
-// down in summary order — stream drain, final telemetry scrape, and the
-// parseable shutdown-summary line last. Split out so tests can drive it with
-// ephemeral listeners and a controllable stop channel.
-func runControllerWith(ln, opsLn net.Listener, idleTimeout time.Duration, sOpts streamOptions, oOpts obsOptions, stop <-chan struct{}, out io.Writer) error {
+// runControllerWith is the controller lifecycle behind runController: recover
+// durable state, wire up streaming and the observability bridge, serve until
+// stop closes, then tear down in summary order — stream drain, final
+// telemetry scrape, final checkpoint + WAL close, and the parseable
+// shutdown-summary line last. Split out so tests can drive it with ephemeral
+// listeners and a controllable stop channel.
+func runControllerWith(ln, opsLn net.Listener, idleTimeout time.Duration, sOpts streamOptions, oOpts obsOptions, dOpts durOptions, stop <-chan struct{}, out io.Writer) error {
 	closeAll := func() {
 		//lint:ignore errdrop already failing; the close error adds nothing
 		ln.Close()
@@ -434,7 +506,24 @@ func runControllerWith(ln, opsLn net.Listener, idleTimeout time.Duration, sOpts 
 		}
 	}
 	db := tsdb.New()
+	man, rec, err := setupDurability(db, dOpts, out)
+	if err != nil {
+		closeAll()
+		return err
+	}
 	ctrl := collect.NewController(db, wallMillis)
+	var durHealth func() telemetry.Health
+	if man != nil {
+		// Order matters: sessions restore before the listener accepts (so the
+		// first resumed agent already hits the recovered dedupe marks), and the
+		// commit log attaches before the session source so every mark the
+		// checkpointer snapshots was also appended.
+		ctrl.RestoreSessions(rec.Sessions)
+		ctrl.SetCommitLog(man)
+		man.SetSessionSource(ctrl.SessionSnapshot)
+		man.Start()
+		durHealth = man.Health
+	}
 	if idleTimeout > 0 {
 		ctrl.SetIdleTimeout(idleTimeout)
 		statusf(out, "reaping connections silent for %v\n", idleTimeout)
@@ -442,27 +531,42 @@ func runControllerWith(ln, opsLn net.Listener, idleTimeout time.Duration, sOpts 
 	mux, err := setupStreaming(ctrl, sOpts, out)
 	if err != nil {
 		closeAll()
+		if man != nil {
+			//lint:ignore errdrop already failing; the close error adds nothing
+			man.Close()
+		}
 		return err
 	}
 	var streamHealth func() telemetry.Health
 	if mux != nil {
 		streamHealth = mux.Health
 	}
-	bridge, err := setupObservability(oOpts, streamHealth, out)
+	bridge, err := setupObservability(oOpts, streamHealth, durHealth, out)
 	if err != nil {
 		closeAll()
 		if mux != nil {
 			telemetry.SetHealthSource(nil)
 			mux.Shutdown()
 		}
+		if man != nil {
+			//lint:ignore errdrop already failing; the close error adds nothing
+			man.Close()
+		}
 		return err
+	}
+	if bridge == nil && durHealth != nil {
+		// No SLO evaluator to compose with: /healthz still reports durability
+		// degradation (worst-cased with the stream verdict when present).
+		telemetry.SetHealthSource(obs.CombineHealth(streamHealth, durHealth))
 	}
 
 	serveController(ctrl, db, ln, opsLn, bridge.handler(), stop, out)
 
 	// Shutdown: detach the health source, drain the stream pipelines, flush
-	// the final telemetry scrape, then emit the machine-parseable summary as
-	// the last line so operators and scripts read the same post-flush state.
+	// the final telemetry scrape, close out durability (final checkpoint, WAL
+	// sync and close — after the scrape so its counters include the last
+	// flush), then emit the machine-parseable summary as the last line so
+	// operators and scripts read the same post-flush state.
 	telemetry.SetHealthSource(nil)
 	var streamStats *stream.Stats
 	if mux != nil {
@@ -473,7 +577,17 @@ func runControllerWith(ln, opsLn net.Listener, idleTimeout time.Duration, sOpts 
 			s.Decisions, s.ShedReadings, s.FramesSkipped, s.Restarts, s.AlertsRaised, s.AlertsCleared, s.MaxDepth)
 	}
 	bridge.shutdown()
-	printShutdownSummary(out, ctrl, bridge, streamStats)
+	var durStats *durable.ManagerStats
+	if man != nil {
+		if err := man.Close(); err != nil {
+			log.Printf("durability close: %v", err)
+		}
+		s := man.Stats()
+		durStats = &s
+		statusf(out, "durability: checkpoint gen=%d lsn=%d wal-bytes=%d synced=%d fsync=%s\n",
+			s.CheckpointGen, s.CheckpointLSN, s.WALBytes, s.WALSynced, s.Policy)
+	}
+	printShutdownSummary(out, ctrl, bridge, streamStats, durStats)
 	return nil
 }
 
@@ -488,12 +602,17 @@ type shutdownSummary struct {
 	StreamDecisions int64  `json:"stream_decisions"`
 	StreamShed      int64  `json:"stream_shed"`
 	AlertsRaised    int64  `json:"alerts_raised"`
+	FsyncPolicy     string `json:"fsync_policy"`
+	CheckpointGen   uint64 `json:"checkpoint_gen"`
+	CheckpointLSN   uint64 `json:"checkpoint_lsn"`
+	WALBytes        uint64 `json:"wal_bytes"`
 }
 
-func printShutdownSummary(out io.Writer, ctrl *collect.Controller, bridge *obsBridge, streamStats *stream.Stats) {
+func printShutdownSummary(out io.Writer, ctrl *collect.Controller, bridge *obsBridge, streamStats *stream.Stats, durStats *durable.ManagerStats) {
 	sum := shutdownSummary{
-		Agents:    len(ctrl.AgentIDs()),
-		SLOStatus: "disabled",
+		Agents:      len(ctrl.AgentIDs()),
+		SLOStatus:   "disabled",
+		FsyncPolicy: "disabled",
 	}
 	if bridge != nil {
 		sum.Scrapes = bridge.scraper.Scrapes()
@@ -504,6 +623,12 @@ func printShutdownSummary(out io.Writer, ctrl *collect.Controller, bridge *obsBr
 		sum.StreamDecisions = streamStats.Decisions
 		sum.StreamShed = streamStats.ShedReadings
 		sum.AlertsRaised = streamStats.AlertsRaised
+	}
+	if durStats != nil {
+		sum.FsyncPolicy = durStats.Policy
+		sum.CheckpointGen = durStats.CheckpointGen
+		sum.CheckpointLSN = durStats.CheckpointLSN
+		sum.WALBytes = durStats.WALBytes
 	}
 	data, err := json.Marshal(sum)
 	if err != nil {

@@ -166,7 +166,7 @@ func TestControllerShutdownFlushesFinalScrape(t *testing.T) {
 	stop := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
-		done <- runControllerWith(ln, opsLn, 0, sOpts, oOpts, stop, out)
+		done <- runControllerWith(ln, opsLn, 0, sOpts, oOpts, durOptions{fsync: "interval"}, stop, out)
 	}()
 
 	c := dialObsClient(t, ln.Addr().String(), "sum-1")
@@ -233,7 +233,7 @@ func TestMergedTraceAcrossWire(t *testing.T) {
 	stop := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
-		done <- runControllerWith(ln, opsLn, 0, sOpts, oOpts, stop, out)
+		done <- runControllerWith(ln, opsLn, 0, sOpts, oOpts, durOptions{fsync: "interval"}, stop, out)
 	}()
 
 	cfg := synth.DefaultConfig()

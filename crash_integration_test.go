@@ -1,0 +1,262 @@
+package darnet
+
+// Crash-restart integration test: the chaos suite's durability counterpart.
+// An agent streams strictly increasing readings into a controller whose store
+// is backed by the write-ahead log; the controller is hard-stopped mid-stream
+// (listener and connections killed, no shutdown checkpoint — a kill -9), a
+// second controller recovers from the same data directory, and the
+// reconnecting agent's retransmissions must be deduped by the recovered
+// high-water marks: every pre-crash acked reading survives and no reading is
+// stored twice.
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"darnet/internal/collect"
+	"darnet/internal/durable"
+	"darnet/internal/tsdb"
+	"darnet/internal/wire"
+)
+
+// crashStack is one controller generation over a shared data directory.
+type crashStack struct {
+	db   *tsdb.DB
+	ctrl *collect.Controller
+	man  *durable.Manager
+	rec  *durable.Recovery
+	ln   net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// startCrashStack opens the durable store under dir (recovering whatever the
+// previous generation left), wires the controller, and serves on addr
+// ("127.0.0.1:0" for the first generation, the recorded address afterwards so
+// the agent's redial schedule finds the restarted controller).
+func startCrashStack(t *testing.T, dir, addr string) *crashStack {
+	t.Helper()
+	fs, err := durable.NewDirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &crashStack{db: tsdb.New(), conns: make(map[net.Conn]struct{})}
+	s.man, s.rec, err = durable.Open(s.db, durable.Options{
+		FS: fs, Policy: durable.PolicyAlways, CheckpointEvery: -1, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ctrl = collect.NewController(s.db, func() int64 { return time.Now().UnixMilli() })
+	s.ctrl.RestoreSessions(s.rec.Sessions)
+	s.ctrl.SetCommitLog(s.man)
+	s.man.SetSessionSource(s.ctrl.SessionSnapshot)
+
+	s.ln, err = net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := s.ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				//lint:ignore errdrop sessions end in the injected crash by design
+				s.ctrl.ServeConn(wire.NewConn(conn))
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				//lint:ignore errdrop test teardown; the close error leaves nothing to act on
+				conn.Close()
+			}()
+		}
+	}()
+	return s
+}
+
+// kill hard-stops the stack: listener and live connections die, the manager
+// is abandoned without Close — no shutdown checkpoint, no final WAL sync
+// beyond what the fsync policy already guaranteed.
+func (s *crashStack) kill() {
+	//lint:ignore errdrop crash injection; the close error leaves nothing to act on
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		//lint:ignore errdrop crash injection; the close error leaves nothing to act on
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	// Detach the doomed manager from the store so its logger cannot observe
+	// post-mortem writes (the process would be gone; the test shares memory).
+	s.db.SetInsertLogger(nil)
+}
+
+func TestCrashRestartPreservesDedupe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-restart integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	gen1 := startCrashStack(t, dir, "127.0.0.1:0")
+	addr := gen1.ln.Addr().String()
+
+	// Agent with strictly increasing readings: a duplicate stored row would
+	// repeat a value. The runner redials through the crash with capped
+	// backoff, so it is mid-retransmission when generation 2 comes up.
+	dialer := func() (*wire.Conn, error) {
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return wire.NewConn(raw), nil
+	}
+	conn, err := dialer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := collect.NewDriftClock(func() int64 { return time.Now().UnixMilli() }, 0)
+	var tick int64
+	sensors := []collect.Sensor{collect.SensorFunc{SensorName: "s", ReadFunc: func() []float64 {
+		tick++
+		return []float64{float64(tick)}
+	}}}
+	agent, err := collect.NewAgent(collect.AgentConfig{
+		ID: "car-1", Modality: "imu", PollPeriodMS: 5,
+		AckTimeout: 500 * time.Millisecond, MaxSpill: 10_000,
+	}, clock, sensors, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := collect.StartRunnerConfig(agent, collect.RunnerConfig{
+		FlushEvery:  15 * time.Millisecond,
+		Dialer:      dialer,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  30 * time.Millisecond,
+		MaxAttempts: -1,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let data flow, then crash the controller mid-stream.
+	series := collect.SeriesName("car-1", "s") + "[0]"
+	waitFor(t, 30*time.Second, "first batches stored", func() bool {
+		st, ok := gen1.ctrl.AgentStats("car-1")
+		return ok && st.LastSeq >= 3 && gen1.db.Len(series) > 0
+	})
+	ackedSeq := func() uint64 {
+		st, _ := gen1.ctrl.AgentStats("car-1")
+		return st.LastSeq
+	}()
+	gen1.kill()
+
+	// Restart from the same directory on the same address. Recovery must
+	// rebuild the store and sessions from checkpoint + WAL replay alone.
+	gen2 := startCrashStack(t, dir, addr)
+	defer func() {
+		if err := gen2.man.Close(); err != nil {
+			t.Errorf("closing recovered manager: %v", err)
+		}
+	}()
+	if gen2.rec.Degraded {
+		t.Fatalf("clean kill recovered degraded: %+v", gen2.rec)
+	}
+	restored := gen2.db.Len(series)
+	if restored == 0 {
+		t.Fatal("no pre-crash readings survived the restart")
+	}
+	var restoredSeq uint64
+	for _, s := range gen2.rec.Sessions {
+		if s.AgentID == "car-1" {
+			restoredSeq = s.LastSeq
+		}
+	}
+	if restoredSeq < ackedSeq {
+		t.Fatalf("recovered dedupe mark %d below acked seq %d: acked data at risk of duplication", restoredSeq, ackedSeq)
+	}
+
+	// The runner reconnects and keeps streaming: resumed agent, new rows.
+	waitFor(t, 30*time.Second, "post-restart readings stored", func() bool {
+		return gen2.db.Len(series) > restored
+	})
+	if err := runner.Shutdown(); err != nil {
+		t.Fatalf("shutdown after restart: %v", err)
+	}
+	if runner.Reconnects() < 1 {
+		t.Fatalf("runner reconnected %d times, want >= 1", runner.Reconnects())
+	}
+
+	// Explicit replay across the restart: retransmit the last pre-crash batch
+	// to the recovered controller; it must ack without storing.
+	rowsBefore := gen2.db.Len(series)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := wire.NewConn(raw)
+	if err := replay.Send(&wire.Hello{AgentID: "car-1", Modality: "imu", PeriodMillis: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replay.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay.Send(&wire.SampleBatch{AgentID: "car-1", Seq: ackedSeq, Readings: []wire.Reading{
+		{TimestampMillis: 1, Sensor: "s", Values: []float64{-1}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := replay.Recv(); err != nil {
+		t.Fatal(err)
+	} else if _, ok := msg.(*wire.Ack); !ok {
+		t.Fatalf("replay answered with %T, want ack", msg)
+	}
+	//lint:ignore errdrop test teardown; the close error leaves nothing to act on
+	raw.Close()
+	if got := gen2.db.Len(series); got != rowsBefore {
+		t.Fatalf("replayed pre-crash batch grew the store from %d to %d rows", rowsBefore, got)
+	}
+	st, ok := gen2.ctrl.AgentStats("car-1")
+	if !ok || st.Deduped < 1 {
+		t.Fatalf("recovered controller deduped %d replays, want >= 1 (stats=%+v ok=%v)", st.Deduped, st, ok)
+	}
+
+	// Zero duplicate rows across both generations: the sensor value is
+	// strictly increasing, so any reading stored twice repeats a value.
+	pts := gen2.db.Range(series, math.MinInt64, math.MaxInt64)
+	seen := make(map[float64]int64, len(pts))
+	for _, p := range pts {
+		if prev, dup := seen[p.Value]; dup {
+			t.Fatalf("reading %v stored twice (t=%d and t=%d): duplicate survived the crash-restart", p.Value, prev, p.TimestampMillis)
+		}
+		seen[p.Value] = p.TimestampMillis
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.After(d)
+	for !cond() {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out waiting for %s", what)
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
+	"darnet/internal/durable"
 	"darnet/internal/telemetry"
 	"darnet/internal/tsdb"
 	"darnet/internal/wire"
@@ -38,6 +40,12 @@ var (
 	// mStreamForwarded counts stored readings handed to the streaming classify
 	// sink; the sink's own shed counters account for any it could not admit.
 	mStreamForwarded = telemetry.NewCounter("darnet_collect_stream_forwarded_total", "stored readings offered to the streaming classification sink")
+
+	// mCommitLogErrors counts batches whose durability commit mark could not be
+	// appended. The batch is still acked — the WAL degrades to lossy rather
+	// than stalling ingest — so this counter is the only trace that those acks
+	// outran the log.
+	mCommitLogErrors = telemetry.NewCounter("darnet_collect_commit_log_errors_total", "batches acked without a durable commit mark because the commit log errored")
 )
 
 // ErrIdleReaped marks a connection the controller abandoned because the
@@ -64,6 +72,17 @@ type StreamSink interface {
 	Credits(agentID string) uint32
 }
 
+// CommitLog receives a durable commit mark after a batch's readings have been
+// stored and the dedupe high-water mark advanced. The mark is what makes
+// replay idempotent: recovery only applies WAL inserts up to the last mark an
+// agent earned, so a crash between store and mark loses nothing — the agent
+// retransmits the unmarked batch and dedupe state restored from the mark
+// admits it exactly once. internal/durable.Manager satisfies this
+// structurally, so collect never imports the storage layer's manager.
+type CommitLog interface {
+	AppendCommit(agentID string, seq uint64) error
+}
+
 // SyncPeriodMillis is how often the controller re-distributes its clock to
 // each agent (paper §4.1: "this synchronization process is repeated every 5
 // seconds").
@@ -82,6 +101,7 @@ type Controller struct {
 	syncEach    int64
 	idleTimeout time.Duration
 	sink        StreamSink
+	commitLog   CommitLog
 }
 
 type agentState struct {
@@ -141,6 +161,72 @@ func (c *Controller) SetStreamSink(s StreamSink) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sink = s
+}
+
+// SetCommitLog installs (or, with nil, removes) the durability commit log.
+// With a log installed, every stored batch appends a commit mark before its
+// ack is sent, and controller restarts recover the dedupe high-water marks
+// from the log's checkpoints and replay.
+func (c *Controller) SetCommitLog(l CommitLog) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.commitLog = l
+}
+
+// commitLogRef snapshots the commit log under the lock.
+func (c *Controller) commitLogRef() CommitLog {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.commitLog
+}
+
+// SessionSnapshot captures every agent session's durable state, sorted by
+// agent ID — the checkpoint writer's session source. The snapshot is taken
+// under the controller lock, so it is consistent with the dedupe marks the
+// commit log has already recorded.
+func (c *Controller) SessionSnapshot() []durable.SessionState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]durable.SessionState, 0, len(c.agents))
+	for id, st := range c.agents {
+		out = append(out, durable.SessionState{
+			AgentID:      id,
+			Modality:     st.modality,
+			PeriodMillis: st.periodMillis,
+			LastSeq:      st.lastSeq,
+			Batches:      st.batches,
+			Readings:     st.readings,
+			Deduped:      st.deduped,
+			Sessions:     st.sessions,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AgentID < out[j].AgentID })
+	return out
+}
+
+// RestoreSessions seeds agent sessions from recovered checkpoint state, so a
+// restarted controller still dedupes batches that resumed agents retransmit.
+// Sessions already registered (an agent reconnected before restore ran) keep
+// their live state; restore never moves a high-water mark backwards.
+func (c *Controller) RestoreSessions(sess []durable.SessionState) {
+	now := c.source()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range sess {
+		if _, ok := c.agents[s.AgentID]; ok {
+			continue
+		}
+		c.agents[s.AgentID] = &agentState{
+			modality:     s.Modality,
+			periodMillis: s.PeriodMillis,
+			lastSyncAt:   now,
+			lastSeq:      s.LastSeq,
+			batches:      s.Batches,
+			readings:     s.Readings,
+			deduped:      s.Deduped,
+			sessions:     s.Sessions,
+		}
+	}
 }
 
 // streamSink snapshots the sink under the lock.
@@ -389,6 +475,18 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 			st.lastSeq = batch.Seq
 		}
 		c.mu.Unlock()
+
+		// Durable commit mark: the dedupe high-water mark above is already
+		// advanced, so the mark the log records never exceeds the state a
+		// checkpoint would snapshot. It must land before the ack below —
+		// recovery promises every acked batch survives — and legacy Seq==0
+		// batches still append one as a replay flush marker. An append failure
+		// degrades durability, never availability: count it and keep serving.
+		if cl := c.commitLogRef(); cl != nil {
+			if err := cl.AppendCommit(batch.AgentID, batch.Seq); err != nil {
+				mCommitLogErrors.Inc()
+			}
+		}
 
 		// Clock synchronization piggybacks on the batch exchange: the
 		// controller pushes its UTC, waits for the agent's resulting clock,

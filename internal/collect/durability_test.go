@@ -1,0 +1,167 @@
+package collect
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"darnet/internal/durable"
+	"darnet/internal/tsdb"
+	"darnet/internal/wire"
+)
+
+// markRecorder is a CommitLog capturing every mark (or failing on demand).
+type markRecorder struct {
+	marks []uint64
+	fail  error
+}
+
+func (r *markRecorder) AppendCommit(agentID string, seq uint64) error {
+	if r.fail != nil {
+		return r.fail
+	}
+	r.marks = append(r.marks, seq)
+	return nil
+}
+
+// serveManual starts ServeConn on one end of a pipe and hands the test the
+// agent side, already past the hello exchange.
+func serveManual(t *testing.T, ctrl *Controller, id string) (*wire.Conn, chan error) {
+	t.Helper()
+	aRaw, cRaw := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- ctrl.ServeConn(wire.NewConn(cRaw)) }()
+	conn := wire.NewConn(aRaw)
+	if err := conn.Send(&wire.Hello{AgentID: id, Modality: "imu", PeriodMillis: 25}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Recv(); err != nil {
+		t.Fatalf("hello ack: %v", err)
+	}
+	t.Cleanup(func() {
+		//lint:ignore errdrop test teardown; ServeConn's error is checked via done
+		aRaw.Close()
+		<-done
+	})
+	return conn, done
+}
+
+func sendMarkedBatch(t *testing.T, conn *wire.Conn, id string, seq uint64, ts int64) *wire.Ack {
+	t.Helper()
+	batch := &wire.SampleBatch{AgentID: id, Seq: seq, Readings: []wire.Reading{
+		{Sensor: "accel", TimestampMillis: ts, Values: []float64{1}},
+	}}
+	if err := conn.Send(batch); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, ok := msg.(*wire.Ack)
+	if !ok {
+		t.Fatalf("expected ack, got %T", msg)
+	}
+	return ack
+}
+
+// TestCommitLogReceivesMarks pins the mark discipline: one mark per stored
+// batch (after the dedupe high-water mark advances, before the ack), a mark
+// even for legacy Seq==0 batches, and no mark for a deduped replay.
+func TestCommitLogReceivesMarks(t *testing.T) {
+	mt := NewManualTime(1_000_000)
+	ctrl := NewController(tsdb.New(), mt.Now)
+	rec := &markRecorder{}
+	ctrl.SetCommitLog(rec)
+	conn, _ := serveManual(t, ctrl, "car-1")
+
+	sendMarkedBatch(t, conn, "car-1", 1, 10)
+	sendMarkedBatch(t, conn, "car-1", 2, 20)
+	sendMarkedBatch(t, conn, "car-1", 1, 10) // replay: acked, not stored, not marked
+	sendMarkedBatch(t, conn, "car-1", 0, 30) // legacy: stored, flush-marked
+
+	want := []uint64{1, 2, 0}
+	if len(rec.marks) != len(want) {
+		t.Fatalf("marks = %v, want %v", rec.marks, want)
+	}
+	for i, w := range want {
+		if rec.marks[i] != w {
+			t.Fatalf("marks = %v, want %v", rec.marks, want)
+		}
+	}
+	st, _ := ctrl.AgentStats("car-1")
+	if st.LastSeq != 2 || st.Deduped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCommitLogErrorKeepsServing pins availability over durability: a failing
+// commit log must not kill the connection or block the ack.
+func TestCommitLogErrorKeepsServing(t *testing.T) {
+	mt := NewManualTime(1_000_000)
+	ctrl := NewController(tsdb.New(), mt.Now)
+	ctrl.SetCommitLog(&markRecorder{fail: errors.New("disk on fire")})
+	conn, _ := serveManual(t, ctrl, "car-1")
+
+	if ack := sendMarkedBatch(t, conn, "car-1", 1, 10); ack.Seq != 1 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if ack := sendMarkedBatch(t, conn, "car-1", 2, 20); ack.Seq != 2 {
+		t.Fatalf("second batch after log failure: ack = %+v", ack)
+	}
+	if got := ctrl.DB().Len("car-1/accel[0]"); got != 2 {
+		t.Fatalf("store has %d rows, want 2", got)
+	}
+}
+
+// TestSessionSnapshotRestoreRoundTrip proves the checkpoint session contract:
+// a snapshot fed to a fresh controller restores the dedupe high-water marks,
+// so a batch replayed across the "restart" is dropped without storing rows.
+func TestSessionSnapshotRestoreRoundTrip(t *testing.T) {
+	mt := NewManualTime(1_000_000)
+	ctrl := NewController(tsdb.New(), mt.Now)
+	conn, _ := serveManual(t, ctrl, "car-1")
+	sendMarkedBatch(t, conn, "car-1", 1, 10)
+	sendMarkedBatch(t, conn, "car-1", 2, 20)
+
+	snap := ctrl.SessionSnapshot()
+	if len(snap) != 1 || snap[0].AgentID != "car-1" || snap[0].LastSeq != 2 || snap[0].Batches != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	ctrl2 := NewController(tsdb.New(), mt.Now)
+	ctrl2.RestoreSessions(snap)
+	conn2, _ := serveManual(t, ctrl2, "car-1")
+	sendMarkedBatch(t, conn2, "car-1", 2, 20) // retransmit across restart: must dedupe
+	sendMarkedBatch(t, conn2, "car-1", 3, 30)
+
+	st, ok := ctrl2.AgentStats("car-1")
+	if !ok || st.Deduped != 1 || st.LastSeq != 3 {
+		t.Fatalf("restored stats = %+v", st)
+	}
+	if got := ctrl2.DB().Len("car-1/accel[0]"); got != 1 {
+		t.Fatalf("replayed batch stored rows: %d, want 1", got)
+	}
+}
+
+// TestSessionSnapshotSorted pins the deterministic ordering checkpoints rely
+// on for byte-stable encodes.
+func TestSessionSnapshotSorted(t *testing.T) {
+	mt := NewManualTime(0)
+	ctrl := NewController(tsdb.New(), mt.Now)
+	ctrl.RestoreSessions([]durable.SessionState{
+		{AgentID: "zebra", LastSeq: 1},
+		{AgentID: "alpha", LastSeq: 2},
+		{AgentID: "mike", LastSeq: 3},
+	})
+	snap := ctrl.SessionSnapshot()
+	if len(snap) != 3 || snap[0].AgentID != "alpha" || snap[1].AgentID != "mike" || snap[2].AgentID != "zebra" {
+		t.Fatalf("snapshot order = %+v", snap)
+	}
+	// Restore never clobbers a live session or moves a mark backwards.
+	ctrl.RestoreSessions([]durable.SessionState{{AgentID: "alpha", LastSeq: 0}})
+	st, _ := ctrl.AgentStats("alpha")
+	if st.LastSeq != 2 {
+		t.Fatalf("restore clobbered live session: %+v", st)
+	}
+}

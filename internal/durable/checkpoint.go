@@ -1,0 +1,267 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"darnet/internal/tsdb"
+)
+
+// SessionState is one agent's controller-side session as a checkpoint stores
+// it: the dedupe high-water mark that must survive a restart (PROTOCOL.md's
+// at-least-once guarantee hangs on it) plus the batch accounting darnetd
+// reports. internal/collect converts to and from its own agent table with
+// SessionSnapshot/RestoreSessions.
+type SessionState struct {
+	AgentID      string
+	Modality     string
+	PeriodMillis uint32
+	LastSeq      uint64
+	Batches      int
+	Readings     int
+	Deduped      int
+	Sessions     int
+}
+
+// checkpointData is one decoded checkpoint: the store and session state as of
+// its base position; replay covers everything after (WAL generations >=
+// BaseGen).
+type checkpointData struct {
+	Gen     uint64
+	BaseGen uint64
+	BaseLSN uint64
+	Series  map[string][]tsdb.Point
+	Sess    []SessionState
+}
+
+// Checkpoint layout: a fixed header, the series section, the session section,
+// and one whole-file CRC32C trailer. Unlike the WAL there is no per-record
+// framing — a checkpoint is written once through the tmp+rename door, so it
+// is either entirely present and checksum-valid or it is not used.
+const (
+	ckptMagic          = "DARCKP01"
+	ckptMagicHeaderLen = 8 + 8 + 8 + 8 // magic, gen, base gen, base LSN
+)
+
+// writeCheckpoint encodes and durably writes checkpoint gen through a temp
+// file: content, Sync, Close, then the atomic Rename that makes it visible.
+// A crash anywhere before the rename leaves only ignorable garbage.
+func writeCheckpoint(fs FS, gen, baseGen, baseLSN uint64, series map[string][]tsdb.Point, sess []SessionState) error {
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	size := ckptMagicHeaderLen + 4 + 4
+	for _, n := range names {
+		size += 2 + len(n) + 4 + 16*len(series[n])
+	}
+	for _, s := range sess {
+		size += 2 + len(s.AgentID) + 2 + len(s.Modality) + 4 + 8*5
+	}
+	b := make([]byte, 0, size+4)
+
+	b = append(b, ckptMagic...)
+	b = binary.BigEndian.AppendUint64(b, gen)
+	b = binary.BigEndian.AppendUint64(b, baseGen)
+	b = binary.BigEndian.AppendUint64(b, baseLSN)
+
+	b = binary.BigEndian.AppendUint32(b, uint32(len(names)))
+	for _, n := range names {
+		if len(n) > 0xFFFF {
+			return errSeriesName
+		}
+		b = append(b, byte(len(n)>>8), byte(len(n)))
+		b = append(b, n...)
+		pts := series[n]
+		b = binary.BigEndian.AppendUint32(b, uint32(len(pts)))
+		for _, p := range pts {
+			b = binary.BigEndian.AppendUint64(b, uint64(p.TimestampMillis))
+			b = binary.BigEndian.AppendUint64(b, math.Float64bits(p.Value))
+		}
+	}
+
+	b = binary.BigEndian.AppendUint32(b, uint32(len(sess)))
+	for _, s := range sess {
+		if len(s.AgentID) > 0xFFFF || len(s.Modality) > 0xFFFF {
+			return errSeriesName
+		}
+		b = append(b, byte(len(s.AgentID)>>8), byte(len(s.AgentID)))
+		b = append(b, s.AgentID...)
+		b = append(b, byte(len(s.Modality)>>8), byte(len(s.Modality)))
+		b = append(b, s.Modality...)
+		b = binary.BigEndian.AppendUint32(b, s.PeriodMillis)
+		b = binary.BigEndian.AppendUint64(b, s.LastSeq)
+		b = binary.BigEndian.AppendUint64(b, uint64(s.Batches))
+		b = binary.BigEndian.AppendUint64(b, uint64(s.Readings))
+		b = binary.BigEndian.AppendUint64(b, uint64(s.Deduped))
+		b = binary.BigEndian.AppendUint64(b, uint64(s.Sessions))
+	}
+
+	b = binary.BigEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+
+	tmp := ckptName(gen) + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: create checkpoint temp: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		//lint:ignore errdrop the write error is authoritative; close is cleanup
+		f.Close()
+		return fmt.Errorf("durable: write checkpoint %d: %w", gen, err)
+	}
+	if err := f.Sync(); err != nil {
+		//lint:ignore errdrop the sync error is authoritative; close is cleanup
+		f.Close()
+		return fmt.Errorf("durable: sync checkpoint %d: %w", gen, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: close checkpoint %d: %w", gen, err)
+	}
+	if err := fs.Rename(tmp, ckptName(gen)); err != nil {
+		return fmt.Errorf("durable: publish checkpoint %d: %w", gen, err)
+	}
+	return nil
+}
+
+// readCheckpoint loads and validates one checkpoint file. Any failure —
+// truncation, bad magic, checksum mismatch, malformed sections — returns an
+// error; the caller falls back to the previous checkpoint.
+func readCheckpoint(fs FS, name string) (*checkpointData, error) {
+	rc, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	b, err := io.ReadAll(rc)
+	if err != nil {
+		return nil, fmt.Errorf("durable: read checkpoint %s: %w", name, err)
+	}
+	if len(b) < ckptMagicHeaderLen+4+4+4 {
+		return nil, fmt.Errorf("durable: checkpoint %s truncated (%d bytes)", name, len(b))
+	}
+	body, trailer := b[:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, castagnoli) != trailer {
+		return nil, fmt.Errorf("durable: checkpoint %s failed its checksum", name)
+	}
+	if string(body[:8]) != ckptMagic {
+		return nil, fmt.Errorf("durable: checkpoint %s has bad magic", name)
+	}
+	d := &checkpointData{
+		Gen:     binary.BigEndian.Uint64(body[8:16]),
+		BaseGen: binary.BigEndian.Uint64(body[16:24]),
+		BaseLSN: binary.BigEndian.Uint64(body[24:32]),
+		Series:  make(map[string][]tsdb.Point),
+	}
+	p := body[32:]
+
+	u16 := func() (int, bool) {
+		if len(p) < 2 {
+			return 0, false
+		}
+		v := int(p[0])<<8 | int(p[1])
+		p = p[2:]
+		return v, true
+	}
+	u32 := func() (uint32, bool) {
+		if len(p) < 4 {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint32(p)
+		p = p[4:]
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if len(p) < 8 {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint64(p)
+		p = p[8:]
+		return v, true
+	}
+	str := func(n int) (string, bool) {
+		if len(p) < n {
+			return "", false
+		}
+		s := string(p[:n])
+		p = p[n:]
+		return s, true
+	}
+	malformed := fmt.Errorf("durable: checkpoint %s is malformed", name)
+
+	nSeries, ok := u32()
+	if !ok {
+		return nil, malformed
+	}
+	for i := uint32(0); i < nSeries; i++ {
+		nameLen, ok := u16()
+		if !ok {
+			return nil, malformed
+		}
+		sname, ok := str(nameLen)
+		if !ok {
+			return nil, malformed
+		}
+		nPts, ok := u32()
+		if !ok || uint64(len(p)) < 16*uint64(nPts) {
+			return nil, malformed
+		}
+		pts := make([]tsdb.Point, nPts)
+		for j := range pts {
+			ts, _ := u64()
+			bits, _ := u64()
+			pts[j] = tsdb.Point{TimestampMillis: int64(ts), Value: math.Float64frombits(bits)}
+		}
+		d.Series[sname] = pts
+	}
+
+	nSess, ok := u32()
+	if !ok {
+		return nil, malformed
+	}
+	for i := uint32(0); i < nSess; i++ {
+		var s SessionState
+		idLen, ok := u16()
+		if !ok {
+			return nil, malformed
+		}
+		if s.AgentID, ok = str(idLen); !ok {
+			return nil, malformed
+		}
+		modLen, ok := u16()
+		if !ok {
+			return nil, malformed
+		}
+		if s.Modality, ok = str(modLen); !ok {
+			return nil, malformed
+		}
+		period, ok := u32()
+		if !ok {
+			return nil, malformed
+		}
+		s.PeriodMillis = period
+		vals := [5]uint64{}
+		for j := range vals {
+			v, ok := u64()
+			if !ok {
+				return nil, malformed
+			}
+			vals[j] = v
+		}
+		s.LastSeq = vals[0]
+		s.Batches = int(vals[1])
+		s.Readings = int(vals[2])
+		s.Deduped = int(vals[3])
+		s.Sessions = int(vals[4])
+		d.Sess = append(d.Sess, s)
+	}
+	if len(p) != 0 {
+		return nil, malformed
+	}
+	return d, nil
+}

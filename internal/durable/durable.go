@@ -1,0 +1,138 @@
+// Package durable is the controller's crash-safety layer: a length-prefixed,
+// CRC32C-checksummed write-ahead log that tsdb.DB.Insert appends to before
+// mutating memory, periodic checkpoints that snapshot the store and the
+// controller's per-agent session state so replay stays bounded, and a
+// recovery path that truncates torn tails, rejects corrupt records, and
+// replays the survivors idempotently.
+//
+// The replay contract is built around commit marks. Insert records buffer
+// per agent during replay and apply only when that agent's commit mark (one
+// per stored batch) arrives; the mark also advances the agent's dedupe
+// high-water mark. A crash between a batch's inserts and its mark therefore
+// discards the inserts — the agent never saw an ack covering them (under the
+// always policy acks follow the mark's fsync), so it retransmits and the rows
+// land exactly once. That is how "no duplicate rows after replay" holds for
+// every crash position.
+//
+// Fsync policy picks the durability/latency trade-off per deployment:
+//
+//	always   group-commit fsync before every batch ack — acked data is never lost
+//	interval background fsync every SyncEvery — loss bounded by the interval
+//	never    the OS decides — loss bounded only by the kernel's writeback
+//
+// All disk access goes through the File/FS interfaces in fs.go, which is the
+// seam internal/fault uses to inject short writes, torn tails, bit flips, and
+// fsync failures deterministically.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"darnet/internal/telemetry"
+)
+
+// Durability metrics: append volume, fsync cadence and failures, checkpoint
+// count, and the recovery tallies /healthz reports after a restart.
+var (
+	mWALRecords   = telemetry.NewCounter("darnet_durable_wal_records_total", "records appended to the write-ahead log")
+	mWALBytes     = telemetry.NewCounter("darnet_durable_wal_bytes_total", "bytes appended to the write-ahead log")
+	mWALSyncs     = telemetry.NewCounter("darnet_durable_wal_syncs_total", "fsync calls issued by group commit, the interval loop, and rotation")
+	mAppendErrors = telemetry.NewCounter("darnet_durable_wal_append_errors_total", "WAL appends that failed; the log is degraded after the first")
+	mSyncErrors   = telemetry.NewCounter("darnet_durable_sync_errors_total", "fsync failures; the log is degraded after the first")
+	mCheckpoints  = telemetry.NewCounter("darnet_durable_checkpoints_total", "checkpoints written")
+	mRecoveries   = telemetry.NewCounter("darnet_durable_recoveries_total", "recovery passes run at startup")
+	mReplayed     = telemetry.NewCounter("darnet_durable_recovery_replayed_records_total", "WAL records applied during recovery")
+	mDiscarded    = telemetry.NewCounter("darnet_durable_recovery_discarded_inserts_total", "uncommitted insert records discarded during recovery (agents retransmit them)")
+	mTornBytes    = telemetry.NewCounter("darnet_durable_recovery_torn_bytes_total", "bytes truncated from torn WAL tails during recovery")
+)
+
+// castagnoli is the CRC32C polynomial table every record and checkpoint
+// checksum uses (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Policy selects when appended WAL bytes are forced to stable storage.
+type Policy int
+
+// Fsync policies, weakest guarantee last.
+const (
+	// PolicyAlways group-commits: every batch commit mark syncs the log
+	// before the controller acks, so acknowledged data survives any crash.
+	PolicyAlways Policy = iota
+	// PolicyInterval syncs on a timer; a crash loses at most SyncEvery worth
+	// of acknowledged appends.
+	PolicyInterval
+	// PolicyNever leaves syncing to the OS; loss is bounded only by kernel
+	// writeback (and is measured, not guaranteed).
+	PolicyNever
+)
+
+// String implements fmt.Stringer with the flag spellings.
+func (p Policy) String() string {
+	switch p {
+	case PolicyAlways:
+		return "always"
+	case PolicyInterval:
+		return "interval"
+	case PolicyNever:
+		return "never"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps the -fsync flag spellings onto a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return PolicyAlways, nil
+	case "interval":
+		return PolicyInterval, nil
+	case "never":
+		return PolicyNever, nil
+	default:
+		return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// DefaultSyncEvery is the interval policy's fsync period when Options leaves
+// it zero.
+const DefaultSyncEvery = 200 * time.Millisecond
+
+// DefaultCheckpointEvery is the automatic checkpoint period when Options
+// leaves it zero.
+const DefaultCheckpointEvery = time.Minute
+
+// Options parameterizes Open.
+type Options struct {
+	// FS is the directory the WAL and checkpoints live in. Required.
+	FS FS
+	// Policy selects the fsync policy (zero value: PolicyAlways).
+	Policy Policy
+	// SyncEvery is the interval policy's fsync period; 0 means
+	// DefaultSyncEvery. Ignored by the other policies.
+	SyncEvery time.Duration
+	// CheckpointEvery is the automatic checkpoint period once Start runs;
+	// 0 means DefaultCheckpointEvery, negative disables the loop (manual
+	// Checkpoint calls still work).
+	CheckpointEvery time.Duration
+	// Logf receives recovery and degradation notices; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Errors the durability layer reports. They are package vars (not wrapped
+// fmt.Errorf values) because the append path is reachable from the
+// //lint:hotpath Insert root and must not format.
+var (
+	// ErrClosed is returned by operations on a closed Manager.
+	ErrClosed = errors.New("durable: manager is closed")
+	// ErrDegraded is returned once a write or fsync failure has made the log
+	// untrustworthy; the store keeps serving but new data is not durable.
+	ErrDegraded = errors.New("durable: log degraded after an earlier write or fsync failure")
+	// errSeriesName rejects a series name too long for the u16 length prefix.
+	errSeriesName = errors.New("durable: series name exceeds 65535 bytes")
+	// errShortWrite marks an append the File accepted only partially.
+	errShortWrite = errors.New("durable: short WAL write")
+)

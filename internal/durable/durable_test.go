@@ -1,0 +1,518 @@
+package durable
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"darnet/internal/tsdb"
+)
+
+func openTest(t *testing.T, fs FS, db *tsdb.DB, policy Policy) (*Manager, *Recovery) {
+	t.Helper()
+	m, rec, err := Open(db, Options{FS: fs, Policy: policy, CheckpointEvery: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return m, rec
+}
+
+// storeBatch plays one agent batch through the same sequence the controller
+// uses: inserts under the (logged) store, then the commit mark.
+func storeBatch(t *testing.T, db *tsdb.DB, m *Manager, agent string, seq uint64, ts int64, vals ...float64) error {
+	t.Helper()
+	for i, v := range vals {
+		db.Insert(fmt.Sprintf("%s/acc[%d]", agent, i), tsdb.Point{TimestampMillis: ts, Value: v})
+	}
+	return m.AppendCommit(agent, seq)
+}
+
+func TestRecoveryRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, rec := openTest(t, fs, db, PolicyAlways)
+	if rec.ReplayedRecords != 0 || rec.Checkpoint != "" {
+		t.Fatalf("fresh dir should recover nothing, got %+v", rec)
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := storeBatch(t, db, m, "car-1", seq, int64(seq*100), float64(seq), -float64(seq)); err != nil {
+			t.Fatalf("batch %d: %v", seq, err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	db2 := tsdb.New()
+	_, rec2 := openTest(t, fs, db2, PolicyAlways)
+	// Clean shutdown wrote a checkpoint: everything comes from it, nothing
+	// needs replay.
+	if rec2.Checkpoint == "" || rec2.ReplayedRecords != 0 {
+		t.Fatalf("clean restart should load checkpoint only, got %+v", rec2)
+	}
+	if got := db2.Len("car-1/acc[0]"); got != 5 {
+		t.Fatalf("acc[0] after restart: got %d points, want 5", got)
+	}
+	if len(rec2.Sessions) != 1 || rec2.Sessions[0].LastSeq != 5 {
+		t.Fatalf("sessions after restart: %+v", rec2.Sessions)
+	}
+	pts := db2.Range("car-1/acc[1]", 0, 1<<60)
+	for i, p := range pts {
+		if p.Value != -float64(i+1) {
+			t.Fatalf("acc[1][%d] = %v, want %v", i, p.Value, -float64(i+1))
+		}
+	}
+}
+
+func TestCrashReplaysWAL(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, _ := openTest(t, fs, db, PolicyAlways)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := storeBatch(t, db, m, "car-1", seq, int64(seq*100), float64(seq)); err != nil {
+			t.Fatalf("batch %d: %v", seq, err)
+		}
+	}
+	fs.Crash() // hard stop: no Close, no shutdown checkpoint
+
+	db2 := tsdb.New()
+	_, rec := openTest(t, fs, db2, PolicyAlways)
+	if rec.ReplayedInserts != 3 {
+		t.Fatalf("replayed %d inserts, want 3 (recovery: %+v)", rec.ReplayedInserts, rec)
+	}
+	if got := db2.Len("car-1/acc[0]"); got != 3 {
+		t.Fatalf("after crash recovery: %d points, want 3", got)
+	}
+	if len(rec.Sessions) != 1 || rec.Sessions[0].LastSeq != 3 {
+		t.Fatalf("dedupe high-water mark lost: %+v", rec.Sessions)
+	}
+}
+
+func TestUncommittedInsertsDiscarded(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, _ := openTest(t, fs, db, PolicyAlways)
+	if err := storeBatch(t, db, m, "car-1", 1, 100, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	// Batch 2's inserts hit the log but the crash beats the commit mark.
+	db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: 200, Value: 2.0})
+	if err := m.w.sync(); err != nil { // the inserts themselves are durable
+		t.Fatal(err)
+	}
+	fs.Crash()
+
+	db2 := tsdb.New()
+	m2, rec := openTest(t, fs, db2, PolicyAlways)
+	if rec.DiscardedInserts != 1 {
+		t.Fatalf("discarded %d inserts, want 1", rec.DiscardedInserts)
+	}
+	if got := db2.Len("car-1/acc[0]"); got != 1 {
+		t.Fatalf("uncommitted insert leaked into the store: %d points, want 1", got)
+	}
+	// The agent never saw an ack for batch 2, so it retransmits — and the
+	// rows land exactly once.
+	if err := storeBatch(t, db2, m2, "car-1", 2, 200, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Len("car-1/acc[0]"); got != 2 {
+		t.Fatalf("after retransmit: %d points, want 2", got)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, _ := openTest(t, fs, db, PolicyAlways)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := storeBatch(t, db, m, "car-1", seq, int64(seq*100), float64(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the active generation mid-record: the crash interrupted an append.
+	name := walName(m.w.gen)
+	size, err := fs.Size(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Truncate(name, size-5); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := tsdb.New()
+	_, rec := openTest(t, fs, db2, PolicyAlways)
+	if rec.TornBytes == 0 {
+		t.Fatalf("expected torn bytes, got %+v", rec)
+	}
+	// The torn record was batch 3's commit mark or part of its insert; the
+	// first two batches survive intact and nothing duplicates.
+	if got := db2.Len("car-1/acc[0]"); got != 2 {
+		t.Fatalf("after torn-tail recovery: %d points, want 2", got)
+	}
+	if rec.Degraded {
+		t.Fatalf("a clean torn tail is the normal crash artifact, not degradation: %+v", rec)
+	}
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, _ := openTest(t, fs, db, PolicyAlways)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := storeBatch(t, db, m, "car-1", seq, int64(seq*100), float64(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip a byte inside the FIRST batch's insert record (just past the file
+	// header): everything after it is untrustworthy.
+	if err := fs.Corrupt(walName(m.w.gen), walHeaderLen+recHeaderLen+4); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := tsdb.New()
+	_, rec := openTest(t, fs, db2, PolicyAlways)
+	if !rec.Degraded || rec.LostBytes == 0 {
+		t.Fatalf("corruption must degrade recovery and count lost bytes: %+v", rec)
+	}
+	if got := db2.Len("car-1/acc[0]"); got != 0 {
+		t.Fatalf("replay past a corrupt record: %d points stored", got)
+	}
+}
+
+func TestCheckpointFallback(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, _ := openTest(t, fs, db, PolicyAlways)
+	if err := storeBatch(t, db, m, "car-1", 1, 100, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil { // second checkpoint (Open wrote the first)
+		t.Fatal(err)
+	}
+	if err := storeBatch(t, db, m, "car-1", 2, 200, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	newest := ckptName(m.Stats().CheckpointGen)
+	if err := fs.Corrupt(newest, 20); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+
+	db2 := tsdb.New()
+	_, rec := openTest(t, fs, db2, PolicyAlways)
+	if !rec.UsedFallback {
+		t.Fatalf("expected fallback to the previous checkpoint: %+v", rec)
+	}
+	// The fallback base predates batch 2, but batch 2's WAL generation was
+	// kept by gc (everything >= the fallback checkpoint survives), so replay
+	// restores it: falling back loses no data.
+	if got := db2.Len("car-1/acc[0]"); got != 2 {
+		t.Fatalf("after fallback recovery: %d points, want 2", got)
+	}
+	if len(rec.Sessions) != 1 || rec.Sessions[0].LastSeq != 2 {
+		t.Fatalf("sessions after fallback: %+v", rec.Sessions)
+	}
+}
+
+func TestAllCheckpointsCorruptStartsEmpty(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, _ := openTest(t, fs, db, PolicyAlways)
+	if err := storeBatch(t, db, m, "car-1", 1, 100, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if strings.HasSuffix(n, ".ckpt") {
+			if err := fs.Corrupt(n, 16); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fs.Crash()
+
+	db2 := tsdb.New()
+	_, rec := openTest(t, fs, db2, PolicyAlways)
+	if !rec.StartedEmpty || !rec.Degraded {
+		t.Fatalf("want degraded empty start, got %+v", rec)
+	}
+	if rec.LostBytes == 0 || !strings.Contains(rec.Note, "started empty") {
+		t.Fatalf("empty start must report its loss bound: %+v", rec)
+	}
+	if got := len(db2.Series()); got != 0 {
+		t.Fatalf("empty start stored %d series", got)
+	}
+}
+
+func TestGCBoundsFiles(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, _ := openTest(t, fs, db, PolicyAlways)
+	for i := 0; i < 6; i++ {
+		if err := storeBatch(t, db, m, "car-1", uint64(i+1), int64(i*100), 1.0); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpts, wals := 0, 0
+	for _, n := range names {
+		if strings.HasSuffix(n, ".ckpt") {
+			ckpts++
+		}
+		if strings.HasSuffix(n, ".wal") {
+			wals++
+		}
+	}
+	if ckpts != 2 {
+		t.Fatalf("gc kept %d checkpoints, want 2 (%v)", ckpts, names)
+	}
+	if wals > 3 {
+		t.Fatalf("gc kept %d WAL generations, want <= 3 (%v)", wals, names)
+	}
+}
+
+func TestGroupCommitCoalesces(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, _ := openTest(t, fs, db, PolicyAlways)
+	before := mWALSyncs.Value()
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(seq uint64) {
+			defer wg.Done()
+			if err := m.AppendCommit("car-1", seq); err != nil {
+				t.Errorf("commit %d: %v", seq, err)
+			}
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	syncs := mWALSyncs.Value() - before
+	if syncs > n {
+		t.Fatalf("group commit issued %d fsyncs for %d commits", syncs, n)
+	}
+	t.Logf("group commit: %d commits -> %d fsyncs", n, syncs)
+}
+
+// TestCrashMatrix is the seeded crash-injection matrix of the acceptance
+// criteria: for every fsync policy, crash after every prefix of a batch
+// stream, recover, let the "agent" retransmit everything it never saw acked
+// durable, and assert (a) zero duplicate rows, (b) replay idempotence against
+// the restored dedupe marks, and (c) measured loss within the policy's bound.
+func TestCrashMatrix(t *testing.T) {
+	const batches = 12
+	policies := []Policy{PolicyAlways, PolicyInterval, PolicyNever}
+	for _, pol := range policies {
+		for crashAfter := 0; crashAfter <= batches; crashAfter++ {
+			t.Run(fmt.Sprintf("%s/crash_after_%d", pol, crashAfter), func(t *testing.T) {
+				fs := NewMemFS()
+				db := tsdb.New()
+				m, _ := openTest(t, fs, db, pol)
+				// Under the interval policy the loop is driven manually so the
+				// last-synced point is exact: a sync after every 4th batch.
+				synced := 0
+				for seq := 1; seq <= crashAfter; seq++ {
+					if err := storeBatch(t, db, m, "car-1", uint64(seq), int64(seq*10), float64(seq)); err != nil {
+						t.Fatalf("batch %d: %v", seq, err)
+					}
+					if pol == PolicyInterval && seq%4 == 0 {
+						if err := m.w.sync(); err != nil {
+							t.Fatal(err)
+						}
+						synced = seq
+					}
+				}
+				fs.Crash()
+
+				db2 := tsdb.New()
+				m2, rec := openTest(t, fs, db2, pol)
+				restored := uint64(0)
+				if len(rec.Sessions) == 1 {
+					restored = rec.Sessions[0].LastSeq
+				}
+				// Loss bound per policy. always: every committed batch is
+				// durable. interval: at most the batches since the last sync.
+				// never: anything might be gone, but recovery must still be
+				// self-consistent.
+				switch pol {
+				case PolicyAlways:
+					if restored != uint64(crashAfter) {
+						t.Fatalf("always-policy lost committed batches: restored seq %d, want %d", restored, crashAfter)
+					}
+				case PolicyInterval:
+					if restored < uint64(synced) {
+						t.Fatalf("interval policy lost synced batches: restored seq %d, last sync at %d", restored, synced)
+					}
+				}
+				// The agent retransmits every batch above the restored mark —
+				// exactly its at-least-once behaviour, since acks at or below
+				// the mark were durable. Batches at or below it would be
+				// deduped by the controller, so storing only the tail models
+				// the full protocol.
+				for seq := int(restored) + 1; seq <= batches; seq++ {
+					if err := storeBatch(t, db2, m2, "car-1", uint64(seq), int64(seq*10), float64(seq)); err != nil {
+						t.Fatalf("retransmit %d: %v", seq, err)
+					}
+				}
+				pts := db2.Range("car-1/acc[0]", 0, 1<<60)
+				if len(pts) != batches {
+					t.Fatalf("store holds %d rows, want %d (duplicates or loss)", len(pts), batches)
+				}
+				seen := make(map[int64]bool)
+				for _, p := range pts {
+					if seen[p.TimestampMillis] {
+						t.Fatalf("duplicate row at ts %d", p.TimestampMillis)
+					}
+					seen[p.TimestampMillis] = true
+					if p.Value != float64(p.TimestampMillis)/10 {
+						t.Fatalf("row ts=%d has value %v, want %v", p.TimestampMillis, p.Value, float64(p.TimestampMillis)/10)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCrashDuringCheckpoint crashes between the WAL rotation and the
+// checkpoint publish: the previous checkpoint plus the kept generations must
+// reconstruct everything.
+func TestCrashDuringCheckpoint(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, _ := openTest(t, fs, db, PolicyAlways)
+	for seq := uint64(1); seq <= 4; seq++ {
+		if err := storeBatch(t, db, m, "car-1", seq, int64(seq*100), float64(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rotate as Checkpoint would, then "crash" before writeCheckpoint runs:
+	// the tmp+rename door means no half-written checkpoint is visible.
+	if _, _, err := m.w.rotate(fs); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+
+	db2 := tsdb.New()
+	_, rec := openTest(t, fs, db2, PolicyAlways)
+	if got := db2.Len("car-1/acc[0]"); got != 4 {
+		t.Fatalf("after mid-checkpoint crash: %d points, want 4 (recovery %+v)", got, rec)
+	}
+	if len(rec.Sessions) != 1 || rec.Sessions[0].LastSeq != 4 {
+		t.Fatalf("sessions after mid-checkpoint crash: %+v", rec.Sessions)
+	}
+}
+
+func TestDegradedAfterSyncError(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, _ := openTest(t, fs, db, PolicyAlways)
+	// Sever the log out from under the manager: every sync now fails.
+	if err := m.w.close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendCommit("car-1", 1); err == nil {
+		t.Fatal("commit against a dead log should error")
+	}
+	if !m.degraded.Load() {
+		t.Fatal("first failure must latch degradation")
+	}
+	h := m.Health()
+	if !strings.Contains(h.Status, "degraded: durability") || !h.OK {
+		t.Fatalf("degraded health = %+v, want degraded-but-serving", h)
+	}
+	// The store stays available: inserts keep working, appends are skipped.
+	db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: 1, Value: 1})
+	if got := db.Len("car-1/acc[0]"); got != 1 {
+		t.Fatalf("degraded store dropped an insert: %d", got)
+	}
+	if err := m.AppendCommit("car-1", 2); err != ErrDegraded {
+		t.Fatalf("commit while degraded = %v, want ErrDegraded", err)
+	}
+}
+
+func TestPolicyParse(t *testing.T) {
+	for _, s := range []string{"always", "interval", "never"} {
+		p, err := ParsePolicy(s)
+		if err != nil || p.String() != s {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, p, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy should reject unknown spellings")
+	}
+}
+
+func TestMemFSCrashSemantics(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("-volatile")); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.UnsyncedBytes("x"); got != 9 {
+		t.Fatalf("UnsyncedBytes = %d, want 9", got)
+	}
+	fs.Crash()
+	sz, err := fs.Size("x")
+	if err != nil || sz != 7 {
+		t.Fatalf("after crash size = %d, %v; want 7", sz, err)
+	}
+}
+
+// discardFS backs the allocation test: Write accepts everything and goes
+// nowhere, so the measurement sees only the encoder's own behaviour.
+type discardFS struct{ MemFS }
+
+type discardFile struct{}
+
+func (discardFile) Write(p []byte) (int, error) { return len(p), nil }
+func (discardFile) Sync() error                 { return nil }
+func (discardFile) Close() error                { return nil }
+
+func (d *discardFS) Create(name string) (File, error) { return discardFile{}, nil }
+
+// TestAppendAllocFree proves the satellite claim: once the scratch buffer is
+// warm, logging an insert from the tsdb hot path allocates nothing.
+func TestAppendAllocFree(t *testing.T) {
+	w, err := newWAL(&discardFS{}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Manager{w: w, policy: PolicyNever, logf: func(string, ...any) {}}
+	series := "car-1/acc[0]"
+	p := tsdb.Point{TimestampMillis: 12345, Value: math.Pi}
+	m.LogInsert(series, p) // warm the scratch buffer
+	avg := testing.AllocsPerRun(1000, func() {
+		p.TimestampMillis++
+		m.LogInsert(series, p)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state WAL append allocates %.2f times per insert, want 0", avg)
+	}
+}

@@ -1,0 +1,316 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is the append-only handle the WAL and checkpoint writers hold. It is
+// deliberately tiny so the fault layer (internal/fault.File) can interpose
+// short writes, torn tails, bit flips, and fsync failures between the
+// durability logic and the real disk.
+//
+// Write must report how many bytes the implementation accepted; Sync must not
+// return until every accepted byte is on stable storage (or an error says it
+// is not).
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the directory the durability layer lives in. DirFS backs it with a
+// real directory; MemFS backs it with process memory and adds the crash
+// semantics (unsynced bytes vanish) the crash-injection harness needs.
+type FS interface {
+	// Create opens name for appending, truncating any previous content.
+	Create(name string) (File, error)
+	// Open opens name for reading from the start.
+	Open(name string) (io.ReadCloser, error)
+	// List returns the names (not paths) of all regular files, sorted.
+	List() ([]string, error)
+	// Remove deletes name. Removing a missing file is not an error.
+	Remove(name string) error
+	// Rename atomically replaces newname with oldname's content.
+	Rename(oldname, newname string) error
+	// Truncate shortens name to size bytes (torn-tail repair on recovery).
+	Truncate(name string, size int64) error
+	// Size returns the current length of name in bytes.
+	Size(name string) (int64, error)
+}
+
+// DirFS is the production FS: files in one flat directory, os.File handles.
+type DirFS struct {
+	dir string
+}
+
+// NewDirFS returns an FS rooted at dir, creating the directory if needed.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: create data dir: %w", err)
+	}
+	return &DirFS{dir: dir}, nil
+}
+
+func (fs *DirFS) path(name string) string { return filepath.Join(fs.dir, name) }
+
+// Create implements FS.
+func (fs *DirFS) Create(name string) (File, error) {
+	return os.OpenFile(fs.path(name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+// Open implements FS.
+func (fs *DirFS) Open(name string) (io.ReadCloser, error) {
+	return os.Open(fs.path(name))
+}
+
+// List implements FS.
+func (fs *DirFS) List() ([]string, error) {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements FS.
+func (fs *DirFS) Remove(name string) error {
+	err := os.Remove(fs.path(name))
+	if err != nil && errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// Rename implements FS. After the rename the directory entry is synced
+// best-effort so the new name survives a host crash.
+func (fs *DirFS) Rename(oldname, newname string) error {
+	if err := os.Rename(fs.path(oldname), fs.path(newname)); err != nil {
+		return err
+	}
+	if d, err := os.Open(fs.dir); err == nil {
+		//lint:ignore errdrop directory fsync is best-effort; rename already succeeded
+		d.Sync()
+		//lint:ignore errdrop read-only directory handle teardown
+		d.Close()
+	}
+	return nil
+}
+
+// Truncate implements FS.
+func (fs *DirFS) Truncate(name string, size int64) error {
+	return os.Truncate(fs.path(name), size)
+}
+
+// Size implements FS.
+func (fs *DirFS) Size(name string) (int64, error) {
+	st, err := os.Stat(fs.path(name))
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// memFile is one MemFS file: a byte buffer plus the high-water mark of bytes
+// made durable by Sync. Crash rolls the buffer back to that mark — exactly
+// what losing the page cache does to an un-fsynced file.
+type memFile struct {
+	buf    []byte
+	synced int
+}
+
+// MemFS is the in-memory FS the crash-injection tests and the darnet-eval
+// loss-bound measurement run against: deterministic, fast, and able to
+// simulate the one thing a real filesystem cannot in-process — a crash that
+// loses every byte written since the last fsync.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile)}
+}
+
+// memHandle is an open MemFS file for appending.
+type memHandle struct {
+	fs     *MemFS
+	name   string
+	closed bool
+}
+
+var errMemClosed = errors.New("durable: write to closed MemFS file")
+
+// Write implements File. It runs on the WAL append hot path, so it only
+// appends into the backing buffer (amortized growth is the one allocation the
+// hot path allows).
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, errMemClosed
+	}
+	f := h.fs.files[h.name]
+	f.buf = append(f.buf, p...)
+	return len(p), nil
+}
+
+// Sync implements File: everything written so far survives a Crash.
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return errMemClosed
+	}
+	f := h.fs.files[h.name]
+	f.synced = len(f.buf)
+	return nil
+}
+
+// Close implements File. Closing syncs, like the OS eventually flushing a
+// cleanly closed file; a crash loses only what Sync never covered.
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+// Create implements FS.
+func (fs *MemFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[name] = &memFile{}
+	return &memHandle{fs: fs, name: name}, nil
+}
+
+// Open implements FS.
+func (fs *MemFS) Open(name string) (io.ReadCloser, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	cp := append([]byte(nil), f.buf...)
+	return io.NopCloser(strings.NewReader(string(cp))), nil
+}
+
+// List implements FS.
+func (fs *MemFS) List() ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements FS.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, name)
+	return nil
+}
+
+// Rename implements FS.
+func (fs *MemFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	fs.files[newname] = f
+	delete(fs.files, oldname)
+	return nil
+}
+
+// Truncate implements FS.
+func (fs *MemFS) Truncate(name string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
+	}
+	if size < 0 || size > int64(len(f.buf)) {
+		return fmt.Errorf("durable: truncate %s to %d outside [0, %d]", name, size, len(f.buf))
+	}
+	f.buf = f.buf[:size]
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+	return nil
+}
+
+// Size implements FS.
+func (fs *MemFS) Size(name string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, &os.PathError{Op: "size", Path: name, Err: os.ErrNotExist}
+	}
+	return int64(len(f.buf)), nil
+}
+
+// Crash simulates a hard process + host stop: every file rolls back to its
+// last synced length. Open handles keep writing into the rolled-back buffers,
+// so callers should abandon the old Manager and re-Open.
+func (fs *MemFS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, f := range fs.files {
+		f.buf = f.buf[:f.synced]
+	}
+}
+
+// Corrupt flips every bit of the byte at off in name — the bit-rot injection
+// the recovery tests aim at checkpoint and WAL records.
+func (fs *MemFS) Corrupt(name string, off int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return &os.PathError{Op: "corrupt", Path: name, Err: os.ErrNotExist}
+	}
+	if off < 0 || off >= int64(len(f.buf)) {
+		return fmt.Errorf("durable: corrupt offset %d outside %s (%d bytes)", off, name, len(f.buf))
+	}
+	f.buf[off] ^= 0xFF
+	if f.synced < len(f.buf) {
+		f.synced = len(f.buf) // bit rot strikes durable bytes, not the cache
+	}
+	return nil
+}
+
+// UnsyncedBytes reports how many bytes of name a Crash would lose right now —
+// the measured ingredient of the per-policy data-loss bound.
+func (fs *MemFS) UnsyncedBytes(name string) int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0
+	}
+	return int64(len(f.buf) - f.synced)
+}

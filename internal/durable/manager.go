@@ -1,0 +1,660 @@
+package durable
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"darnet/internal/telemetry"
+	"darnet/internal/tsdb"
+)
+
+// Recovery reports what Open reconstructed: which checkpoint seeded the
+// store, what the WAL replay restored on top, and what was lost to torn or
+// corrupt bytes. darnetd logs it and hands Sessions to the controller so
+// dedupe high-water marks survive the restart.
+type Recovery struct {
+	// BaseGen is the WAL generation replay started from; Checkpoint is the
+	// file that seeded the store ("" when starting from nothing).
+	BaseGen    uint64
+	Checkpoint string
+	// UsedFallback is set when the newest checkpoint failed validation and
+	// the previous one seeded the store instead. StartedEmpty is the last
+	// resort: no checkpoint could be read even though at least one existed.
+	UsedFallback bool
+	StartedEmpty bool
+	// Sessions is the controller session state to restore: the checkpoint's
+	// sessions advanced by every replayed commit mark.
+	Sessions []SessionState
+	// SeriesLoaded/PointsLoaded describe the checkpoint contribution;
+	// ReplayedRecords/ReplayedInserts the WAL contribution. A replayed
+	// record is a commit mark or an insert that reached the store.
+	SeriesLoaded    int
+	PointsLoaded    int
+	ReplayedRecords int
+	ReplayedInserts int
+	// DiscardedInserts counts buffered inserts whose commit mark never made
+	// it to disk: the batch was never acked durable, the agent retransmits
+	// it, so discarding is what keeps replay duplicate-free.
+	DiscardedInserts int
+	// TornBytes were truncated from a torn tail; LostBytes sat past a
+	// corrupt record or inside unreadable files and could not be replayed.
+	TornBytes int64
+	LostBytes int64
+	// Degraded is set when recovery lost data beyond a clean torn tail
+	// (fallback, corruption, or an empty start); Note is the human-readable
+	// account, including the data-loss bound.
+	Degraded bool
+	Note     string
+}
+
+// Manager owns the durability pipeline: it is the tsdb.DB's InsertLogger,
+// the controller's commit log, the checkpoint writer, and the recovery
+// bookkeeper. Lock order: ckptMu < db.mu < w.syncMu < w.mu; m.mu is a leaf
+// never held across store or log calls.
+type Manager struct {
+	db        *tsdb.DB
+	fs        FS
+	policy    Policy
+	syncEvery time.Duration
+	ckptEvery time.Duration
+	logf      func(format string, args ...any)
+
+	w *wal
+
+	// ckptMu serializes whole checkpoints (ticker vs. shutdown).
+	ckptMu sync.Mutex
+
+	mu       sync.Mutex
+	ckptGen  uint64
+	ckptLSN  uint64
+	sessions func() []SessionState
+	// table is the manager's own per-agent commit ledger: seeded from
+	// recovery, advanced by every AppendCommit. Checkpoints merge it with the
+	// controller's richer snapshot (when one is installed) so dedupe marks
+	// survive even a deployment that never wires SetSessionSource.
+	table  map[string]*SessionState
+	closed bool
+
+	// degraded latches on the first append or fsync failure: the store keeps
+	// serving (availability over durability) but Health reports it and new
+	// appends stop. recoveryDegraded carries recovery-time loss into Health.
+	degraded         atomic.Bool
+	degradedReason   atomic.Pointer[string]
+	recoveryDegraded bool
+	recoveryNote     string
+
+	started   atomic.Bool
+	stop      chan struct{}
+	done      chan struct{}
+	startOnce sync.Once
+	stopOnce  sync.Once
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Pre-allocated degradation reasons: degrade is reachable from the Insert
+// hot path, so the strings must already exist.
+var (
+	reasonAppend = "WAL append failed"
+	reasonSync   = "fsync failed"
+)
+
+// Open recovers the store from opts.FS and returns a Manager wired into db:
+// every subsequent db.Insert is logged write-ahead, and commit marks arrive
+// via AppendCommit. Recovery order: newest valid checkpoint, else the
+// previous one (UsedFallback), else a degraded-empty start; then WAL
+// generations >= the base replay on top, torn tails truncated and corruption
+// cut off conservatively. Open finishes by writing a fresh checkpoint and
+// opening a fresh WAL generation, so a crash loop cannot re-lose the same
+// replayed data.
+func Open(db *tsdb.DB, opts Options) (*Manager, *Recovery, error) {
+	if opts.FS == nil {
+		return nil, nil, fmt.Errorf("durable: Options.FS is required")
+	}
+	if opts.SyncEvery == 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	if opts.SyncEvery < 0 {
+		return nil, nil, fmt.Errorf("durable: negative sync interval %v", opts.SyncEvery)
+	}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = DefaultCheckpointEvery
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	m := &Manager{
+		db:        db,
+		fs:        opts.FS,
+		policy:    opts.Policy,
+		syncEvery: opts.SyncEvery,
+		ckptEvery: opts.CheckpointEvery,
+		logf:      logf,
+		table:     make(map[string]*SessionState),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+
+	rec, endLSN, maxGen, err := m.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	mRecoveries.Inc()
+
+	// Fresh generation for this process lifetime: nothing this run appends
+	// shares a file with anything recovery read.
+	w, err := newWAL(m.fs, maxGen+1, endLSN)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.w = w
+
+	// The post-recovery checkpoint makes the recovered state durable at the
+	// new base, so the generations recovery just replayed are no longer
+	// load-bearing and a crash loop cannot compound losses.
+	series := db.Snapshot(nil)
+	if err := writeCheckpoint(m.fs, w.gen, w.gen, endLSN, series, rec.Sessions); err != nil {
+		return nil, nil, err
+	}
+	mCheckpoints.Inc()
+	m.ckptGen, m.ckptLSN = w.gen, endLSN
+	for _, s := range rec.Sessions {
+		cp := s
+		m.table[s.AgentID] = &cp
+	}
+	if !rec.StartedEmpty {
+		// After an empty start the rejected files are the only copy of
+		// whatever an operator might still salvage; leave them for the next
+		// periodic checkpoint's gc instead of deleting them at boot.
+		m.gc()
+	}
+
+	m.recoveryDegraded = rec.Degraded
+	m.recoveryNote = rec.Note
+	db.SetInsertLogger(m)
+	return m, rec, nil
+}
+
+// recover loads the best checkpoint and replays the WAL. It returns the
+// recovery report, the LSN replay ended at, and the highest generation seen
+// in the directory (checkpoint or WAL).
+func (m *Manager) recover() (*Recovery, uint64, uint64, error) {
+	names, err := m.fs.List()
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("durable: list data dir: %w", err)
+	}
+	var ckptGens, walGens []uint64
+	maxGen := uint64(0)
+	for _, n := range names {
+		if g, ok := parseGen(n, "checkpoint-", ".ckpt"); ok {
+			ckptGens = append(ckptGens, g)
+			maxGen = max(maxGen, g)
+		}
+		if g, ok := parseGen(n, "wal-", ".wal"); ok {
+			walGens = append(walGens, g)
+			maxGen = max(maxGen, g)
+		}
+	}
+	sort.Slice(ckptGens, func(i, j int) bool { return ckptGens[i] > ckptGens[j] }) // newest first
+	sort.Slice(walGens, func(i, j int) bool { return walGens[i] < walGens[j] })    // replay order
+
+	rec := &Recovery{}
+	sessions := make(map[string]*SessionState)
+	var base *checkpointData
+	for _, g := range ckptGens {
+		d, err := readCheckpoint(m.fs, ckptName(g))
+		if err != nil {
+			m.logf("durable: checkpoint %d rejected: %v", g, err)
+			rec.Degraded = true
+			continue
+		}
+		base = d
+		rec.Checkpoint = ckptName(g)
+		break
+	}
+	switch {
+	case base != nil:
+		rec.BaseGen = base.BaseGen
+		rec.UsedFallback = rec.Checkpoint != ckptName(ckptGens[0])
+		for name, pts := range base.Series {
+			m.db.Load(name, pts)
+			rec.SeriesLoaded++
+			rec.PointsLoaded += len(pts)
+		}
+		for _, s := range base.Sess {
+			cp := s
+			sessions[s.AgentID] = &cp
+		}
+	case len(ckptGens) > 0:
+		// Checkpoints existed but none could be read: the WAL generations
+		// still on disk do not cover what those checkpoints held, so replay
+		// would resurrect an unknowable subset. Start empty, report the
+		// bound, and let the operator decide what to salvage.
+		rec.StartedEmpty = true
+		rec.Degraded = true
+		for _, n := range names {
+			if sz, err := m.fs.Size(n); err == nil {
+				rec.LostBytes += sz
+			}
+		}
+		rec.Note = fmt.Sprintf("started empty: all %d checkpoints failed validation; up to %d bytes of log+checkpoint state lost", len(ckptGens), rec.LostBytes)
+		return rec, 0, maxGen, nil
+	default:
+		// No checkpoint has ever been written (first boot or pre-durability
+		// data dir): an empty base is the correct base, replay everything.
+		rec.BaseGen = 0
+	}
+
+	endLSN := uint64(0)
+	if base != nil {
+		endLSN = base.BaseLSN
+	}
+	type pendingInsert struct {
+		series string
+		ts     int64
+		bits   uint64
+	}
+	pending := make(map[string][]pendingInsert)
+	stopReplay := false
+	for _, g := range walGens {
+		if g < rec.BaseGen || stopReplay {
+			continue
+		}
+		name := walName(g)
+		fileGen, goodEnd, size, tail, err := readWALFile(m.fs, name, func(r walRecord) error {
+			switch r.kind {
+			case recInsert:
+				slash := strings.IndexByte(r.series, '/')
+				if slash < 0 {
+					// Not an agent series: no commit protocol, apply directly.
+					m.db.Insert(r.series, tsdb.Point{TimestampMillis: r.tsMillis, Value: math.Float64frombits(r.valueBits)})
+					rec.ReplayedRecords++
+					rec.ReplayedInserts++
+					return nil
+				}
+				agent := r.series[:slash]
+				pending[agent] = append(pending[agent], pendingInsert{series: r.series, ts: r.tsMillis, bits: r.valueBits})
+			case recCommit:
+				for _, p := range pending[r.agentID] {
+					m.db.Insert(p.series, tsdb.Point{TimestampMillis: p.ts, Value: math.Float64frombits(p.bits)})
+					rec.ReplayedRecords++
+					rec.ReplayedInserts++
+				}
+				delete(pending, r.agentID)
+				s := sessions[r.agentID]
+				if s == nil {
+					s = &SessionState{AgentID: r.agentID}
+					sessions[r.agentID] = s
+				}
+				if r.seq > s.LastSeq {
+					s.LastSeq = r.seq
+				}
+				s.Batches++
+				rec.ReplayedRecords++
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if fileGen != 0 && fileGen != g {
+			m.logf("durable: %s header claims generation %d; stopping replay", name, fileGen)
+			tail = tailCorrupt
+		}
+		endLSN += uint64(goodEnd)
+		switch tail {
+		case tailTorn:
+			torn := size - goodEnd
+			rec.TornBytes += torn
+			mTornBytes.Add(torn)
+			if err := m.fs.Truncate(name, goodEnd); err != nil {
+				m.logf("durable: truncate torn tail of %s: %v", name, err)
+			}
+			// A torn tail means the crash interrupted this append; nothing
+			// after it can exist, but later generations (created by a
+			// checkpoint that fsynced this file first) cannot follow a tear —
+			// if one does, the directory is inconsistent, so stop.
+			stopReplay = true
+		case tailCorrupt:
+			lost := size - goodEnd
+			rec.LostBytes += lost
+			rec.Degraded = true
+			m.logf("durable: %s corrupt after offset %d; %d bytes not replayed", name, goodEnd, lost)
+			stopReplay = true
+		}
+	}
+
+	// Buffered inserts whose commit mark never hit the disk: the agent never
+	// saw a durable ack for them, so it retransmits and replaying them here
+	// would double-store. Discard and count.
+	for _, ps := range pending {
+		rec.DiscardedInserts += len(ps)
+	}
+	mReplayed.Add(int64(rec.ReplayedRecords))
+	mDiscarded.Add(int64(rec.DiscardedInserts))
+
+	rec.Sessions = make([]SessionState, 0, len(sessions))
+	for _, s := range sessions {
+		rec.Sessions = append(rec.Sessions, *s)
+	}
+	sort.Slice(rec.Sessions, func(i, j int) bool { return rec.Sessions[i].AgentID < rec.Sessions[j].AgentID })
+
+	if rec.Note == "" {
+		rec.Note = fmt.Sprintf("recovered %d series (%d points) from %s + %d replayed records; %d uncommitted inserts discarded, %d torn bytes truncated, %d bytes lost",
+			rec.SeriesLoaded, rec.PointsLoaded, orNone(rec.Checkpoint), rec.ReplayedRecords, rec.DiscardedInserts, rec.TornBytes, rec.LostBytes)
+	}
+	return rec, endLSN, maxGen, nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "no checkpoint"
+	}
+	return s
+}
+
+// LogInsert implements tsdb.InsertLogger: it runs under db.mu on the
+// //lint:hotpath Insert root, appends the record, and latches degradation on
+// failure instead of failing the insert — the in-memory store stays
+// available even when the disk is gone.
+func (m *Manager) LogInsert(series string, p tsdb.Point) {
+	if m.degraded.Load() {
+		return
+	}
+	if _, err := m.w.appendInsert(series, p.TimestampMillis, math.Float64bits(p.Value)); err != nil {
+		mAppendErrors.Inc()
+		m.degrade(&reasonAppend)
+	}
+}
+
+// AppendCommit logs a batch commit mark; under PolicyAlways it group-commits
+// before returning, so the controller's subsequent ack only ever covers
+// durable data. Implements the collect.CommitLog seam.
+func (m *Manager) AppendCommit(agentID string, seq uint64) error {
+	if m.degraded.Load() {
+		return ErrDegraded
+	}
+	lsn, err := m.w.appendCommit(agentID, seq)
+	if err != nil {
+		mAppendErrors.Inc()
+		m.degrade(&reasonAppend)
+		return err
+	}
+	m.mu.Lock()
+	s := m.table[agentID]
+	if s == nil {
+		s = &SessionState{AgentID: agentID}
+		m.table[agentID] = s
+	}
+	if seq > s.LastSeq {
+		s.LastSeq = seq
+	}
+	s.Batches++
+	m.mu.Unlock()
+	if m.policy == PolicyAlways {
+		if err := m.w.syncTo(lsn); err != nil {
+			mSyncErrors.Inc()
+			m.degrade(&reasonSync)
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync forces a group commit of everything appended so far, regardless of
+// policy — the interval loop's tick, exposed for callers (and benchmarks)
+// that need a known durability point without waiting for the timer.
+func (m *Manager) Sync() error {
+	if m.degraded.Load() {
+		return ErrDegraded
+	}
+	if err := m.w.sync(); err != nil {
+		mSyncErrors.Inc()
+		m.degrade(&reasonSync)
+		return err
+	}
+	return nil
+}
+
+// degrade latches the first durability failure. Reachable from the insert
+// hot path, hence the pointer-to-prealloc reason; the log line runs at most
+// once per process, on the latching failure.
+func (m *Manager) degrade(reason *string) {
+	if m.degraded.CompareAndSwap(false, true) {
+		m.degradedReason.Store(reason)
+		m.logf("durable: log degraded: %s (store keeps serving; new data is not durable)", *reason)
+	}
+}
+
+// SetSessionSource installs the controller callback checkpoints snapshot
+// session state through (collect.Controller.SessionSnapshot).
+func (m *Manager) SetSessionSource(fn func() []SessionState) {
+	m.mu.Lock()
+	m.sessions = fn
+	m.mu.Unlock()
+}
+
+// Checkpoint writes a full checkpoint now: rotate the WAL inside a store
+// snapshot (so no insert straddles the boundary), capture sessions, publish
+// through tmp+rename, then garbage-collect superseded files.
+func (m *Manager) Checkpoint() error {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	sessFn := m.sessions
+	m.mu.Unlock()
+
+	var gen, lsn uint64
+	var rotErr error
+	series := m.db.Snapshot(func() {
+		gen, lsn, rotErr = m.w.rotate(m.fs)
+	})
+	if rotErr != nil {
+		mSyncErrors.Inc()
+		m.degrade(&reasonSync)
+		return rotErr
+	}
+	// Session state is read after the rotation: any commit mark that landed
+	// in the retired generation has its sequence advance visible here (the
+	// controller updates its table before appending the mark), so the
+	// checkpoint can never under-report a dedupe high-water mark whose data
+	// it contains. The controller snapshot is authoritative for modality and
+	// accounting; the manager's own commit ledger backstops LastSeq.
+	var sess []SessionState
+	if sessFn != nil {
+		sess = sessFn()
+	}
+	sess = m.mergeSessions(sess)
+	if err := writeCheckpoint(m.fs, gen, gen, lsn, series, sess); err != nil {
+		return err
+	}
+	mCheckpoints.Inc()
+	m.mu.Lock()
+	m.ckptGen, m.ckptLSN = gen, lsn
+	m.mu.Unlock()
+	m.gc()
+	return nil
+}
+
+// mergeSessions folds the manager's commit ledger into the controller
+// snapshot: ledger-only agents are added, and LastSeq never moves backwards.
+func (m *Manager) mergeSessions(sess []SessionState) []SessionState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	have := make(map[string]int, len(sess))
+	for i, s := range sess {
+		have[s.AgentID] = i
+	}
+	for id, led := range m.table {
+		if i, ok := have[id]; ok {
+			if led.LastSeq > sess[i].LastSeq {
+				sess[i].LastSeq = led.LastSeq
+			}
+			continue
+		}
+		sess = append(sess, *led)
+	}
+	sort.Slice(sess, func(i, j int) bool { return sess[i].AgentID < sess[j].AgentID })
+	return sess
+}
+
+// gc removes files superseded twice over: everything older than the
+// second-newest checkpoint (the fallback target) plus stray temp files.
+func (m *Manager) gc() {
+	names, err := m.fs.List()
+	if err != nil {
+		return
+	}
+	var ckpts []uint64
+	for _, n := range names {
+		if g, ok := parseGen(n, "checkpoint-", ".ckpt"); ok {
+			ckpts = append(ckpts, g)
+		}
+	}
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] })
+	if len(ckpts) < 2 {
+		return
+	}
+	keepFrom := ckpts[1]
+	for _, n := range names {
+		drop := strings.HasSuffix(n, ".tmp")
+		if g, ok := parseGen(n, "checkpoint-", ".ckpt"); ok && g < keepFrom {
+			drop = true
+		}
+		if g, ok := parseGen(n, "wal-", ".wal"); ok && g < keepFrom {
+			drop = true
+		}
+		if drop {
+			if err := m.fs.Remove(n); err != nil {
+				m.logf("durable: gc %s: %v", n, err)
+			}
+		}
+	}
+}
+
+// Start launches the background loop: interval fsyncs under PolicyInterval
+// and periodic checkpoints (unless CheckpointEvery is negative).
+func (m *Manager) Start() {
+	m.startOnce.Do(func() {
+		m.started.Store(true)
+		go m.loop()
+	})
+}
+
+func (m *Manager) loop() {
+	defer close(m.done)
+	var syncC, ckptC <-chan time.Time
+	if m.policy == PolicyInterval {
+		t := time.NewTicker(m.syncEvery)
+		defer t.Stop()
+		syncC = t.C
+	}
+	if m.ckptEvery > 0 {
+		t := time.NewTicker(m.ckptEvery)
+		defer t.Stop()
+		ckptC = t.C
+	}
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-syncC:
+			if err := m.w.sync(); err != nil {
+				mSyncErrors.Inc()
+				m.degrade(&reasonSync)
+			}
+		case <-ckptC:
+			if err := m.Checkpoint(); err != nil {
+				m.logf("durable: periodic checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// Close stops the background loop, writes the shutdown checkpoint (which
+// also fsyncs and rotates the WAL), and closes the log. darnetd orders this
+// after the final telemetry scrape flush so the scrape still observes a live
+// process, and before exit so the next boot replays nothing.
+func (m *Manager) Close() error {
+	m.closeOnce.Do(func() {
+		m.stopOnce.Do(func() { close(m.stop) })
+		if m.started.Load() {
+			<-m.done
+		}
+		ckptErr := m.Checkpoint()
+		m.db.SetInsertLogger(nil)
+		m.mu.Lock()
+		m.closed = true
+		m.mu.Unlock()
+		closeErr := m.w.close()
+		if ckptErr != nil {
+			m.closeErr = ckptErr
+		} else {
+			m.closeErr = closeErr
+		}
+	})
+	return m.closeErr
+}
+
+// ManagerStats is the durability state darnetd's shutdown summary reports.
+type ManagerStats struct {
+	Policy        string `json:"fsync_policy"`
+	Gen           uint64 `json:"wal_gen"`
+	WALBytes      uint64 `json:"wal_bytes"`
+	WALSynced     uint64 `json:"wal_bytes_synced"`
+	CheckpointGen uint64 `json:"checkpoint_gen"`
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	Degraded      bool   `json:"degraded,omitempty"`
+	Reason        string `json:"degraded_reason,omitempty"`
+}
+
+// Stats snapshots the durability state.
+func (m *Manager) Stats() ManagerStats {
+	st := ManagerStats{Policy: m.policy.String()}
+	m.w.syncMu.Lock()
+	st.WALSynced = m.w.synced
+	m.w.syncMu.Unlock()
+	m.w.mu.Lock()
+	st.Gen = m.w.gen
+	st.WALBytes = m.w.total
+	m.w.mu.Unlock()
+	m.mu.Lock()
+	st.CheckpointGen = m.ckptGen
+	st.CheckpointLSN = m.ckptLSN
+	m.mu.Unlock()
+	if m.degraded.Load() {
+		st.Degraded = true
+		if r := m.degradedReason.Load(); r != nil {
+			st.Reason = *r
+		}
+	}
+	return st
+}
+
+// Health reports the durability contribution to /healthz: ok while the log
+// is trustworthy, degraded (but still serving) after a write/fsync failure
+// or a lossy recovery.
+func (m *Manager) Health() telemetry.Health {
+	if m.degraded.Load() {
+		reason := "write or fsync failure"
+		if r := m.degradedReason.Load(); r != nil {
+			reason = *r
+		}
+		return telemetry.Health{Status: "degraded: durability (" + reason + ")", OK: true}
+	}
+	if m.recoveryDegraded {
+		return telemetry.Health{Status: "degraded: durability (lossy recovery: " + m.recoveryNote + ")", OK: true}
+	}
+	return telemetry.Health{Status: "ok", OK: true}
+}

@@ -1,0 +1,396 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WAL file layout. Every generation starts with a 16-byte header (magic +
+// big-endian generation number) followed by length-prefixed records:
+//
+//	[u32 payload len][u32 crc32c(payload)][payload]
+//
+// payloads:
+//
+//	insert: 0x01 [u16 series len][series][i64 unix-millis][u64 float64 bits]
+//	commit: 0x02 [u16 agent len][agent][u64 batch seq]
+//
+// The length prefix bounds framing, the checksum catches bit rot, and the
+// record kinds carry exactly the two events recovery needs: a point entering
+// the store and a batch becoming eligible for dedupe.
+const (
+	walMagic     = "DARWAL01"
+	walHeaderLen = 16
+	recHeaderLen = 8
+
+	recInsert = 0x01
+	recCommit = 0x02
+
+	// maxRecord bounds a single payload; anything larger in a length prefix
+	// is framing corruption, not a real record (series names are short and
+	// both payload kinds are fixed-size past the name).
+	maxRecord = 1 << 20
+)
+
+// walName returns the file name of one WAL generation; zero-padded hex keeps
+// lexical order equal to numeric order for FS.List.
+func walName(gen uint64) string {
+	return fmt.Sprintf("wal-%016x.wal", gen)
+}
+
+// ckptName returns the file name of one checkpoint generation.
+func ckptName(gen uint64) string {
+	return fmt.Sprintf("checkpoint-%016x.ckpt", gen)
+}
+
+// parseGen extracts the generation from a wal-/checkpoint- file name,
+// reporting ok=false for foreign files (temp files, strays).
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hexa := name[len(prefix) : len(name)-len(suffix)]
+	if len(hexa) != 16 {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(hexa, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// wal is the append side of the log. Lock order across the package is
+// db.mu < w.syncMu < w.mu: appends (called under db.mu) take only w.mu;
+// group commit takes syncMu then briefly w.mu; rotation (called under db.mu
+// from the checkpoint path) takes syncMu then w.mu for the whole swap so no
+// record can land in the outgoing generation after its final fsync.
+type wal struct {
+	// syncMu serializes fsyncs and guards synced. It is held across f.Sync
+	// so concurrent committers coalesce onto one fsync (group commit).
+	syncMu sync.Mutex
+	synced uint64 // monotone bytes known durable, across generations
+
+	mu      sync.Mutex
+	f       File
+	gen     uint64
+	total   uint64 // monotone bytes appended, across generations
+	scratch []byte // per-wal encode buffer; appends stay alloc-free after warm-up
+}
+
+// newWAL opens a fresh generation and writes its header. startTotal seeds the
+// monotone byte counter (recovery passes the bytes already consumed by prior
+// generations so LSNs never move backwards).
+func newWAL(fs FS, gen, startTotal uint64) (*wal, error) {
+	w := &wal{gen: gen, total: startTotal, synced: startTotal}
+	if err := w.openGen(fs, gen); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// openGen creates the file for gen and writes its header. Callers hold every
+// lock they need (or own w exclusively, as newWAL does).
+func (w *wal) openGen(fs FS, gen uint64) error {
+	f, err := fs.Create(walName(gen))
+	if err != nil {
+		return fmt.Errorf("durable: create WAL generation %d: %w", gen, err)
+	}
+	var hdr [walHeaderLen]byte
+	copy(hdr[:8], walMagic)
+	binary.BigEndian.PutUint64(hdr[8:], gen)
+	if _, err := f.Write(hdr[:]); err != nil {
+		//lint:ignore errdrop the write error is authoritative; the close is cleanup on a dead handle
+		f.Close()
+		return fmt.Errorf("durable: write WAL header %d: %w", gen, err)
+	}
+	w.f = f
+	w.gen = gen
+	w.total += walHeaderLen
+	return nil
+}
+
+// appendInsert logs one point ahead of the in-memory mutation. It is reached
+// from the tsdb.DB.Insert hot path (//lint:hotpath), so the encoding reuses
+// the wal's scratch buffer and the errors are package vars — no allocation
+// in steady state.
+func (w *wal) appendInsert(series string, tsMillis int64, valueBits uint64) (uint64, error) {
+	if len(series) > 0xFFFF {
+		return 0, errSeriesName
+	}
+	w.mu.Lock()
+	b := w.scratch[:0]
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc, patched below
+	b = append(b, recInsert, byte(len(series)>>8), byte(len(series)))
+	b = append(b, series...)
+	b = binary.BigEndian.AppendUint64(b, uint64(tsMillis))
+	b = binary.BigEndian.AppendUint64(b, valueBits)
+	lsn, err := w.appendLocked(b)
+	w.mu.Unlock()
+	return lsn, err
+}
+
+// appendCommit logs a batch commit mark: agent's batch seq is stored and may
+// now dedupe retransmits. The returned LSN is the target a group commit under
+// PolicyAlways syncs to before the batch is acked.
+func (w *wal) appendCommit(agentID string, seq uint64) (uint64, error) {
+	if len(agentID) > 0xFFFF {
+		return 0, errSeriesName
+	}
+	w.mu.Lock()
+	b := w.scratch[:0]
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)
+	b = append(b, recCommit, byte(len(agentID)>>8), byte(len(agentID)))
+	b = append(b, agentID...)
+	b = binary.BigEndian.AppendUint64(b, seq)
+	lsn, err := w.appendLocked(b)
+	w.mu.Unlock()
+	return lsn, err
+}
+
+// appendLocked patches the record header into b (whose first recHeaderLen
+// bytes are reserved), writes it, and advances the LSN. Callers hold w.mu.
+func (w *wal) appendLocked(b []byte) (uint64, error) {
+	w.scratch = b // keep the grown buffer
+	if w.f == nil {
+		return 0, ErrClosed
+	}
+	payload := b[recHeaderLen:]
+	binary.BigEndian.PutUint32(b[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(b[4:8], crc32.Checksum(payload, castagnoli))
+	n, err := w.f.Write(b)
+	w.total += uint64(n)
+	if err == nil && n < len(b) {
+		err = errShortWrite
+	}
+	if err != nil {
+		return w.total, err
+	}
+	mWALRecords.Inc()
+	mWALBytes.Add(int64(len(b)))
+	return w.total, nil
+}
+
+// lsn returns the current monotone append position.
+func (w *wal) lsn() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// syncTo group-commits: it returns once every byte up to target is durable.
+// Concurrent callers coalesce — whoever wins syncMu syncs to the log's
+// current end, and the losers find their target already covered.
+func (w *wal) syncTo(target uint64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.synced >= target {
+		return nil
+	}
+	w.mu.Lock()
+	goal := w.total
+	f := w.f
+	w.mu.Unlock()
+	if f == nil {
+		return ErrClosed
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	mWALSyncs.Inc()
+	if goal > w.synced {
+		w.synced = goal
+	}
+	return nil
+}
+
+// sync flushes everything appended so far (the interval loop and shutdown).
+func (w *wal) sync() error {
+	return w.syncTo(w.lsn())
+}
+
+// rotate fsyncs and retires the current generation and opens gen+1. It is
+// called with the store's db.mu held (inside DB.Snapshot) so no insert can
+// straddle the boundary; holding w.mu across the sync+swap closes the same
+// window for commit marks — nothing lands in the old generation after its
+// final fsync. Returns the new generation and the LSN at the boundary.
+func (w *wal) rotate(fs FS) (gen, lsn uint64, err error) {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, 0, ErrClosed
+	}
+	if err := w.f.Sync(); err != nil {
+		return 0, 0, fmt.Errorf("durable: sync retiring WAL generation %d: %w", w.gen, err)
+	}
+	mWALSyncs.Inc()
+	boundary := w.total
+	old := w.f
+	w.f = nil
+	if err := w.openGen(fs, w.gen+1); err != nil {
+		// The old generation stays the active one; the checkpoint aborts.
+		w.f = old
+		return 0, 0, err
+	}
+	//lint:ignore errdrop the retiring generation was just fsynced; close is release-only
+	old.Close()
+	w.synced = boundary // the new header is the only unsynced byte range
+	return w.gen, boundary, nil
+}
+
+// close fsyncs and closes the active generation.
+func (w *wal) close() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	syncErr := w.f.Sync()
+	closeErr := w.f.Close()
+	w.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// walRecord is one decoded record during replay.
+type walRecord struct {
+	kind byte
+	// insert fields
+	series    string
+	tsMillis  int64
+	valueBits uint64
+	// commit fields
+	agentID string
+	seq     uint64
+}
+
+// Tail classification for one replayed WAL file. The decision table:
+// a record cut off by end-of-file is a torn write (the crash interrupted
+// an append) — truncate it away and continue with a clean log; a complete
+// record whose checksum fails, or an insane length prefix, is corruption —
+// framing downstream cannot be trusted, so replay stops at the last good
+// record and everything after counts as lost.
+const (
+	tailClean = iota
+	tailTorn
+	tailCorrupt
+)
+
+// readWALFile streams the records of one generation into fn, returning the
+// generation from the header, the offset just past the last good record,
+// the file's total size, and the tail classification. fn errors abort the
+// scan (and surface as err).
+func readWALFile(fs FS, name string, fn func(walRecord) error) (gen uint64, goodEnd, size int64, tail int, err error) {
+	size, err = fs.Size(name)
+	if err != nil {
+		return 0, 0, 0, tailCorrupt, err
+	}
+	rc, err := fs.Open(name)
+	if err != nil {
+		return 0, 0, size, tailCorrupt, err
+	}
+	defer rc.Close()
+	r := bufio.NewReaderSize(rc, 1<<16)
+
+	var hdr [walHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		// A header cut short is a torn first write: the generation holds no
+		// records at all.
+		return 0, 0, size, tailTorn, nil
+	}
+	if string(hdr[:8]) != walMagic {
+		return 0, 0, size, tailCorrupt, nil
+	}
+	gen = binary.BigEndian.Uint64(hdr[8:])
+	goodEnd = walHeaderLen
+
+	var rec [recHeaderLen]byte
+	payload := make([]byte, 0, 256)
+	for {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if err == io.EOF {
+				return gen, goodEnd, size, tailClean, nil
+			}
+			return gen, goodEnd, size, tailTorn, nil
+		}
+		plen := binary.BigEndian.Uint32(rec[0:4])
+		want := binary.BigEndian.Uint32(rec[4:8])
+		if plen == 0 || plen > maxRecord {
+			return gen, goodEnd, size, tailCorrupt, nil
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return gen, goodEnd, size, tailTorn, nil
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			// A bad checksum on the final record is indistinguishable from a
+			// write torn mid-payload; give it the benign reading. Mid-file it
+			// is bit rot.
+			if _, err := r.Peek(1); err == io.EOF {
+				return gen, goodEnd, size, tailTorn, nil
+			}
+			return gen, goodEnd, size, tailCorrupt, nil
+		}
+		wr, ok := decodeRecord(payload)
+		if !ok {
+			return gen, goodEnd, size, tailCorrupt, nil
+		}
+		if err := fn(wr); err != nil {
+			return gen, goodEnd, size, tailClean, err
+		}
+		goodEnd += int64(recHeaderLen) + int64(plen)
+	}
+}
+
+// decodeRecord parses one checksum-verified payload.
+func decodeRecord(p []byte) (walRecord, bool) {
+	if len(p) < 3 {
+		return walRecord{}, false
+	}
+	kind := p[0]
+	nameLen := int(p[1])<<8 | int(p[2])
+	rest := p[3:]
+	if len(rest) < nameLen {
+		return walRecord{}, false
+	}
+	name := string(rest[:nameLen])
+	rest = rest[nameLen:]
+	switch kind {
+	case recInsert:
+		if len(rest) != 16 {
+			return walRecord{}, false
+		}
+		return walRecord{
+			kind:      recInsert,
+			series:    name,
+			tsMillis:  int64(binary.BigEndian.Uint64(rest[:8])),
+			valueBits: binary.BigEndian.Uint64(rest[8:]),
+		}, true
+	case recCommit:
+		if len(rest) != 8 {
+			return walRecord{}, false
+		}
+		return walRecord{
+			kind:    recCommit,
+			agentID: name,
+			seq:     binary.BigEndian.Uint64(rest),
+		}, true
+	default:
+		return walRecord{}, false
+	}
+}

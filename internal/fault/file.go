@@ -1,0 +1,291 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"darnet/internal/durable"
+	"darnet/internal/telemetry"
+)
+
+// Disk-fault accounting, alongside the transport chaos counters: injected
+// storage faults are observable next to the durability degradation they
+// provoke (darnet_durable_wal_append_errors_total and friends).
+var (
+	mShortWrites = telemetry.NewCounter("darnet_fault_disk_short_writes_total", "writes cut short by chaos files")
+	mTornWrites  = telemetry.NewCounter("darnet_fault_disk_torn_writes_total", "writes torn at a scheduled byte by chaos files")
+	mBitFlips    = telemetry.NewCounter("darnet_fault_disk_bit_flips_total", "bytes corrupted in flight by chaos files")
+	mSyncFaults  = telemetry.NewCounter("darnet_fault_disk_sync_errors_total", "fsyncs failed by chaos files")
+	mSyncDelays  = telemetry.NewCounter("darnet_fault_disk_sync_delays_total", "fsyncs delayed by chaos files")
+)
+
+// Errors the chaos file injects. ErrTornWrite doubles as the wedged-disk
+// error every operation after a tear returns: a torn write models a crash
+// mid-append, and nothing sensible happens to that file afterwards.
+var (
+	ErrShortWrite = errors.New("fault: injected short write")
+	ErrTornWrite  = errors.New("fault: write torn at scheduled byte; file wedged")
+	ErrSyncFailed = errors.New("fault: injected fsync failure")
+)
+
+// FileEventKind names one injected storage fault.
+type FileEventKind int
+
+// Storage fault kinds.
+const (
+	FileShortWrite FileEventKind = iota + 1
+	FileTornWrite
+	FileBitFlip
+	FileSyncError
+	FileSyncDelay
+)
+
+// String implements fmt.Stringer.
+func (k FileEventKind) String() string {
+	switch k {
+	case FileShortWrite:
+		return "short-write"
+	case FileTornWrite:
+		return "torn-write"
+	case FileBitFlip:
+		return "bit-flip"
+	case FileSyncError:
+		return "sync-error"
+	case FileSyncDelay:
+		return "sync-delay"
+	default:
+		return fmt.Sprintf("FileEventKind(%d)", int(k))
+	}
+}
+
+// FileEvent describes one injected storage fault: its kind, the 1-based
+// write (or sync) it struck, and the file offset where it bit.
+type FileEvent struct {
+	Kind   FileEventKind
+	Op     int
+	Offset int64
+}
+
+// FileConfig schedules the storage faults of one chaos file. Like the
+// transport Config, the probabilistic faults draw from a rand.Rand seeded
+// with Seed — a given (seed, write sequence) always injects the same faults —
+// while the byte-scheduled faults (tear, flip) are exact.
+type FileConfig struct {
+	// Seed seeds the fault dice.
+	Seed int64
+
+	// ShortWriteRate is the probability a write is accepted only halfway:
+	// the first half reaches the underlying file, ErrShortWrite comes back.
+	ShortWriteRate float64
+
+	// TornAtByte, when positive, tears the write that crosses that absolute
+	// file offset: bytes up to the boundary land, the rest never do, and the
+	// file wedges (every later write and sync fails) — a deterministic
+	// crash-mid-append for recovery's torn-tail path.
+	TornAtByte int64
+
+	// FlipAtByte, when positive, XOR-flips the byte that lands at that
+	// absolute file offset — checksum-detectable corruption at a chosen
+	// record position.
+	FlipAtByte int64
+
+	// FailSyncFrom, when positive, fails every 1-based Sync call numbered
+	// >= it (1 fails them all). SyncDelay stalls every successful sync
+	// first — the slow-disk case group commit must absorb.
+	FailSyncFrom int
+	SyncDelay    time.Duration
+
+	// OnEvent observes every injected fault synchronously.
+	OnEvent func(FileEvent)
+	// Sleep replaces time.Sleep for SyncDelay (tests use a recorder).
+	Sleep func(time.Duration)
+}
+
+// File wraps a durable.File with the fault schedule of a FileConfig. It is
+// the storage counterpart of Transport, sitting on the WAL's append path —
+// its Write is reachable from the tsdb insert hot path, so the injection
+// machinery reuses a scratch buffer and pre-allocated errors.
+type File struct {
+	mu      sync.Mutex
+	inner   durable.File
+	cfg     FileConfig
+	rng     *rand.Rand
+	offset  int64 // bytes accepted by the underlying file
+	writes  int
+	syncs   int
+	wedged  bool
+	scratch []byte
+}
+
+// NewFile wraps inner in a chaos file following cfg.
+func NewFile(inner durable.File, cfg FileConfig) *File {
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return &File{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+func (f *File) emit(kind FileEventKind, op int, off int64) {
+	if f.cfg.OnEvent != nil {
+		f.cfg.OnEvent(FileEvent{Kind: kind, Op: op, Offset: off})
+	}
+}
+
+// Write pushes p through the fault schedule. The deterministic tear wins
+// over the dice: recovery tests aim it at an exact record boundary.
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.wedged {
+		return 0, ErrTornWrite
+	}
+	f.writes++
+	w := f.writes
+	start := f.offset
+
+	if f.cfg.TornAtByte > 0 && start+int64(len(p)) > f.cfg.TornAtByte && start < f.cfg.TornAtByte {
+		keep := int(f.cfg.TornAtByte - start)
+		//lint:ignore lockorder inner is the wrapped real file, never another *fault.File; the interface call cannot re-enter f.mu
+		n, err := f.inner.Write(p[:keep])
+		f.offset += int64(n)
+		f.wedged = true
+		mTornWrites.Inc()
+		f.emit(FileTornWrite, w, f.cfg.TornAtByte)
+		if err != nil {
+			return n, err
+		}
+		return n, ErrTornWrite
+	}
+
+	short := f.rng.Float64() < f.cfg.ShortWriteRate && len(p) > 1
+
+	out := p
+	if f.cfg.FlipAtByte > 0 && start <= f.cfg.FlipAtByte && f.cfg.FlipAtByte < start+int64(len(p)) {
+		f.scratch = append(f.scratch[:0], p...)
+		f.scratch[f.cfg.FlipAtByte-start] ^= 0xFF
+		out = f.scratch
+		mBitFlips.Inc()
+		f.emit(FileBitFlip, w, f.cfg.FlipAtByte)
+	}
+
+	if short {
+		n, err := f.inner.Write(out[:len(out)/2])
+		f.offset += int64(n)
+		mShortWrites.Inc()
+		f.emit(FileShortWrite, w, f.offset)
+		if err != nil {
+			return n, err
+		}
+		return n, ErrShortWrite
+	}
+
+	n, err := f.inner.Write(out)
+	f.offset += int64(n)
+	return n, err
+}
+
+// Sync applies the sync schedule: an optional stall, then either the real
+// sync or the injected failure.
+func (f *File) Sync() error {
+	f.mu.Lock()
+	if f.wedged {
+		f.mu.Unlock()
+		return ErrTornWrite
+	}
+	f.syncs++
+	s := f.syncs
+	fail := f.cfg.FailSyncFrom > 0 && s >= f.cfg.FailSyncFrom
+	delay := f.cfg.SyncDelay
+	off := f.offset
+	f.mu.Unlock()
+
+	if delay > 0 {
+		mSyncDelays.Inc()
+		f.emit(FileSyncDelay, s, off)
+		f.cfg.Sleep(delay)
+	}
+	if fail {
+		mSyncFaults.Inc()
+		f.emit(FileSyncError, s, off)
+		return ErrSyncFailed
+	}
+	return f.inner.Sync()
+}
+
+// Close closes the underlying file; a wedged file closes without syncing,
+// like a crashed process's file descriptor.
+func (f *File) Close() error {
+	return f.inner.Close()
+}
+
+// Wedged reports whether a scheduled tear has killed the file.
+func (f *File) Wedged() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.wedged
+}
+
+// FaultFS wraps a durable.FS so that files it creates come back wrapped in
+// chaos Files. Which files get which schedule is decided by the Pick
+// callback — recovery tests aim a tear at exactly one WAL generation and
+// leave checkpoints alone (or the reverse).
+type FaultFS struct {
+	inner durable.FS
+	pick  func(name string) *FileConfig
+
+	mu    sync.Mutex
+	files map[string]*File
+}
+
+// NewFS wraps inner; pick returns the fault schedule for each created file
+// (nil = pass through untouched).
+func NewFS(inner durable.FS, pick func(name string) *FileConfig) *FaultFS {
+	return &FaultFS{inner: inner, pick: pick, files: make(map[string]*File)}
+}
+
+// Create implements durable.FS, wrapping the new file per the pick schedule.
+func (fs *FaultFS) Create(name string) (durable.File, error) {
+	inner, err := fs.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := fs.pick(name)
+	if cfg == nil {
+		return inner, nil
+	}
+	f := NewFile(inner, *cfg)
+	fs.mu.Lock()
+	fs.files[name] = f
+	fs.mu.Unlock()
+	return f, nil
+}
+
+// File returns the chaos wrapper created for name, if any — tests assert on
+// its Wedged state and counters.
+func (fs *FaultFS) File(name string) *File {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.files[name]
+}
+
+// Open implements durable.FS.
+func (fs *FaultFS) Open(name string) (io.ReadCloser, error) { return fs.inner.Open(name) }
+
+// List implements durable.FS.
+func (fs *FaultFS) List() ([]string, error) { return fs.inner.List() }
+
+// Remove implements durable.FS.
+func (fs *FaultFS) Remove(name string) error { return fs.inner.Remove(name) }
+
+// Rename implements durable.FS.
+func (fs *FaultFS) Rename(oldname, newname string) error { return fs.inner.Rename(oldname, newname) }
+
+// Truncate implements durable.FS.
+func (fs *FaultFS) Truncate(name string, size int64) error { return fs.inner.Truncate(name, size) }
+
+// Size implements durable.FS.
+func (fs *FaultFS) Size(name string) (int64, error) { return fs.inner.Size(name) }

@@ -1,0 +1,269 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"darnet/internal/durable"
+	"darnet/internal/tsdb"
+)
+
+// collectFile wraps a MemFS file in a chaos File for the unit tests.
+func chaosFile(t *testing.T, fs *durable.MemFS, name string, cfg FileConfig) (*File, *durable.MemFS) {
+	t.Helper()
+	inner, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFile(inner, cfg), fs
+}
+
+func TestFileTornAtByte(t *testing.T) {
+	f, fs := chaosFile(t, durable.NewMemFS(), "w", FileConfig{TornAtByte: 10})
+	if n, err := f.Write([]byte("01234567")); n != 8 || err != nil {
+		t.Fatalf("pre-tear write: n=%d err=%v", n, err)
+	}
+	// This write crosses offset 10: exactly 2 bytes land, then the tear.
+	n, err := f.Write([]byte("abcdef"))
+	if n != 2 || err != ErrTornWrite {
+		t.Fatalf("tear write: n=%d err=%v, want 2, ErrTornWrite", n, err)
+	}
+	if !f.Wedged() {
+		t.Fatal("file must wedge after the tear")
+	}
+	if _, err := f.Write([]byte("x")); err != ErrTornWrite {
+		t.Fatalf("post-tear write: %v, want ErrTornWrite", err)
+	}
+	if err := f.Sync(); err != ErrTornWrite {
+		t.Fatalf("post-tear sync: %v, want ErrTornWrite", err)
+	}
+	if sz, _ := fs.Size("w"); sz != 10 {
+		t.Fatalf("underlying file has %d bytes, want exactly the scheduled 10", sz)
+	}
+}
+
+func TestFileBitFlip(t *testing.T) {
+	f, fs := chaosFile(t, durable.NewMemFS(), "w", FileConfig{FlipAtByte: 3})
+	src := []byte{0, 1, 2, 3, 4, 5}
+	if _, err := f.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if src[3] != 3 {
+		t.Fatal("chaos file must not mutate the caller's buffer")
+	}
+	rc, err := fs.Open("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	got := make([]byte, 6)
+	if _, err := rc.Read(got); err != nil {
+		t.Fatal(err)
+	}
+	if got[3] != 3^0xFF {
+		t.Fatalf("byte 3 on disk = %#x, want flipped %#x", got[3], 3^0xFF)
+	}
+	if got[2] != 2 || got[4] != 4 {
+		t.Fatalf("neighbouring bytes disturbed: % x", got)
+	}
+}
+
+func TestFileShortWriteDeterministic(t *testing.T) {
+	run := func() []int {
+		f, _ := chaosFile(t, durable.NewMemFS(), "w", FileConfig{Seed: 7, ShortWriteRate: 0.5})
+		var shorts []int
+		for i := 0; i < 20; i++ {
+			if _, err := f.Write([]byte("0123456789")); err == ErrShortWrite {
+				shorts = append(shorts, i)
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return shorts
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 20 {
+		t.Fatalf("rate 0.5 over 20 writes injected %d shorts", len(a))
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+	}
+}
+
+func TestFileSyncFaults(t *testing.T) {
+	var slept []time.Duration
+	var events []FileEvent
+	f, _ := chaosFile(t, durable.NewMemFS(), "w", FileConfig{
+		FailSyncFrom: 3,
+		SyncDelay:    50 * time.Millisecond,
+		Sleep:        func(d time.Duration) { slept = append(slept, d) },
+		OnEvent:      func(e FileEvent) { events = append(events, e) },
+	})
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 2: %v", err)
+	}
+	if err := f.Sync(); err != ErrSyncFailed {
+		t.Fatalf("sync 3: %v, want ErrSyncFailed", err)
+	}
+	if err := f.Sync(); err != ErrSyncFailed {
+		t.Fatalf("sync 4: %v, want ErrSyncFailed", err)
+	}
+	if len(slept) != 4 {
+		t.Fatalf("every sync should stall first: %d stalls", len(slept))
+	}
+	failures := 0
+	for _, e := range events {
+		if e.Kind == FileSyncError {
+			failures++
+		}
+	}
+	if failures != 2 {
+		t.Fatalf("%d sync-error events, want 2", failures)
+	}
+}
+
+// walName mirrors durable's generation naming for aiming faults at specific
+// files (the format is part of the on-disk contract documented in DESIGN.md).
+func walName(gen uint64) string { return fmt.Sprintf("wal-%016x.wal", gen) }
+
+// TestDurableRecoveryUnderTornWAL drives the real durability stack over a
+// chaos FS that tears the active WAL generation at a scheduled byte, then
+// proves the recovery contract: the tail truncates, nothing duplicates, and
+// the retransmitting agent restores exactly the lost rows.
+func TestDurableRecoveryUnderTornWAL(t *testing.T) {
+	mem := durable.NewMemFS()
+	// A fresh Open creates WAL generation 1; tear it mid-stream.
+	tornCfg := &FileConfig{TornAtByte: 200}
+	fs := NewFS(mem, func(name string) *FileConfig {
+		if name == walName(1) {
+			return tornCfg
+		}
+		return nil
+	})
+	db := tsdb.New()
+	m, _, err := durable.Open(db, durable.Options{FS: fs, Policy: durable.PolicyAlways, CheckpointEvery: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, acked := 0, 0
+	for seq := 1; seq <= 50; seq++ {
+		db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: int64(seq), Value: float64(seq)})
+		stored = seq
+		if err := m.AppendCommit("car-1", uint64(seq)); err != nil {
+			break // the tear hit: the "controller" stops acking
+		}
+		acked = seq
+	}
+	if acked == stored {
+		t.Fatalf("tear never fired within %d batches", stored)
+	}
+	mem.Crash()
+
+	db2 := tsdb.New()
+	_, rec, err := durable.Open(db2, durable.Options{FS: mem, Policy: durable.PolicyAlways, CheckpointEvery: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Degraded {
+		t.Fatalf("a torn tail must recover clean, got %+v", rec)
+	}
+	restored := uint64(0)
+	if len(rec.Sessions) == 1 {
+		restored = rec.Sessions[0].LastSeq
+	}
+	if restored < uint64(acked) {
+		t.Fatalf("acked batch lost: restored seq %d, acked through %d", restored, acked)
+	}
+	// Retransmit everything unacked, then check for exactly-once rows.
+	db2.SetInsertLogger(nil) // direct re-store; the second manager is closed out of scope here
+	for seq := int(restored) + 1; seq <= 50; seq++ {
+		db2.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: int64(seq), Value: float64(seq)})
+	}
+	pts := db2.Range("car-1/acc[0]", 0, 1<<40)
+	if len(pts) != 50 {
+		t.Fatalf("store holds %d rows, want 50", len(pts))
+	}
+	seen := map[int64]bool{}
+	for _, p := range pts {
+		if seen[p.TimestampMillis] {
+			t.Fatalf("duplicate row at ts %d", p.TimestampMillis)
+		}
+		seen[p.TimestampMillis] = true
+	}
+}
+
+// TestDurableRecoveryUnderBitFlip flips one byte inside a WAL record and
+// expects recovery to reject the record and everything after it, reporting
+// degradation rather than storing corrupt values.
+func TestDurableRecoveryUnderBitFlip(t *testing.T) {
+	mem := durable.NewMemFS()
+	flipCfg := &FileConfig{FlipAtByte: 60} // inside the first records of gen 1
+	fs := NewFS(mem, func(name string) *FileConfig {
+		if name == walName(1) {
+			return flipCfg
+		}
+		return nil
+	})
+	db := tsdb.New()
+	m, _, err := durable.Open(db, durable.Options{FS: fs, Policy: durable.PolicyAlways, CheckpointEvery: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= 10; seq++ {
+		db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: int64(seq), Value: float64(seq)})
+		if err := m.AppendCommit("car-1", uint64(seq)); err != nil {
+			t.Fatalf("commit %d: %v", seq, err)
+		}
+	}
+	mem.Crash()
+
+	db2 := tsdb.New()
+	_, rec, err := durable.Open(db2, durable.Options{FS: mem, Policy: durable.PolicyAlways, CheckpointEvery: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Degraded || rec.LostBytes == 0 {
+		t.Fatalf("bit flip must degrade recovery with a loss bound: %+v", rec)
+	}
+	// Whatever was replayed is a clean prefix: values match their timestamps.
+	for _, p := range db2.Range("car-1/acc[0]", 0, 1<<40) {
+		if p.Value != float64(p.TimestampMillis) {
+			t.Fatalf("corrupt value %v at ts %d survived recovery", p.Value, p.TimestampMillis)
+		}
+	}
+}
+
+// TestDurableDegradesOnSyncFault injects fsync failures and expects the
+// manager to latch degradation while the store keeps serving.
+func TestDurableDegradesOnSyncFault(t *testing.T) {
+	mem := durable.NewMemFS()
+	syncCfg := &FileConfig{FailSyncFrom: 1}
+	fs := NewFS(mem, func(name string) *FileConfig {
+		if name == walName(1) {
+			return syncCfg
+		}
+		return nil
+	})
+	db := tsdb.New()
+	m, _, err := durable.Open(db, durable.Options{FS: fs, Policy: durable.PolicyAlways, CheckpointEvery: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: 1, Value: 1})
+	if err := m.AppendCommit("car-1", 1); err == nil {
+		t.Fatal("commit should surface the injected fsync failure")
+	}
+	h := m.Health()
+	if !strings.Contains(h.Status, "degraded: durability") || !h.OK {
+		t.Fatalf("health after sync fault = %+v, want degraded-but-serving", h)
+	}
+	db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: 2, Value: 2})
+	if got := db.Len("car-1/acc[0]"); got != 2 {
+		t.Fatalf("degraded store dropped inserts: %d rows", got)
+	}
+}

@@ -36,6 +36,7 @@ type Point struct {
 type DB struct {
 	mu     sync.RWMutex
 	series map[string][]Point
+	logger InsertLogger
 }
 
 // New returns an empty database.
@@ -43,15 +44,39 @@ func New() *DB {
 	return &DB{series: make(map[string][]Point)}
 }
 
+// InsertLogger observes every Insert before the in-memory mutation — the
+// write-ahead seam internal/durable hangs its log on. LogInsert runs under
+// the database write lock on the Insert hot path, so implementations must be
+// allocation-free in steady state and must not call back into the DB.
+type InsertLogger interface {
+	LogInsert(series string, p Point)
+}
+
+// SetInsertLogger installs (or, with nil, removes) the write-ahead observer.
+func (db *DB) SetInsertLogger(l InsertLogger) {
+	db.mu.Lock()
+	db.logger = l
+	db.mu.Unlock()
+}
+
 // Insert adds a point to a series, keeping the series ordered by timestamp.
 // Agents deliver batches out of order across the network, so insertion
 // position is found by binary search — open-coded rather than sort.Search,
 // which would capture pts and p in a closure on the per-point path.
 //
+// Equal-timestamp contract: a point whose timestamp already exists in the
+// series is inserted after every existing point with that timestamp, so
+// points with equal timestamps appear in arrival order. Replay depends on
+// this: re-inserting a recovered sequence in its original order reproduces
+// the exact pre-crash series, byte for byte.
+//
 //lint:hotpath
 func (db *DB) Insert(series string, p Point) {
 	start := time.Now()
 	db.mu.Lock()
+	if db.logger != nil {
+		db.logger.LogInsert(series, p)
+	}
 	pts, existed := db.series[series]
 	lo, hi := 0, len(pts)
 	for lo < hi {
@@ -80,6 +105,44 @@ func (db *DB) InsertBatch(series string, pts []Point) {
 	for _, p := range pts {
 		db.Insert(series, p)
 	}
+}
+
+// Snapshot copies every series under the write lock and, while still holding
+// it, runs fn. The callback is the checkpoint/WAL-rotation hook: because no
+// Insert can run while fn does, every point is either fully inside the
+// returned snapshot (its log record is retired with the old WAL generation)
+// or fully after it (its record lands in the new generation and replays) —
+// never both, never neither.
+func (db *DB) Snapshot(fn func()) map[string][]Point {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make(map[string][]Point, len(db.series))
+	for name, pts := range db.series {
+		cp := make([]Point, len(pts))
+		copy(cp, pts)
+		out[name] = cp
+	}
+	if fn != nil {
+		fn()
+	}
+	return out
+}
+
+// Load wholesale-replaces one series with the given points (assumed sorted —
+// checkpoints store them that way). It is the recovery restore path and
+// deliberately bypasses the insert logger: re-logging recovered data would
+// double it on the next replay.
+func (db *DB) Load(series string, pts []Point) {
+	cp := make([]Point, len(pts))
+	copy(cp, pts)
+	db.mu.Lock()
+	_, existed := db.series[series]
+	db.series[series] = cp
+	db.mu.Unlock()
+	if !existed {
+		gSeries.Add(1)
+	}
+	mPoints.Add(int64(len(pts)))
 }
 
 // Series returns the sorted names of all series.
