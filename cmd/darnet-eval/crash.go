@@ -133,6 +133,16 @@ func crashBench(scale float64, seed int64, quiet bool, outPath string) error {
 	return nil
 }
 
+// crashCommit appends a batch's commit mark and runs the pre-ack group
+// commit, mirroring the controller's two-step commit discipline (append
+// inside the store critical section, fsync outside it before the ack).
+func crashCommit(man *durable.Manager, agentID string, seq uint64) error {
+	if err := man.AppendCommit(agentID, seq); err != nil {
+		return err
+	}
+	return man.SyncCommits()
+}
+
 // crashInsert streams readings into db as committed batches; a nil manager
 // stores without marks (the baseline).
 func crashInsert(db *tsdb.DB, man *durable.Manager, readings int) {
@@ -140,7 +150,7 @@ func crashInsert(db *tsdb.DB, man *durable.Manager, readings int) {
 		db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: int64(i), Value: float64(i)})
 		if man != nil && (i+1)%crashCommitEvery == 0 {
 			//lint:ignore errdrop benchmark load loop; degradation shows up in the numbers
-			man.AppendCommit("car-1", uint64((i+1)/crashCommitEvery))
+			crashCommit(man, "car-1", uint64((i+1)/crashCommitEvery))
 		}
 	}
 }
@@ -191,7 +201,7 @@ func crashMeasurePolicy(dir string, policy durable.Policy, readings int, baselin
 		for i := 0; i < per; i++ {
 			cdb.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: int64((b-1)*per + i), Value: 1})
 		}
-		if err := cman.AppendCommit("car-1", uint64(b)); err != nil {
+		if err := crashCommit(cman, "car-1", uint64(b)); err != nil {
 			return res, err
 		}
 		if policy == durable.PolicyInterval && b%window == 0 {
@@ -280,7 +290,7 @@ func crashFaultMatrix(seed int64) map[string]bool {
 			committed := 0
 			for b := 1; b <= 40; b++ {
 				db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: int64(b), Value: float64(b)})
-				if man.AppendCommit("car-1", uint64(b)) != nil {
+				if crashCommit(man, "car-1", uint64(b)) != nil {
 					break
 				}
 				committed = b
@@ -309,7 +319,7 @@ func crashFaultMatrix(seed int64) map[string]bool {
 		if err == nil {
 			for b := 1; b <= 10; b++ {
 				db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: int64(b), Value: float64(b)})
-				if man.AppendCommit("car-1", uint64(b)) != nil {
+				if crashCommit(man, "car-1", uint64(b)) != nil {
 					break
 				}
 			}
@@ -341,7 +351,7 @@ func crashFaultMatrix(seed int64) map[string]bool {
 		man, _, err := durable.Open(db, durable.Options{FS: fs, Policy: durable.PolicyAlways, CheckpointEvery: -1, Logf: quiet})
 		if err == nil {
 			db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: 1, Value: 1})
-			commitErr := man.AppendCommit("car-1", 1)
+			commitErr := crashCommit(man, "car-1", 1)
 			db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: 2, Value: 2})
 			h := man.Health()
 			out["sync_error"] = commitErr != nil && h.OK && db.Len("car-1/acc[0]") == 2

@@ -54,8 +54,10 @@ func startCrashStack(t *testing.T, dir, addr string) *crashStack {
 	}
 	s.ctrl = collect.NewController(s.db, func() int64 { return time.Now().UnixMilli() })
 	s.ctrl.RestoreSessions(s.rec.Sessions)
+	s.ctrl.RestoreFrames(s.rec.Frames)
 	s.ctrl.SetCommitLog(s.man)
 	s.man.SetSessionSource(s.ctrl.SessionSnapshot)
+	s.man.SetFrameSource(s.ctrl.FrameSnapshot)
 
 	s.ln, err = net.Listen("tcp", addr)
 	if err != nil {
@@ -129,11 +131,19 @@ func TestCrashRestartPreservesDedupe(t *testing.T) {
 		t.Fatal(err)
 	}
 	clock := collect.NewDriftClock(func() int64 { return time.Now().UnixMilli() }, 0)
-	var tick int64
-	sensors := []collect.Sensor{collect.SensorFunc{SensorName: "s", ReadFunc: func() []float64 {
-		tick++
-		return []float64{float64(tick)}
-	}}}
+	var tick, frameTick int64
+	sensors := []collect.Sensor{
+		collect.SensorFunc{SensorName: "s", ReadFunc: func() []float64 {
+			tick++
+			return []float64{float64(tick)}
+		}},
+		// Camera frames ride the same batches: their first pixel is strictly
+		// increasing, so a frame stored twice repeats a value.
+		collect.FrameSensor(func() []float64 {
+			frameTick++
+			return []float64{float64(frameTick), 0.5}
+		}),
+	}
 	agent, err := collect.NewAgent(collect.AgentConfig{
 		ID: "car-1", Modality: "imu", PollPeriodMS: 5,
 		AckTimeout: 500 * time.Millisecond, MaxSpill: 10_000,
@@ -157,7 +167,7 @@ func TestCrashRestartPreservesDedupe(t *testing.T) {
 	series := collect.SeriesName("car-1", "s") + "[0]"
 	waitFor(t, 30*time.Second, "first batches stored", func() bool {
 		st, ok := gen1.ctrl.AgentStats("car-1")
-		return ok && st.LastSeq >= 3 && gen1.db.Len(series) > 0
+		return ok && st.LastSeq >= 3 && gen1.db.Len(series) > 0 && gen1.ctrl.FrameCount("car-1") > 0
 	})
 	ackedSeq := func() uint64 {
 		st, _ := gen1.ctrl.AgentStats("car-1")
@@ -179,6 +189,12 @@ func TestCrashRestartPreservesDedupe(t *testing.T) {
 	restored := gen2.db.Len(series)
 	if restored == 0 {
 		t.Fatal("no pre-crash readings survived the restart")
+	}
+	// Frames are durable too: batches 1..2 were acked before the kill (the
+	// agent only sends batch n+1 after batch n's ack), so their frames must
+	// come back from the checkpoint and WAL replay.
+	if gen2.ctrl.FrameCount("car-1") == 0 {
+		t.Fatal("no pre-crash camera frames survived the restart")
 	}
 	var restoredSeq uint64
 	for _, s := range gen2.rec.Sessions {
@@ -244,6 +260,15 @@ func TestCrashRestartPreservesDedupe(t *testing.T) {
 			t.Fatalf("reading %v stored twice (t=%d and t=%d): duplicate survived the crash-restart", p.Value, prev, p.TimestampMillis)
 		}
 		seen[p.Value] = p.TimestampMillis
+	}
+	// Same for frames: the first pixel is strictly increasing, so a frame
+	// restored by recovery AND re-stored from a retransmission would repeat.
+	seenFrames := make(map[float64]bool)
+	for _, f := range gen2.ctrl.Frames("car-1") {
+		if seenFrames[f.Pix[0]] {
+			t.Fatalf("frame %v stored twice: duplicate survived the crash-restart", f.Pix[0])
+		}
+		seenFrames[f.Pix[0]] = true
 	}
 }
 

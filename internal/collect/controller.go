@@ -72,15 +72,24 @@ type StreamSink interface {
 	Credits(agentID string) uint32
 }
 
-// CommitLog receives a durable commit mark after a batch's readings have been
-// stored and the dedupe high-water mark advanced. The mark is what makes
-// replay idempotent: recovery only applies WAL inserts up to the last mark an
-// agent earned, so a crash between store and mark loses nothing — the agent
-// retransmits the unmarked batch and dedupe state restored from the mark
-// admits it exactly once. internal/durable.Manager satisfies this
-// structurally, so collect never imports the storage layer's manager.
+// CommitLog is the durability seam for batch ingest. AppendFrame logs a
+// camera frame write-ahead (scalar points are logged by the store's own
+// insert logger); AppendCommit records the batch's commit mark after its
+// readings are stored and the dedupe high-water mark advanced. Both are
+// append-only and are called inside the store critical section that makes a
+// batch atomic with respect to checkpointing. SyncCommits is the durability
+// point: the controller calls it after releasing the store lock and before
+// acking, so under a strict fsync policy the ack only ever covers durable
+// data. The mark is what makes replay idempotent: recovery only applies WAL
+// records up to the last mark an agent earned, so a crash between store and
+// mark loses nothing — the agent retransmits the unmarked batch and dedupe
+// state restored from the mark admits it exactly once.
+// internal/durable.Manager satisfies this structurally, so collect never
+// imports the storage layer's manager.
 type CommitLog interface {
+	AppendFrame(agentID string, tsMillis int64, pix []float64) error
 	AppendCommit(agentID string, seq uint64) error
+	SyncCommits() error
 }
 
 // SyncPeriodMillis is how often the controller re-distributes its clock to
@@ -425,28 +434,76 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 			root.End()
 			continue
 		}
+		// The whole batch — frame log records, frame-store inserts, scalar
+		// points, the session advance, and the commit mark — is stored inside
+		// one store critical section (tsdb.DB.Update). Checkpoints rotate the
+		// WAL and snapshot the frame store under that same lock, so a
+		// checkpoint boundary lands entirely before or entirely after the
+		// batch: it can never durably capture part of the batch's rows with a
+		// LastSeq that does not cover them, which is what would turn the
+		// agent's retransmission into duplicate rows after a crash.
 		storeSp := root.StartChild("darnet_stage_store")
+		cl := c.commitLogRef()
 		frames := 0
-		for _, rd := range batch.Readings {
-			// Camera frames carry W*H pixels and go to the frame store;
-			// scalar sensor channels go to the time-series database per axis.
-			if rd.Sensor == FrameSensorName {
-				c.framesStore.insert(batch.AgentID, TimedFrame{
-					TimestampMillis: rd.TimestampMillis,
-					Pix:             append([]float64(nil), rd.Values...),
-				})
-				frames++
-				continue
+		var markErr error
+		c.db.Update(func(insert func(series string, p tsdb.Point)) {
+			for _, rd := range batch.Readings {
+				// Camera frames carry W*H pixels and go to the frame store;
+				// scalar sensor channels go to the time-series database per
+				// axis. Frames are logged write-ahead here because the commit
+				// mark dedupes the whole batch — an acked frame that could not
+				// replay would be permanently lost.
+				if rd.Sensor == FrameSensorName {
+					pix := append([]float64(nil), rd.Values...)
+					if cl != nil {
+						if err := cl.AppendFrame(batch.AgentID, rd.TimestampMillis, pix); err != nil && markErr == nil {
+							markErr = err
+						}
+					}
+					c.framesStore.insert(batch.AgentID, TimedFrame{
+						TimestampMillis: rd.TimestampMillis,
+						Pix:             pix,
+					})
+					frames++
+					continue
+				}
+				series := SeriesName(batch.AgentID, rd.Sensor)
+				for axis, v := range rd.Values {
+					insert(fmt.Sprintf("%s[%d]", series, axis), tsdb.Point{
+						TimestampMillis: rd.TimestampMillis,
+						Value:           v,
+					})
+				}
 			}
-			series := SeriesName(batch.AgentID, rd.Sensor)
-			for axis, v := range rd.Values {
-				c.db.Insert(fmt.Sprintf("%s[%d]", series, axis), tsdb.Point{
-					TimestampMillis: rd.TimestampMillis,
-					Value:           v,
-				})
+			c.mu.Lock()
+			st.batches++
+			st.readings += len(batch.Readings)
+			if batch.Seq > st.lastSeq {
+				st.lastSeq = batch.Seq
+			}
+			c.mu.Unlock()
+			// Commit mark: the dedupe high-water mark above is already
+			// advanced, so the mark the log records never exceeds the state a
+			// checkpoint would snapshot. Legacy Seq==0 batches still append
+			// one as a replay flush marker. An append failure degrades
+			// durability, never availability: count it and keep serving.
+			if cl != nil {
+				if err := cl.AppendCommit(batch.AgentID, batch.Seq); err != nil && markErr == nil {
+					markErr = err
+				}
+			}
+		})
+		storeSp.End()
+		// Group commit outside the store lock: the mark must be durable
+		// before the ack below — recovery promises every acked batch survives
+		// — but the fsync must not stall concurrent inserts.
+		if markErr != nil {
+			mCommitLogErrors.Inc()
+		} else if cl != nil {
+			if err := cl.SyncCommits(); err != nil {
+				mCommitLogErrors.Inc()
 			}
 		}
-		storeSp.End()
 
 		// Hand the stored readings to the streaming classify sink and fold its
 		// refreshed admission grant into the batch ack. The sink sheds (and
@@ -469,24 +526,7 @@ func (c *Controller) ServeConn(conn *wire.Conn) error {
 		if needSync {
 			st.lastSyncAt = now
 		}
-		st.batches++
-		st.readings += len(batch.Readings)
-		if batch.Seq > st.lastSeq {
-			st.lastSeq = batch.Seq
-		}
 		c.mu.Unlock()
-
-		// Durable commit mark: the dedupe high-water mark above is already
-		// advanced, so the mark the log records never exceeds the state a
-		// checkpoint would snapshot. It must land before the ack below —
-		// recovery promises every acked batch survives — and legacy Seq==0
-		// batches still append one as a replay flush marker. An append failure
-		// degrades durability, never availability: count it and keep serving.
-		if cl := c.commitLogRef(); cl != nil {
-			if err := cl.AppendCommit(batch.AgentID, batch.Seq); err != nil {
-				mCommitLogErrors.Inc()
-			}
-		}
 
 		// Clock synchronization piggybacks on the batch exchange: the
 		// controller pushes its UTC, waits for the agent's resulting clock,

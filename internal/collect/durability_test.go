@@ -10,10 +10,15 @@ import (
 	"darnet/internal/wire"
 )
 
-// markRecorder is a CommitLog capturing every mark (or failing on demand).
+// markRecorder is a CommitLog capturing every mark and frame append (or
+// failing on demand). ops records the call order across all three methods,
+// so tests can assert the frame-before-mark-before-sync discipline.
 type markRecorder struct {
-	marks []uint64
-	fail  error
+	marks  []uint64
+	frames []int64 // frame-append timestamps, in arrival order
+	syncs  int
+	ops    []string
+	fail   error
 }
 
 func (r *markRecorder) AppendCommit(agentID string, seq uint64) error {
@@ -21,6 +26,25 @@ func (r *markRecorder) AppendCommit(agentID string, seq uint64) error {
 		return r.fail
 	}
 	r.marks = append(r.marks, seq)
+	r.ops = append(r.ops, "mark")
+	return nil
+}
+
+func (r *markRecorder) AppendFrame(agentID string, tsMillis int64, pix []float64) error {
+	if r.fail != nil {
+		return r.fail
+	}
+	r.frames = append(r.frames, tsMillis)
+	r.ops = append(r.ops, "frame")
+	return nil
+}
+
+func (r *markRecorder) SyncCommits() error {
+	r.syncs++
+	if r.fail != nil {
+		return r.fail
+	}
+	r.ops = append(r.ops, "sync")
 	return nil
 }
 
@@ -92,6 +116,61 @@ func TestCommitLogReceivesMarks(t *testing.T) {
 	st, _ := ctrl.AgentStats("car-1")
 	if st.LastSeq != 2 || st.Deduped != 1 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCommitLogReceivesFrames pins the frame durability discipline: a
+// frame-bearing batch logs every frame before its commit mark, the whole
+// batch earns exactly one pre-ack sync, a deduped replay logs nothing, and
+// frames never leak into the scalar store.
+func TestCommitLogReceivesFrames(t *testing.T) {
+	mt := NewManualTime(1_000_000)
+	ctrl := NewController(tsdb.New(), mt.Now)
+	rec := &markRecorder{}
+	ctrl.SetCommitLog(rec)
+	conn, _ := serveManual(t, ctrl, "car-1")
+
+	sendFrame := func(seq uint64, ts int64) {
+		t.Helper()
+		batch := &wire.SampleBatch{AgentID: "car-1", Seq: seq, Readings: []wire.Reading{
+			{Sensor: FrameSensorName, TimestampMillis: ts, Values: []float64{float64(ts), 0.5}},
+			{Sensor: "accel", TimestampMillis: ts, Values: []float64{1}},
+		}}
+		if err := conn.Send(batch); err != nil {
+			t.Fatal(err)
+		}
+		if msg, err := conn.Recv(); err != nil {
+			t.Fatal(err)
+		} else if _, ok := msg.(*wire.Ack); !ok {
+			t.Fatalf("expected ack, got %T", msg)
+		}
+	}
+	sendFrame(1, 10)
+	sendFrame(1, 10) // replay: acked, nothing logged, no extra sync
+	sendFrame(2, 20)
+
+	wantOps := []string{"frame", "mark", "sync", "frame", "mark", "sync"}
+	if len(rec.ops) != len(wantOps) {
+		t.Fatalf("commit log saw %v, want %v", rec.ops, wantOps)
+	}
+	for i, w := range wantOps {
+		if rec.ops[i] != w {
+			t.Fatalf("commit log saw %v, want %v (frames must be logged before the batch's mark, one sync per stored batch)", rec.ops, wantOps)
+		}
+	}
+	if len(rec.frames) != 2 || rec.frames[0] != 10 || rec.frames[1] != 20 {
+		t.Fatalf("frame appends = %v, want [10 20]", rec.frames)
+	}
+	if ctrl.FrameCount("car-1") != 2 {
+		t.Fatalf("frame store holds %d frames, want 2", ctrl.FrameCount("car-1"))
+	}
+	// Frames route to the frame store only; the reserved channel must not
+	// materialize as a scalar series.
+	if got := ctrl.DB().Len(SeriesName("car-1", FrameSensorName) + "[0]"); got != 0 {
+		t.Fatalf("frame reading leaked %d rows into the scalar store", got)
+	}
+	if got := ctrl.DB().Len("car-1/accel[0]"); got != 2 {
+		t.Fatalf("scalar rows = %d, want 2", got)
 	}
 }
 

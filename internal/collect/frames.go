@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"darnet/internal/durable"
 )
 
 // FrameSensorName is the reserved sensor channel name for camera frames.
@@ -98,6 +100,43 @@ func (c *Controller) FrameNear(agentID string, t int64, maxSkewMillis int64) (Ti
 		TimestampMillis: f.TimestampMillis,
 		Pix:             append([]float64(nil), f.Pix...),
 	}, nil
+}
+
+// FrameSnapshot captures every agent's stored frames, sorted by agent ID —
+// the checkpoint writer's frame source (durable.Manager.SetFrameSource). It
+// is called under the store lock during checkpoints and takes only the
+// frame-store read lock; it must not touch c.mu or the DB.
+func (c *Controller) FrameSnapshot() []durable.AgentFrames {
+	c.framesStore.mu.RLock()
+	defer c.framesStore.mu.RUnlock()
+	out := make([]durable.AgentFrames, 0, len(c.framesStore.frames))
+	for id, frames := range c.framesStore.frames {
+		af := durable.AgentFrames{AgentID: id, Frames: make([]durable.Frame, len(frames))}
+		for i, f := range frames {
+			af.Frames[i] = durable.Frame{
+				TimestampMillis: f.TimestampMillis,
+				Pix:             append([]float64(nil), f.Pix...),
+			}
+		}
+		out = append(out, af)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AgentID < out[j].AgentID })
+	return out
+}
+
+// RestoreFrames seeds the frame store from recovered checkpoint and replay
+// state, so a restarted controller still serves the camera frames whose
+// batches it acked before the crash. Each frame goes through the sorted
+// insert, so recovered and freshly arriving frames interleave correctly.
+func (c *Controller) RestoreFrames(frames []durable.AgentFrames) {
+	for _, af := range frames {
+		for _, f := range af.Frames {
+			c.framesStore.insert(af.AgentID, TimedFrame{
+				TimestampMillis: f.TimestampMillis,
+				Pix:             append([]float64(nil), f.Pix...),
+			})
+		}
+	}
 }
 
 // FrameSensor adapts a frame source into a camera-agent sensor: each poll

@@ -27,42 +27,65 @@ type SessionState struct {
 	Sessions     int
 }
 
-// checkpointData is one decoded checkpoint: the store and session state as of
-// its base position; replay covers everything after (WAL generations >=
-// BaseGen).
+// Frame is one camera frame as durability stores it: the capture timestamp
+// plus the normalized pixel vector. internal/collect converts to and from its
+// frame store with FrameSnapshot/RestoreFrames.
+type Frame struct {
+	TimestampMillis int64
+	Pix             []float64
+}
+
+// AgentFrames is one agent's frames, timestamp-sorted.
+type AgentFrames struct {
+	AgentID string
+	Frames  []Frame
+}
+
+// checkpointData is one decoded checkpoint: the store, session, and frame
+// state as of its base position; replay covers everything after (WAL
+// generations >= BaseGen).
 type checkpointData struct {
 	Gen     uint64
 	BaseGen uint64
 	BaseLSN uint64
 	Series  map[string][]tsdb.Point
 	Sess    []SessionState
+	Frames  []AgentFrames
 }
 
 // Checkpoint layout: a fixed header, the series section, the session section,
-// and one whole-file CRC32C trailer. Unlike the WAL there is no per-record
-// framing — a checkpoint is written once through the tmp+rename door, so it
-// is either entirely present and checksum-valid or it is not used.
+// the frames section, and one whole-file CRC32C trailer. Unlike the WAL there
+// is no per-record framing — a checkpoint is written once through the
+// tmp+rename door, so it is either entirely present and checksum-valid or it
+// is not used. The magic is version 02: version 01 had no frames section, and
+// the strict end-of-buffer check below rejects one format read as the other.
 const (
-	ckptMagic          = "DARCKP01"
+	ckptMagic          = "DARCKP02"
 	ckptMagicHeaderLen = 8 + 8 + 8 + 8 // magic, gen, base gen, base LSN
 )
 
 // writeCheckpoint encodes and durably writes checkpoint gen through a temp
 // file: content, Sync, Close, then the atomic Rename that makes it visible.
 // A crash anywhere before the rename leaves only ignorable garbage.
-func writeCheckpoint(fs FS, gen, baseGen, baseLSN uint64, series map[string][]tsdb.Point, sess []SessionState) error {
+func writeCheckpoint(fs FS, gen, baseGen, baseLSN uint64, series map[string][]tsdb.Point, sess []SessionState, frames []AgentFrames) error {
 	names := make([]string, 0, len(series))
 	for n := range series {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 
-	size := ckptMagicHeaderLen + 4 + 4
+	size := ckptMagicHeaderLen + 4 + 4 + 4
 	for _, n := range names {
 		size += 2 + len(n) + 4 + 16*len(series[n])
 	}
 	for _, s := range sess {
 		size += 2 + len(s.AgentID) + 2 + len(s.Modality) + 4 + 8*5
+	}
+	for _, af := range frames {
+		size += 2 + len(af.AgentID) + 4
+		for _, f := range af.Frames {
+			size += 8 + 4 + 8*len(f.Pix)
+		}
 	}
 	b := make([]byte, 0, size+4)
 
@@ -101,6 +124,23 @@ func writeCheckpoint(fs FS, gen, baseGen, baseLSN uint64, series map[string][]ts
 		b = binary.BigEndian.AppendUint64(b, uint64(s.Readings))
 		b = binary.BigEndian.AppendUint64(b, uint64(s.Deduped))
 		b = binary.BigEndian.AppendUint64(b, uint64(s.Sessions))
+	}
+
+	b = binary.BigEndian.AppendUint32(b, uint32(len(frames)))
+	for _, af := range frames {
+		if len(af.AgentID) > 0xFFFF {
+			return errSeriesName
+		}
+		b = append(b, byte(len(af.AgentID)>>8), byte(len(af.AgentID)))
+		b = append(b, af.AgentID...)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(af.Frames)))
+		for _, f := range af.Frames {
+			b = binary.BigEndian.AppendUint64(b, uint64(f.TimestampMillis))
+			b = binary.BigEndian.AppendUint32(b, uint32(len(f.Pix)))
+			for _, v := range f.Pix {
+				b = binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+			}
+		}
 	}
 
 	b = binary.BigEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
@@ -260,6 +300,43 @@ func readCheckpoint(fs FS, name string) (*checkpointData, error) {
 		s.Sessions = int(vals[4])
 		d.Sess = append(d.Sess, s)
 	}
+
+	nAgents, ok := u32()
+	if !ok {
+		return nil, malformed
+	}
+	for i := uint32(0); i < nAgents; i++ {
+		var af AgentFrames
+		idLen, ok := u16()
+		if !ok {
+			return nil, malformed
+		}
+		if af.AgentID, ok = str(idLen); !ok {
+			return nil, malformed
+		}
+		nFrames, ok := u32()
+		if !ok {
+			return nil, malformed
+		}
+		for j := uint32(0); j < nFrames; j++ {
+			ts, ok := u64()
+			if !ok {
+				return nil, malformed
+			}
+			npix, ok := u32()
+			if !ok || uint64(len(p)) < 8*uint64(npix) {
+				return nil, malformed
+			}
+			pix := make([]float64, npix)
+			for k := range pix {
+				bits, _ := u64()
+				pix[k] = math.Float64frombits(bits)
+			}
+			af.Frames = append(af.Frames, Frame{TimestampMillis: int64(ts), Pix: pix})
+		}
+		d.Frames = append(d.Frames, af)
+	}
+
 	if len(p) != 0 {
 		return nil, malformed
 	}

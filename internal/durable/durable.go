@@ -5,14 +5,17 @@
 // recovery path that truncates torn tails, rejects corrupt records, and
 // replays the survivors idempotently.
 //
-// The replay contract is built around commit marks. Insert records buffer
-// per agent during replay and apply only when that agent's commit mark (one
-// per stored batch) arrives; the mark also advances the agent's dedupe
-// high-water mark. A crash between a batch's inserts and its mark therefore
-// discards the inserts — the agent never saw an ack covering them (under the
-// always policy acks follow the mark's fsync), so it retransmits and the rows
-// land exactly once. That is how "no duplicate rows after replay" holds for
-// every crash position.
+// The replay contract is built around commit marks. Insert and frame records
+// buffer per agent during replay and apply only when that agent's commit
+// mark (one per stored batch) arrives; the mark also advances the agent's
+// dedupe high-water mark. A crash between a batch's records and its mark
+// therefore discards them — the agent never saw an ack covering them (under
+// the always policy acks follow the mark's fsync), so it retransmits and the
+// rows land exactly once. The controller stores each batch — points, frames,
+// session advance, and commit mark — inside one store critical section
+// (tsdb.DB.Update), and checkpoints rotate the WAL inside that same lock, so
+// a checkpoint boundary can never split a batch. That is how "no duplicate
+// rows after replay" holds for every crash position.
 //
 // Fsync policy picks the durability/latency trade-off per deployment:
 //
@@ -135,4 +138,8 @@ var (
 	errSeriesName = errors.New("durable: series name exceeds 65535 bytes")
 	// errShortWrite marks an append the File accepted only partially.
 	errShortWrite = errors.New("durable: short WAL write")
+	// errFrameSize rejects a frame whose encoding would exceed the WAL's
+	// record bound. The disk is fine, so this does NOT latch degradation —
+	// the frame is simply not durable and the caller decides what to do.
+	errFrameSize = errors.New("durable: frame exceeds the WAL record size bound")
 )

@@ -20,13 +20,17 @@ func openTest(t *testing.T, fs FS, db *tsdb.DB, policy Policy) (*Manager, *Recov
 }
 
 // storeBatch plays one agent batch through the same sequence the controller
-// uses: inserts under the (logged) store, then the commit mark.
+// uses: inserts under the (logged) store, the commit mark, then the pre-ack
+// group commit.
 func storeBatch(t *testing.T, db *tsdb.DB, m *Manager, agent string, seq uint64, ts int64, vals ...float64) error {
 	t.Helper()
 	for i, v := range vals {
 		db.Insert(fmt.Sprintf("%s/acc[%d]", agent, i), tsdb.Point{TimestampMillis: ts, Value: v})
 	}
-	return m.AppendCommit(agent, seq)
+	if err := m.AppendCommit(agent, seq); err != nil {
+		return err
+	}
+	return m.SyncCommits()
 }
 
 func TestRecoveryRoundTrip(t *testing.T) {
@@ -301,6 +305,10 @@ func TestGroupCommitCoalesces(t *testing.T) {
 			defer wg.Done()
 			if err := m.AppendCommit("car-1", seq); err != nil {
 				t.Errorf("commit %d: %v", seq, err)
+				return
+			}
+			if err := m.SyncCommits(); err != nil {
+				t.Errorf("sync %d: %v", seq, err)
 			}
 		}(uint64(i + 1))
 	}

@@ -30,17 +30,25 @@ type Recovery struct {
 	// Sessions is the controller session state to restore: the checkpoint's
 	// sessions advanced by every replayed commit mark.
 	Sessions []SessionState
-	// SeriesLoaded/PointsLoaded describe the checkpoint contribution;
-	// ReplayedRecords/ReplayedInserts the WAL contribution. A replayed
-	// record is a commit mark or an insert that reached the store.
+	// Frames is the camera-frame state to restore (checkpoint frames plus
+	// committed replayed frame records), per agent, timestamp-sorted. The
+	// controller loads it with RestoreFrames.
+	Frames []AgentFrames
+	// SeriesLoaded/PointsLoaded/FramesLoaded describe the checkpoint
+	// contribution; ReplayedRecords/ReplayedInserts/ReplayedFrames the WAL
+	// contribution. A replayed record is a commit mark, an insert, or a frame
+	// that reached the store.
 	SeriesLoaded    int
 	PointsLoaded    int
+	FramesLoaded    int
 	ReplayedRecords int
 	ReplayedInserts int
-	// DiscardedInserts counts buffered inserts whose commit mark never made
-	// it to disk: the batch was never acked durable, the agent retransmits
-	// it, so discarding is what keeps replay duplicate-free.
+	ReplayedFrames  int
+	// DiscardedInserts/DiscardedFrames count buffered records whose commit
+	// mark never made it to disk: the batch was never acked durable, the
+	// agent retransmits it, so discarding is what keeps replay duplicate-free.
 	DiscardedInserts int
+	DiscardedFrames  int
 	// TornBytes were truncated from a torn tail; LostBytes sat past a
 	// corrupt record or inside unreadable files and could not be replayed.
 	TornBytes int64
@@ -50,12 +58,20 @@ type Recovery struct {
 	// account, including the data-loss bound.
 	Degraded bool
 	Note     string
+
+	// rejectedCkpts are checkpoint files that failed validation during this
+	// recovery. Open deletes them once the fresh post-recovery checkpoint is
+	// durable — leaving them would let gc retain a known-bad file as the
+	// fallback while deleting the older valid one.
+	rejectedCkpts []string
 }
 
 // Manager owns the durability pipeline: it is the tsdb.DB's InsertLogger,
 // the controller's commit log, the checkpoint writer, and the recovery
 // bookkeeper. Lock order: ckptMu < db.mu < w.syncMu < w.mu; m.mu is a leaf
-// never held across store or log calls.
+// never held across store or log calls. The controller adds db.mu < c.mu and
+// db.mu < frameStore.mu edges (batch stores and the checkpoint frame
+// snapshot run under db.mu); nothing takes db.mu under either of those.
 type Manager struct {
 	db        *tsdb.DB
 	fs        FS
@@ -73,6 +89,12 @@ type Manager struct {
 	ckptGen  uint64
 	ckptLSN  uint64
 	sessions func() []SessionState
+	// frames is the controller callback checkpoints snapshot frame state
+	// through (collect.Controller.FrameSnapshot); recFrames backstops it with
+	// the recovered frames until a source is installed, so a deployment that
+	// checkpoints before wiring the controller cannot drop recovered frames.
+	frames    func() []AgentFrames
+	recFrames []AgentFrames
 	// table is the manager's own per-agent commit ledger: seeded from
 	// recovery, advanced by every AppendCommit. Checkpoints merge it with the
 	// controller's richer snapshot (when one is installed) so dedupe marks
@@ -160,19 +182,30 @@ func Open(db *tsdb.DB, opts Options) (*Manager, *Recovery, error) {
 	// new base, so the generations recovery just replayed are no longer
 	// load-bearing and a crash loop cannot compound losses.
 	series := db.Snapshot(nil)
-	if err := writeCheckpoint(m.fs, w.gen, w.gen, endLSN, series, rec.Sessions); err != nil {
+	if err := writeCheckpoint(m.fs, w.gen, w.gen, endLSN, series, rec.Sessions, rec.Frames); err != nil {
 		return nil, nil, err
 	}
 	mCheckpoints.Inc()
 	m.ckptGen, m.ckptLSN = w.gen, endLSN
+	m.recFrames = rec.Frames
 	for _, s := range rec.Sessions {
 		cp := s
 		m.table[s.AgentID] = &cp
 	}
+	// After an empty start the rejected files are the only copy of whatever
+	// an operator might still salvage, so they are left alone and gc is
+	// skipped at boot. Otherwise checkpoints that failed validation are
+	// deleted now that the fresh checkpoint has made the recovered state
+	// durable: if they stayed, gc would keep the known-bad file as its
+	// second-newest fallback while deleting the older valid one, and the next
+	// fallback recovery would land on the invalid file and start empty
+	// despite a valid snapshot having existed.
 	if !rec.StartedEmpty {
-		// After an empty start the rejected files are the only copy of
-		// whatever an operator might still salvage; leave them for the next
-		// periodic checkpoint's gc instead of deleting them at boot.
+		for _, n := range rec.rejectedCkpts {
+			if err := m.fs.Remove(n); err != nil {
+				m.logf("durable: remove rejected checkpoint %s: %v", n, err)
+			}
+		}
 		m.gc()
 	}
 
@@ -213,12 +246,14 @@ func (m *Manager) recover() (*Recovery, uint64, uint64, error) {
 		if err != nil {
 			m.logf("durable: checkpoint %d rejected: %v", g, err)
 			rec.Degraded = true
+			rec.rejectedCkpts = append(rec.rejectedCkpts, ckptName(g))
 			continue
 		}
 		base = d
 		rec.Checkpoint = ckptName(g)
 		break
 	}
+	frames := make(map[string][]Frame)
 	switch {
 	case base != nil:
 		rec.BaseGen = base.BaseGen
@@ -231,6 +266,10 @@ func (m *Manager) recover() (*Recovery, uint64, uint64, error) {
 		for _, s := range base.Sess {
 			cp := s
 			sessions[s.AgentID] = &cp
+		}
+		for _, af := range base.Frames {
+			frames[af.AgentID] = append(frames[af.AgentID], af.Frames...)
+			rec.FramesLoaded += len(af.Frames)
 		}
 	case len(ckptGens) > 0:
 		// Checkpoints existed but none could be read: the WAL generations
@@ -262,13 +301,14 @@ func (m *Manager) recover() (*Recovery, uint64, uint64, error) {
 		bits   uint64
 	}
 	pending := make(map[string][]pendingInsert)
+	pendingFrames := make(map[string][]Frame)
 	stopReplay := false
 	for _, g := range walGens {
 		if g < rec.BaseGen || stopReplay {
 			continue
 		}
 		name := walName(g)
-		fileGen, goodEnd, size, tail, err := readWALFile(m.fs, name, func(r walRecord) error {
+		fileGen, goodEnd, size, tail, err := readWALFile(m.fs, name, g, func(r walRecord) error {
 			switch r.kind {
 			case recInsert:
 				slash := strings.IndexByte(r.series, '/')
@@ -281,6 +321,8 @@ func (m *Manager) recover() (*Recovery, uint64, uint64, error) {
 				}
 				agent := r.series[:slash]
 				pending[agent] = append(pending[agent], pendingInsert{series: r.series, ts: r.tsMillis, bits: r.valueBits})
+			case recFrame:
+				pendingFrames[r.agentID] = append(pendingFrames[r.agentID], Frame{TimestampMillis: r.tsMillis, Pix: r.pix})
 			case recCommit:
 				for _, p := range pending[r.agentID] {
 					m.db.Insert(p.series, tsdb.Point{TimestampMillis: p.ts, Value: math.Float64frombits(p.bits)})
@@ -288,15 +330,26 @@ func (m *Manager) recover() (*Recovery, uint64, uint64, error) {
 					rec.ReplayedInserts++
 				}
 				delete(pending, r.agentID)
+				if fs := pendingFrames[r.agentID]; len(fs) > 0 {
+					frames[r.agentID] = append(frames[r.agentID], fs...)
+					rec.ReplayedRecords += len(fs)
+					rec.ReplayedFrames += len(fs)
+					delete(pendingFrames, r.agentID)
+				}
 				s := sessions[r.agentID]
 				if s == nil {
 					s = &SessionState{AgentID: r.agentID}
 					sessions[r.agentID] = s
 				}
+				// The batch counter only advances past the dedupe high-water
+				// mark: a mark at or below it was appended before the session
+				// snapshot was read and is already counted in the checkpoint's
+				// Batches. Its pending records still apply — a batch stored
+				// after the rotation has its points only in this generation.
 				if r.seq > s.LastSeq {
 					s.LastSeq = r.seq
+					s.Batches++
 				}
-				s.Batches++
 				rec.ReplayedRecords++
 			}
 			return nil
@@ -305,8 +358,9 @@ func (m *Manager) recover() (*Recovery, uint64, uint64, error) {
 			return nil, 0, 0, err
 		}
 		if fileGen != 0 && fileGen != g {
-			m.logf("durable: %s header claims generation %d; stopping replay", name, fileGen)
-			tail = tailCorrupt
+			// readWALFile classified the file corrupt before applying any of
+			// its records; this just names the cause.
+			m.logf("durable: %s header claims generation %d; not replayed", name, fileGen)
 		}
 		endLSN += uint64(goodEnd)
 		switch tail {
@@ -331,14 +385,17 @@ func (m *Manager) recover() (*Recovery, uint64, uint64, error) {
 		}
 	}
 
-	// Buffered inserts whose commit mark never hit the disk: the agent never
+	// Buffered records whose commit mark never hit the disk: the agent never
 	// saw a durable ack for them, so it retransmits and replaying them here
 	// would double-store. Discard and count.
 	for _, ps := range pending {
 		rec.DiscardedInserts += len(ps)
 	}
+	for _, fs := range pendingFrames {
+		rec.DiscardedFrames += len(fs)
+	}
 	mReplayed.Add(int64(rec.ReplayedRecords))
-	mDiscarded.Add(int64(rec.DiscardedInserts))
+	mDiscarded.Add(int64(rec.DiscardedInserts) + int64(rec.DiscardedFrames))
 
 	rec.Sessions = make([]SessionState, 0, len(sessions))
 	for _, s := range sessions {
@@ -346,9 +403,16 @@ func (m *Manager) recover() (*Recovery, uint64, uint64, error) {
 	}
 	sort.Slice(rec.Sessions, func(i, j int) bool { return rec.Sessions[i].AgentID < rec.Sessions[j].AgentID })
 
+	rec.Frames = make([]AgentFrames, 0, len(frames))
+	for id, fs := range frames {
+		sort.SliceStable(fs, func(i, j int) bool { return fs[i].TimestampMillis < fs[j].TimestampMillis })
+		rec.Frames = append(rec.Frames, AgentFrames{AgentID: id, Frames: fs})
+	}
+	sort.Slice(rec.Frames, func(i, j int) bool { return rec.Frames[i].AgentID < rec.Frames[j].AgentID })
+
 	if rec.Note == "" {
-		rec.Note = fmt.Sprintf("recovered %d series (%d points) from %s + %d replayed records; %d uncommitted inserts discarded, %d torn bytes truncated, %d bytes lost",
-			rec.SeriesLoaded, rec.PointsLoaded, orNone(rec.Checkpoint), rec.ReplayedRecords, rec.DiscardedInserts, rec.TornBytes, rec.LostBytes)
+		rec.Note = fmt.Sprintf("recovered %d series (%d points, %d frames) from %s + %d replayed records; %d uncommitted inserts and %d frames discarded, %d torn bytes truncated, %d bytes lost",
+			rec.SeriesLoaded, rec.PointsLoaded, rec.FramesLoaded, orNone(rec.Checkpoint), rec.ReplayedRecords, rec.DiscardedInserts, rec.DiscardedFrames, rec.TornBytes, rec.LostBytes)
 	}
 	return rec, endLSN, maxGen, nil
 }
@@ -374,15 +438,17 @@ func (m *Manager) LogInsert(series string, p tsdb.Point) {
 	}
 }
 
-// AppendCommit logs a batch commit mark; under PolicyAlways it group-commits
-// before returning, so the controller's subsequent ack only ever covers
-// durable data. Implements the collect.CommitLog seam.
+// AppendCommit logs a batch commit mark. It only appends — no fsync — so the
+// controller can call it inside the store critical section that makes a
+// batch atomic with respect to checkpointing, without stalling every
+// concurrent insert behind a disk flush. The durability point moves to
+// SyncCommits, which the controller calls after releasing the store lock and
+// before acking. Implements the collect.CommitLog seam.
 func (m *Manager) AppendCommit(agentID string, seq uint64) error {
 	if m.degraded.Load() {
 		return ErrDegraded
 	}
-	lsn, err := m.w.appendCommit(agentID, seq)
-	if err != nil {
+	if _, err := m.w.appendCommit(agentID, seq); err != nil {
 		mAppendErrors.Inc()
 		m.degrade(&reasonAppend)
 		return err
@@ -398,14 +464,39 @@ func (m *Manager) AppendCommit(agentID string, seq uint64) error {
 	}
 	s.Batches++
 	m.mu.Unlock()
-	if m.policy == PolicyAlways {
-		if err := m.w.syncTo(lsn); err != nil {
-			mSyncErrors.Inc()
-			m.degrade(&reasonSync)
+	return nil
+}
+
+// AppendFrame logs one camera frame ahead of the frame-store insert, the
+// frame analogue of LogInsert. An oversized frame is rejected without
+// latching degradation (the disk is fine); real write failures degrade as
+// usual. Implements the collect.CommitLog seam.
+func (m *Manager) AppendFrame(agentID string, tsMillis int64, pix []float64) error {
+	if m.degraded.Load() {
+		return ErrDegraded
+	}
+	if _, err := m.w.appendFrame(agentID, tsMillis, pix); err != nil {
+		if err == errFrameSize {
 			return err
 		}
+		mAppendErrors.Inc()
+		m.degrade(&reasonAppend)
+		return err
 	}
 	return nil
+}
+
+// SyncCommits is the pre-ack durability point: under PolicyAlways it
+// group-commits everything appended so far — the batch's inserts, frames,
+// and commit mark included — before returning, so the subsequent ack only
+// ever covers durable data. Under the other policies it is a no-op; their
+// durability points are the interval timer and the OS. Concurrent callers
+// coalesce onto one fsync. Implements the collect.CommitLog seam.
+func (m *Manager) SyncCommits() error {
+	if m.policy != PolicyAlways {
+		return nil
+	}
+	return m.Sync()
 }
 
 // Sync forces a group commit of everything appended so far, regardless of
@@ -441,6 +532,16 @@ func (m *Manager) SetSessionSource(fn func() []SessionState) {
 	m.mu.Unlock()
 }
 
+// SetFrameSource installs the controller callback checkpoints snapshot
+// camera-frame state through (collect.Controller.FrameSnapshot). The
+// callback runs under the store lock during Checkpoint, so it must not call
+// back into the DB or the Manager.
+func (m *Manager) SetFrameSource(fn func() []AgentFrames) {
+	m.mu.Lock()
+	m.frames = fn
+	m.mu.Unlock()
+}
+
 // Checkpoint writes a full checkpoint now: rotate the WAL inside a store
 // snapshot (so no insert straddles the boundary), capture sessions, publish
 // through tmp+rename, then garbage-collect superseded files.
@@ -453,12 +554,28 @@ func (m *Manager) Checkpoint() error {
 		return ErrClosed
 	}
 	sessFn := m.sessions
+	frameFn := m.frames
+	recFrames := m.recFrames
 	m.mu.Unlock()
 
 	var gen, lsn uint64
 	var rotErr error
+	var frames []AgentFrames
 	series := m.db.Snapshot(func() {
 		gen, lsn, rotErr = m.w.rotate(m.fs)
+		// The frame snapshot is taken inside the store critical section, at
+		// the rotation boundary: the controller stores each batch (scalars
+		// and frames together) under the same lock, so every frame is either
+		// in this snapshot with its log record retired, or past the boundary
+		// with its record in the new generation — exactly the partition the
+		// series snapshot gets.
+		if rotErr == nil {
+			if frameFn != nil {
+				frames = frameFn()
+			} else {
+				frames = recFrames
+			}
+		}
 	})
 	if rotErr != nil {
 		mSyncErrors.Inc()
@@ -476,7 +593,7 @@ func (m *Manager) Checkpoint() error {
 		sess = sessFn()
 	}
 	sess = m.mergeSessions(sess)
-	if err := writeCheckpoint(m.fs, gen, gen, lsn, series, sess); err != nil {
+	if err := writeCheckpoint(m.fs, gen, gen, lsn, series, sess, frames); err != nil {
 		return err
 	}
 	mCheckpoints.Inc()

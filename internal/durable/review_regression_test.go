@@ -1,0 +1,330 @@
+package durable
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"darnet/internal/tsdb"
+)
+
+// storeBatchAtomic stores one batch the way the controller does since the
+// atomicity fix: inserts and the commit mark inside one store critical
+// section (tsdb.DB.Update), the group commit outside it.
+func storeBatchAtomic(db *tsdb.DB, m *Manager, agent string, seq uint64, ts int64, vals ...float64) error {
+	var markErr error
+	db.Update(func(insert func(series string, p tsdb.Point)) {
+		for i, v := range vals {
+			insert(fmt.Sprintf("%s/acc[%d]", agent, i), tsdb.Point{TimestampMillis: ts, Value: v})
+		}
+		markErr = m.AppendCommit(agent, seq)
+	})
+	if markErr != nil {
+		return markErr
+	}
+	return m.SyncCommits()
+}
+
+// TestCheckpointCannotSplitBatch is the regression for the checkpoint/batch
+// interleaving hazard: when each point of a batch took the store lock
+// separately, a concurrent checkpoint's snapshot+rotation could capture part
+// of a batch's rows without the session state covering its seq — after a
+// crash the retransmission then stored those rows again. With batches stored
+// through one store critical section the interleaving is impossible: crash at
+// any point, retransmit everything unacked, and every row is exactly-once.
+func TestCheckpointCannotSplitBatch(t *testing.T) {
+	const batches, perBatch = 60, 8
+	fs := NewMemFS()
+	db := tsdb.New()
+	// PolicyNever: nothing is durable except what rotation fsyncs, which is
+	// exactly the window where a split batch would materialize.
+	m, _ := openTest(t, fs, db, PolicyNever)
+
+	// Hammer checkpoints concurrently with atomic batch stores.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				//lint:ignore errdrop checkpoint races with the crash below by design
+				m.Checkpoint()
+			}
+		}
+	}()
+	for seq := 1; seq <= batches; seq++ {
+		if err := storeBatchAtomic(db, m, "car-1", uint64(seq), int64(seq), sliceOf(perBatch, float64(seq))...); err != nil {
+			t.Fatalf("batch %d: %v", seq, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	fs.Crash() // power cut: unsynced bytes vanish
+
+	db2 := tsdb.New()
+	m2, rec := openTest(t, fs, db2, PolicyNever)
+	restored := uint64(0)
+	for _, s := range rec.Sessions {
+		if s.AgentID == "car-1" {
+			restored = s.LastSeq
+		}
+	}
+	// The agent retransmits every batch it never saw acked durable.
+	for seq := int(restored) + 1; seq <= batches; seq++ {
+		if err := storeBatchAtomic(db2, m2, "car-1", uint64(seq), int64(seq), sliceOf(perBatch, float64(seq))...); err != nil {
+			t.Fatalf("retransmit %d: %v", seq, err)
+		}
+	}
+	// Exactly-once: every axis series holds one row per batch, no axis is
+	// missing a row another axis has (a split batch would leave exactly that).
+	for axis := 0; axis < perBatch; axis++ {
+		series := fmt.Sprintf("car-1/acc[%d]", axis)
+		pts := db2.Range(series, 0, 1<<60)
+		if len(pts) != batches {
+			t.Fatalf("%s holds %d rows, want %d (a checkpoint split a batch)", series, len(pts), batches)
+		}
+		seen := make(map[int64]bool, len(pts))
+		for _, p := range pts {
+			if seen[p.TimestampMillis] {
+				t.Fatalf("%s holds a duplicate row at ts %d", series, p.TimestampMillis)
+			}
+			seen[p.TimestampMillis] = true
+		}
+	}
+}
+
+func sliceOf(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// TestFramesSurviveCrash pins frame durability: committed frames replay from
+// the WAL after a crash, uncommitted frames are discarded for the retransmit,
+// and the restored state round-trips through a checkpoint.
+func TestFramesSurviveCrash(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, _ := openTest(t, fs, db, PolicyAlways)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := m.AppendFrame("cam-1", int64(seq*10), []float64{float64(seq), 0.5}); err != nil {
+			t.Fatalf("frame %d: %v", seq, err)
+		}
+		if err := m.AppendCommit("cam-1", seq); err != nil {
+			t.Fatalf("commit %d: %v", seq, err)
+		}
+		if err := m.SyncCommits(); err != nil {
+			t.Fatalf("sync %d: %v", seq, err)
+		}
+	}
+	// Batch 4's frame hits the log but the crash beats its commit mark.
+	if err := m.AppendFrame("cam-1", 40, []float64{4, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.w.sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+
+	db2 := tsdb.New()
+	m2, rec := openTest(t, fs, db2, PolicyAlways)
+	if rec.ReplayedFrames != 3 || rec.DiscardedFrames != 1 {
+		t.Fatalf("replayed %d frames, discarded %d; want 3 and 1 (recovery %+v)", rec.ReplayedFrames, rec.DiscardedFrames, rec)
+	}
+	if len(rec.Frames) != 1 || rec.Frames[0].AgentID != "cam-1" || len(rec.Frames[0].Frames) != 3 {
+		t.Fatalf("restored frames = %+v", rec.Frames)
+	}
+	for i, f := range rec.Frames[0].Frames {
+		if f.TimestampMillis != int64((i+1)*10) || len(f.Pix) != 2 || f.Pix[0] != float64(i+1) {
+			t.Fatalf("frame %d = %+v", i, f)
+		}
+	}
+
+	// The restored frames ride the recFrames backstop into the next
+	// checkpoint even though no frame source is installed, so a second
+	// restart loads them from the checkpoint alone.
+	if err := m2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db3 := tsdb.New()
+	_, rec3 := openTest(t, fs, db3, PolicyAlways)
+	if rec3.FramesLoaded != 3 || len(rec3.Frames) != 1 || len(rec3.Frames[0].Frames) != 3 {
+		t.Fatalf("second restart lost checkpointed frames: %+v", rec3)
+	}
+}
+
+// TestOversizedFrameRejectedWithoutDegrading pins the errFrameSize contract:
+// a frame too large for the WAL record bound is refused up front (appending
+// it would make the file unreadable) and the disk is not blamed for it.
+func TestOversizedFrameRejectedWithoutDegrading(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, _ := openTest(t, fs, db, PolicyAlways)
+	huge := make([]float64, maxRecord/8)
+	if err := m.AppendFrame("cam-1", 1, huge); err != errFrameSize {
+		t.Fatalf("oversized frame append = %v, want errFrameSize", err)
+	}
+	if m.degraded.Load() {
+		t.Fatal("an oversized frame is a caller error, not a disk failure; degradation must not latch")
+	}
+	if err := m.AppendFrame("cam-1", 1, []float64{1}); err != nil {
+		t.Fatalf("normal frame after rejection: %v", err)
+	}
+}
+
+// TestRejectedCheckpointDeleted is the regression for the gc fallback hazard:
+// a checkpoint that failed validation during recovery must be deleted, so gc
+// never retains the known-bad file as its fallback while deleting the older
+// valid one.
+func TestRejectedCheckpointDeleted(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, _ := openTest(t, fs, db, PolicyAlways)
+	if err := storeBatch(t, db, m, "car-1", 1, 100, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := storeBatch(t, db, m, "car-1", 2, 200, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	bad := ckptName(m.Stats().CheckpointGen)
+	if err := fs.Corrupt(bad, 20); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+
+	db2 := tsdb.New()
+	_, rec := openTest(t, fs, db2, PolicyAlways)
+	if !rec.UsedFallback {
+		t.Fatalf("expected fallback recovery, got %+v", rec)
+	}
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if n == bad {
+			t.Fatalf("rejected checkpoint %s still on disk after recovery: a later fallback would land on it", bad)
+		}
+	}
+	// The surviving fallback set must still recover the full state: corrupt
+	// the fresh post-recovery checkpoint and recover again — the fallback is
+	// now a valid checkpoint, not the rejected one, so nothing is lost.
+	newest := ""
+	for _, n := range names {
+		if strings.HasSuffix(n, ".ckpt") && n > newest {
+			newest = n
+		}
+	}
+	if err := fs.Corrupt(newest, 20); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	db3 := tsdb.New()
+	_, rec3 := openTest(t, fs, db3, PolicyAlways)
+	if rec3.StartedEmpty {
+		t.Fatalf("fallback landed on an invalid checkpoint and started empty: %+v", rec3)
+	}
+	if got := db3.Len("car-1/acc[0]"); got != 2 {
+		t.Fatalf("second fallback recovery restored %d rows, want 2 (%+v)", got, rec3)
+	}
+}
+
+// TestHeaderGenMismatchNotApplied is the regression for the late header
+// check: a WAL file whose header generation disagrees with its name must not
+// have a single record applied to the store — the mismatch is detected
+// before replay streams anything.
+func TestHeaderGenMismatchNotApplied(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, _ := openTest(t, fs, db, PolicyAlways)
+	if err := storeBatch(t, db, m, "car-1", 1, 100, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.w.sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a header mismatch: flip a byte of the generation field inside the
+	// active WAL's header (offset 8..16). The file's records are intact and
+	// checksum-clean — only the header lies.
+	if err := fs.Corrupt(walName(m.w.gen), 15); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+
+	db2 := tsdb.New()
+	_, rec := openTest(t, fs, db2, PolicyAlways)
+	if !rec.Degraded {
+		t.Fatalf("a header generation mismatch is corruption: %+v", rec)
+	}
+	if rec.ReplayedInserts != 0 || db2.Len("car-1/acc[0]") != 0 {
+		t.Fatalf("records from a mismatched-header file were applied: replayed=%d rows=%d",
+			rec.ReplayedInserts, db2.Len("car-1/acc[0]"))
+	}
+}
+
+// TestBatchesNotDoubleCounted is the regression for the replay accounting
+// bug: Checkpoint reads session state after the WAL rotation, so a batch that
+// lands in between has its commit mark in the new generation AND its count in
+// the checkpoint's Batches. Replaying that mark must apply its buffered
+// records (they exist only in the new generation) without counting the batch
+// a second time.
+func TestBatchesNotDoubleCounted(t *testing.T) {
+	fs := NewMemFS()
+	db := tsdb.New()
+	m, _ := openTest(t, fs, db, PolicyAlways)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := storeBatch(t, db, m, "car-1", seq, int64(seq*100), float64(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stage Checkpoint's exact interleaving by hand: rotate inside the store
+	// snapshot, let batch 4 land, then read the sessions and publish.
+	var gen, lsn uint64
+	var rotErr error
+	series := db.Snapshot(func() { gen, lsn, rotErr = m.w.rotate(fs) })
+	if rotErr != nil {
+		t.Fatal(rotErr)
+	}
+	if err := storeBatch(t, db, m, "car-1", 4, 400, 4.0); err != nil {
+		t.Fatal(err)
+	}
+	sess := m.mergeSessions(nil) // the ledger already counts batch 4
+	if len(sess) != 1 || sess[0].LastSeq != 4 || sess[0].Batches != 4 {
+		t.Fatalf("staged sessions = %+v, want LastSeq 4 Batches 4", sess)
+	}
+	if err := writeCheckpoint(fs, gen, gen, lsn, series, sess, nil); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+
+	db2 := tsdb.New()
+	_, rec := openTest(t, fs, db2, PolicyAlways)
+	if len(rec.Sessions) != 1 {
+		t.Fatalf("sessions = %+v", rec.Sessions)
+	}
+	s := rec.Sessions[0]
+	if s.LastSeq != 4 || s.Batches != 4 {
+		t.Fatalf("LastSeq %d Batches %d, want 4 and 4 (the replayed mark was already in the checkpoint's count)", s.LastSeq, s.Batches)
+	}
+	// The mark's buffered insert still applied: batch 4's row exists only in
+	// the post-rotation generation, never in the checkpoint snapshot.
+	if rec.ReplayedInserts != 1 || db2.Len("car-1/acc[0]") != 4 {
+		t.Fatalf("replayed %d inserts, store holds %d rows; want 1 and 4", rec.ReplayedInserts, db2.Len("car-1/acc[0]"))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -20,10 +21,15 @@ import (
 //
 //	insert: 0x01 [u16 series len][series][i64 unix-millis][u64 float64 bits]
 //	commit: 0x02 [u16 agent len][agent][u64 batch seq]
+//	frame:  0x03 [u16 agent len][agent][i64 unix-millis][u32 npix][npix x u64 float64 bits]
 //
 // The length prefix bounds framing, the checksum catches bit rot, and the
-// record kinds carry exactly the two events recovery needs: a point entering
-// the store and a batch becoming eligible for dedupe.
+// record kinds carry exactly the events recovery needs: a point entering the
+// store, a camera frame entering the frame store, and a batch becoming
+// eligible for dedupe. Frames must be logged like scalars because the commit
+// mark dedupes the whole batch: if an acked batch's frames were not
+// replayable, the retransmission suppression would turn a crash into silent
+// frame loss.
 const (
 	walMagic     = "DARWAL01"
 	walHeaderLen = 16
@@ -31,10 +37,12 @@ const (
 
 	recInsert = 0x01
 	recCommit = 0x02
+	recFrame  = 0x03
 
 	// maxRecord bounds a single payload; anything larger in a length prefix
-	// is framing corruption, not a real record (series names are short and
-	// both payload kinds are fixed-size past the name).
+	// is framing corruption, not a real record (series names are short, the
+	// scalar payload kinds are fixed-size past the name, and frames are
+	// capped well below this by the protocol's pixel budget).
 	maxRecord = 1 << 20
 )
 
@@ -149,6 +157,34 @@ func (w *wal) appendCommit(agentID string, seq uint64) (uint64, error) {
 	b = append(b, recCommit, byte(len(agentID)>>8), byte(len(agentID)))
 	b = append(b, agentID...)
 	b = binary.BigEndian.AppendUint64(b, seq)
+	lsn, err := w.appendLocked(b)
+	w.mu.Unlock()
+	return lsn, err
+}
+
+// appendFrame logs one camera frame ahead of the frame-store insert. Frames
+// arrive at camera rate (tens of Hz), not scalar rate, so this path may
+// allocate; it still reuses scratch for the common small-frame case. A frame
+// whose encoding would exceed maxRecord is rejected up front — appending it
+// would make the file unreadable to replay, which classifies oversized
+// length prefixes as corruption.
+func (w *wal) appendFrame(agentID string, tsMillis int64, pix []float64) (uint64, error) {
+	if len(agentID) > 0xFFFF {
+		return 0, errSeriesName
+	}
+	if recHeaderLen+3+len(agentID)+12+8*len(pix) > maxRecord {
+		return 0, errFrameSize
+	}
+	w.mu.Lock()
+	b := w.scratch[:0]
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)
+	b = append(b, recFrame, byte(len(agentID)>>8), byte(len(agentID)))
+	b = append(b, agentID...)
+	b = binary.BigEndian.AppendUint64(b, uint64(tsMillis))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(pix)))
+	for _, v := range pix {
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+	}
 	lsn, err := w.appendLocked(b)
 	w.mu.Unlock()
 	return lsn, err
@@ -274,6 +310,8 @@ type walRecord struct {
 	// commit fields
 	agentID string
 	seq     uint64
+	// frame fields (agentID and tsMillis shared with the above)
+	pix []float64
 }
 
 // Tail classification for one replayed WAL file. The decision table:
@@ -291,8 +329,12 @@ const (
 // readWALFile streams the records of one generation into fn, returning the
 // generation from the header, the offset just past the last good record,
 // the file's total size, and the tail classification. fn errors abort the
-// scan (and surface as err).
-func readWALFile(fs FS, name string, fn func(walRecord) error) (gen uint64, goodEnd, size int64, tail int, err error) {
+// scan (and surface as err). wantGen is the generation the file NAME claims:
+// a header that disagrees means the file's content belongs to some other
+// log, and the whole file is classified corrupt before fn sees a single
+// record — applying data and then deciding the file was untrustworthy would
+// poison the store. Pass wantGen 0 to skip the check (no generation is 0).
+func readWALFile(fs FS, name string, wantGen uint64, fn func(walRecord) error) (gen uint64, goodEnd, size int64, tail int, err error) {
 	size, err = fs.Size(name)
 	if err != nil {
 		return 0, 0, 0, tailCorrupt, err
@@ -314,6 +356,9 @@ func readWALFile(fs FS, name string, fn func(walRecord) error) (gen uint64, good
 		return 0, 0, size, tailCorrupt, nil
 	}
 	gen = binary.BigEndian.Uint64(hdr[8:])
+	if wantGen != 0 && gen != wantGen {
+		return gen, walHeaderLen, size, tailCorrupt, nil
+	}
 	goodEnd = walHeaderLen
 
 	var rec [recHeaderLen]byte
@@ -389,6 +434,26 @@ func decodeRecord(p []byte) (walRecord, bool) {
 			kind:    recCommit,
 			agentID: name,
 			seq:     binary.BigEndian.Uint64(rest),
+		}, true
+	case recFrame:
+		if len(rest) < 12 {
+			return walRecord{}, false
+		}
+		ts := int64(binary.BigEndian.Uint64(rest[:8]))
+		npix := binary.BigEndian.Uint32(rest[8:12])
+		rest = rest[12:]
+		if uint64(len(rest)) != 8*uint64(npix) {
+			return walRecord{}, false
+		}
+		pix := make([]float64, npix)
+		for i := range pix {
+			pix[i] = math.Float64frombits(binary.BigEndian.Uint64(rest[8*i:]))
+		}
+		return walRecord{
+			kind:     recFrame,
+			agentID:  name,
+			tsMillis: ts,
+			pix:      pix,
 		}, true
 	default:
 		return walRecord{}, false

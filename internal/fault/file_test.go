@@ -157,6 +157,9 @@ func TestDurableRecoveryUnderTornWAL(t *testing.T) {
 		if err := m.AppendCommit("car-1", uint64(seq)); err != nil {
 			break // the tear hit: the "controller" stops acking
 		}
+		if err := m.SyncCommits(); err != nil {
+			break // durability point failed: no ack either
+		}
 		acked = seq
 	}
 	if acked == stored {
@@ -219,6 +222,9 @@ func TestDurableRecoveryUnderBitFlip(t *testing.T) {
 		if err := m.AppendCommit("car-1", uint64(seq)); err != nil {
 			t.Fatalf("commit %d: %v", seq, err)
 		}
+		if err := m.SyncCommits(); err != nil {
+			t.Fatalf("sync %d: %v", seq, err)
+		}
 	}
 	mem.Crash()
 
@@ -255,8 +261,11 @@ func TestDurableDegradesOnSyncFault(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.Insert("car-1/acc[0]", tsdb.Point{TimestampMillis: 1, Value: 1})
-	if err := m.AppendCommit("car-1", 1); err == nil {
-		t.Fatal("commit should surface the injected fsync failure")
+	if err := m.AppendCommit("car-1", 1); err != nil {
+		t.Fatalf("append alone touches no fsync: %v", err)
+	}
+	if err := m.SyncCommits(); err == nil {
+		t.Fatal("the durability point should surface the injected fsync failure")
 	}
 	h := m.Health()
 	if !strings.Contains(h.Status, "degraded: durability") || !h.OK {

@@ -74,6 +74,19 @@ func (db *DB) SetInsertLogger(l InsertLogger) {
 func (db *DB) Insert(series string, p Point) {
 	start := time.Now()
 	db.mu.Lock()
+	existed := db.insertLocked(series, p)
+	db.mu.Unlock()
+	if !existed {
+		gSeries.Add(1)
+	}
+	mPoints.Inc()
+	hInsert.ObserveSince(start)
+}
+
+// insertLocked logs and places one point; the caller holds db.mu. It returns
+// whether the series already existed so the callers can move the cardinality
+// gauge outside the lock.
+func (db *DB) insertLocked(series string, p Point) (existed bool) {
 	if db.logger != nil {
 		db.logger.LogInsert(series, p)
 	}
@@ -92,12 +105,34 @@ func (db *DB) Insert(series string, p Point) {
 	copy(pts[i+1:], pts[i:])
 	pts[i] = p
 	db.series[series] = pts
+	return existed
+}
+
+// Update runs fn inside one store critical section. Every point the callback
+// inserts — plus whatever else it does while it runs, such as advancing a
+// dedupe high-water mark or appending a commit mark to the write-ahead log —
+// is atomic with respect to Snapshot: the checkpoint's snapshot+WAL-rotation
+// boundary lands either entirely before or entirely after the callback,
+// never inside it. The controller stores each agent batch through this door,
+// which is what guarantees a checkpoint can never capture half a batch, or a
+// batch's rows without the session state that dedupes its retransmission.
+// The callback must not call other DB methods (db.mu is held throughout).
+func (db *DB) Update(fn func(insert func(series string, p Point))) {
+	inserted, created := 0, 0
+	db.mu.Lock()
+	fn(func(series string, p Point) {
+		start := time.Now()
+		if !db.insertLocked(series, p) {
+			created++
+		}
+		inserted++
+		hInsert.ObserveSince(start)
+	})
 	db.mu.Unlock()
-	if !existed {
-		gSeries.Add(1)
+	if created > 0 {
+		gSeries.Add(float64(created))
 	}
-	mPoints.Inc()
-	hInsert.ObserveSince(start)
+	mPoints.Add(int64(inserted))
 }
 
 // InsertBatch adds many points to a series.
